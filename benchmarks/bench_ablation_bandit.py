@@ -1,0 +1,70 @@
+"""Ablations on the E-UCB design choices (DESIGN.md section 5).
+
+1. **Discount factor lambda** -- the paper fixes lambda = 0.95
+   (Section V-A); we sweep it to show the reward-tracking trade-off.
+2. **Reward shape** -- Eq. 8's fit-to-capability reward vs the naive
+   loss-per-second reward.
+
+Both ablations run FedMP on the CNN task to the target accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import fmt_time, print_table
+from repro.experiments.setups import make_bench_task
+from conftest import run_training
+
+LAMBDAS = (0.8, 0.95, 0.995)
+
+
+def _run_with(bench_task, **bandit_overrides):
+    kwargs = dict(bench_task.bandit_kwargs)
+    kwargs.update(bandit_overrides)
+    history = run_training(
+        bench_task, "fedmp", strategy_kwargs=kwargs,
+        target_metric=bench_task.target_metric,
+        max_rounds=bench_task.max_rounds + 8,
+    )
+    reached = history.time_to_target(bench_task.target_metric)
+    return reached if reached is not None else history.total_time_s
+
+
+def test_ablation_discount_factor(once):
+    bench_task = make_bench_task("cnn")
+
+    def experiment():
+        return {lam: _run_with(bench_task, discount=lam) for lam in LAMBDAS}
+
+    times = once(experiment)
+    print_table(
+        "Ablation -- E-UCB discount factor lambda (CNN, time to target)",
+        ["lambda", "Time to target"],
+        [[f"{lam}", fmt_time(times[lam])] for lam in LAMBDAS],
+        note="paper: lambda = 0.95 (Garivier & Moulines discounted UCB); "
+             "all values must stay in the same effectiveness band.",
+    )
+    # no discount choice catastrophically breaks training
+    best = min(times.values())
+    assert max(times.values()) <= 4.0 * best, times
+
+
+def test_ablation_reward_shape(once):
+    bench_task = make_bench_task("cnn")
+
+    def experiment():
+        return {
+            "eq8 (paper)": _run_with(bench_task, reward="eq8"),
+            "loss/second": _run_with(bench_task, reward="time"),
+        }
+
+    times = once(experiment)
+    print_table(
+        "Ablation -- E-UCB reward shape (CNN, time to target)",
+        ["Reward", "Time to target"],
+        [[name, fmt_time(value)] for name, value in times.items()],
+        note="Eq. 8 rewards ratios that align each worker's completion "
+             "time with the round mean; the naive reward only chases "
+             "faster rounds.",
+    )
+    # both shapes must reach the target; Eq. 8 is competitive
+    assert times["eq8 (paper)"] <= times["loss/second"] * 1.5, times

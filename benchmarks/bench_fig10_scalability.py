@@ -1,0 +1,75 @@
+"""Fig. 10: completion time vs number of workers (scalability).
+
+Worker counts 10/20/30 with the half-A/half-B composition of Section
+V-G.  The paper: FedMP's completion time grows only slightly with more
+workers and keeps a 2.4x / 1.6x advantage over Syn-FL / FlexCom at 30.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import fmt_speedup, fmt_time, print_table
+from repro.experiments.setups import (
+    METHOD_LABELS,
+    METHOD_ORDER,
+    make_bench_task,
+    make_devices,
+)
+from conftest import run_training
+
+WORKER_COUNTS = (10, 20, 30)
+
+PAPER_NOTE = (
+    "paper (Fig. 10, AlexNet/CIFAR-10): completion time increases "
+    "slightly with workers; at 30 workers FedMP keeps 2.4x / 2.0x / "
+    "2.0x / 1.6x speedup over Syn-FL / UP-FL / FedProx / FlexCom."
+)
+
+
+def test_fig10_worker_scaling(once):
+    bench_task = make_bench_task("cnn")
+
+    def experiment():
+        results = {}
+        for count in WORKER_COUNTS:
+            devices = make_devices(seed=42, count=count)
+            results[count] = {
+                method: run_training(
+                    bench_task, method,
+                    devices=devices, devices_key=f"n{count}",
+                    target_metric=bench_task.target_metric,
+                    max_rounds=bench_task.max_rounds + 8,
+                )
+                for method in METHOD_ORDER
+            }
+        return results
+
+    results = once(experiment)
+
+    def time_to(count, method):
+        history = results[count][method]
+        reached = history.time_to_target(bench_task.target_metric)
+        return reached if reached is not None else history.total_time_s
+
+    rows = []
+    for count in WORKER_COUNTS:
+        times = {m: time_to(count, m) for m in METHOD_ORDER}
+        rows.append(
+            [f"{count} workers"]
+            + [fmt_time(times[m]) for m in METHOD_ORDER]
+            + [fmt_speedup(times["synfl"], times["fedmp"])]
+        )
+    print_table(
+        f"Fig. 10 -- time to {bench_task.target_metric:.0%} accuracy vs "
+        f"worker count ({bench_task.label})",
+        ["Workers"] + [METHOD_LABELS[m] for m in METHOD_ORDER]
+        + ["FedMP vs Syn-FL"],
+        rows, note=PAPER_NOTE,
+    )
+
+    # at the paper's default fleet size FedMP leads outright; at larger
+    # fleets the bench-scale shards shrink (60 samples/class over up to
+    # 30 workers) and pruned-model convergence noise can erode the
+    # lead, so the larger counts get a sanity factor (EXPERIMENTS.md)
+    assert time_to(10, "fedmp") < time_to(10, "synfl"), rows
+    for count in WORKER_COUNTS:
+        assert time_to(count, "fedmp") <= 1.6 * time_to(count, "synfl"), rows

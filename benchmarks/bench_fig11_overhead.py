@@ -1,0 +1,90 @@
+"""Fig. 11: PS-side algorithm overhead vs number of workers.
+
+Measures the real wall-clock cost of one round's pruning-ratio
+decisions (E-UCB) plus distributed model pruning (plan + sub-model
+extraction) for 10/20/30 workers.  The paper: overhead grows with the
+worker count but stays far below per-round training/transmission time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments.reporting import print_table
+from repro.experiments.setups import make_bench_task, make_devices
+from repro.fl.config import FLConfig
+from repro.fl.strategies import make_strategy
+
+WORKER_COUNTS = (10, 20, 30)
+ROUNDS = 5
+
+PAPER_NOTE = (
+    "paper (Fig. 11): per-round decision + pruning overhead increases "
+    "with workers but stays orders of magnitude below the hundreds of "
+    "seconds of per-round training/transmission time."
+)
+
+
+def test_fig11_algorithm_overhead(once):
+    bench_task = make_bench_task("cnn")
+    task = bench_task.make_task()
+
+    def experiment():
+        rows = []
+        for count in WORKER_COUNTS:
+            devices = make_devices(seed=42, count=count)
+            worker_ids = [d.device_id for d in devices]
+            config = FLConfig(strategy="fedmp",
+                              strategy_kwargs=dict(bench_task.bandit_kwargs))
+            strategy = make_strategy("fedmp", worker_ids, config,
+                                     rng=np.random.default_rng(0))
+            model = task.build_model(np.random.default_rng(1))
+            extract_rng = np.random.default_rng(2)
+
+            decision_total = 0.0
+            pruning_total = 0.0
+            for round_index in range(ROUNDS):
+                start = time.perf_counter()
+                ratios = strategy.select_ratios(round_index)
+                decision_total += time.perf_counter() - start
+
+                start = time.perf_counter()
+                for worker_id, ratio in ratios.items():
+                    plan = task.build_plan(model, ratio)
+                    task.extract(model, plan, extract_rng)
+                pruning_total += time.perf_counter() - start
+
+                from repro.fl.strategies.base import RoundObservation
+                from repro.simulation.timing import RoundCosts
+
+                strategy.observe_round(RoundObservation(
+                    round_index=round_index,
+                    costs={
+                        wid: RoundCosts(10.0 + wid, 1.0, 1.0)
+                        for wid in worker_ids
+                    },
+                    delta_loss=0.1,
+                ))
+            rows.append((
+                count, decision_total / ROUNDS, pruning_total / ROUNDS,
+            ))
+        return rows
+
+    rows = once(experiment)
+    print_table(
+        "Fig. 11 -- mean per-round PS overhead (real seconds)",
+        ["Workers", "Ratio decision (s)", "Model pruning (s)", "Total (s)"],
+        [
+            (c, f"{d:.4f}", f"{p:.4f}", f"{d + p:.4f}")
+            for c, d, p in rows
+        ],
+        note=PAPER_NOTE,
+    )
+
+    totals = [d + p for _, d, p in rows]
+    # overhead grows with worker count ...
+    assert totals[-1] > totals[0], rows
+    # ... but stays far below a typical simulated round (tens of seconds)
+    assert totals[-1] < 10.0, rows

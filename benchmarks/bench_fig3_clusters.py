@@ -1,0 +1,47 @@
+"""Fig. 3: worker clusters by computing mode and location.
+
+Regenerates the 30-device deployment grid: cluster A (modes 0-1, near),
+B (modes 1-2, mid), C (modes 2-3, far), and verifies the monotone
+capability ordering the figure encodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import print_table
+from repro.simulation.cluster import make_scenario_devices, scenario_table
+
+
+def test_fig3_worker_clusters(once):
+    def experiment():
+        rng = np.random.default_rng(42)
+        return make_scenario_devices({"A": 10, "B": 10, "C": 10}, rng)
+
+    devices = once(experiment)
+    rows = [
+        (device_id, cluster, mode, f"{mbps:.1f}")
+        for device_id, cluster, mode, mbps in scenario_table(devices)
+    ]
+    print_table(
+        "Fig. 3 -- 30 workers by cluster (mode x location)",
+        ["Device", "Cluster", "Mode", "Mbps"],
+        rows,
+        note="paper (Fig. 3): clusters A/B/C with decreasing compute "
+             "modes and increasing PS distance.",
+    )
+
+    by_cluster = {}
+    for device in devices:
+        by_cluster.setdefault(device.cluster, []).append(device)
+    assert set(by_cluster) == {"A", "B", "C"}
+    mean_speed = {
+        c: np.mean([d.mode.relative_speed for d in ds])
+        for c, ds in by_cluster.items()
+    }
+    mean_bw = {
+        c: np.mean([d.bandwidth_bps for d in ds])
+        for c, ds in by_cluster.items()
+    }
+    assert mean_speed["A"] > mean_speed["C"]
+    assert mean_bw["A"] > mean_bw["B"] > mean_bw["C"]

@@ -1,0 +1,66 @@
+"""Fig. 5: average per-round computation/communication time vs ratio.
+
+Pure cost-model experiment (no training): extract sub-models at each
+ratio, price one round on every device of the default deployment, and
+report the mean computation and communication seconds.  Both terms must
+decrease monotonically with the pruning ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import print_table
+from repro.experiments.setups import make_bench_task, make_devices
+from repro.models import count_model_flops
+from repro.pruning import build_pruning_plan, extract_submodel
+from repro.simulation.timing import TimingModel
+
+RATIOS = [0.0, 0.2, 0.4, 0.6, 0.8]
+
+PAPER_NOTE = (
+    "paper (Fig. 5): both average computation and communication time "
+    "per round decrease as the pruning ratio grows."
+)
+
+
+def test_fig5_round_time_vs_ratio(once):
+    bench_task = make_bench_task("cnn")
+    task = bench_task.make_task()
+    devices = make_devices("medium")
+
+    def experiment():
+        rng = np.random.default_rng(0)
+        model = task.build_model(rng)
+        rows = []
+        for ratio in RATIOS:
+            plan = task.build_plan(model, ratio)
+            sub = task.extract(model, plan, rng)
+            flops = task.count_flops(sub)
+            params = sub.num_parameters()
+            comp, comm = [], []
+            for device in devices:
+                timing = TimingModel(device, jitter_sigma=0.0)
+                costs = timing.round_costs(
+                    flops, params, params,
+                    batch_size=bench_task.batch_size,
+                    local_iterations=bench_task.local_iterations,
+                )
+                comp.append(costs.computation_s)
+                comm.append(costs.communication_s)
+            rows.append((ratio, params, float(np.mean(comp)),
+                         float(np.mean(comm))))
+        return rows
+
+    rows = once(experiment)
+    print_table(
+        "Fig. 5 -- per-round time vs pruning ratio (CNN, medium scenario)",
+        ["Ratio", "Sub-model params", "Mean comp (s)", "Mean comm (s)"],
+        [(f"{r:.1f}", p, f"{c:.2f}", f"{m:.2f}") for r, p, c, m in rows],
+        note=PAPER_NOTE,
+    )
+
+    comps = [row[2] for row in rows]
+    comms = [row[3] for row in rows]
+    assert all(a > b for a, b in zip(comps, comps[1:]))
+    assert all(a > b for a, b in zip(comms, comms[1:]))

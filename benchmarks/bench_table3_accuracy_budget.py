@@ -1,0 +1,89 @@
+"""Table III: test accuracy of each method within a fixed time budget.
+
+One budget per model (a scaled analogue of the paper's
+20000/30000/50000/100000 seconds), five methods, four models.  The
+paper's shape: FedMP achieves the highest accuracy within budget on
+every model; the baselines cluster below it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import print_table
+from repro.experiments.setups import (
+    METHOD_LABELS,
+    METHOD_ORDER,
+    make_bench_task,
+)
+from conftest import run_training
+
+MODELS = ("cnn", "alexnet", "vgg19", "resnet50")
+
+PAPER_ROWS = {
+    "cnn": ("20000s", "93.83% / 94.31% / 95.82% / 96.21% / 97.17%"),
+    "alexnet": ("30000s", "81.59% / 81.74% / 81.78% / 81.91% / 82.34%"),
+    "vgg19": ("50000s", "85.04% / 84.93% / 85.15% / 85.33% / 85.66%"),
+    "resnet50": ("100000s", "47.15% / 46.43% / 47.55% / 47.37% / 47.85%"),
+}
+
+
+def _histories(model_key: str):
+    bench_task = make_bench_task(model_key)
+    return {
+        method: run_training(bench_task, method, target_metric=None)
+        for method in METHOD_ORDER
+    }
+
+
+def _budget_for(histories) -> float:
+    """Mid-run budget: where Syn-FL is ~60% through its total time, so
+    methods still differ (everything saturates at the far end)."""
+    return 0.6 * histories["synfl"].total_time_s
+
+
+def test_table3_accuracy_within_budget(once):
+    def experiment():
+        table = {}
+        for model_key in MODELS:
+            histories = _histories(model_key)
+            budget = _budget_for(histories)
+            table[model_key] = (
+                budget,
+                {
+                    method: histories[method].metric_at_time(budget) or 0.0
+                    for method in METHOD_ORDER
+                },
+            )
+        return table
+
+    table = once(experiment)
+    rows = []
+    for model_key in MODELS:
+        budget, accuracies = table[model_key]
+        rows.append(
+            [make_bench_task(model_key).label, f"{budget:.0f}s"]
+            + [f"{accuracies[m]:.3f}" for m in METHOD_ORDER]
+        )
+    print_table(
+        "Table III -- accuracy within the time budget",
+        ["Model", "Budget"] + [METHOD_LABELS[m] for m in METHOD_ORDER],
+        rows,
+        note="paper (Table III, budgets / Syn-FL..FedMP): "
+             + "; ".join(f"{k}: {v[0]} -> {v[1]}"
+                         for k, v in PAPER_ROWS.items()),
+    )
+
+    wins = 0
+    for model_key in MODELS:
+        _, accuracies = table[model_key]
+        best = max(accuracies.values())
+        if accuracies["fedmp"] >= best - 0.02:
+            wins += 1
+        # on the wide models FedMP at least matches the no-pruning
+        # baseline within the budget; the narrow VGG/ResNet substitutes
+        # get a looser bound (EXPERIMENTS.md, deviation 1)
+        slack = 0.05 if model_key in ("cnn", "alexnet") else 0.30
+        assert accuracies["fedmp"] >= accuracies["synfl"] - slack, (
+            model_key, accuracies,
+        )
+    # FedMP wins (or near-ties) the budgeted comparison on at least half
+    assert wins >= 2, table

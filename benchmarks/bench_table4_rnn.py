@@ -1,0 +1,74 @@
+"""Table IV: the RNN extension -- LSTM/PTB perplexity and speedup.
+
+Trains the two-layer LSTM language model with ISS pruning (Section VI)
+under Syn-FL, UP-FL and FedMP, reports the perplexity achieved within
+a shared time budget and each method's speedup to the target
+perplexity.  The paper: FedMP reaches both the lowest perplexity in
+budget and a 1.6x speedup to perplexity 150; UP-FL is *slower* than
+Syn-FL (0.8x) because uniform ISS pruning hurts the LSTM.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import fmt_time, print_table
+from repro.experiments.setups import make_bench_task
+from conftest import run_training
+
+METHODS = ("synfl", "upfl", "fedmp")
+LABELS = {"synfl": "Syn-FL", "upfl": "UP-FL", "fedmp": "FedMP"}
+
+PAPER_NOTE = (
+    "paper (Table IV): test perplexity in budget 148.15 (Syn-FL) / "
+    "149.81 (UP-FL) / 146.95 (FedMP); speedup to perplexity 150: "
+    "1.0x / 0.8x / 1.6x."
+)
+
+
+def test_table4_rnn_perplexity(once):
+    bench_task = make_bench_task("lstm")
+
+    def experiment():
+        return {
+            method: run_training(
+                bench_task, method, target_metric=None,
+                max_rounds=bench_task.max_rounds + 6,
+            )
+            for method in METHODS
+        }
+
+    results = once(experiment)
+    budget = 0.7 * results["synfl"].total_time_s
+    target = bench_task.target_metric  # perplexity 150 analogue
+    syn_time = results["synfl"].time_to_target(target)
+
+    rows = []
+    for method in METHODS:
+        history = results[method]
+        within_budget = history.metric_at_time(budget)
+        reached = history.time_to_target(target)
+        if syn_time is not None and reached is not None:
+            speedup = f"{syn_time / reached:.1f}x"
+        else:
+            speedup = "--"
+        rows.append([
+            LABELS[method],
+            f"{within_budget:.1f}" if within_budget else "--",
+            fmt_time(reached),
+            speedup,
+        ])
+    print_table(
+        f"Table IV -- LSTM/PTB: perplexity within {budget:.0f}s and "
+        f"speedup to perplexity {target:.0f}",
+        ["Method", "PPL in budget", "Time to target", "Speedup"],
+        rows, note=PAPER_NOTE,
+    )
+
+    fed = results["fedmp"]
+    syn = results["synfl"]
+    # FedMP's budgeted perplexity is at least as good as Syn-FL's
+    assert fed.metric_at_time(budget) <= syn.metric_at_time(budget) * 1.05
+    # and it reaches the target no later
+    fed_time = fed.time_to_target(target)
+    assert fed_time is not None
+    if syn_time is not None:
+        assert fed_time <= syn_time * 1.05

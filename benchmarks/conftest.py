@@ -1,0 +1,52 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures
+at bench scale and prints it next to the paper's reported numbers.
+Training runs are cached per pytest session (Table III and Fig. 6 share
+runs, for example), and every benchmark body executes exactly once via
+``benchmark.pedantic(rounds=1, iterations=1)``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.experiments import run_cached
+from repro.experiments.setups import BenchTask, make_devices
+from repro.fl.runner import run_federated_training
+
+
+def run_training(bench_task: BenchTask, strategy: str, devices=None,
+                 devices_key: str = "medium", non_iid_level: float = 0.0,
+                 **config_overrides):
+    """Run (or fetch from cache) one training experiment."""
+    key_parts = [
+        bench_task.key, strategy, devices_key, f"noniid={non_iid_level}",
+    ] + [f"{k}={v}" for k, v in sorted(config_overrides.items())]
+    key = "|".join(str(part) for part in key_parts)
+
+    def factory():
+        nonlocal devices
+        if devices is None:
+            devices = make_devices("medium")
+        task = bench_task.make_task(non_iid_level)
+        config = bench_task.make_config(strategy, **config_overrides)
+        return run_federated_training(task, devices, config)
+
+    return run_cached(key, factory)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked experiment exactly once."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Asynchronous FedMP (Algorithm 2 / Section V-H).
+
+Runs four configurations on the same heterogeneous deployment:
+synchronous and asynchronous (m = 5 of 10) variants of both plain FL
+and FedMP.  The asynchronous PS aggregates the first m arrivals instead
+of waiting for the slowest worker, trading per-update information for
+shorter waits.
+
+    python examples/async_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import make_synthetic_mnist
+from repro.fl import FLConfig, run_federated_training
+from repro.fl.tasks import ClassificationTask
+from repro.simulation import make_scenario_devices
+
+TARGET_ACCURACY = 0.85
+
+
+def main() -> None:
+    dataset = make_synthetic_mnist(train_per_class=80, test_per_class=20,
+                                   rng=np.random.default_rng(0))
+    task = ClassificationTask(dataset, "cnn")
+    devices = make_scenario_devices("high", np.random.default_rng(11))
+
+    variants = [
+        ("Syn-FL", "synfl", None),
+        ("Asyn-FL", "synfl", 5),
+        ("FedMP", "fedmp", None),
+        ("Asyn-FedMP", "fedmp", 5),
+    ]
+    print(f"target accuracy: {TARGET_ACCURACY:.0%}\n")
+    print(f"{'variant':<14}{'time to target':>16}{'final acc':>12}")
+    for label, strategy, async_m in variants:
+        config = FLConfig(
+            strategy=strategy,
+            async_m=async_m,
+            max_rounds=30 if async_m else 18,
+            local_iterations=3,
+            batch_size=16,
+            lr=0.05,
+            eval_every=1,
+            target_metric=TARGET_ACCURACY,
+            seed=4,
+        )
+        history = run_federated_training(task, devices, config)
+        reached = history.time_to_target(TARGET_ACCURACY)
+        time_text = f"{reached:.0f}s" if reached is not None else "--"
+        print(f"{label:<14}{time_text:>16}{history.final_metric():>12.3f}")
+
+    print(
+        "\nasynchronous variants cut the waiting-for-stragglers time; "
+        "FedMP stacks with either setting"
+    )
+
+
+if __name__ == "__main__":
+    main()

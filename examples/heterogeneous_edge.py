@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Heterogeneity study: FedMP vs all baselines across edge scenarios.
+
+Reproduces the flavour of Section V-E at example scale: trains AlexNet
+on the synthetic CIFAR-10 stand-in under the *Low*, *Medium* and *High*
+heterogeneity scenarios and reports the time each method needs to reach
+a target accuracy.  Expect FedMP's advantage to widen as heterogeneity
+grows -- weak workers get large pruning ratios instead of stalling the
+round.
+
+    python examples/heterogeneous_edge.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import make_synthetic_cifar10
+from repro.fl import FLConfig, run_federated_training
+from repro.fl.tasks import ClassificationTask
+from repro.simulation import make_scenario_devices
+
+TARGET_ACCURACY = 0.80
+STRATEGIES = ("synfl", "upfl", "fedprox", "flexcom", "fedmp")
+
+
+def main() -> None:
+    dataset = make_synthetic_cifar10(train_per_class=60, test_per_class=15,
+                                     rng=np.random.default_rng(0))
+    task = ClassificationTask(
+        dataset, "alexnet", model_kwargs={"width_mult": 0.2, "dropout": 0.1}
+    )
+
+    print(f"target accuracy: {TARGET_ACCURACY:.0%}\n")
+    header = f"{'scenario':<10}" + "".join(f"{s:>10}" for s in STRATEGIES)
+    print(header)
+    print("-" * len(header))
+
+    for scenario in ("low", "medium", "high"):
+        devices = make_scenario_devices(scenario, np.random.default_rng(42))
+        row = [f"{scenario:<10}"]
+        for strategy in STRATEGIES:
+            # scaled-width AlexNet tolerates less pruning than the
+            # paper's full model, so cap the bandit's arm space
+            bandit_kwargs = {"max_ratio": 0.6, "exploration": 0.25} \
+                if strategy in ("fedmp", "upfl") else {}
+            config = FLConfig(
+                strategy=strategy,
+                strategy_kwargs=bandit_kwargs,
+                max_rounds=18,
+                local_iterations=3,
+                batch_size=16,
+                lr=0.08,
+                eval_every=1,
+                target_metric=TARGET_ACCURACY,
+                seed=5,
+            )
+            history = run_federated_training(task, devices, config)
+            reached = history.time_to_target(TARGET_ACCURACY)
+            row.append(
+                f"{reached:>9.0f}s" if reached is not None else f"{'--':>10}"
+            )
+        print("".join(row))
+
+    print(
+        "\n(time is simulated seconds; '--' means the target was not "
+        "reached within the round budget)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Non-IID robustness: FedMP under label-skewed data (Section V-F).
+
+Partitions the synthetic MNIST stand-in with increasing label skew
+(y% of each worker's samples share one label) and compares FedMP with
+Syn-FL.  The run also enables the deadline-based fault tolerance of
+Section V-A, so stragglers past 1.5x the 85th-percentile arrival are
+discarded for the round.
+
+    python examples/non_iid_robustness.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import make_synthetic_mnist
+from repro.fl import FLConfig, run_federated_training
+from repro.fl.tasks import ClassificationTask
+from repro.simulation import make_scenario_devices
+
+TARGET_ACCURACY = 0.85
+
+
+def main() -> None:
+    dataset = make_synthetic_mnist(train_per_class=80, test_per_class=20,
+                                   rng=np.random.default_rng(0))
+    devices = make_scenario_devices("medium", np.random.default_rng(9))
+
+    print(f"target accuracy: {TARGET_ACCURACY:.0%}")
+    print(f"{'non-IID level':<15}{'Syn-FL':>12}{'FedMP':>12}{'speedup':>10}")
+    for level in (0, 40, 80):
+        task = ClassificationTask(dataset, "cnn", non_iid_level=level)
+        times = {}
+        for strategy in ("synfl", "fedmp"):
+            bandit_kwargs = {"max_ratio": 0.7, "exploration": 0.25} \
+                if strategy == "fedmp" else {}
+            config = FLConfig(
+                strategy=strategy,
+                strategy_kwargs=bandit_kwargs,
+                max_rounds=20,
+                local_iterations=3,
+                batch_size=16,
+                lr=0.05,
+                eval_every=1,
+                target_metric=TARGET_ACCURACY,
+                deadline_quorum=0.85,
+                deadline_multiplier=1.5,
+                seed=2,
+            )
+            history = run_federated_training(task, devices, config)
+            times[strategy] = history.time_to_target(TARGET_ACCURACY)
+        syn, fed = times["synfl"], times["fedmp"]
+        speedup = f"{syn / fed:.2f}x" if syn and fed else "--"
+        fmt = lambda t: f"{t:.0f}s" if t is not None else "--"
+        print(f"y={level:<13}{fmt(syn):>12}{fmt(fed):>12}{speedup:>10}")
+
+    print(
+        "\nhigher skew costs every method more rounds; pruning keeps "
+        "shortening each round regardless of skew, so FedMP's per-round "
+        "advantage persists (its convergence penalty grows with skew, "
+        "matching the paper's shrinking-but-positive gains in Fig. 9)"
+    )
+
+
+if __name__ == "__main__":
+    main()

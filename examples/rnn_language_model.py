@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""RNN extension (Section VI): federated LSTM language modelling.
+
+Trains the two-stack LSTM language model on the synthetic Penn TreeBank
+stand-in with FedMP's ISS (Intrinsic Sparse Structure) pruning, against
+Syn-FL.  The quality metric is test perplexity -- lower is better.
+
+    python examples/rnn_language_model.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import make_synthetic_ptb
+from repro.fl import FLConfig, run_federated_training
+from repro.fl.tasks import LanguageModelTask
+from repro.simulation import make_scenario_devices
+
+
+def main() -> None:
+    corpus = make_synthetic_ptb(vocab_size=300, train_tokens=30_000,
+                                valid_tokens=3_000, test_tokens=3_000,
+                                rng=np.random.default_rng(0))
+    task = LanguageModelTask(
+        corpus, seq_len=12, lm_batch_size=8,
+        model_kwargs={"embedding_dim": 24, "hidden_size": 48},
+    )
+    devices = make_scenario_devices("medium", np.random.default_rng(3))
+    uniform_ppl = corpus.vocab_size
+
+    print(f"vocabulary: {corpus.vocab_size} tokens "
+          f"(uniform-guess perplexity = {uniform_ppl})\n")
+    for strategy in ("synfl", "fedmp"):
+        config = FLConfig(
+            strategy=strategy,
+            max_rounds=12,
+            local_iterations=3,
+            batch_size=1,
+            lr=0.8,
+            eval_every=2,
+            seed=6,
+        )
+        history = run_federated_training(task, devices, config)
+        print(f"[{strategy}] perplexity over simulated time:")
+        for sim_time, perplexity in history.accuracy_curve():
+            print(f"  t={sim_time:8.1f}s  ppl={perplexity:8.1f}")
+        final = history.final_metric()
+        assert final < uniform_ppl, "model failed to beat uniform guessing"
+        print(f"  final: {final:.1f} (beats uniform {uniform_ppl})\n")
+
+
+if __name__ == "__main__":
+    main()

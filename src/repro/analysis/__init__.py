@@ -1,0 +1,20 @@
+"""Empirical counterparts of the paper's convergence analysis.
+
+Section III-D bounds FedMP's convergence (Theorem 1) by four terms; the
+dominant controllable one is the average pruning error ``Q_n^k``.
+:mod:`repro.analysis.convergence` computes every term of the bound from
+a live training run so the theory can be checked against practice
+(see ``benchmarks/bench_ablation_convergence_bound.py``).
+"""
+
+from repro.analysis.convergence import (
+    ConvergenceBoundTerms,
+    deviation_bound_holds,
+    theorem1_bound,
+)
+
+__all__ = [
+    "ConvergenceBoundTerms",
+    "theorem1_bound",
+    "deviation_bound_holds",
+]

@@ -1,0 +1,120 @@
+"""Theorem 1 / Lemma 1 computations.
+
+Theorem 1 bounds the averaged squared gradient norm by
+
+    2/(gamma I) * (f(x^0) - f(x*))          -- optimisation gap term
+  + 3 L^2 / (N I) * sum_t sum_n Q_n^{k'}    -- pruning-error term
+  + L gamma sigma^2 / N                     -- gradient-noise term
+  + 6 gamma^2 tau^2 G^2 L^2                 -- local-drift term
+
+with Q_n^k = ||x^k - x_n^k||^2 the pruning error.  Lemma 1 bounds the
+worker-deviation:  E||x^k(t) - x_n^k(t)||^2 <= 6 gamma^2 tau^2 G^2 + 3 Q_n^k.
+
+Constants L, sigma, G are properties of the loss landscape the paper
+assumes; here they are inputs (estimate them empirically or plug in
+nominal values) so the *structure* of the bound can be evaluated and
+its monotonicity in the pruning error verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ConvergenceBoundTerms:
+    """The four additive terms of Theorem 1, in paper order."""
+
+    optimisation_gap: float
+    pruning_error: float
+    gradient_noise: float
+    local_drift: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.optimisation_gap + self.pruning_error
+            + self.gradient_noise + self.local_drift
+        )
+
+
+def theorem1_bound(initial_loss: float, optimal_loss: float, lr: float,
+                   total_iterations: int, num_workers: int, tau: int,
+                   pruning_errors: Sequence[Sequence[float]],
+                   smoothness: float = 1.0, sigma: float = 1.0,
+                   grad_bound: float = 1.0) -> ConvergenceBoundTerms:
+    """Evaluate the Theorem 1 bound.
+
+    Parameters
+    ----------
+    pruning_errors:
+        ``pruning_errors[k][n]`` is ``Q_n^k`` for round ``k``; rounds
+        are expanded by ``tau`` iterations each, matching the paper's
+        ``sum_t sum_n Q_n^{k'}`` with ``k' = floor((t-1)/tau)``.
+    smoothness / sigma / grad_bound:
+        The constants L, sigma, G of Assumption 1.
+    """
+    if lr <= 0 or lr >= 1.0 / smoothness:
+        raise ValueError(
+            f"Theorem 1 requires 0 < lr < 1/L; got lr={lr}, L={smoothness}"
+        )
+    if total_iterations <= 0:
+        raise ValueError("total_iterations must be positive")
+
+    gap_term = 2.0 / (lr * total_iterations) * (initial_loss - optimal_loss)
+
+    q_sum = 0.0
+    for round_errors in pruning_errors:
+        round_mean_expanded = tau * float(np.sum(round_errors))
+        q_sum += round_mean_expanded
+    prune_term = (
+        3.0 * smoothness ** 2 / (num_workers * total_iterations) * q_sum
+    )
+
+    noise_term = smoothness * lr * sigma ** 2 / num_workers
+    drift_term = 6.0 * lr ** 2 * tau ** 2 * grad_bound ** 2 * smoothness ** 2
+    return ConvergenceBoundTerms(
+        optimisation_gap=gap_term,
+        pruning_error=prune_term,
+        gradient_noise=noise_term,
+        local_drift=drift_term,
+    )
+
+
+def lemma1_bound(lr: float, tau: int, grad_bound: float,
+                 pruning_error: float) -> float:
+    """Lemma 1's deviation bound ``6 gamma^2 tau^2 G^2 + 3 Q_n^k``."""
+    return 6.0 * lr ** 2 * tau ** 2 * grad_bound ** 2 + 3.0 * pruning_error
+
+
+def state_squared_distance(a: Dict[str, np.ndarray],
+                           b: Dict[str, np.ndarray]) -> float:
+    """||a - b||^2 over matching state-dict entries."""
+    return sum(
+        float(((a[key].astype(np.float64) - b[key]) ** 2).sum())
+        for key in a if key in b
+    )
+
+
+def deviation_bound_holds(global_state: Dict[str, np.ndarray],
+                          worker_states: Iterable[Dict[str, np.ndarray]],
+                          lr: float, tau: int, grad_bound: float,
+                          pruning_errors: Sequence[float]) -> bool:
+    """Empirically check Lemma 1 for one round.
+
+    ``worker_states`` are the recovered (+residual) per-worker models;
+    returns True when every worker's squared deviation from the average
+    model respects its Lemma 1 bound.
+    """
+    states = list(worker_states)
+    errors = list(pruning_errors)
+    if len(states) != len(errors):
+        raise ValueError("one pruning error per worker state required")
+    for state, q_value in zip(states, errors):
+        deviation = state_squared_distance(global_state, state)
+        if deviation > lemma1_bound(lr, tau, grad_bound, q_value) + 1e-9:
+            return False
+    return True

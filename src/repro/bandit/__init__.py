@@ -1,0 +1,23 @@
+"""E-UCB: the Multi-Armed-Bandit pruning-ratio decision algorithm.
+
+Section IV of the paper models the pruning-ratio decision as a
+continuum-armed bandit: the PS is the player, pruning ratios in
+``[0, 1)`` are the arms.  E-UCB (Algorithm 1) maintains, per worker, an
+adaptively refined partition of the arm space (the leaves of an
+incremental regression tree), plays discounted UCB over the partition
+regions, and splits the chosen region at the played arm until region
+diameters fall below the granularity ``theta``.
+"""
+
+from repro.bandit.partition import Partition, Region
+from repro.bandit.eucb import EUCBAgent
+from repro.bandit.reward import eucb_reward
+from repro.bandit.regret import RegretTracker
+
+__all__ = [
+    "Partition",
+    "Region",
+    "EUCBAgent",
+    "eucb_reward",
+    "RegretTracker",
+]

@@ -1,0 +1,87 @@
+"""Traditional discrete-arm UCB (the policy E-UCB extends).
+
+Section IV-C: "Traditional UCB policy with the discrete arm setting
+only has a finite set of choices.  However, the value range of pruning
+ratio in FedMP is a continuous space so that the arm space is
+infinite."  This module provides that traditional policy over a fixed
+grid of ratios, both as a unit-testable bandit and as the decision
+engine behind the ``fedmp_discrete`` ablation strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class DiscreteUCBAgent:
+    """UCB1 with discounted rewards over a fixed grid of arms."""
+
+    def __init__(self, arms: Sequence[float], discount: float = 0.95,
+                 exploration: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not arms:
+            raise ValueError("need at least one arm")
+        if not 0.0 < discount < 1.0:
+            raise ValueError(f"discount must be in (0, 1), got {discount}")
+        self.arms = [float(a) for a in arms]
+        self.discount = discount
+        self.exploration = exploration
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._history: List[tuple] = []   # (arm index, reward)
+        self._pending: Optional[int] = None
+
+    def select_arm(self) -> float:
+        """Pick the arm with the highest discounted UCB."""
+        if self._pending is not None:
+            raise RuntimeError("select_arm called twice without observe")
+        k = len(self._history) + 1
+        counts = [0.0] * len(self.arms)
+        sums = [0.0] * len(self.arms)
+        rewards = self._normalised_rewards()
+        for step, ((index, _), reward) in enumerate(
+            zip(self._history, rewards), start=1
+        ):
+            weight = self.discount ** (k - step)
+            counts[index] += weight
+            sums[index] += weight * reward
+        total = sum(counts)
+
+        best_index, best_value = 0, -math.inf
+        for index in range(len(self.arms)):
+            if counts[index] <= 0.0:
+                value = math.inf
+            else:
+                mean = sums[index] / counts[index]
+                value = mean + self.exploration * math.sqrt(
+                    2.0 * math.log(max(total, math.e)) / counts[index]
+                )
+            if value > best_value:
+                best_index, best_value = index, value
+        self._pending = best_index
+        return self.arms[best_index]
+
+    def observe(self, reward: float) -> None:
+        if self._pending is None:
+            raise RuntimeError("observe called without a pending play")
+        self._history.append((self._pending, float(reward)))
+        self._pending = None
+
+    def abandon(self) -> None:
+        self._pending = None
+
+    def _normalised_rewards(self) -> List[float]:
+        raw = [reward for _, reward in self._history]
+        if not raw:
+            return raw
+        low, high = min(raw), max(raw)
+        spread = high - low
+        if spread <= 0.0:
+            return [0.5] * len(raw)
+        return [(value - low) / spread for value in raw]
+
+    @property
+    def rounds_played(self) -> int:
+        return len(self._history)

@@ -1,0 +1,149 @@
+"""E-UCB agent (Algorithm 1): discounted UCB over an adaptive partition.
+
+One agent exists per worker.  Each round it
+
+1. computes, per partition region, the discounted empirical mean
+   (Eq. 9) and the discounted padding (Eq. 10),
+2. picks the region maximising the upper confidence bound (Eq. 11),
+   preferring never-played regions,
+3. samples the pruning ratio uniformly inside the region,
+4. splits the region at the played arm while its diameter exceeds the
+   granularity ``theta``, and
+5. later receives the observed reward via :meth:`observe`.
+
+The discount factor ``lambda`` (default 0.95, Section V-A) weights
+recent rounds more, letting the agent track capability drift.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bandit.partition import Partition, Region
+
+
+@dataclass
+class _PlayRecord:
+    """One historical play: the arm value and its observed reward."""
+
+    arm: float
+    reward: float
+
+
+class EUCBAgent:
+    """Extended-UCB agent for one worker's pruning-ratio decisions."""
+
+    def __init__(self, discount: float = 0.95, theta: float = 0.05,
+                 max_ratio: float = 0.9, exploration: float = 1.0,
+                 normalize_rewards: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 < discount < 1.0:
+            raise ValueError(f"discount must be in (0, 1), got {discount}")
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        if not 0.0 < max_ratio <= 1.0:
+            raise ValueError(f"max_ratio must be in (0, 1], got {max_ratio}")
+        self.discount = discount
+        self.theta = theta
+        self.exploration = exploration
+        self.normalize_rewards = normalize_rewards
+        self.partition = Partition(0.0, max_ratio)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.history: List[_PlayRecord] = []
+        self._pending_arm: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # statistics (Eqs. 9-11)
+    # ------------------------------------------------------------------
+    def _discounted_stats(self) -> Tuple[dict, float]:
+        """Per-region (discounted count, discounted reward sum) and the
+        total discounted count ``n_k`` over all regions."""
+        k = len(self.history) + 1
+        counts = {region: 0.0 for region in self.partition}
+        sums = {region: 0.0 for region in self.partition}
+        rewards = self._effective_rewards()
+        for step, (record, reward) in enumerate(
+            zip(self.history, rewards), start=1
+        ):
+            weight = self.discount ** (k - step)
+            region = self.partition.find(record.arm)
+            counts[region] += weight
+            sums[region] += weight * reward
+        total = sum(counts.values())
+        stats = {
+            region: (counts[region], sums[region]) for region in self.partition
+        }
+        return stats, total
+
+    def _effective_rewards(self) -> List[float]:
+        """Raw rewards, optionally min-max normalised to ``[0, 1]``.
+
+        Eq. 8 rewards have an arbitrary scale (loss decrease over a time
+        gap); normalising keeps the exploitation term comparable to the
+        ``sqrt(2 log n / N)`` padding so neither dominates.
+        """
+        raw = [record.reward for record in self.history]
+        if not self.normalize_rewards or not raw:
+            return raw
+        low, high = min(raw), max(raw)
+        spread = high - low
+        if spread <= 0.0:
+            return [0.5] * len(raw)
+        return [(value - low) / spread for value in raw]
+
+    def upper_confidence_bounds(self) -> dict:
+        """Eq. 11 for every region; unexplored regions get ``inf``."""
+        stats, total = self._discounted_stats()
+        bounds = {}
+        for region, (count, reward_sum) in stats.items():
+            if count <= 0.0:
+                bounds[region] = math.inf
+            else:
+                mean = reward_sum / count
+                padding = self.exploration * math.sqrt(
+                    2.0 * math.log(max(total, math.e)) / count
+                )
+                bounds[region] = mean + padding
+        return bounds
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 main loop
+    # ------------------------------------------------------------------
+    def select_ratio(self) -> float:
+        """Choose the round's pruning ratio (Lines 3-8 of Algorithm 1)."""
+        if self._pending_arm is not None:
+            raise RuntimeError(
+                "select_ratio called twice without observing a reward"
+            )
+        bounds = self.upper_confidence_bounds()
+        best_region = max(self.partition, key=lambda r: bounds[r])
+        arm = float(self.rng.uniform(best_region.low, best_region.high))
+        if best_region.diameter > self.theta:
+            self.partition.split(best_region, arm)
+        self._pending_arm = arm
+        return arm
+
+    def observe(self, reward: float) -> None:
+        """Record the reward of the most recent play (Lines 11-12)."""
+        if self._pending_arm is None:
+            raise RuntimeError("observe called without a pending play")
+        self.history.append(_PlayRecord(self._pending_arm, float(reward)))
+        self._pending_arm = None
+
+    def abandon(self) -> None:
+        """Discard a pending play (used when a worker misses the round
+        deadline and produces no reward signal)."""
+        self._pending_arm = None
+
+    @property
+    def num_regions(self) -> int:
+        """Current number of partition leaves (decision-tree size)."""
+        return len(self.partition)
+
+    @property
+    def rounds_played(self) -> int:
+        return len(self.history)

@@ -1,0 +1,48 @@
+"""Regret bookkeeping (Eq. 12).
+
+The paper measures an arm-pulling policy by its expected regret, the
+gap between the reward of the optimal arm and the rewards actually
+obtained, and requires the time-averaged regret to vanish.  This helper
+tracks regret against a caller-supplied reward function so tests and
+benchmarks can validate E-UCB's no-regret behaviour on synthetic
+environments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class RegretTracker:
+    """Accumulate per-round regret against a known reward function."""
+
+    def __init__(self, reward_fn: Callable[[float], float],
+                 optimal_arm: float) -> None:
+        self.reward_fn = reward_fn
+        self.optimal_arm = optimal_arm
+        self.optimal_reward = reward_fn(optimal_arm)
+        self.per_round: List[float] = []
+
+    def record(self, arm: float) -> float:
+        """Record a play; returns the realised reward of ``arm``."""
+        reward = self.reward_fn(arm)
+        self.per_round.append(self.optimal_reward - reward)
+        return reward
+
+    @property
+    def cumulative(self) -> float:
+        return float(sum(self.per_round))
+
+    @property
+    def average(self) -> float:
+        """Time-averaged regret; Eq. 12 requires this to approach 0."""
+        if not self.per_round:
+            return 0.0
+        return self.cumulative / len(self.per_round)
+
+    def trailing_average(self, window: int) -> float:
+        """Average regret over the last ``window`` rounds."""
+        if not self.per_round:
+            return 0.0
+        tail = self.per_round[-window:]
+        return float(sum(tail) / len(tail))

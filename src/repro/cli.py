@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Run a federated-training experiment end-to-end from the shell::
+
+    python -m repro.cli run --task cnn --strategy fedmp --rounds 12 \
+        --scenario medium --history out.json
+
+    python -m repro.cli compare --task cnn --rounds 10 \
+        --strategies synfl fedmp
+
+    python -m repro.cli devices --scenario high
+
+``--task`` names a bench-scale workload from
+:mod:`repro.experiments.setups` (cnn / alexnet / vgg19 / resnet50 /
+lstm); every knob of :class:`repro.fl.FLConfig` that matters for quick
+experiments is exposed as a flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.setups import (
+    BENCH_TASKS,
+    METHOD_LABELS,
+    make_bench_task,
+    make_devices,
+)
+from repro.fl.runner import run_federated_training
+from repro.fl.strategies import STRATEGIES
+from repro.io import save_history
+from repro.simulation.cluster import HETEROGENEITY_SCENARIOS, scenario_table
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--task", default="cnn", choices=sorted(BENCH_TASKS),
+                        help="bench-scale workload")
+    parser.add_argument("--scenario", default="medium",
+                        choices=sorted(HETEROGENEITY_SCENARIOS),
+                        help="heterogeneity scenario (Fig. 3 clusters)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="override worker count (half A / half B)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the task's round budget")
+    parser.add_argument("--non-iid", type=float, default=0.0,
+                        help="non-IID level y (percent or missing classes)")
+    parser.add_argument("--sync-scheme", default="r2sp",
+                        choices=("r2sp", "bsp"))
+    parser.add_argument("--async-m", type=int, default=None,
+                        help="enable Algorithm 2 with m first arrivals")
+    parser.add_argument("--target", type=float, default=None,
+                        help="stop when the metric reaches this target")
+    parser.add_argument("--seed", type=int, default=17)
+
+
+def _build_history(task_key: str, strategy: str, args) -> "TrainingHistory":
+    bench_task = make_bench_task(task_key)
+    devices = make_devices(args.scenario, count=args.workers)
+    overrides = dict(
+        sync_scheme=args.sync_scheme,
+        async_m=args.async_m,
+        target_metric=args.target,
+        seed=args.seed,
+    )
+    if args.rounds is not None:
+        overrides["max_rounds"] = args.rounds
+    config = bench_task.make_config(strategy, **overrides)
+    task = bench_task.make_task(args.non_iid)
+    return run_federated_training(task, devices, config)
+
+
+def _cmd_run(args) -> int:
+    history = _build_history(args.task, args.strategy, args)
+    label = METHOD_LABELS.get(args.strategy, args.strategy)
+    print(f"{label} on {make_bench_task(args.task).label} "
+          f"({args.scenario} scenario):")
+    for sim_time, metric in history.accuracy_curve():
+        print(f"  t={sim_time:9.1f}s  metric={metric:.4f}")
+    print(f"final metric: {history.final_metric():.4f} "
+          f"after {len(history.rounds)} rounds "
+          f"({history.total_time_s:.1f} simulated seconds)")
+    if args.history:
+        save_history(history, args.history)
+        print(f"history written to {args.history}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    bench_task = make_bench_task(args.task)
+    target = args.target if args.target is not None \
+        else bench_task.target_metric
+    print(f"{bench_task.label}, target {target}:")
+    baseline_time: Optional[float] = None
+    for strategy in args.strategies:
+        args_copy = argparse.Namespace(**vars(args))
+        args_copy.target = target
+        history = _build_history(args.task, strategy, args_copy)
+        reached = history.time_to_target(target)
+        time_text = f"{reached:10.1f}s" if reached is not None else "        --"
+        if baseline_time is None and reached is not None:
+            baseline_time = reached
+        speedup = (
+            f"{baseline_time / reached:.2f}x"
+            if baseline_time and reached else "--"
+        )
+        label = METHOD_LABELS.get(strategy, strategy)
+        print(f"  {label:<10} time-to-target {time_text}  "
+              f"final {history.final_metric():.4f}  speedup {speedup}")
+    return 0
+
+
+def _cmd_devices(args) -> int:
+    devices = make_devices(args.scenario, count=args.workers)
+    print(f"scenario {args.scenario!r}: {len(devices)} devices")
+    for device_id, cluster, mode, mbps in scenario_table(devices):
+        print(f"  device {device_id:2d}  cluster {cluster}  "
+              f"mode {mode}  {mbps:5.1f} Mbps")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FedMP reproduction command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    _add_run_arguments(run_parser)
+    run_parser.add_argument("--strategy", default="fedmp",
+                            choices=sorted(STRATEGIES))
+    run_parser.add_argument("--history", default=None,
+                            help="write the round history to this JSON file")
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="race several strategies to a target")
+    _add_run_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--strategies", nargs="+", default=["synfl", "fedmp"],
+        choices=sorted(STRATEGIES),
+    )
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    devices_parser = subparsers.add_parser(
+        "devices", help="print a scenario's simulated device fleet")
+    devices_parser.add_argument("--scenario", default="medium",
+                                choices=sorted(HETEROGENEITY_SCENARIOS))
+    devices_parser.add_argument("--workers", type=int, default=None)
+    devices_parser.set_defaults(func=_cmd_devices)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

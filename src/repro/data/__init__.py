@@ -1,0 +1,44 @@
+"""Datasets and partitioners.
+
+The paper evaluates on MNIST, CIFAR-10, EMNIST, Tiny-ImageNet and Penn
+TreeBank; none can be downloaded offline, so :mod:`repro.data.synthetic`
+generates class-prototype image datasets with the same shapes and class
+counts, and :mod:`repro.data.text` generates a Markov-chain corpus for
+the language-model task (see DESIGN.md, substitution table).
+
+:mod:`repro.data.partition` implements both of the paper's non-IID
+constructions: label-skew ("y% of the data on each worker belong to one
+label") for MNIST/CIFAR-10, and missing classes ("each worker lacks y
+classes") for EMNIST/Tiny-ImageNet.
+"""
+
+from repro.data.synthetic import (
+    ImageDataset,
+    make_synthetic_cifar10,
+    make_synthetic_emnist,
+    make_synthetic_mnist,
+    make_synthetic_tiny_imagenet,
+)
+from repro.data.text import TextDataset, make_synthetic_ptb
+from repro.data.partition import (
+    iid_partition,
+    label_skew_partition,
+    missing_classes_partition,
+    partition_dataset,
+)
+from repro.data.loader import BatchIterator
+
+__all__ = [
+    "ImageDataset",
+    "make_synthetic_mnist",
+    "make_synthetic_cifar10",
+    "make_synthetic_emnist",
+    "make_synthetic_tiny_imagenet",
+    "TextDataset",
+    "make_synthetic_ptb",
+    "iid_partition",
+    "label_skew_partition",
+    "missing_classes_partition",
+    "partition_dataset",
+    "BatchIterator",
+]

@@ -1,0 +1,44 @@
+"""Mini-batch iteration over a worker's local shard."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class BatchIterator:
+    """Endless shuffled mini-batches from a fixed (x, y) shard.
+
+    Workers draw ``tau`` batches per round; the iterator reshuffles
+    whenever an epoch is exhausted, using its own generator so every
+    worker's sampling is independent and reproducible.
+    """
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray,
+                 batch_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError("inputs / targets length mismatch")
+        if inputs.shape[0] == 0:
+            raise ValueError("cannot iterate over an empty shard")
+        self.inputs = inputs
+        self.targets = targets
+        self.batch_size = min(batch_size, inputs.shape[0])
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._order = self.rng.permutation(inputs.shape[0])
+        self._cursor = 0
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The next mini-batch, reshuffling at epoch boundaries."""
+        if self._cursor + self.batch_size > self._order.shape[0]:
+            self._order = self.rng.permutation(self.inputs.shape[0])
+            self._cursor = 0
+        picked = self._order[self._cursor:self._cursor + self.batch_size]
+        self._cursor += self.batch_size
+        return self.inputs[picked], self.targets[picked]
+
+    def batches(self, count: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``count`` consecutive mini-batches."""
+        for _ in range(count):
+            yield self.next_batch()

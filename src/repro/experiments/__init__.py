@@ -1,0 +1,33 @@
+"""Experiment plumbing shared by the benchmark harness.
+
+- :mod:`repro.experiments.setups` -- bench-scale instantiations of the
+  paper's four CNN tasks and the RNN task, with per-task targets and
+  budgets (scaled versions of Section V's settings; the scaling is
+  documented in DESIGN.md and EXPERIMENTS.md);
+- :mod:`repro.experiments.reporting` -- fixed-width table printing in
+  the shape of the paper's tables/figures plus the paper-reported
+  reference numbers;
+- :mod:`repro.experiments.cache` -- a per-process result cache so
+  benches that share runs (e.g. Table III and Fig. 6) pay for them once.
+"""
+
+from repro.experiments.cache import run_cached
+from repro.experiments.reporting import print_series, print_table
+from repro.experiments.setups import (
+    BENCH_TASKS,
+    BenchTask,
+    bench_scale,
+    make_bench_task,
+    make_devices,
+)
+
+__all__ = [
+    "run_cached",
+    "print_table",
+    "print_series",
+    "BENCH_TASKS",
+    "BenchTask",
+    "bench_scale",
+    "make_bench_task",
+    "make_devices",
+]

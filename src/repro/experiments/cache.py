@@ -1,0 +1,25 @@
+"""Per-process result cache for the benchmark harness.
+
+Table III and Fig. 6 report the same training runs from different
+angles; Fig. 8's *Medium* column repeats the default scenario, and so
+on.  ``run_cached`` keys a training run by a caller-supplied string so
+each distinct experiment executes exactly once per pytest session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+_CACHE: Dict[str, Any] = {}
+
+
+def run_cached(key: str, factory: Callable[[], Any]) -> Any:
+    """Return the cached value for ``key``, computing it on first use."""
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached results (used by tests)."""
+    _CACHE.clear()

@@ -1,0 +1,60 @@
+"""Paper-style table and series printing for the benchmark harness.
+
+Every bench prints (a) the rows/series measured here and (b) the
+numbers the paper reports for the same experiment, so the qualitative
+comparison (who wins, by roughly what factor) is visible in the bench
+output itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def print_table(title: str, columns: Sequence[str],
+                rows: Sequence[Sequence], note: str = "") -> None:
+    """Fixed-width table with a title banner."""
+    widths = [
+        max(len(str(col)), *(len(str(row[i])) for row in rows)) + 2
+        for i, col in enumerate(columns)
+    ] if rows else [len(str(col)) + 2 for col in columns]
+
+    print()
+    print("=" * max(len(title), sum(widths)))
+    print(title)
+    print("=" * max(len(title), sum(widths)))
+    header = "".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        print(f"\n{note}")
+
+
+def print_series(title: str, series: Dict[str, List[tuple]],
+                 x_label: str = "t", y_label: str = "value",
+                 max_points: int = 12) -> None:
+    """Print (x, y) series per method, subsampled to ``max_points``."""
+    print(f"\n--- {title} ({x_label} -> {y_label}) ---")
+    for name, points in series.items():
+        if len(points) > max_points:
+            step = max(1, len(points) // max_points)
+            points = points[::step] + [points[-1]]
+        text = ", ".join(
+            f"({x:.0f}, {y:.3f})" if isinstance(y, float) else f"({x}, {y})"
+            for x, y in points
+        )
+        print(f"  {name:<10} {text}")
+
+
+def fmt_time(value: Optional[float]) -> str:
+    """Format a time-to-target value, '--' when the target was missed."""
+    return f"{value:.0f}s" if value is not None else "--"
+
+
+def fmt_speedup(baseline: Optional[float], other: Optional[float]) -> str:
+    """Speedup of ``other`` relative to ``baseline``."""
+    if baseline is None or other is None or other == 0:
+        return "--"
+    return f"{baseline / other:.2f}x"

@@ -1,0 +1,197 @@
+"""Bench-scale task instantiations of the paper's workloads.
+
+The paper trains full-size models for 20,000-100,000 seconds on
+physical boards.  The benchmarks reproduce the *experiment structure*
+(same models, same datasets, same decision logic) at a scale a CPU can
+sweep in minutes: scaled widths, prototype datasets, and proportionally
+scaled time budgets / accuracy targets.  ``REPRO_BENCH_SCALE`` (a float,
+default 1.0) multiplies the round budgets for deeper runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.data.synthetic import (
+    make_synthetic_cifar10,
+    make_synthetic_emnist,
+    make_synthetic_mnist,
+    make_synthetic_tiny_imagenet,
+)
+from repro.data.text import make_synthetic_ptb
+from repro.fl.config import FLConfig
+from repro.fl.tasks import ClassificationTask, LanguageModelTask
+from repro.simulation.cluster import make_scenario_devices
+
+
+def bench_scale() -> float:
+    """Round-budget multiplier from ``REPRO_BENCH_SCALE`` (default 1)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@dataclass
+class BenchTask:
+    """One paper workload at benchmark scale."""
+
+    key: str                    # "cnn", "alexnet", "vgg19", "resnet50", "lstm"
+    label: str                  # "CNN on MNIST" etc.
+    task_factory: Callable[[float], Any]   # non_iid_level -> task adapter
+    target_metric: float        # scaled analogue of the paper's target
+    max_rounds: int
+    local_iterations: int = 3
+    batch_size: int = 16
+    lr: float = 0.05
+    momentum: float = 0.0
+    #: kwargs for the bandit strategies (fedmp / upfl); narrow bench
+    #: models need a lower max_ratio ceiling than the paper's 0.9
+    bandit_kwargs: Dict[str, Any] = field(default_factory=dict)
+    paper_target: str = ""      # the paper's own target, for reporting
+
+    def make_task(self, non_iid_level: float = 0.0):
+        return self.task_factory(non_iid_level)
+
+    def make_config(self, strategy: str, **overrides) -> FLConfig:
+        """Standard config for this task; overrides win."""
+        params: Dict[str, Any] = dict(
+            strategy=strategy,
+            max_rounds=max(3, int(round(self.max_rounds * bench_scale()))),
+            local_iterations=self.local_iterations,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            momentum=self.momentum,
+            eval_every=1,
+            seed=17,
+        )
+        if strategy in ("fedmp", "upfl") and self.bandit_kwargs:
+            params["strategy_kwargs"] = dict(self.bandit_kwargs)
+        params.update(overrides)
+        return FLConfig(**params)
+
+
+def _cnn_task(non_iid_level: float) -> ClassificationTask:
+    dataset = make_synthetic_mnist(train_per_class=60, test_per_class=15,
+                                   rng=np.random.default_rng(100))
+    return ClassificationTask(dataset, "cnn", non_iid_level=non_iid_level)
+
+
+def _alexnet_task(non_iid_level: float) -> ClassificationTask:
+    dataset = make_synthetic_cifar10(train_per_class=60, test_per_class=15,
+                                     rng=np.random.default_rng(101))
+    return ClassificationTask(
+        dataset, "alexnet",
+        model_kwargs={"width_mult": 0.2, "dropout": 0.1},
+        non_iid_level=non_iid_level,
+    )
+
+
+def _vgg_task(non_iid_level: float) -> ClassificationTask:
+    # EMNIST stand-in scaled to 30 classes / low noise: the 16-layer
+    # stack at width 0.1 is otherwise unoptimisable at bench scale
+    dataset = make_synthetic_emnist(train_per_class=20, test_per_class=5,
+                                    num_classes=30, noise=0.3,
+                                    rng=np.random.default_rng(102))
+    return ClassificationTask(
+        dataset, "vgg19",
+        model_kwargs={"width_mult": 0.1, "dropout": 0.0},
+        non_iid_level=non_iid_level,
+    )
+
+
+def _resnet_task(non_iid_level: float) -> ClassificationTask:
+    dataset = make_synthetic_tiny_imagenet(
+        train_per_class=8, test_per_class=2, num_classes=50, noise=0.5,
+        rng=np.random.default_rng(103),
+    )
+    return ClassificationTask(
+        dataset, "resnet50",
+        model_kwargs={"width_mult": 0.125, "blocks_per_stage": (1, 1, 1, 1)},
+        non_iid_level=non_iid_level,
+    )
+
+
+def _lstm_task(non_iid_level: float) -> LanguageModelTask:
+    corpus = make_synthetic_ptb(vocab_size=300, train_tokens=30_000,
+                                valid_tokens=3_000, test_tokens=3_000,
+                                rng=np.random.default_rng(104))
+    return LanguageModelTask(
+        corpus, seq_len=12, lm_batch_size=8,
+        model_kwargs={"embedding_dim": 24, "hidden_size": 48},
+    )
+
+
+#: The paper's four CNN tasks (Section V-A) plus the RNN task (VI),
+#: bench-scale.  Targets are reachable analogues of the paper's
+#: 90% / 80% / 80% / 45% accuracy and 150 perplexity goals.
+BENCH_TASKS: Dict[str, BenchTask] = {
+    "cnn": BenchTask(
+        key="cnn", label="CNN on MNIST", task_factory=_cnn_task,
+        target_metric=0.90, max_rounds=16, lr=0.05,
+        bandit_kwargs={"max_ratio": 0.7},
+        paper_target="90% acc / 20000s budget",
+    ),
+    "alexnet": BenchTask(
+        key="alexnet", label="AlexNet on CIFAR-10",
+        task_factory=_alexnet_task,
+        target_metric=0.80, max_rounds=16, lr=0.08,
+        bandit_kwargs={"max_ratio": 0.6},
+        paper_target="80% acc / 30000s budget",
+    ),
+    "vgg19": BenchTask(
+        key="vgg19", label="VGG-19 on EMNIST", task_factory=_vgg_task,
+        target_metric=0.70, max_rounds=14, local_iterations=5,
+        lr=0.05, momentum=0.9,
+        bandit_kwargs={"max_ratio": 0.15, "exploration": 0.25,
+                       "warmup_rounds": 2},
+        paper_target="80% acc / 50000s budget",
+    ),
+    "resnet50": BenchTask(
+        key="resnet50", label="ResNet-50 on Tiny-ImageNet",
+        task_factory=_resnet_task,
+        target_metric=0.45, max_rounds=16, local_iterations=4,
+        lr=0.1, momentum=0.9, batch_size=8,
+        bandit_kwargs={"max_ratio": 0.3, "exploration": 0.25,
+                       "warmup_rounds": 2},
+        paper_target="45% acc / 100000s budget",
+    ),
+    "lstm": BenchTask(
+        key="lstm", label="LSTM on PTB", task_factory=_lstm_task,
+        target_metric=150.0, max_rounds=12, lr=0.8, batch_size=1,
+        bandit_kwargs={"max_ratio": 0.6},
+        paper_target="perplexity 150",
+    ),
+}
+
+#: The five synchronous methods in the paper's comparison order.
+METHOD_ORDER: List[str] = ["synfl", "upfl", "fedprox", "flexcom", "fedmp"]
+
+METHOD_LABELS: Dict[str, str] = {
+    "synfl": "Syn-FL",
+    "upfl": "UP-FL",
+    "fedprox": "FedProx",
+    "flexcom": "FlexCom",
+    "fedmp": "FedMP",
+}
+
+
+def make_bench_task(key: str) -> BenchTask:
+    try:
+        return BENCH_TASKS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench task {key!r}; available: {sorted(BENCH_TASKS)}"
+        ) from None
+
+
+def make_devices(scenario="medium", seed: int = 42,
+                 count: Optional[int] = None):
+    """Devices for a scenario; ``count`` replicates the half-A/half-B
+    composition of Section V-G for worker-scaling sweeps."""
+    rng = np.random.default_rng(seed)
+    if count is None:
+        return make_scenario_devices(scenario, rng)
+    half = count // 2
+    return make_scenario_devices({"A": count - half, "B": half}, rng)

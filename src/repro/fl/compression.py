@@ -1,0 +1,65 @@
+"""Top-k gradient/update sparsification (the FlexCom baseline's tool).
+
+FlexCom (Li et al., INFOCOM 2021) lets heterogeneous workers compress
+their *uploads* to different levels.  We implement magnitude top-k
+sparsification of the local model delta with per-worker error feedback
+(the standard memory trick that keeps compressed SGD convergent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def top_k_sparsify(delta: Dict[str, np.ndarray],
+                   keep_fraction: float) -> Tuple[Dict[str, np.ndarray], int]:
+    """Keep the globally largest ``keep_fraction`` of delta entries.
+
+    Returns the sparsified delta (zeros elsewhere) and the number of
+    surviving scalars (what actually crosses the uplink).
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(
+            f"keep_fraction must be in (0, 1], got {keep_fraction}"
+        )
+    flat = np.concatenate([value.reshape(-1) for value in delta.values()])
+    total = flat.size
+    keep = max(1, int(round(total * keep_fraction)))
+    if keep >= total:
+        return {key: value.copy() for key, value in delta.items()}, total
+
+    threshold = np.partition(np.abs(flat), total - keep)[total - keep]
+    sparsified: Dict[str, np.ndarray] = {}
+    kept = 0
+    for key, value in delta.items():
+        mask = np.abs(value) >= threshold
+        kept += int(mask.sum())
+        sparsified[key] = np.where(mask, value, 0.0)
+    return sparsified, kept
+
+
+class ErrorFeedback:
+    """Per-worker error memory for compressed updates.
+
+    ``compensate`` adds the accumulated residual before compression;
+    ``update`` stores what the compressor dropped this round.
+    """
+
+    def __init__(self) -> None:
+        self._memory: Dict[str, np.ndarray] = {}
+
+    def compensate(self, delta: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        if not self._memory:
+            return {key: value.copy() for key, value in delta.items()}
+        return {
+            key: value + self._memory.get(key, 0.0)
+            for key, value in delta.items()
+        }
+
+    def update(self, compensated: Dict[str, np.ndarray],
+               transmitted: Dict[str, np.ndarray]) -> None:
+        self._memory = {
+            key: compensated[key] - transmitted[key] for key in compensated
+        }

@@ -1,0 +1,63 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class FLConfig:
+    """All knobs of one federated-training run.
+
+    Defaults follow Section V-A: 10 workers, discount factor 0.95,
+    granularity ``theta`` in the recommended ``[0.01, 0.05]`` band.
+    """
+
+    # model / task
+    model_name: str = "cnn"
+    model_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    # strategy
+    strategy: str = "fedmp"
+    strategy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    sync_scheme: str = "r2sp"  # "r2sp" | "bsp"
+
+    # local training
+    local_iterations: int = 5          # tau
+    batch_size: int = 16
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    clip_norm: Optional[float] = 5.0
+
+    # stopping criteria (any that is set may stop the run)
+    max_rounds: int = 50
+    time_budget_s: Optional[float] = None
+    target_metric: Optional[float] = None
+
+    # bookkeeping
+    eval_every: int = 1
+    eval_max_samples: Optional[int] = None
+    seed: int = 0
+    jitter_sigma: float = 0.08
+    deadline_quorum: Optional[float] = None   # e.g. 0.85 enables deadlines
+    deadline_multiplier: float = 1.5
+
+    # membership churn (Section V-A: joins/leaves do not affect the
+    # workflow); 0 disables churn
+    churn_leave_prob: float = 0.0
+    churn_rejoin_after: int = 2
+
+    # asynchronous setting (Algorithm 2)
+    async_m: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.local_iterations <= 0:
+            raise ValueError("local_iterations must be positive")
+        if self.sync_scheme not in ("r2sp", "bsp"):
+            raise ValueError(
+                f"sync_scheme must be 'r2sp' or 'bsp', got {self.sync_scheme!r}"
+            )
+        if self.async_m is not None and self.async_m <= 0:
+            raise ValueError("async_m must be positive when set")

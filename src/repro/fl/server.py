@@ -1,0 +1,82 @@
+"""The parameter server: global model custody and aggregation schemes.
+
+Two synchronisation schemes are implemented (Section V-D compares them):
+
+- **R2SP** (the paper's contribution): each sub-model is recovered
+  (zero-expanded) to the global shape, its residual model is added back,
+  and the results are averaged -- every parameter either carries its
+  trained value or its pre-round global value, so pruned parameters
+  survive to be trained in later rounds.
+- **BSP**: plain averaging of the recovered sub-models without residual
+  recovery; positions a worker pruned contribute zeros, shrinking
+  parameters that were ever pruned -- the degradation Fig. 7 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.pruning.plan import PruningPlan
+from repro.pruning.structured import recover_state_dict
+
+
+@dataclass
+class Contribution:
+    """One worker's round output, ready for aggregation."""
+
+    worker_id: int
+    sub_state: Dict[str, np.ndarray]
+    plan: PruningPlan
+    residual: Optional[Dict[str, np.ndarray]] = None  # required for R2SP
+
+
+class ParameterServer:
+    """Holds the global model and performs global aggregation."""
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+        self._template = model.state_dict()
+
+    @property
+    def global_state(self) -> Dict[str, np.ndarray]:
+        return self.model.state_dict()
+
+    def aggregate(self, contributions: List[Contribution],
+                  scheme: str = "r2sp") -> Dict[str, np.ndarray]:
+        """Aggregate one round of contributions and update the model.
+
+        Returns the new global state (also loaded into ``self.model``).
+        """
+        if not contributions:
+            raise ValueError("cannot aggregate an empty contribution set")
+        if scheme not in ("r2sp", "bsp"):
+            raise ValueError(f"unknown aggregation scheme {scheme!r}")
+
+        template = self._template
+        accumulator: Dict[str, np.ndarray] = {
+            key: np.zeros_like(value, dtype=np.float64)
+            for key, value in template.items()
+        }
+        for contribution in contributions:
+            recovered = recover_state_dict(
+                contribution.sub_state, contribution.plan, template
+            )
+            for key in accumulator:
+                accumulator[key] += recovered[key]
+            if scheme == "r2sp":
+                if contribution.residual is None:
+                    raise ValueError(
+                        f"R2SP needs a residual model for worker "
+                        f"{contribution.worker_id}"
+                    )
+                for key in accumulator:
+                    accumulator[key] += contribution.residual[key]
+
+        count = float(len(contributions))
+        new_state = {key: value / count for key, value in accumulator.items()}
+        self.model.load_state_dict(new_state)
+        return self.model.state_dict()

@@ -1,0 +1,67 @@
+"""Strategy registry: FedMP and the paper's baselines.
+
+The asynchronous variants (Asyn-FL, Asyn-FedMP of Section V-H) reuse
+these strategies -- asynchrony is a property of the runner, enabled by
+``FLConfig.async_m``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.fl.config import FLConfig
+from repro.fl.strategies.base import Capabilities, RoundObservation, Strategy
+from repro.fl.strategies.fedmp import FedMPStrategy
+from repro.fl.strategies.fedprox import FedProxStrategy
+from repro.fl.strategies.fixed import FixedRatioStrategy
+from repro.fl.strategies.flexcom import FlexComStrategy
+from repro.fl.strategies.oracle import OracleStrategy
+from repro.fl.strategies.synfl import SynFLStrategy
+from repro.fl.strategies.upfl import UPFLStrategy
+
+STRATEGIES: Dict[str, Type[Strategy]] = {
+    "fedmp": FedMPStrategy,
+    "synfl": SynFLStrategy,
+    "upfl": UPFLStrategy,
+    "fedprox": FedProxStrategy,
+    "flexcom": FlexComStrategy,
+    "fixed": FixedRatioStrategy,
+    "oracle": OracleStrategy,
+}
+
+
+def make_strategy(name: str, worker_ids: List[int], config: FLConfig,
+                  rng: Optional[np.random.Generator] = None) -> Strategy:
+    """Instantiate a strategy by name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+    return cls(worker_ids, config, rng=rng)
+
+
+def capability_table() -> List[tuple]:
+    """Rows of Table I: (method, capability row)."""
+    return [
+        (name, cls.capabilities.row()) for name, cls in STRATEGIES.items()
+    ]
+
+
+__all__ = [
+    "Strategy",
+    "Capabilities",
+    "RoundObservation",
+    "FedMPStrategy",
+    "SynFLStrategy",
+    "UPFLStrategy",
+    "FedProxStrategy",
+    "FlexComStrategy",
+    "OracleStrategy",
+    "STRATEGIES",
+    "make_strategy",
+    "capability_table",
+]

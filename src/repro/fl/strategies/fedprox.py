@@ -1,0 +1,58 @@
+"""FedProx (Li et al., 2018): heterogeneity-aware local work + proximal term.
+
+"FedProx allows participating workers to perform different numbers of
+local iterations based on their heterogeneous capabilities."  Workers
+train the *full* model; straggling workers run fewer local iterations
+(scaled from the completion times observed in previous rounds -- the
+baseline is allowed this observation, same signal E-UCB uses), and
+every local objective carries the proximal term ``(mu/2)||w - w_k||^2``
+to keep partial work from drifting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fl.config import FLConfig
+from repro.fl.strategies.base import Capabilities, RoundObservation, Strategy
+
+
+class FedProxStrategy(Strategy):
+    """Full-model training with adaptive local iteration counts."""
+
+    name = "fedprox"
+    capabilities = Capabilities(
+        hardware_independent=True,
+        computation_heterogeneity=True,
+        convergence_guarantee=True,
+    )
+
+    def __init__(self, worker_ids: List[int], config: FLConfig,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(worker_ids, config, rng)
+        kwargs = config.strategy_kwargs
+        self.mu = kwargs.get("mu", 0.01)
+        self.min_iterations = kwargs.get("min_iterations", 1)
+        self._last_compute_times: Dict[int, float] = {}
+
+    def proximal_mu(self) -> float:
+        return self.mu
+
+    def local_iterations(self, worker_id: int) -> int:
+        """Scale tau down for workers whose compute ran slower than the
+        round's fastest worker last round."""
+        tau = self.config.local_iterations
+        if not self._last_compute_times:
+            return tau
+        fastest = min(self._last_compute_times.values())
+        own = self._last_compute_times.get(worker_id)
+        if own is None or own <= 0:
+            return tau
+        scaled = int(round(tau * fastest / own))
+        return max(self.min_iterations, min(tau, scaled))
+
+    def observe_round(self, observation: RoundObservation) -> None:
+        for wid, costs in observation.costs.items():
+            self._last_compute_times[wid] = costs.computation_s

@@ -1,0 +1,38 @@
+"""Fixed-ratio strategy: every worker prunes at one constant ratio.
+
+Not one of the paper's named methods, but the instrument behind Fig. 2
+(accuracy vs pruning ratio under a time budget) and Fig. 5 (per-round
+time vs pruning ratio).  ``strategy_kwargs={"ratio": 0.4}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fl.config import FLConfig
+from repro.fl.strategies.base import Capabilities, Strategy
+
+
+class FixedRatioStrategy(Strategy):
+    """Constant uniform pruning ratio (an ablation instrument)."""
+
+    name = "fixed"
+    capabilities = Capabilities(
+        efficient_computation=True,
+        efficient_communication=True,
+        hardware_independent=True,
+    )
+
+    def __init__(self, worker_ids: List[int], config: FLConfig,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(worker_ids, config, rng)
+        self.ratio = float(config.strategy_kwargs.get("ratio", 0.0))
+        if not 0.0 <= self.ratio < 1.0:
+            raise ValueError(f"ratio must be in [0, 1), got {self.ratio}")
+
+    def select_ratios(self, round_index: int,
+                      worker_ids: Optional[List[int]] = None) -> Dict[int, float]:
+        ids = worker_ids if worker_ids is not None else self.worker_ids
+        return {wid: self.ratio for wid in ids}

@@ -1,0 +1,61 @@
+"""FlexCom (Li et al., INFOCOM 2021): flexible uplink compression.
+
+"FlexCom considers heterogeneous communication condition and enables
+flexible communication compression, which allows heterogeneous workers
+to compress the gradients to different levels before uploading."
+Workers train the full model (no computation savings) and sparsify
+their *uploads* with per-worker top-k levels: workers on slow links
+compress harder so uploads finish together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fl.config import FLConfig
+from repro.fl.strategies.base import Capabilities, RoundObservation, Strategy
+
+
+class FlexComStrategy(Strategy):
+    """Full-model training with adaptive per-worker top-k upload levels."""
+
+    name = "flexcom"
+    capabilities = Capabilities(
+        efficient_communication=True,
+        hardware_independent=True,
+        communication_heterogeneity=True,
+        convergence_guarantee=True,
+    )
+
+    def __init__(self, worker_ids: List[int], config: FLConfig,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(worker_ids, config, rng)
+        kwargs = config.strategy_kwargs
+        self.min_keep = kwargs.get("min_keep", 0.05)
+        self.base_keep = kwargs.get("base_keep", 0.3)
+        self._last_upload_times: Dict[int, float] = {}
+
+    def upload_keep_fraction(self, worker_id: int) -> float:
+        """Keep level inversely proportional to last round's upload time,
+        anchored at ``base_keep`` for the round-mean link."""
+        if not self._last_upload_times:
+            return self.base_keep
+        mean_upload = (
+            sum(self._last_upload_times.values())
+            / len(self._last_upload_times)
+        )
+        own = self._last_upload_times.get(worker_id)
+        if own is None or own <= 0:
+            return self.base_keep
+        keep = self.base_keep * mean_upload / own
+        return float(min(1.0, max(self.min_keep, keep)))
+
+    def observe_round(self, observation: RoundObservation) -> None:
+        for wid, costs in observation.costs.items():
+            # normalise the observed upload time back to a full-model
+            # upload so the keep level does not feed back on itself
+            keep = self.upload_keep_fraction(wid) if self._last_upload_times \
+                else self.base_keep
+            self._last_upload_times[wid] = costs.upload_s / max(keep, 1e-6)

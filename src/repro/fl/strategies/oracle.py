@@ -1,0 +1,104 @@
+"""Oracle strategy: pruning ratios from *known* device capabilities.
+
+Section IV-C: "With the knowledge of heterogeneous capabilities, some
+more straightforward methods can be used to determine the pruning
+ratios.  However, it is usually impractical for the PS to obtain these
+private information."  This strategy is that impractical upper-bound
+comparator: it reads the true device profiles and solves, per round,
+for the ratio that equalises every worker's *expected* completion time
+with the fleet median, via bisection on the Eq. 5 cost model.
+
+Useful as an ablation ceiling for E-UCB: FedMP should approach (not
+beat) the oracle as rounds accumulate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.config import FLConfig
+from repro.fl.strategies.base import Capabilities, Strategy
+from repro.simulation.device import TRAIN_FLOPS_MULTIPLIER, DeviceProfile
+from repro.simulation.timing import BYTES_PER_PARAM
+
+
+class OracleStrategy(Strategy):
+    """Capability-aware ratio assignment (requires private information).
+
+    ``strategy_kwargs``: ``max_ratio`` (default 0.7), plus the strategy
+    must be given the device list and model cost via :meth:`calibrate`
+    before the first round (the runner does this automatically when the
+    strategy exposes ``needs_calibration``).
+    """
+
+    name = "oracle"
+    needs_calibration = True
+    capabilities = Capabilities(
+        efficient_computation=True,
+        efficient_communication=True,
+        hardware_independent=True,
+        computation_heterogeneity=True,
+        communication_heterogeneity=True,
+    )
+
+    def __init__(self, worker_ids: List[int], config: FLConfig,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(worker_ids, config, rng)
+        self.max_ratio = config.strategy_kwargs.get("max_ratio", 0.7)
+        self._devices: Dict[int, DeviceProfile] = {}
+        self._full_flops: float = 0.0
+        self._full_params: int = 0
+        self._ratios: Dict[int, float] = {wid: 0.0 for wid in worker_ids}
+
+    # ------------------------------------------------------------------
+    # calibration (the "private information" the paper rules out)
+    # ------------------------------------------------------------------
+    def calibrate(self, devices: Sequence[DeviceProfile], full_flops: float,
+                  full_params: int) -> None:
+        """Provide true device profiles and the unpruned model costs."""
+        self._devices = {device.device_id: device for device in devices}
+        self._full_flops = float(full_flops)
+        self._full_params = int(full_params)
+        self._solve()
+
+    def _expected_time(self, device: DeviceProfile, ratio: float) -> float:
+        """Eq. 5 expectation at a pruning ratio (costs scale roughly
+        linearly with the surviving-parameter fraction)."""
+        keep = 1.0 - ratio
+        train_flops = (
+            self._full_flops * keep * TRAIN_FLOPS_MULTIPLIER
+            * self.config.batch_size * self.config.local_iterations
+        )
+        compute = train_flops / device.flops_per_second
+        payload_bits = 2 * self._full_params * keep * BYTES_PER_PARAM * 8
+        communicate = payload_bits / device.bandwidth_bps
+        return compute + communicate
+
+    def _solve(self) -> None:
+        """Equalise expected completion times at the fleet median."""
+        if not self._devices:
+            return
+        unpruned = {
+            wid: self._expected_time(device, 0.0)
+            for wid, device in self._devices.items()
+        }
+        target = float(np.median(list(unpruned.values())))
+        for wid, device in self._devices.items():
+            if unpruned[wid] <= target:
+                self._ratios[wid] = 0.0
+                continue
+            low, high = 0.0, self.max_ratio
+            for _ in range(40):
+                mid = 0.5 * (low + high)
+                if self._expected_time(device, mid) > target:
+                    low = mid
+                else:
+                    high = mid
+            self._ratios[wid] = high
+
+    def select_ratios(self, round_index: int,
+                      worker_ids: Optional[List[int]] = None) -> Dict[int, float]:
+        ids = worker_ids if worker_ids is not None else self.worker_ids
+        return {wid: self._ratios.get(wid, 0.0) for wid in ids}

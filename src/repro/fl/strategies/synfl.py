@@ -1,0 +1,17 @@
+"""Syn-FL: plain synchronous FedAvg (McMahan et al.), no pruning."""
+
+from __future__ import annotations
+
+from repro.fl.strategies.base import Capabilities, Strategy
+
+
+class SynFLStrategy(Strategy):
+    """Transmit and train the entire model; aggregate after all arrive.
+
+    The defaults of :class:`~repro.fl.strategies.base.Strategy` already
+    describe this behaviour; the subclass only pins down the name and
+    the Table I capability row.
+    """
+
+    name = "synfl"
+    capabilities = Capabilities(hardware_independent=True)

@@ -1,0 +1,61 @@
+"""UP-FL: uniform adaptive pruning (the Jiang et al. baseline).
+
+"UP-FL determines a uniform pruning ratio for all workers in each
+round, and the pruning ratio may vary in different rounds."  A single
+E-UCB agent adapts the shared ratio over time; because Eq. 8's
+fit-to-capability denominator is meaningless when every worker gets the
+same ratio, the uniform agent's reward is loss decrease per unit of
+round time (the natural uniform objective: convergence speed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bandit.eucb import EUCBAgent
+from repro.fl.config import FLConfig
+from repro.fl.strategies.base import Capabilities, RoundObservation, Strategy
+
+
+class UPFLStrategy(Strategy):
+    """One shared pruning ratio, adapted round by round."""
+
+    name = "upfl"
+    capabilities = Capabilities(
+        efficient_computation=True,
+        efficient_communication=True,
+        hardware_independent=False,   # Jiang et al. rely on sparse kernels
+        convergence_guarantee=True,
+    )
+
+    def __init__(self, worker_ids: List[int], config: FLConfig,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(worker_ids, config, rng)
+        kwargs = config.strategy_kwargs
+        self.warmup_rounds = kwargs.get("warmup_rounds", 1)
+        self.agent = EUCBAgent(
+            discount=kwargs.get("discount", 0.95),
+            theta=kwargs.get("theta", 0.05),
+            max_ratio=kwargs.get("max_ratio", 0.9),
+            exploration=kwargs.get("exploration", 1.0),
+            rng=np.random.default_rng(self.rng.integers(2 ** 31)),
+        )
+
+    def select_ratios(self, round_index: int,
+                      worker_ids: Optional[List[int]] = None) -> Dict[int, float]:
+        ids = worker_ids if worker_ids is not None else self.worker_ids
+        if round_index < self.warmup_rounds:
+            self.agent._pending_arm = 0.0
+            ratio = 0.0
+        else:
+            ratio = self.agent.select_ratio()
+        return {wid: ratio for wid in ids}
+
+    def observe_round(self, observation: RoundObservation) -> None:
+        if not observation.costs:
+            self.agent.abandon()
+            return
+        round_time = max(c.total_s for c in observation.costs.values())
+        self.agent.observe(observation.delta_loss / max(round_time, 1e-6))

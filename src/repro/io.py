@@ -1,0 +1,82 @@
+"""Persistence: model checkpoints and training histories.
+
+State dicts save to ``.npz`` (one array per parameter); histories save
+to JSON so external tooling can plot the benchmark curves.  Both
+round-trip exactly (up to float32 storage for checkpoints).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.fl.history import RoundRecord, TrainingHistory
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> None:
+    """Save a state dict to a compressed ``.npz`` checkpoint."""
+    np.savez_compressed(Path(path), **state)
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a checkpoint produced by :func:`save_state_dict`."""
+    with np.load(Path(path)) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_history(history: TrainingHistory, path: PathLike) -> None:
+    """Serialise a training history to JSON."""
+    payload = {
+        "strategy": history.strategy,
+        "model_name": history.model_name,
+        "higher_is_better": history.higher_is_better,
+        "rounds": [
+            {
+                "round_index": record.round_index,
+                "sim_time_s": record.sim_time_s,
+                "round_time_s": record.round_time_s,
+                "metric": record.metric,
+                "eval_loss": record.eval_loss,
+                "train_loss": record.train_loss,
+                "ratios": {str(k): v for k, v in record.ratios.items()},
+                "completion_times": {
+                    str(k): v for k, v in record.completion_times.items()
+                },
+                "discarded": list(record.discarded),
+                "overhead_s": record.overhead_s,
+            }
+            for record in history.rounds
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_history(path: PathLike) -> TrainingHistory:
+    """Load a history produced by :func:`save_history`."""
+    payload = json.loads(Path(path).read_text())
+    history = TrainingHistory(
+        strategy=payload["strategy"],
+        model_name=payload["model_name"],
+        higher_is_better=payload["higher_is_better"],
+    )
+    for entry in payload["rounds"]:
+        history.append(RoundRecord(
+            round_index=entry["round_index"],
+            sim_time_s=entry["sim_time_s"],
+            round_time_s=entry["round_time_s"],
+            metric=entry["metric"],
+            eval_loss=entry["eval_loss"],
+            train_loss=entry["train_loss"],
+            ratios={int(k): v for k, v in entry["ratios"].items()},
+            completion_times={
+                int(k): v for k, v in entry["completion_times"].items()
+            },
+            discarded=list(entry["discarded"]),
+            overhead_s=entry["overhead_s"],
+        ))
+    return history

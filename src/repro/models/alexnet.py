@@ -1,0 +1,85 @@
+"""AlexNet adapted to CIFAR-10 (32x32) inputs.
+
+The layer sequence mirrors the classic AlexNet (5 convolutions, 3
+fully-connected layers) using the common CIFAR adaptation: 3x3 kernels
+and three 2x2 poolings so the 32x32 input reaches a 4x4 feature map.
+``width_mult`` scales every hidden width so CPU-only experiments stay
+tractable; 1.0 reproduces the CIFAR-AlexNet widths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Sequential
+
+
+def _scaled(width: int, mult: float) -> int:
+    """Scale a channel width, never below 4 units."""
+    return max(4, int(round(width * mult)))
+
+
+def build_alexnet(num_classes: int = 10,
+                  input_shape: Tuple[int, int, int] = (3, 32, 32),
+                  width_mult: float = 1.0,
+                  dropout: float = 0.5,
+                  rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Build a CIFAR-style AlexNet.
+
+    Parameters
+    ----------
+    width_mult:
+        Multiplies every hidden channel/neuron count (benchmarks use
+        reduced widths; see DESIGN.md substitution table).
+    dropout:
+        Dropout probability on the two hidden fully-connected layers.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    channels, height, width = input_shape
+    c1 = _scaled(64, width_mult)
+    c2 = _scaled(192, width_mult)
+    c3 = _scaled(384, width_mult)
+    c4 = _scaled(256, width_mult)
+    c5 = _scaled(256, width_mult)
+    f1 = _scaled(1024, width_mult)
+    f2 = _scaled(1024, width_mult)
+    pooled_h, pooled_w = height // 8, width // 8
+
+    model = Sequential(
+        ("conv1", Conv2d(channels, c1, 3, padding=1, rng=rng)),
+        ("relu1", ReLU()),
+        ("pool1", MaxPool2d(2)),
+        ("conv2", Conv2d(c1, c2, 3, padding=1, rng=rng)),
+        ("relu2", ReLU()),
+        ("pool2", MaxPool2d(2)),
+        ("conv3", Conv2d(c2, c3, 3, padding=1, rng=rng)),
+        ("relu3", ReLU()),
+        ("conv4", Conv2d(c3, c4, 3, padding=1, rng=rng)),
+        ("relu4", ReLU()),
+        ("conv5", Conv2d(c4, c5, 3, padding=1, rng=rng)),
+        ("relu5", ReLU()),
+        ("pool3", MaxPool2d(2)),
+        ("flatten", Flatten()),
+        ("drop1", Dropout(dropout, rng=rng)),
+        ("fc1", Linear(c5 * pooled_h * pooled_w, f1, rng=rng)),
+        ("relu6", ReLU()),
+        ("drop2", Dropout(dropout, rng=rng)),
+        ("fc2", Linear(f1, f2, rng=rng)),
+        ("relu7", ReLU()),
+        ("fc3", Linear(f2, num_classes, rng=rng)),
+    )
+    model.layers[0].requires_input_grad = False
+    model.input_shape = input_shape
+    model.num_classes = num_classes
+    model.name = "alexnet"
+    return model

@@ -1,0 +1,53 @@
+"""The paper's CNN for MNIST.
+
+Section V-A: "The CNN has two 5x5 convolutional layers, a
+fully-connected layer with 256 units, and a softmax output layer with
+10 units" (the architecture of Wang et al., INFOCOM 2018: 32 and 64
+filters with 2x2 max-pooling after each convolution).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Sequential
+
+
+def build_cnn(num_classes: int = 10,
+              input_shape: Tuple[int, int, int] = (1, 28, 28),
+              rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Build the paper's 2-conv CNN.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes (10 for MNIST).
+    input_shape:
+        ``(C, H, W)`` of one sample.
+    rng:
+        Generator used for weight init; defaults to seed 0.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    channels, height, width = input_shape
+    pooled_h, pooled_w = height // 4, width // 4
+
+    model = Sequential(
+        ("conv1", Conv2d(channels, 32, 5, padding=2, rng=rng)),
+        ("relu1", ReLU()),
+        ("pool1", MaxPool2d(2)),
+        ("conv2", Conv2d(32, 64, 5, padding=2, rng=rng)),
+        ("relu2", ReLU()),
+        ("pool2", MaxPool2d(2)),
+        ("flatten", Flatten()),
+        ("fc1", Linear(64 * pooled_h * pooled_w, 256, rng=rng)),
+        ("relu3", ReLU()),
+        ("fc2", Linear(256, num_classes, rng=rng)),
+    )
+    model.layers[0].requires_input_grad = False
+    model.input_shape = input_shape
+    model.num_classes = num_classes
+    model.name = "cnn"
+    return model

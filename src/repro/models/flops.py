@@ -1,0 +1,167 @@
+"""Analytic FLOP and parameter counting.
+
+The edge-device simulator converts model complexity into local-update
+and transmission times (Eq. 5 of the paper), so it needs exact
+per-model multiply-accumulate counts as a function of the (possibly
+pruned) architecture.  Counting walks the module tree with a symbolic
+shape trace -- no forward pass is executed.
+
+Convention: one multiply-accumulate = 2 FLOPs; counts are *per sample*
+for the forward pass.  Training cost is modelled as ``3x`` forward (the
+usual forward + backward heuristic) by the simulator, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.models.blocks import Bottleneck
+from repro.models.lstm_lm import _SeqLinear
+from repro.nn import functional as F
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Module, Sequential
+from repro.nn.recurrent import LSTM, Embedding
+
+
+def count_model_params(model: Module) -> int:
+    """Number of trainable scalar parameters in ``model``."""
+    return model.num_parameters()
+
+
+def count_model_flops(model: Module,
+                      input_shape: Tuple[int, ...] = None,
+                      seq_len: int = 20) -> int:
+    """Forward FLOPs per sample for ``model``.
+
+    ``input_shape`` defaults to ``model.input_shape`` for CNNs.  For the
+    LSTM language model, pass ``seq_len`` (per-sample cost scales with
+    the unrolled sequence length).
+    """
+    if input_shape is None:
+        input_shape = getattr(model, "input_shape", None)
+    if input_shape is None:
+        # Language model: trace as a sequence of length seq_len, batch 1.
+        flops, _ = _count_sequence_model(model, seq_len)
+        return flops
+    flops, _ = _count(model, tuple(input_shape))
+    return flops
+
+
+def _count(module: Module, shape: Tuple[int, ...]) -> Tuple[int, Tuple[int, ...]]:
+    """Return (flops, output_shape) for one module applied at ``shape``.
+
+    ``shape`` is ``(C, H, W)`` for spatial tensors or ``(F,)`` once
+    flattened.
+    """
+    if isinstance(module, Sequential):
+        total = 0
+        for layer in module.layers:
+            flops, shape = _count(layer, shape)
+            total += flops
+        return total, shape
+
+    if isinstance(module, Bottleneck):
+        return _count_bottleneck(module, shape)
+
+    if isinstance(module, Conv2d):
+        _, h, w = shape
+        out_h = F.conv_output_size(h, module.kernel_size, module.stride,
+                                   module.padding)
+        out_w = F.conv_output_size(w, module.kernel_size, module.stride,
+                                   module.padding)
+        macs = (
+            module.out_channels * out_h * out_w
+            * module.in_channels * module.kernel_size ** 2
+        )
+        return 2 * macs, (module.out_channels, out_h, out_w)
+
+    if isinstance(module, Linear):
+        macs = module.in_features * module.out_features
+        return 2 * macs, (module.out_features,)
+
+    if isinstance(module, BatchNorm2d):
+        c, h, w = shape
+        return 2 * c * h * w, shape
+
+    if isinstance(module, MaxPool2d):
+        c, h, w = shape
+        out_h = F.conv_output_size(h, module.kernel_size, module.stride, 0)
+        out_w = F.conv_output_size(w, module.kernel_size, module.stride, 0)
+        return c * out_h * out_w * module.kernel_size ** 2, (c, out_h, out_w)
+
+    if isinstance(module, AvgPool2d):
+        c, h, w = shape
+        if module.kernel_size is None:
+            return c * h * w, (c, 1, 1)
+        k = module.kernel_size
+        return c * h * w, (c, h // k, w // k)
+
+    if isinstance(module, Flatten):
+        flat = 1
+        for dim in shape:
+            flat *= dim
+        return 0, (flat,)
+
+    if isinstance(module, ReLU):
+        size = 1
+        for dim in shape:
+            size *= dim
+        return size, shape
+
+    if isinstance(module, Dropout):
+        return 0, shape
+
+    raise TypeError(f"cannot count FLOPs for module type {type(module).__name__}")
+
+
+def _count_bottleneck(block: Bottleneck,
+                      shape: Tuple[int, ...]) -> Tuple[int, Tuple[int, ...]]:
+    total = 0
+    inner_shape = shape
+    for name in ("conv1", "bn1", "relu1", "conv2", "bn2", "relu2",
+                 "conv3", "bn3"):
+        flops, inner_shape = _count(dict(block.children())[name], inner_shape)
+        total += flops
+    if block.has_projection:
+        flops, _ = _count(block.downsample, shape)
+        total += flops
+    # residual add + final relu
+    c, h, w = inner_shape
+    total += 2 * c * h * w
+    return total, inner_shape
+
+
+def _count_sequence_model(model: Module, seq_len: int) -> Tuple[int, None]:
+    """FLOPs per sample (= per token sequence of ``seq_len``) for an LM."""
+    total = 0
+    feature = None
+    for layer in model.layers if isinstance(model, Sequential) else []:
+        if isinstance(layer, Embedding):
+            feature = layer.embedding_dim
+            total += 0  # lookup only
+        elif isinstance(layer, LSTM):
+            macs_per_step = (
+                4 * layer.hidden_size * (layer.input_size + layer.hidden_size)
+            )
+            total += 2 * macs_per_step * seq_len
+            feature = layer.hidden_size
+        elif isinstance(layer, _SeqLinear):
+            inner = layer.linear
+            total += 2 * inner.in_features * inner.out_features * seq_len
+            feature = inner.out_features
+        elif isinstance(layer, Dropout):
+            continue
+        else:
+            raise TypeError(
+                f"cannot count sequence FLOPs for {type(layer).__name__}"
+            )
+    return total, None

@@ -1,0 +1,72 @@
+"""Two-layer LSTM language model for the Penn TreeBank extension.
+
+Section VI trains "a RNN with two stacked LSTM layers on the Penn
+TreeBank dataset" and prunes it with the Intrinsic Sparse Structure
+method.  The model here is Embedding -> LSTM -> LSTM -> Linear decoder;
+its forward/backward handle ``(T, B)`` id batches end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module, Sequential
+from repro.nn.recurrent import LSTM, Embedding
+
+
+class _SeqLinear(Module):
+    """Linear decoder applied at every time step of a ``(T, B, H)`` tensor."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.add_child("linear", Linear(in_features, out_features, rng=rng))
+        self._shape: Optional[Tuple[int, int, int]] = None
+
+    @property
+    def linear(self) -> Linear:
+        return self._children["linear"]  # type: ignore[return-value]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        t, b, h = x.shape
+        self._shape = (t, b, h)
+        out = self.linear.forward(x.reshape(t * b, h))
+        return out.reshape(t, b, -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        t, b, h = self._shape
+        grad = self.linear.backward(grad_out.reshape(t * b, -1))
+        return grad.reshape(t, b, h)
+
+
+def build_lstm_lm(vocab_size: int = 1000,
+                  embedding_dim: int = 64,
+                  hidden_size: int = 128,
+                  dropout: float = 0.0,
+                  rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Build the two-layer LSTM language model.
+
+    Returns a Sequential of ``embed -> lstm1 -> lstm2 -> decoder`` whose
+    forward maps ``(T, B)`` token ids to ``(T, B, vocab)`` logits.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    layers = [
+        ("embed", Embedding(vocab_size, embedding_dim, rng=rng)),
+        ("lstm1", LSTM(embedding_dim, hidden_size, rng=rng)),
+        ("lstm2", LSTM(hidden_size, hidden_size, rng=rng)),
+    ]
+    if dropout > 0:
+        layers.append(("drop", Dropout(dropout, rng=rng)))
+    layers.append(("decoder", _SeqLinear(hidden_size, vocab_size, rng=rng)))
+
+    model = Sequential(*layers)
+    model.vocab_size = vocab_size
+    model.embedding_dim = embedding_dim
+    model.hidden_size = hidden_size
+    model.name = "lstm_lm"
+    return model

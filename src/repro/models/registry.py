@@ -1,0 +1,38 @@
+"""Name-based model registry used by configs, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.models.alexnet import build_alexnet
+from repro.models.cnn import build_cnn
+from repro.models.lstm_lm import build_lstm_lm
+from repro.models.resnet import build_resnet50
+from repro.models.vgg import build_vgg19
+from repro.nn.module import Module
+
+#: Registered builders; each accepts ``rng`` plus builder-specific kwargs.
+MODEL_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "cnn": build_cnn,
+    "alexnet": build_alexnet,
+    "vgg19": build_vgg19,
+    "resnet50": build_resnet50,
+    "lstm_lm": build_lstm_lm,
+}
+
+
+def build_model(name: str, rng: Optional[np.random.Generator] = None,
+                **kwargs) -> Module:
+    """Instantiate a registered model by name.
+
+    Raises ``KeyError`` with the available names when ``name`` is unknown.
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(rng=rng, **kwargs)

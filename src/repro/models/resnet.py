@@ -1,0 +1,106 @@
+"""ResNet-50 (bottleneck) adapted to Tiny-ImageNet (64x64) inputs.
+
+The stage layout ``[3, 4, 6, 3]`` reproduces ResNet-50; a
+``blocks_per_stage`` override lets the CPU-only benchmarks run a
+depth-reduced member of the same family (the pruning and aggregation
+code paths exercised are identical).  Structured pruning touches the
+two internal convolutions of every bottleneck; stage boundaries keep
+their widths so skip connections remain well-formed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.blocks import Bottleneck
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Sequential
+
+#: (mid width, out width, stride) per ResNet-50 stage, before width_mult.
+RESNET50_STAGES: List[Tuple[int, int, int]] = [
+    (64, 256, 1),
+    (128, 512, 2),
+    (256, 1024, 2),
+    (512, 2048, 2),
+]
+
+#: Blocks per stage for the true ResNet-50.
+RESNET50_DEPTHS: Tuple[int, ...] = (3, 4, 6, 3)
+
+
+def _scaled(width: int, mult: float) -> int:
+    return max(4, int(round(width * mult)))
+
+
+def build_resnet50(num_classes: int = 200,
+                   input_shape: Tuple[int, int, int] = (3, 64, 64),
+                   width_mult: float = 1.0,
+                   blocks_per_stage: Optional[Sequence[int]] = None,
+                   rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Build a bottleneck ResNet in the ResNet-50 family.
+
+    Parameters
+    ----------
+    blocks_per_stage:
+        Defaults to ``(3, 4, 6, 3)`` (true ResNet-50).  Benchmarks pass
+        smaller depths for tractability; the architecture family and
+        every pruning-relevant structure are unchanged.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    depths = tuple(blocks_per_stage) if blocks_per_stage else RESNET50_DEPTHS
+    if len(depths) != len(RESNET50_STAGES):
+        raise ValueError(
+            f"blocks_per_stage must have {len(RESNET50_STAGES)} entries, "
+            f"got {len(depths)}"
+        )
+    channels, _, _ = input_shape
+
+    stem_ch = _scaled(64, width_mult)
+    layers: List[Tuple[str, object]] = [
+        ("conv_stem", Conv2d(channels, stem_ch, 3, stride=1, padding=1, rng=rng)),
+        ("bn_stem", BatchNorm2d(stem_ch)),
+        ("relu_stem", ReLU()),
+        ("pool_stem", MaxPool2d(2)),
+    ]
+
+    in_ch = stem_ch
+    for stage_index, ((mid, out, stride), depth) in enumerate(
+        zip(RESNET50_STAGES, depths)
+    ):
+        mid_ch = _scaled(mid, width_mult)
+        out_ch = _scaled(out, width_mult)
+        for block_index in range(depth):
+            block_stride = stride if block_index == 0 else 1
+            layers.append(
+                (
+                    f"stage{stage_index + 1}_block{block_index + 1}",
+                    Bottleneck(in_ch, mid_ch, out_ch, stride=block_stride,
+                               project=block_index == 0, rng=rng),
+                )
+            )
+            in_ch = out_ch
+
+    layers.extend(
+        [
+            ("gap", AvgPool2d(None)),
+            ("flatten", Flatten()),
+            ("fc", Linear(in_ch, num_classes, rng=rng)),
+        ]
+    )
+
+    model = Sequential(*layers)
+    model.layers[0].requires_input_grad = False
+    model.input_shape = input_shape
+    model.num_classes = num_classes
+    model.name = "resnet50"
+    return model

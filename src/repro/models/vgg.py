@@ -1,0 +1,91 @@
+"""VGG-19 adapted to EMNIST (28x28 greyscale) inputs.
+
+The paper trains VGG-19 on EMNIST.  We keep the canonical VGG-19
+configuration ``[2, 2, 4, 4, 4]`` convolution blocks but (a) pool only
+after the first three blocks so a 28x28 input is not pooled away and
+(b) expose ``width_mult`` for CPU-scale runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Sequential
+
+#: VGG-19 feature configuration: (block sizes, base widths)
+VGG19_BLOCKS: List[Tuple[int, int]] = [
+    (2, 64),
+    (2, 128),
+    (4, 256),
+    (4, 512),
+    (4, 512),
+]
+
+
+def _scaled(width: int, mult: float) -> int:
+    return max(4, int(round(width * mult)))
+
+
+def build_vgg19(num_classes: int = 62,
+                input_shape: Tuple[int, int, int] = (1, 28, 28),
+                width_mult: float = 1.0,
+                batch_norm: bool = True,
+                dropout: float = 0.5,
+                rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Build VGG-19 (optionally with batch norm) for small-image inputs.
+
+    Pooling is applied after blocks 1-3 only (28 -> 14 -> 7 -> 3), so
+    the full 16-convolution stack survives the small spatial extent.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    channels, height, width = input_shape
+
+    layers: List[Tuple[str, object]] = []
+    in_ch = channels
+    spatial = height
+    pool_after = {0, 1, 2}
+    for block_index, (depth, base_width) in enumerate(VGG19_BLOCKS):
+        out_ch = _scaled(base_width, width_mult)
+        for conv_index in range(depth):
+            tag = f"{block_index + 1}_{conv_index + 1}"
+            layers.append((f"conv{tag}", Conv2d(in_ch, out_ch, 3, padding=1, rng=rng)))
+            if batch_norm:
+                layers.append((f"bn{tag}", BatchNorm2d(out_ch)))
+            layers.append((f"relu{tag}", ReLU()))
+            in_ch = out_ch
+        if block_index in pool_after and spatial >= 2:
+            layers.append((f"pool{block_index + 1}", MaxPool2d(2)))
+            spatial //= 2
+
+    f1 = _scaled(512, width_mult)
+    f2 = _scaled(512, width_mult)
+    layers.extend(
+        [
+            ("flatten", Flatten()),
+            ("drop1", Dropout(dropout, rng=rng)),
+            ("fc1", Linear(in_ch * spatial * spatial, f1, rng=rng)),
+            ("relu_fc1", ReLU()),
+            ("drop2", Dropout(dropout, rng=rng)),
+            ("fc2", Linear(f1, f2, rng=rng)),
+            ("relu_fc2", ReLU()),
+            ("fc3", Linear(f2, num_classes, rng=rng)),
+        ]
+    )
+
+    model = Sequential(*layers)
+    model.layers[0].requires_input_grad = False
+    model.input_shape = input_shape
+    model.num_classes = num_classes
+    model.name = "vgg19"
+    return model

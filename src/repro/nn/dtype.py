@@ -1,0 +1,27 @@
+"""Global compute dtype for the NN substrate.
+
+float32 is the default: it halves memory traffic in the im2col
+convolution path (the CPU bottleneck) with no effect on any of the
+paper's algorithms.  The gradient-check tests switch to float64 for
+1e-8-level finite-difference accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_DTYPE = np.float32
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new parameters, buffers and datasets are created with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the global compute dtype (float32 or float64)."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported dtype {dtype}")
+    _DEFAULT_DTYPE = dtype.type

@@ -1,0 +1,106 @@
+"""Functional building blocks: im2col convolution, pooling, activations.
+
+Convolution is implemented with the classic im2col lowering so both the
+forward and backward passes are single matrix multiplications; this is
+the fastest pure-NumPy formulation and is exact (no approximation), so
+gradient checks in the test suite validate it to ~1e-8.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution / pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+           padding: int) -> np.ndarray:
+    """Lower image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(N * out_h * out_w, C * kh * kw)`` where each row is
+    one receptive field.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+
+    # Work in NHWC: one cheap layout change up front, then every patch
+    # copy moves contiguous channel rows (much faster than gathering a
+    # 6-D transpose at the end).
+    x_nhwc = np.ascontiguousarray(x.transpose(0, 2, 3, 1))
+    cols = np.empty((n, out_h, out_w, c, kh, kw), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, :, :, i, j] = x_nhwc[:, i:i_max:stride, j:j_max:stride, :]
+    return cols.reshape(n * out_h * out_w, -1)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int,
+           kw: int, stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to an image.
+
+    Overlapping patches are summed, which is exactly the adjoint
+    operation needed for convolution backward.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw)
+
+    # Accumulate in NHWC (contiguous channel rows), convert back once.
+    padded = np.zeros((n, h + 2 * padding, w + 2 * padding, c),
+                      dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, i:i_max:stride, j:j_max:stride, :] += cols[:, :, :, :, i, j]
+    out = padded.transpose(0, 3, 1, 2)
+    if padding > 0:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return np.ascontiguousarray(out)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Elementwise hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax of a ``(N, K)`` logit matrix."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))

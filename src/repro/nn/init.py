@@ -1,0 +1,63 @@
+"""Weight initialisers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so
+every model build is reproducible from a single seed; there is no global
+RNG state anywhere in the package.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.dtype import get_default_dtype
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight tensor.
+
+    Linear weights are ``(out, in)``; convolution weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                    gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform init, the default for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init, used for LSTM input/hidden weights."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+            bound: float) -> np.ndarray:
+    """Plain uniform init in ``[-bound, bound]``."""
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros array (bias default)."""
+    return np.zeros(shape, dtype=get_default_dtype())
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-ones array (batch-norm scale default)."""
+    return np.ones(shape, dtype=get_default_dtype())

@@ -1,0 +1,61 @@
+"""Evaluation metrics shared by the FL runner and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.module import Module
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy for ``(N, K)`` logits."""
+    return float((logits.argmax(axis=1) == targets).mean())
+
+
+def evaluate_classifier(model: Module, inputs: np.ndarray,
+                        targets: np.ndarray,
+                        batch_size: int = 256) -> Tuple[float, float]:
+    """Return ``(accuracy, mean cross-entropy loss)`` over a test set.
+
+    Runs in evaluation mode (batch-norm uses running statistics,
+    dropout is disabled) and restores the previous mode afterwards.
+    """
+    was_training = model.training
+    model.eval()
+    criterion = CrossEntropyLoss()
+    correct = 0
+    total_loss = 0.0
+    n = inputs.shape[0]
+    for start in range(0, n, batch_size):
+        xb = inputs[start:start + batch_size]
+        yb = targets[start:start + batch_size]
+        logits = model.forward(xb)
+        total_loss += criterion(logits, yb) * xb.shape[0]
+        correct += int((logits.argmax(axis=1) == yb).sum())
+    if was_training:
+        model.train()
+    return correct / n, total_loss / n
+
+
+def evaluate_language_model(model: Module, sequences: np.ndarray,
+                            targets: np.ndarray) -> Tuple[float, float]:
+    """Return ``(perplexity, cross entropy)`` of an LM over id batches.
+
+    ``sequences`` and ``targets`` have shape ``(num_batches, T, B)``.
+    """
+    was_training = model.training
+    model.eval()
+    criterion = CrossEntropyLoss()
+    total = 0.0
+    count = 0
+    for seq, tgt in zip(sequences, targets):
+        logits = model.forward(seq)
+        total += criterion(logits, tgt) * seq.size
+        count += seq.size
+    if was_training:
+        model.train()
+    ce = total / count
+    return float(np.exp(ce)), ce

@@ -1,0 +1,52 @@
+"""Structured model pruning and the R2SP residual machinery.
+
+This subpackage implements Section III-B/C of the paper:
+
+- :mod:`repro.pruning.importance` -- l1-norm importance scores for
+  convolution filters, fully-connected neurons, and LSTM ISS components;
+- :mod:`repro.pruning.plan` -- the :class:`PruningPlan` index record the
+  parameter server stores per worker ("we can use a binary vector to
+  store the indexes");
+- :mod:`repro.pruning.structured` -- distributed structured pruning:
+  building a plan from a global model at a pruning ratio, physically
+  extracting the sub-model, and zero-expanding a trained sub-model back
+  to the global shape (model recovery);
+- :mod:`repro.pruning.masks` -- sparse models (pruned positions zeroed)
+  and residual models (global minus sparse), the two auxiliary objects
+  of R2SP;
+- :mod:`repro.pruning.iss` -- Intrinsic Sparse Structure pruning for the
+  LSTM language model (Section VI);
+- :mod:`repro.pruning.error` -- the pruning error ``Q_n^k`` from the
+  convergence analysis.
+"""
+
+from repro.pruning.plan import LayerPrune, PruningPlan
+from repro.pruning.importance import (
+    conv_filter_scores,
+    linear_neuron_scores,
+    lstm_iss_scores,
+)
+from repro.pruning.structured import (
+    build_pruning_plan,
+    extract_submodel,
+    recover_state_dict,
+)
+from repro.pruning.masks import residual_state_dict, sparse_state_dict
+from repro.pruning.iss import build_iss_plan, extract_iss_submodel
+from repro.pruning.error import pruning_error
+
+__all__ = [
+    "LayerPrune",
+    "PruningPlan",
+    "conv_filter_scores",
+    "linear_neuron_scores",
+    "lstm_iss_scores",
+    "build_pruning_plan",
+    "extract_submodel",
+    "recover_state_dict",
+    "sparse_state_dict",
+    "residual_state_dict",
+    "build_iss_plan",
+    "extract_iss_submodel",
+    "pruning_error",
+]

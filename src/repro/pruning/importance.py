@@ -1,0 +1,60 @@
+"""l1-norm importance scores (Section III-B).
+
+"For each filter in the convolutional layers, we calculate the sum of
+the absolute kernel weights as the filter's score. [...] for each neuron
+in the fully-connected layers, we calculate the sum of the absolute
+weights that the neuron is connected to as the neuron's score."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_filter_scores(weight: np.ndarray) -> np.ndarray:
+    """Per-filter l1 scores for a ``(out, in, kh, kw)`` conv weight."""
+    if weight.ndim != 4:
+        raise ValueError(f"expected 4-D conv weight, got shape {weight.shape}")
+    return np.abs(weight).sum(axis=(1, 2, 3))
+
+
+def linear_neuron_scores(weight: np.ndarray) -> np.ndarray:
+    """Per-output-neuron l1 scores for a ``(out, in)`` linear weight."""
+    if weight.ndim != 2:
+        raise ValueError(f"expected 2-D linear weight, got shape {weight.shape}")
+    return np.abs(weight).sum(axis=1)
+
+
+def lstm_iss_scores(w_ih: np.ndarray, w_hh: np.ndarray) -> np.ndarray:
+    """Per-hidden-unit l1 scores over an LSTM's ISS components.
+
+    ISS component ``j`` owns rows ``{j, H+j, 2H+j, 3H+j}`` of ``w_ih``
+    and ``w_hh`` plus column ``j`` of ``w_hh`` (Wen et al., 2017); its
+    score sums absolute weights over all of those slices.
+    """
+    hidden = w_hh.shape[1]
+    if w_ih.shape[0] != 4 * hidden or w_hh.shape[0] != 4 * hidden:
+        raise ValueError(
+            f"inconsistent LSTM shapes: w_ih {w_ih.shape}, w_hh {w_hh.shape}"
+        )
+    row_scores = np.zeros(hidden)
+    for gate in range(4):
+        block_ih = w_ih[gate * hidden:(gate + 1) * hidden]
+        block_hh = w_hh[gate * hidden:(gate + 1) * hidden]
+        row_scores += np.abs(block_ih).sum(axis=1)
+        row_scores += np.abs(block_hh).sum(axis=1)
+    col_scores = np.abs(w_hh).sum(axis=0)
+    return row_scores + col_scores
+
+
+def top_indices(scores: np.ndarray, keep: int) -> np.ndarray:
+    """Sorted indices of the ``keep`` highest-scoring units.
+
+    Ties break toward lower indices (stable), so plans are deterministic.
+    """
+    if keep <= 0:
+        raise ValueError(f"must keep at least one unit, got keep={keep}")
+    if keep >= scores.size:
+        return np.arange(scores.size, dtype=np.intp)
+    order = np.argsort(-scores, kind="stable")[:keep]
+    return np.sort(order).astype(np.intp)

@@ -1,0 +1,131 @@
+"""Intrinsic Sparse Structure (ISS) pruning for LSTMs (Section VI).
+
+"Following the intrinsic sparse structure method, we remove weights
+associated with one component of intrinsic sparse structures, and then
+the sizes/dimensions of basic structures are simultaneously reduced by
+one."  An ISS component couples hidden unit ``j`` across all four gate
+blocks of a layer, the recurrent column ``j``, and the matching input
+column of the *next* layer, so removing it keeps the RNN schematic
+dense but smaller.
+
+The plans produced here reuse :class:`~repro.pruning.plan.PruningPlan`
+with ``kind='lstm'`` entries, so R2SP recovery and the sparse/residual
+machinery in :mod:`repro.pruning.masks` apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.lstm_lm import _SeqLinear
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module, Sequential
+from repro.nn.recurrent import LSTM, Embedding
+from repro.pruning.importance import lstm_iss_scores, top_indices
+from repro.pruning.plan import LayerPrune, PruningPlan, keep_count
+from repro.pruning.structured import _gate_rows
+
+
+def build_iss_plan(model: Sequential, ratio: float) -> PruningPlan:
+    """Plan ISS pruning of an LSTM language model at ``ratio``.
+
+    Hidden units of every LSTM layer are scored and pruned; the
+    embedding table and the decoder's output vocabulary stay intact
+    (their *input* connections follow the surviving hidden units).
+    """
+    plan = PruningPlan(ratio=float(ratio))
+    kept_prev: Optional[np.ndarray] = None
+    prev_full: Optional[int] = None
+
+    for name, layer in model.children():
+        if isinstance(layer, Embedding):
+            kept_prev = np.arange(layer.embedding_dim, dtype=np.intp)
+            prev_full = layer.embedding_dim
+        elif isinstance(layer, LSTM):
+            if kept_prev is None:
+                kept_prev = np.arange(layer.input_size, dtype=np.intp)
+                prev_full = layer.input_size
+            scores = lstm_iss_scores(layer.params["w_ih"], layer.params["w_hh"])
+            kept = top_indices(scores, keep_count(layer.hidden_size, ratio))
+            plan.add(name, LayerPrune(
+                kind="lstm", kept_out=kept, out_full=layer.hidden_size,
+                kept_in=kept_prev, in_full=prev_full,
+            ))
+            kept_prev = kept
+            prev_full = layer.hidden_size
+        elif isinstance(layer, _SeqLinear):
+            inner = layer.linear
+            plan.add(f"{name}.linear", LayerPrune(
+                kind="linear",
+                kept_out=np.arange(inner.out_features, dtype=np.intp),
+                out_full=inner.out_features,
+                kept_in=kept_prev if kept_prev is not None
+                else np.arange(inner.in_features, dtype=np.intp),
+                in_full=prev_full if prev_full is not None
+                else inner.in_features,
+            ))
+        elif isinstance(layer, Dropout):
+            continue
+        else:
+            raise TypeError(
+                f"ISS pruning cannot handle layer {type(layer).__name__}"
+            )
+    return plan
+
+
+def extract_iss_submodel(model: Sequential, plan: PruningPlan,
+                         rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Physically construct the ISS-pruned language model."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    children = []
+    for name, layer in model.children():
+        children.append((name, _extract_layer(name, layer, plan, rng)))
+    sub = Sequential(*children)
+    for attr in ("vocab_size", "embedding_dim", "hidden_size", "name"):
+        if hasattr(model, attr):
+            setattr(sub, attr, getattr(model, attr))
+    return sub
+
+
+def _extract_layer(name: str, layer: Module, plan: PruningPlan,
+                   rng: np.random.Generator) -> Module:
+    if isinstance(layer, Embedding):
+        sub = Embedding(layer.vocab_size, layer.embedding_dim, rng=rng)
+        sub.params["weight"] = layer.params["weight"].copy()
+        sub.grads["weight"] = np.zeros_like(sub.params["weight"])
+        return sub
+
+    if isinstance(layer, LSTM):
+        entry = plan[name]
+        sub = LSTM(entry.kept_in.size, entry.kept_out.size, rng=rng)
+        rows = _gate_rows(entry.kept_out, entry.out_full)
+        sub.params["w_ih"] = layer.params["w_ih"][
+            np.ix_(rows, entry.kept_in)
+        ].copy()
+        sub.params["w_hh"] = layer.params["w_hh"][
+            np.ix_(rows, entry.kept_out)
+        ].copy()
+        sub.params["bias"] = layer.params["bias"][rows].copy()
+        for key in sub.params:
+            sub.grads[key] = np.zeros_like(sub.params[key])
+        return sub
+
+    if isinstance(layer, _SeqLinear):
+        entry = plan[f"{name}.linear"]
+        sub = _SeqLinear(entry.kept_in.size, entry.kept_out.size, rng=rng)
+        inner_src: Linear = layer.linear
+        inner_dst: Linear = sub.linear
+        inner_dst.params["weight"] = inner_src.params["weight"][
+            np.ix_(entry.kept_out, entry.kept_in)
+        ].copy()
+        inner_dst.params["bias"] = inner_src.params["bias"][entry.kept_out].copy()
+        for key in inner_dst.params:
+            inner_dst.grads[key] = np.zeros_like(inner_dst.params[key])
+        return sub
+
+    if isinstance(layer, Dropout):
+        return Dropout(layer.p, rng=np.random.default_rng(rng.integers(2 ** 31)))
+
+    raise TypeError(f"ISS extraction cannot handle layer {type(layer).__name__}")

@@ -1,0 +1,68 @@
+"""Sparse and residual models (the R2SP auxiliary objects, Section III-C).
+
+- The **sparse model** has the global structure with every logically
+  pruned position set to zero.
+- The **residual model** is ``global - sparse``: zeros at surviving
+  positions, the original global values at pruned positions.
+
+R2SP's aggregation identity: ``recovered + residual`` equals the trained
+values at surviving positions and the untouched global values at pruned
+positions, so "each model parameter has a chance to be trained".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.pruning.plan import LayerPrune, PruningPlan
+from repro.pruning.structured import _gate_rows, _planned_param_names
+
+
+def _keep_mask(suffix: str, entry: LayerPrune,
+               shape: Tuple[int, ...]) -> np.ndarray:
+    """Boolean mask of surviving positions for one parameter array."""
+    mask = np.zeros(shape, dtype=bool)
+    kind = entry.kind
+    if kind in ("conv", "linear") and suffix == "weight":
+        mask[np.ix_(entry.kept_out, entry.kept_in)] = True
+    elif kind in ("conv", "linear") and suffix == "bias":
+        mask[entry.kept_out] = True
+    elif kind == "bn":
+        mask[entry.kept_out] = True
+    elif kind == "lstm":
+        rows = _gate_rows(entry.kept_out, entry.out_full)
+        if suffix == "w_ih":
+            mask[np.ix_(rows, entry.kept_in)] = True
+        elif suffix == "w_hh":
+            mask[np.ix_(rows, entry.kept_out)] = True
+        else:
+            mask[rows] = True
+    elif kind == "embedding" and suffix == "weight":
+        mask[:, entry.kept_out] = True
+    else:
+        raise ValueError(f"no mask rule for kind={kind!r} suffix={suffix!r}")
+    return mask
+
+
+def sparse_state_dict(full_state: Dict[str, np.ndarray],
+                      plan: PruningPlan) -> Dict[str, np.ndarray]:
+    """The sparse model: global values with pruned positions zeroed."""
+    planned = _planned_param_names(plan)
+    sparse: Dict[str, np.ndarray] = {}
+    for key, value in full_state.items():
+        if key in planned:
+            layer_name, suffix = planned[key]
+            mask = _keep_mask(suffix, plan[layer_name], value.shape)
+            sparse[key] = np.where(mask, value, 0.0)
+        else:
+            sparse[key] = value.copy()
+    return sparse
+
+
+def residual_state_dict(full_state: Dict[str, np.ndarray],
+                        plan: PruningPlan) -> Dict[str, np.ndarray]:
+    """The residual model ``global - sparse`` (Eq. before (2))."""
+    sparse = sparse_state_dict(full_state, plan)
+    return {key: full_state[key] - sparse[key] for key in full_state}

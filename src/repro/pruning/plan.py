@@ -1,0 +1,107 @@
+"""Pruning plan: the per-worker index record kept by the parameter server.
+
+A :class:`PruningPlan` says, for every affected layer, which output
+units (filters / neurons / hidden units) and which input connections
+survive.  It is exactly the "binary vector storing the indexes of the
+remaining parameters" that Section III-C describes, in index form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+#: Recognised layer kinds; each has its own scatter rule during recovery.
+LAYER_KINDS = ("conv", "linear", "bn", "lstm", "embedding")
+
+
+@dataclass
+class LayerPrune:
+    """Kept indices for one layer.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`LAYER_KINDS`.
+    kept_out:
+        Sorted indices of surviving output units (filters, neurons,
+        hidden units, or BN channels).
+    kept_in:
+        Sorted indices of surviving input connections (``None`` for
+        layers without an input axis, e.g. batch norm).
+    out_full / in_full:
+        Full (unpruned) sizes of the respective axes, needed to allocate
+        zero-expanded arrays during recovery.
+    """
+
+    kind: str
+    kept_out: np.ndarray
+    out_full: int
+    kept_in: Optional[np.ndarray] = None
+    in_full: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in LAYER_KINDS:
+            raise ValueError(f"unknown layer kind {self.kind!r}")
+        self.kept_out = np.asarray(self.kept_out, dtype=np.intp)
+        if self.kept_in is not None:
+            self.kept_in = np.asarray(self.kept_in, dtype=np.intp)
+
+    @property
+    def out_pruned(self) -> np.ndarray:
+        """Indices of removed output units."""
+        mask = np.ones(self.out_full, dtype=bool)
+        mask[self.kept_out] = False
+        return np.flatnonzero(mask)
+
+    def keeps_everything(self) -> bool:
+        """True when no unit of this layer was removed."""
+        out_all = self.kept_out.size == self.out_full
+        in_all = self.kept_in is None or self.kept_in.size == self.in_full
+        return out_all and in_all
+
+
+@dataclass
+class PruningPlan:
+    """Mapping of layer qualified name -> :class:`LayerPrune`.
+
+    ``ratio`` records the pruning ratio the plan was built from, for
+    bookkeeping and reward computation.
+    """
+
+    ratio: float
+    layers: Dict[str, LayerPrune] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> LayerPrune:
+        return self.layers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.layers
+
+    def get(self, name: str) -> Optional[LayerPrune]:
+        return self.layers.get(name)
+
+    def items(self) -> Iterator[Tuple[str, LayerPrune]]:
+        return iter(self.layers.items())
+
+    def add(self, name: str, entry: LayerPrune) -> None:
+        if name in self.layers:
+            raise ValueError(f"duplicate plan entry for layer {name!r}")
+        self.layers[name] = entry
+
+    def is_identity(self) -> bool:
+        """True when the plan removes nothing (ratio effectively 0)."""
+        return all(entry.keeps_everything() for entry in self.layers.values())
+
+
+def keep_count(full: int, ratio: float) -> int:
+    """Units kept in a layer of size ``full`` at pruning ratio ``ratio``.
+
+    The paper removes the lowest-scoring fraction ``ratio`` per layer;
+    at least one unit always survives.
+    """
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError(f"pruning ratio must be in [0, 1), got {ratio}")
+    return max(1, full - int(np.floor(full * ratio)))

@@ -1,0 +1,427 @@
+"""Distributed structured pruning (Section III-B) and model recovery.
+
+Three operations, all driven by a :class:`~repro.pruning.plan.PruningPlan`:
+
+- :func:`build_pruning_plan` -- walk a global model, score every
+  filter/neuron by l1 norm, and decide which units survive at a given
+  pruning ratio (the same ratio in every layer, output layer protected);
+- :func:`extract_submodel` -- physically construct the compact sub-model
+  the PS sends to a worker, copying the surviving weights;
+- :func:`recover_state_dict` -- zero-expand a trained sub-model back to
+  the global shape (the "model recovery" step R2SP performs before
+  aggregation).
+
+The plan walk tracks which channels of the running activation survive,
+so downstream layers drop the matching input connections: "when the
+filters with their feature maps are pruned, the corresponding channels
+of filters in the next layer are also removed [and] the weights of the
+subsequent batch normalization layer are removed too."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.models.blocks import Bottleneck
+from repro.nn import functional as F
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Module, Sequential
+from repro.pruning.importance import (
+    conv_filter_scores,
+    linear_neuron_scores,
+    top_indices,
+)
+from repro.pruning.plan import LayerPrune, PruningPlan, keep_count
+
+#: Parameter names owned by each layer kind (used by recovery/scatter).
+KIND_PARAM_NAMES = {
+    "conv": ("weight", "bias"),
+    "linear": ("weight", "bias"),
+    "bn": ("gamma", "beta", "running_mean", "running_var"),
+    "lstm": ("w_ih", "w_hh", "bias"),
+    "embedding": ("weight",),
+}
+
+
+@dataclass
+class _TraceState:
+    """Running activation description during the plan walk."""
+
+    kept: Optional[np.ndarray]  # surviving channel/feature indices, None=all
+    channels: int               # full channel/feature count
+    spatial: Optional[Tuple[int, int]]  # (H, W), None once flattened
+
+    def kept_indices(self) -> np.ndarray:
+        if self.kept is None:
+            return np.arange(self.channels, dtype=np.intp)
+        return self.kept
+
+
+def build_pruning_plan(model: Module, ratio: float) -> PruningPlan:
+    """Build a structured pruning plan for ``model`` at ``ratio``.
+
+    Every convolution / fully-connected layer is pruned at the same
+    ratio (the paper avoids layer-wise hyper-parameters); the final
+    classifier layer and residual-block boundary convolutions keep their
+    full width.  ``ratio == 0`` yields an identity plan.
+    """
+    input_shape = getattr(model, "input_shape", None)
+    if input_shape is None:
+        raise ValueError(
+            "model lacks an input_shape attribute; use the model zoo "
+            "builders or set it manually"
+        )
+    if not isinstance(model, Sequential):
+        raise TypeError("structured pruning expects a Sequential model")
+
+    plan = PruningPlan(ratio=float(ratio))
+    channels, height, width = input_shape
+    state = _TraceState(kept=None, channels=channels, spatial=(height, width))
+
+    last_linear = _last_linear_name(model)
+    _walk_sequential(model, "", state, ratio, plan, last_linear)
+    return plan
+
+
+def _last_linear_name(model: Sequential) -> str:
+    """Qualified name of the final Linear layer (the protected output)."""
+    last = None
+    for name, module in model.named_modules():
+        if isinstance(module, Linear):
+            last = name
+    if last is None:
+        raise ValueError("model has no Linear output layer")
+    return last
+
+
+def _walk_sequential(seq: Sequential, prefix: str, state: _TraceState,
+                     ratio: float, plan: PruningPlan,
+                     protected: str) -> _TraceState:
+    for name, layer in seq.children():
+        qual = f"{prefix}.{name}" if prefix else name
+        state = _walk_layer(layer, qual, state, ratio, plan, protected)
+    return state
+
+
+def _walk_layer(layer: Module, qual: str, state: _TraceState, ratio: float,
+                plan: PruningPlan, protected: str) -> _TraceState:
+    if isinstance(layer, Sequential):
+        return _walk_sequential(layer, qual, state, ratio, plan, protected)
+
+    if isinstance(layer, Bottleneck):
+        return _walk_bottleneck(layer, qual, state, ratio, plan)
+
+    if isinstance(layer, Conv2d):
+        kept_in = state.kept_indices()
+        keep = keep_count(layer.out_channels, ratio)
+        scores = conv_filter_scores(layer.params["weight"])
+        kept_out = top_indices(scores, keep)
+        plan.add(qual, LayerPrune(
+            kind="conv", kept_out=kept_out, out_full=layer.out_channels,
+            kept_in=kept_in, in_full=layer.in_channels,
+        ))
+        h, w = state.spatial
+        out_h = F.conv_output_size(h, layer.kernel_size, layer.stride,
+                                   layer.padding)
+        out_w = F.conv_output_size(w, layer.kernel_size, layer.stride,
+                                   layer.padding)
+        return _TraceState(kept=kept_out, channels=layer.out_channels,
+                           spatial=(out_h, out_w))
+
+    if isinstance(layer, BatchNorm2d):
+        kept = state.kept_indices()
+        plan.add(qual, LayerPrune(
+            kind="bn", kept_out=kept, out_full=layer.num_features,
+        ))
+        return state
+
+    if isinstance(layer, Linear):
+        kept_in = state.kept_indices()
+        if qual == protected:
+            kept_out = np.arange(layer.out_features, dtype=np.intp)
+        else:
+            keep = keep_count(layer.out_features, ratio)
+            scores = linear_neuron_scores(layer.params["weight"])
+            kept_out = top_indices(scores, keep)
+        plan.add(qual, LayerPrune(
+            kind="linear", kept_out=kept_out, out_full=layer.out_features,
+            kept_in=kept_in, in_full=layer.in_features,
+        ))
+        return _TraceState(kept=kept_out, channels=layer.out_features,
+                           spatial=None)
+
+    if isinstance(layer, MaxPool2d):
+        h, w = state.spatial
+        out_h = F.conv_output_size(h, layer.kernel_size, layer.stride, 0)
+        out_w = F.conv_output_size(w, layer.kernel_size, layer.stride, 0)
+        return _TraceState(state.kept, state.channels, (out_h, out_w))
+
+    if isinstance(layer, AvgPool2d):
+        h, w = state.spatial
+        if layer.kernel_size is None:
+            return _TraceState(state.kept, state.channels, (1, 1))
+        k = layer.kernel_size
+        return _TraceState(state.kept, state.channels, (h // k, w // k))
+
+    if isinstance(layer, Flatten):
+        h, w = state.spatial
+        area = h * w
+        flat_full = state.channels * area
+        if state.kept is None:
+            flat_kept = None
+        else:
+            flat_kept = (
+                state.kept[:, None] * area + np.arange(area)
+            ).reshape(-1).astype(np.intp)
+        return _TraceState(kept=flat_kept, channels=flat_full, spatial=None)
+
+    if isinstance(layer, (ReLU, Dropout)):
+        return state
+
+    raise TypeError(f"cannot plan pruning for layer type {type(layer).__name__}")
+
+
+def _walk_bottleneck(block: Bottleneck, qual: str, state: _TraceState,
+                     ratio: float, plan: PruningPlan) -> _TraceState:
+    """Plan a bottleneck block: prune conv1/conv2, keep boundaries full."""
+    entry_kept = state.kept_indices()
+    if not block.has_projection and entry_kept.size != block.in_channels:
+        raise ValueError(
+            f"bottleneck {qual!r} has an identity skip but a pruned input; "
+            "give the first block of each stage a projection"
+        )
+    children = dict(block.children())
+    mid1_full, mid2_full = block.mid_channels
+
+    conv1 = children["conv1"]
+    kept_mid1 = top_indices(conv_filter_scores(conv1.params["weight"]),
+                            keep_count(mid1_full, ratio))
+    plan.add(f"{qual}.conv1", LayerPrune(
+        kind="conv", kept_out=kept_mid1, out_full=mid1_full,
+        kept_in=entry_kept, in_full=block.in_channels,
+    ))
+    plan.add(f"{qual}.bn1", LayerPrune(
+        kind="bn", kept_out=kept_mid1, out_full=mid1_full,
+    ))
+
+    conv2 = children["conv2"]
+    kept_mid2 = top_indices(conv_filter_scores(conv2.params["weight"]),
+                            keep_count(mid2_full, ratio))
+    plan.add(f"{qual}.conv2", LayerPrune(
+        kind="conv", kept_out=kept_mid2, out_full=mid2_full,
+        kept_in=kept_mid1, in_full=mid1_full,
+    ))
+    plan.add(f"{qual}.bn2", LayerPrune(
+        kind="bn", kept_out=kept_mid2, out_full=mid2_full,
+    ))
+
+    all_out = np.arange(block.out_channels, dtype=np.intp)
+    plan.add(f"{qual}.conv3", LayerPrune(
+        kind="conv", kept_out=all_out, out_full=block.out_channels,
+        kept_in=kept_mid2, in_full=mid2_full,
+    ))
+    plan.add(f"{qual}.bn3", LayerPrune(
+        kind="bn", kept_out=all_out, out_full=block.out_channels,
+    ))
+
+    if block.has_projection:
+        plan.add(f"{qual}.downsample.conv", LayerPrune(
+            kind="conv", kept_out=all_out, out_full=block.out_channels,
+            kept_in=entry_kept, in_full=block.in_channels,
+        ))
+        plan.add(f"{qual}.downsample.bn", LayerPrune(
+            kind="bn", kept_out=all_out, out_full=block.out_channels,
+        ))
+
+    h, w = state.spatial
+    out_h = F.conv_output_size(h, 3, block.stride, 1)
+    out_w = F.conv_output_size(w, 3, block.stride, 1)
+    return _TraceState(kept=None, channels=block.out_channels,
+                       spatial=(out_h, out_w))
+
+
+# ----------------------------------------------------------------------
+# sub-model extraction
+# ----------------------------------------------------------------------
+def extract_submodel(model: Module, plan: PruningPlan,
+                     rng: Optional[np.random.Generator] = None) -> Module:
+    """Physically construct the compact sub-model described by ``plan``.
+
+    The returned model has reduced layer widths with the surviving
+    weights copied in; it is what the PS transmits to a worker.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    sub = _extract_module(model, "", plan, rng)
+    for attr in ("input_shape", "num_classes", "name"):
+        if hasattr(model, attr):
+            setattr(sub, attr, getattr(model, attr))
+    return sub
+
+
+def _extract_module(module: Module, prefix: str, plan: PruningPlan,
+                    rng: np.random.Generator) -> Module:
+    if isinstance(module, Sequential):
+        children = []
+        for name, child in module.children():
+            qual = f"{prefix}.{name}" if prefix else name
+            children.append((name, _extract_module(child, qual, plan, rng)))
+        return Sequential(*children)
+
+    if isinstance(module, Bottleneck):
+        return _extract_bottleneck(module, prefix, plan, rng)
+
+    if isinstance(module, Conv2d):
+        entry = plan[prefix]
+        sub = Conv2d(entry.kept_in.size, entry.kept_out.size,
+                     module.kernel_size, stride=module.stride,
+                     padding=module.padding, rng=rng)
+        sub.requires_input_grad = module.requires_input_grad
+        sub.params["weight"] = module.params["weight"][
+            np.ix_(entry.kept_out, entry.kept_in)
+        ].copy()
+        sub.params["bias"] = module.params["bias"][entry.kept_out].copy()
+        sub.grads["weight"] = np.zeros_like(sub.params["weight"])
+        sub.grads["bias"] = np.zeros_like(sub.params["bias"])
+        return sub
+
+    if isinstance(module, Linear):
+        entry = plan[prefix]
+        sub = Linear(entry.kept_in.size, entry.kept_out.size, rng=rng)
+        sub.params["weight"] = module.params["weight"][
+            np.ix_(entry.kept_out, entry.kept_in)
+        ].copy()
+        sub.params["bias"] = module.params["bias"][entry.kept_out].copy()
+        sub.grads["weight"] = np.zeros_like(sub.params["weight"])
+        sub.grads["bias"] = np.zeros_like(sub.params["bias"])
+        return sub
+
+    if isinstance(module, BatchNorm2d):
+        entry = plan[prefix]
+        sub = BatchNorm2d(entry.kept_out.size, eps=module.eps,
+                          momentum=module.momentum)
+        for name in ("gamma", "beta"):
+            sub.params[name] = module.params[name][entry.kept_out].copy()
+            sub.grads[name] = np.zeros_like(sub.params[name])
+        for name in ("running_mean", "running_var"):
+            sub.buffers[name] = module.buffers[name][entry.kept_out].copy()
+        return sub
+
+    if isinstance(module, ReLU):
+        return ReLU()
+    if isinstance(module, Flatten):
+        return Flatten()
+    if isinstance(module, MaxPool2d):
+        return MaxPool2d(module.kernel_size, module.stride)
+    if isinstance(module, AvgPool2d):
+        return AvgPool2d(module.kernel_size)
+    if isinstance(module, Dropout):
+        return Dropout(module.p, rng=np.random.default_rng(rng.integers(2 ** 31)))
+
+    raise TypeError(f"cannot extract layer type {type(module).__name__}")
+
+
+def _extract_bottleneck(block: Bottleneck, prefix: str, plan: PruningPlan,
+                        rng: np.random.Generator) -> Bottleneck:
+    conv1_entry = plan[f"{prefix}.conv1"]
+    conv2_entry = plan[f"{prefix}.conv2"]
+    sub = Bottleneck(
+        in_channels=conv1_entry.kept_in.size,
+        mid_channels=(conv1_entry.kept_out.size, conv2_entry.kept_out.size),
+        out_channels=block.out_channels,
+        stride=block.stride,
+        project=block.has_projection,
+        rng=rng,
+    )
+    source = dict(block.children())
+    for name, child in list(sub.children()):
+        qual = f"{prefix}.{name}"
+        if isinstance(child, (Conv2d, BatchNorm2d)):
+            sub._children[name] = _extract_module(source[name], qual, plan, rng)
+        elif isinstance(child, Sequential):  # downsample
+            sub._children[name] = _extract_module(source[name], qual, plan, rng)
+    return sub
+
+
+# ----------------------------------------------------------------------
+# model recovery (zero expansion)
+# ----------------------------------------------------------------------
+def recover_state_dict(sub_state: Dict[str, np.ndarray], plan: PruningPlan,
+                       template: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Zero-expand a trained sub-model state back to the global shape.
+
+    ``template`` supplies the full shapes (typically the global model's
+    ``state_dict()``); its values are never read, only their shapes.
+    Entries not covered by the plan are copied through unchanged.
+    """
+    planned = _planned_param_names(plan)
+    recovered: Dict[str, np.ndarray] = {}
+    for key, full_value in template.items():
+        if key in planned:
+            layer_name, suffix = planned[key]
+            entry = plan[layer_name]
+            recovered[key] = _scatter_param(
+                suffix, entry, sub_state[key], full_value.shape
+            )
+        else:
+            sub_value = sub_state[key]
+            if sub_value.shape != full_value.shape:
+                raise ValueError(
+                    f"unplanned entry {key!r} changed shape: "
+                    f"{sub_value.shape} vs {full_value.shape}"
+                )
+            recovered[key] = sub_value.copy()
+    return recovered
+
+
+def _planned_param_names(plan: PruningPlan) -> Dict[str, Tuple[str, str]]:
+    """Map full parameter key -> (layer name, param suffix)."""
+    mapping: Dict[str, Tuple[str, str]] = {}
+    for layer_name, entry in plan.items():
+        for suffix in KIND_PARAM_NAMES[entry.kind]:
+            mapping[f"{layer_name}.{suffix}"] = (layer_name, suffix)
+    return mapping
+
+
+def _gate_rows(kept: np.ndarray, hidden_full: int) -> np.ndarray:
+    """Row indices owned by ISS components ``kept`` in a stacked-gate array."""
+    return np.concatenate(
+        [gate * hidden_full + kept for gate in range(4)]
+    ).astype(np.intp)
+
+
+def _scatter_param(suffix: str, entry: LayerPrune, sub_value: np.ndarray,
+                   full_shape: Tuple[int, ...]) -> np.ndarray:
+    """Place a sub-model parameter into a zero array of the full shape."""
+    full = np.zeros(full_shape, dtype=sub_value.dtype)
+    kind = entry.kind
+    if kind in ("conv", "linear") and suffix == "weight":
+        full[np.ix_(entry.kept_out, entry.kept_in)] = sub_value
+    elif kind in ("conv", "linear") and suffix == "bias":
+        full[entry.kept_out] = sub_value
+    elif kind == "bn":
+        full[entry.kept_out] = sub_value
+    elif kind == "lstm":
+        rows = _gate_rows(entry.kept_out, entry.out_full)
+        if suffix == "w_ih":
+            full[np.ix_(rows, entry.kept_in)] = sub_value
+        elif suffix == "w_hh":
+            full[np.ix_(rows, entry.kept_out)] = sub_value
+        else:  # bias
+            full[rows] = sub_value
+    elif kind == "embedding" and suffix == "weight":
+        full[:, entry.kept_out] = sub_value
+    else:
+        raise ValueError(f"no scatter rule for kind={kind!r} suffix={suffix!r}")
+    return full

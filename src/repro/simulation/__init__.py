@@ -1,0 +1,56 @@
+"""Heterogeneous edge-device simulator.
+
+The paper's testbed is 30 NVIDIA Jetson TX2 boards in four DVFS
+computing modes (Table II), placed at different distances from the PS
+to induce communication heterogeneity (Fig. 3).  No such hardware is
+available here, so this subpackage provides the analytic equivalent:
+
+- :mod:`repro.simulation.device` -- Table II computing modes and the
+  per-device throughput model;
+- :mod:`repro.simulation.network` -- a log-distance path-loss wireless
+  link model mapping placement to bandwidth;
+- :mod:`repro.simulation.cluster` -- the A/B/C worker clusters and the
+  Low/Medium/High heterogeneity scenarios of Section V-E;
+- :mod:`repro.simulation.timing` -- Eq. 5: per-round completion time as
+  local computation time plus transmission time;
+- :mod:`repro.simulation.clock` -- the simulated wall clock every
+  "seconds" axis in the benchmarks refers to;
+- :mod:`repro.simulation.faults` -- the deadline-based fault-tolerance
+  mechanism of Section V-A (1.5x the 85th-percentile arrival).
+
+E-UCB only ever observes completion *times*, so replacing physical
+devices with this model exercises the identical decision logic (see
+DESIGN.md, substitution table).
+"""
+
+from repro.simulation.device import (
+    JETSON_TX2_MODES,
+    ComputingMode,
+    DeviceProfile,
+)
+from repro.simulation.network import WirelessLink, bandwidth_for_distance
+from repro.simulation.cluster import (
+    CLUSTERS,
+    HETEROGENEITY_SCENARIOS,
+    make_cluster_devices,
+    make_scenario_devices,
+)
+from repro.simulation.timing import RoundCosts, TimingModel
+from repro.simulation.clock import SimulationClock
+from repro.simulation.faults import DeadlinePolicy
+
+__all__ = [
+    "ComputingMode",
+    "DeviceProfile",
+    "JETSON_TX2_MODES",
+    "WirelessLink",
+    "bandwidth_for_distance",
+    "CLUSTERS",
+    "HETEROGENEITY_SCENARIOS",
+    "make_cluster_devices",
+    "make_scenario_devices",
+    "TimingModel",
+    "RoundCosts",
+    "SimulationClock",
+    "DeadlinePolicy",
+]

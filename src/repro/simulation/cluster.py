@@ -1,0 +1,109 @@
+"""Worker clusters and heterogeneity scenarios (Fig. 3, Section V-E).
+
+Fig. 3 partitions the 30 devices into three clusters by computing mode
+(x-axis) and location (y-axis):
+
+- cluster **A**: modes 0-1, near the PS (fast compute, fast links),
+- cluster **B**: modes 1-2, mid-range,
+- cluster **C**: modes 2-3, far (slow compute, slow links).
+
+Section V-E builds three heterogeneity levels from them: *Low* = 10 x A,
+*Medium* = 5 x A + 5 x B (the default setting), *High* = 3A + 3B + 4C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.device import JETSON_TX2_MODES, DeviceProfile
+from repro.simulation.network import bandwidth_for_distance
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Which computing modes and distances a cluster draws from."""
+
+    name: str
+    modes: Tuple[int, ...]
+    distance_range_m: Tuple[float, float]
+
+
+#: The three clusters of Fig. 3.
+CLUSTERS: Dict[str, ClusterSpec] = {
+    "A": ClusterSpec("A", (0, 1), (8.0, 15.0)),
+    "B": ClusterSpec("B", (1, 2), (15.0, 30.0)),
+    "C": ClusterSpec("C", (2, 3), (30.0, 60.0)),
+}
+
+#: Section V-E scenarios: cluster name -> worker count.
+HETEROGENEITY_SCENARIOS: Dict[str, Dict[str, int]] = {
+    "low": {"A": 10},
+    "medium": {"A": 5, "B": 5},
+    "high": {"A": 3, "B": 3, "C": 4},
+}
+
+
+def make_cluster_devices(cluster: str, count: int,
+                         rng: np.random.Generator,
+                         start_id: int = 0) -> List[DeviceProfile]:
+    """Sample ``count`` devices from one cluster.
+
+    Mode and distance are drawn uniformly from the cluster's ranges
+    using the caller's generator, so scenarios are reproducible.
+    """
+    try:
+        spec = CLUSTERS[cluster]
+    except KeyError:
+        raise KeyError(
+            f"unknown cluster {cluster!r}; available: {sorted(CLUSTERS)}"
+        ) from None
+    devices = []
+    for offset in range(count):
+        mode_index = int(rng.choice(spec.modes))
+        distance = float(rng.uniform(*spec.distance_range_m))
+        devices.append(
+            DeviceProfile(
+                device_id=start_id + offset,
+                mode=JETSON_TX2_MODES[mode_index],
+                bandwidth_bps=bandwidth_for_distance(distance),
+                cluster=spec.name,
+            )
+        )
+    return devices
+
+
+def make_scenario_devices(scenario, rng: np.random.Generator) -> List[DeviceProfile]:
+    """Build the device list for a heterogeneity scenario.
+
+    ``scenario`` is either a name from :data:`HETEROGENEITY_SCENARIOS`
+    or a ``{cluster: count}`` mapping.
+    """
+    if isinstance(scenario, str):
+        try:
+            composition = HETEROGENEITY_SCENARIOS[scenario]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {scenario!r}; available: "
+                f"{sorted(HETEROGENEITY_SCENARIOS)}"
+            ) from None
+    else:
+        composition = dict(scenario)
+
+    devices: List[DeviceProfile] = []
+    for cluster in sorted(composition):
+        devices.extend(
+            make_cluster_devices(cluster, composition[cluster], rng,
+                                 start_id=len(devices))
+        )
+    return devices
+
+
+def scenario_table(devices: Sequence[DeviceProfile]) -> List[Tuple[int, str, int, float]]:
+    """Rows ``(device_id, cluster, mode, Mbps)`` for reporting (Fig. 3)."""
+    return [
+        (d.device_id, d.cluster, d.mode.index, d.bandwidth_bps / 1e6)
+        for d in devices
+    ]

@@ -1,0 +1,96 @@
+"""Fault tolerance: the deadline rule of Section V-A.
+
+"We record time d when a certain fraction (e.g., 85%) of the local
+models are received by the PS, then set the deadline of the current
+round as 1.5 d.  If the PS has not received local updates from some
+workers before the deadline, FedMP will discard these workers", asking
+them to rejoin later; joins and leaves do not affect the workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class DeadlineOutcome:
+    """Result of applying the deadline rule to one round's arrivals."""
+
+    deadline_s: float
+    accepted: List[int]
+    discarded: List[int]
+    round_time_s: float
+
+
+class DeadlinePolicy:
+    """Deadline-based straggler discarding.
+
+    Parameters
+    ----------
+    quorum_fraction:
+        Fraction of workers whose arrival defines ``d`` (default 0.85).
+    deadline_multiplier:
+        The round deadline is ``deadline_multiplier * d`` (default 1.5).
+    """
+
+    def __init__(self, quorum_fraction: float = 0.85,
+                 deadline_multiplier: float = 1.5) -> None:
+        if not 0.0 < quorum_fraction <= 1.0:
+            raise ValueError(
+                f"quorum fraction must be in (0, 1], got {quorum_fraction}"
+            )
+        if deadline_multiplier < 1.0:
+            raise ValueError(
+                f"deadline multiplier must be >= 1, got {deadline_multiplier}"
+            )
+        self.quorum_fraction = quorum_fraction
+        self.deadline_multiplier = deadline_multiplier
+
+    def apply(self, completion_times: Dict[int, float]) -> DeadlineOutcome:
+        """Split a round's arrivals into accepted and discarded workers.
+
+        ``completion_times`` maps worker id to its round completion
+        time.  The round ends at the later of the deadline and the last
+        accepted arrival.
+        """
+        if not completion_times:
+            raise ValueError("no completion times supplied")
+        ordered: List[Tuple[int, float]] = sorted(
+            completion_times.items(), key=lambda item: item[1]
+        )
+        quorum_index = max(
+            0, int(len(ordered) * self.quorum_fraction + 0.9999) - 1
+        )
+        quorum_time = ordered[quorum_index][1]
+        deadline = self.deadline_multiplier * quorum_time
+
+        accepted = [wid for wid, t in ordered if t <= deadline]
+        discarded = [wid for wid, t in ordered if t > deadline]
+        round_time = max(t for wid, t in ordered if wid in set(accepted))
+        return DeadlineOutcome(
+            deadline_s=deadline,
+            accepted=accepted,
+            discarded=discarded,
+            round_time_s=round_time,
+        )
+
+
+def simulate_membership_churn(worker_ids: Sequence[int], round_index: int,
+                              leave_prob: float, rejoin_after: int,
+                              rng) -> List[int]:
+    """Stateless churn helper: which workers are present this round.
+
+    A worker leaves a round with probability ``leave_prob`` (hashed from
+    the worker id and round index through ``rng``-independent uniform
+    draws) and rejoins ``rejoin_after`` rounds later.  Used by the
+    fault-injection tests and the robustness example.
+    """
+    present = []
+    for wid in worker_ids:
+        draw = rng.random()
+        cycle = rejoin_after + 1
+        if draw < leave_prob and round_index % cycle != 0:
+            continue
+        present.append(wid)
+    return present if present else list(worker_ids[:1])

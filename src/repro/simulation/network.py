@@ -1,0 +1,79 @@
+"""Wireless link model.
+
+"The workers usually connect to the PS via wireless links in EC, and
+the signal strength of wireless links may vary with the distance.
+Hence, we place Jetson TX2 devices at different locations to simulate
+communication heterogeneity."  We model the placement effect with a
+log-distance path-loss channel: Shannon-style rate that decays with
+distance, normalised to a configurable near-field rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Rate of a device at the reference distance (bits/second).  Chosen in
+#: the WAN regime the paper motivates (PS-worker links are ~15x slower
+#: than datacenter LANs).
+REFERENCE_RATE_BPS = 12e6
+
+#: Reference distance (metres) and path-loss exponent for an indoor/
+#: campus wireless deployment.
+REFERENCE_DISTANCE_M = 10.0
+PATH_LOSS_EXPONENT = 3.0
+
+
+def bandwidth_for_distance(distance_m: float,
+                           reference_rate_bps: float = REFERENCE_RATE_BPS,
+                           reference_distance_m: float = REFERENCE_DISTANCE_M,
+                           path_loss_exponent: float = PATH_LOSS_EXPONENT,
+                           noise_floor: float = 0.05) -> float:
+    """Achievable rate at ``distance_m`` under log-distance path loss.
+
+    Uses ``rate = B * log2(1 + snr)`` with SNR decaying as
+    ``(d0 / d)^gamma``; normalised so the reference distance yields the
+    reference rate.  ``noise_floor`` bounds the rate from below at 5% of
+    the reference rate so very distant devices stay reachable.
+    """
+    if distance_m <= 0:
+        raise ValueError(f"distance must be positive, got {distance_m}")
+    reference_snr = 100.0  # 20 dB at the reference distance
+    snr = reference_snr * (reference_distance_m / distance_m) ** path_loss_exponent
+    scale = reference_rate_bps / math.log2(1.0 + reference_snr)
+    rate = scale * math.log2(1.0 + snr)
+    return max(rate, noise_floor * reference_rate_bps)
+
+
+@dataclass
+class WirelessLink:
+    """A PS-worker link with optional lognormal shadowing jitter.
+
+    ``transfer_time`` converts a payload size into seconds; jitter is
+    drawn per call from the link's own generator, so runs are exactly
+    reproducible from the seed.
+    """
+
+    bandwidth_bps: float
+    jitter_sigma: float = 0.1
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth_bps}"
+            )
+        if self.rng is None:
+            self.rng = np.random.default_rng(0)
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` across the link."""
+        base = 8.0 * num_bytes / self.bandwidth_bps
+        if self.jitter_sigma <= 0:
+            return base
+        return base * float(
+            np.exp(self.rng.normal(0.0, self.jitter_sigma))
+        )

@@ -1,0 +1,92 @@
+"""Completion-time model (Eq. 5).
+
+``T_n^k = T_comp + T_comm`` where the computation term covers ``tau``
+local SGD iterations on the (pruned) sub-model and the communication
+term covers the PS -> worker download of the sub-model plus the
+worker -> PS upload of the trained sub-model.  Both terms shrink with
+the pruning ratio, exactly the effect Fig. 5 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.simulation.device import TRAIN_FLOPS_MULTIPLIER, DeviceProfile
+from repro.simulation.network import WirelessLink
+
+#: Bytes per transmitted parameter (float32 on the wire).
+BYTES_PER_PARAM = 4
+
+
+@dataclass
+class RoundCosts:
+    """Cost breakdown of one worker round."""
+
+    computation_s: float
+    download_s: float
+    upload_s: float
+
+    @property
+    def communication_s(self) -> float:
+        return self.download_s + self.upload_s
+
+    @property
+    def total_s(self) -> float:
+        return self.computation_s + self.communication_s
+
+
+class TimingModel:
+    """Turns model complexity into simulated per-round times for a device.
+
+    Parameters
+    ----------
+    device:
+        The simulated edge device (compute mode + link bandwidth).
+    jitter_sigma:
+        Lognormal jitter applied to both compute and transfer times;
+        0 disables jitter (used by deterministic unit tests).
+    rng:
+        Generator for jitter; defaults to one seeded by the device id so
+        each device's noise stream is independent and reproducible.
+    """
+
+    def __init__(self, device: DeviceProfile, jitter_sigma: float = 0.1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.device = device
+        self.jitter_sigma = jitter_sigma
+        if rng is None:
+            rng = np.random.default_rng(1000 + device.device_id)
+        self.rng = rng
+        self.link = WirelessLink(device.bandwidth_bps,
+                                 jitter_sigma=jitter_sigma, rng=self.rng)
+
+    def computation_time(self, forward_flops_per_sample: float,
+                         batch_size: int, local_iterations: int) -> float:
+        """Seconds for ``local_iterations`` SGD steps on this device."""
+        train_flops = (
+            forward_flops_per_sample * TRAIN_FLOPS_MULTIPLIER
+            * batch_size * local_iterations
+        )
+        base = train_flops / self.device.flops_per_second
+        if self.jitter_sigma <= 0:
+            return base
+        return base * float(np.exp(self.rng.normal(0.0, self.jitter_sigma)))
+
+    def transfer_time(self, num_params: int) -> float:
+        """Seconds to move ``num_params`` float32 values across the link."""
+        return self.link.transfer_time(num_params * BYTES_PER_PARAM)
+
+    def round_costs(self, forward_flops_per_sample: float,
+                    download_params: int, upload_params: int,
+                    batch_size: int, local_iterations: int) -> RoundCosts:
+        """Full Eq. 5 breakdown for one round."""
+        return RoundCosts(
+            computation_s=self.computation_time(
+                forward_flops_per_sample, batch_size, local_iterations
+            ),
+            download_s=self.transfer_time(download_params),
+            upload_s=self.transfer_time(upload_params),
+        )

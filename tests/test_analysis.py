@@ -1,0 +1,98 @@
+"""Theorem 1 / Lemma 1 computations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConvergenceBoundTerms,
+    deviation_bound_holds,
+    theorem1_bound,
+)
+from repro.analysis.convergence import lemma1_bound, state_squared_distance
+
+
+def _bound(**overrides):
+    params = dict(
+        initial_loss=2.3, optimal_loss=0.0, lr=0.05, total_iterations=100,
+        num_workers=10, tau=5,
+        pruning_errors=[[1.0] * 10 for _ in range(20)],
+        smoothness=1.0, sigma=1.0, grad_bound=1.0,
+    )
+    params.update(overrides)
+    return theorem1_bound(**params)
+
+
+def test_all_terms_positive():
+    terms = _bound()
+    assert terms.optimisation_gap > 0
+    assert terms.pruning_error > 0
+    assert terms.gradient_noise > 0
+    assert terms.local_drift > 0
+    assert terms.total == pytest.approx(
+        terms.optimisation_gap + terms.pruning_error
+        + terms.gradient_noise + terms.local_drift
+    )
+
+
+def test_bound_monotone_in_pruning_error():
+    """Theorem 1's message: more pruning error -> looser bound."""
+    small = _bound(pruning_errors=[[0.1] * 10 for _ in range(20)])
+    large = _bound(pruning_errors=[[5.0] * 10 for _ in range(20)])
+    assert large.pruning_error > small.pruning_error
+    assert large.total > small.total
+    # the other terms are untouched
+    assert large.gradient_noise == pytest.approx(small.gradient_noise)
+
+
+def test_gap_term_shrinks_with_iterations():
+    short = _bound(total_iterations=50,
+                   pruning_errors=[[1.0] * 10 for _ in range(10)])
+    long = _bound(total_iterations=500,
+                  pruning_errors=[[1.0] * 10 for _ in range(100)])
+    assert long.optimisation_gap < short.optimisation_gap
+
+
+def test_lr_constraint_enforced():
+    with pytest.raises(ValueError):
+        _bound(lr=1.5, smoothness=1.0)
+    with pytest.raises(ValueError):
+        _bound(lr=0.0)
+
+
+def test_drift_term_scales_with_tau_squared():
+    tau2 = _bound(tau=2)
+    tau4 = _bound(tau=4)
+    assert tau4.local_drift == pytest.approx(4 * tau2.local_drift)
+
+
+def test_lemma1_bound_formula():
+    assert lemma1_bound(lr=0.1, tau=2, grad_bound=3.0, pruning_error=0.5) \
+        == pytest.approx(6 * 0.01 * 4 * 9 + 1.5)
+
+
+def test_state_squared_distance():
+    a = {"w": np.array([1.0, 2.0]), "b": np.array([0.0])}
+    b = {"w": np.array([0.0, 0.0]), "b": np.array([2.0])}
+    assert state_squared_distance(a, b) == pytest.approx(1 + 4 + 4)
+
+
+def test_deviation_bound_check(rng):
+    global_state = {"w": np.zeros(4)}
+    near = {"w": np.full(4, 0.01)}
+    far = {"w": np.full(4, 100.0)}
+    assert deviation_bound_holds(
+        global_state, [near], lr=0.1, tau=2, grad_bound=1.0,
+        pruning_errors=[0.0],
+    )
+    assert not deviation_bound_holds(
+        global_state, [far], lr=0.1, tau=2, grad_bound=1.0,
+        pruning_errors=[0.0],
+    )
+
+
+def test_deviation_bound_length_mismatch():
+    with pytest.raises(ValueError):
+        deviation_bound_holds({}, [{}], lr=0.1, tau=1, grad_bound=1.0,
+                              pruning_errors=[])

@@ -1,0 +1,52 @@
+"""Discrete-arm UCB baseline (the policy E-UCB extends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandit.discrete import DiscreteUCBAgent
+
+
+def test_plays_every_arm_before_repeating():
+    agent = DiscreteUCBAgent([0.0, 0.3, 0.6], rng=np.random.default_rng(0))
+    played = []
+    for _ in range(3):
+        played.append(agent.select_arm())
+        agent.observe(1.0)
+    assert sorted(played) == [0.0, 0.3, 0.6]
+
+
+def test_converges_to_best_arm():
+    arms = [0.0, 0.2, 0.4, 0.6, 0.8]
+    agent = DiscreteUCBAgent(arms, discount=0.99, exploration=0.3,
+                             rng=np.random.default_rng(1))
+    reward = lambda a: 1.0 - 4.0 * (a - 0.4) ** 2
+    noise = np.random.default_rng(2)
+    picks = []
+    for _ in range(200):
+        arm = agent.select_arm()
+        picks.append(arm)
+        agent.observe(reward(arm) + noise.normal(0, 0.02))
+    late = picks[-50:]
+    assert late.count(0.4) > len(late) / 2
+
+
+def test_pending_protocol():
+    agent = DiscreteUCBAgent([0.1, 0.5])
+    agent.select_arm()
+    with pytest.raises(RuntimeError):
+        agent.select_arm()
+    agent.abandon()
+    agent.select_arm()
+    agent.observe(0.0)
+    assert agent.rounds_played == 1
+    with pytest.raises(RuntimeError):
+        agent.observe(0.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DiscreteUCBAgent([])
+    with pytest.raises(ValueError):
+        DiscreteUCBAgent([0.5], discount=1.0)

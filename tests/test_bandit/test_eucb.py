@@ -1,0 +1,114 @@
+"""E-UCB agent: Algorithm 1 mechanics and learning behaviour."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bandit.eucb import EUCBAgent
+
+
+def _play(agent, reward_fn, rounds, rng):
+    for _ in range(rounds):
+        arm = agent.select_ratio()
+        agent.observe(reward_fn(arm) + rng.normal(0, 0.02))
+
+
+def test_arms_stay_inside_bounds(rng):
+    agent = EUCBAgent(max_ratio=0.7, rng=rng)
+    for _ in range(50):
+        arm = agent.select_ratio()
+        assert 0.0 <= arm < 0.7
+        agent.observe(0.0)
+
+
+def test_tree_growth_respects_theta(rng):
+    """Regions with diameter <= theta are never split further, so with a
+    large theta the leaf count saturates quickly and stays constant."""
+    agent = EUCBAgent(theta=0.5, max_ratio=0.8, rng=rng)
+    _play(agent, lambda a: 1.0, 40, rng)
+    saturated = agent.num_regions
+    assert saturated > 1
+    _play(agent, lambda a: 1.0, 40, rng)
+    assert agent.num_regions == saturated
+
+
+def test_smaller_theta_grows_bigger_tree(rng):
+    fine = EUCBAgent(theta=0.02, max_ratio=0.8,
+                     rng=np.random.default_rng(0))
+    coarse = EUCBAgent(theta=0.2, max_ratio=0.8,
+                       rng=np.random.default_rng(0))
+    noise = np.random.default_rng(1)
+    _play(fine, lambda a: 1.0, 120, noise)
+    _play(coarse, lambda a: 1.0, 120, noise)
+    assert fine.num_regions > coarse.num_regions
+
+
+def test_double_select_raises(rng):
+    agent = EUCBAgent(rng=rng)
+    agent.select_ratio()
+    with pytest.raises(RuntimeError):
+        agent.select_ratio()
+
+
+def test_observe_without_select_raises(rng):
+    with pytest.raises(RuntimeError):
+        EUCBAgent(rng=rng).observe(1.0)
+
+
+def test_abandon_clears_pending(rng):
+    agent = EUCBAgent(rng=rng)
+    agent.select_ratio()
+    agent.abandon()
+    agent.select_ratio()  # must not raise
+    agent.observe(0.0)
+    assert agent.rounds_played == 1
+
+
+def test_unexplored_regions_have_infinite_ucb(rng):
+    agent = EUCBAgent(theta=0.2, rng=rng)
+    agent.select_ratio()
+    agent.observe(1.0)
+    bounds = agent.upper_confidence_bounds()
+    assert any(math.isinf(b) for b in bounds.values())
+
+
+def test_agent_prefers_high_reward_region(rng):
+    """Peaked reward at 0.6 -> late arms concentrate near the peak."""
+    agent = EUCBAgent(theta=0.05, max_ratio=0.9, discount=0.98,
+                      rng=np.random.default_rng(0))
+    reward = lambda a: 1.0 - 6.0 * (a - 0.6) ** 2
+    _play(agent, reward, 250, np.random.default_rng(1))
+    late_arms = [record.arm for record in agent.history[-40:]]
+    assert abs(float(np.mean(late_arms)) - 0.6) < 0.25
+
+
+def test_discounting_adapts_to_drift(rng):
+    """Optimal arm moves mid-run; the discounted agent follows."""
+    agent = EUCBAgent(theta=0.05, discount=0.9, max_ratio=0.9,
+                      rng=np.random.default_rng(2))
+    noise = np.random.default_rng(3)
+    _play(agent, lambda a: 1.0 - 6.0 * (a - 0.2) ** 2, 150, noise)
+    _play(agent, lambda a: 1.0 - 6.0 * (a - 0.7) ** 2, 200, noise)
+    late_arms = [record.arm for record in agent.history[-40:]]
+    assert float(np.mean(late_arms)) > 0.4
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        EUCBAgent(discount=1.0)
+    with pytest.raises(ValueError):
+        EUCBAgent(theta=0.0)
+    with pytest.raises(ValueError):
+        EUCBAgent(max_ratio=0.0)
+
+
+def test_reward_normalization_constant_rewards(rng):
+    agent = EUCBAgent(rng=rng)
+    for _ in range(10):
+        agent.select_ratio()
+        agent.observe(5.0)  # constant -> zero spread
+    bounds = agent.upper_confidence_bounds()
+    assert all(np.isfinite(b) or math.isinf(b) for b in bounds.values())

@@ -1,0 +1,74 @@
+"""Arm-space partition behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bandit.partition import Partition, Region
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        Region(0.5, 0.5)
+    with pytest.raises(ValueError):
+        Region(-0.1, 0.5)
+    with pytest.raises(ValueError):
+        Region(0.2, 1.1)
+
+
+def test_region_membership():
+    region = Region(0.2, 0.4)
+    assert region.contains(0.2)
+    assert region.contains(0.39)
+    assert not region.contains(0.4)
+    assert region.diameter == pytest.approx(0.2)
+
+
+def test_initial_partition_covers_arm_space():
+    partition = Partition(0.0, 0.9)
+    assert len(partition) == 1
+    assert partition.find(0.0).low == 0.0
+    assert partition.find(0.89).high == 0.9
+
+
+def test_split_replaces_leaf_in_place():
+    partition = Partition(0.0, 1.0)
+    region = partition.find(0.5)
+    left, right = partition.split(region, 0.5)
+    assert len(partition) == 2
+    assert left.high == right.low == 0.5
+    assert partition.find(0.49) is left
+    assert partition.find(0.5) is right
+
+
+def test_split_falls_back_to_midpoint_on_degenerate_cut():
+    partition = Partition(0.0, 1.0)
+    region = partition.find(0.0)
+    left, right = partition.split(region, 1e-9)
+    assert left.high == pytest.approx(0.5)
+
+
+def test_split_of_nonleaf_raises():
+    partition = Partition(0.0, 1.0)
+    region = partition.find(0.5)
+    partition.split(region, 0.5)
+    with pytest.raises(ValueError):
+        partition.split(region, 0.25)
+
+
+def test_find_outside_bounds_raises():
+    partition = Partition(0.0, 0.9)
+    with pytest.raises(ValueError):
+        partition.find(0.95)
+
+
+def test_partition_always_disjoint_union():
+    partition = Partition(0.0, 1.0)
+    for arm in (0.3, 0.7, 0.1, 0.9, 0.5):
+        region = partition.find(arm)
+        partition.split(region, arm)
+    edges = sorted((r.low, r.high) for r in partition)
+    for (low_a, high_a), (low_b, _) in zip(edges, edges[1:]):
+        assert high_a == pytest.approx(low_b)
+    assert edges[0][0] == 0.0
+    assert edges[-1][1] == 1.0

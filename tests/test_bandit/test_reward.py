@@ -1,0 +1,38 @@
+"""Eq. 8 reward behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandit.reward import eucb_reward, round_rewards
+
+
+def test_reward_increases_as_gap_shrinks():
+    near = eucb_reward(1.0, completion_time=10.0, mean_completion_time=10.5)
+    far = eucb_reward(1.0, completion_time=10.0, mean_completion_time=20.0)
+    assert near > far
+
+
+def test_reward_sign_follows_delta_loss():
+    assert eucb_reward(1.0, 10.0, 12.0) > 0
+    assert eucb_reward(-1.0, 10.0, 12.0) < 0
+
+
+def test_reward_zero_gap_is_finite():
+    value = eucb_reward(1.0, 10.0, 10.0)
+    assert np.isfinite(value)
+    assert value > 0
+
+
+def test_round_rewards_uses_round_mean():
+    times = [10.0, 20.0, 30.0]
+    rewards = round_rewards(2.0, times)
+    assert len(rewards) == 3
+    # mean is 20, the middle worker has the smallest gap -> highest reward
+    assert rewards[1] > rewards[0]
+    assert rewards[1] > rewards[2]
+
+
+def test_round_rewards_empty():
+    assert round_rewards(1.0, []) == []

@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_task():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--task", "transformer"])
+
+
+def test_parser_rejects_unknown_strategy():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--strategy", "magic"])
+
+
+def test_devices_command(capsys):
+    assert main(["devices", "--scenario", "high"]) == 0
+    out = capsys.readouterr().out
+    assert "10 devices" in out
+    assert "cluster C" in out
+
+
+def test_run_command_writes_history(tmp_path, capsys):
+    history_path = tmp_path / "history.json"
+    code = main([
+        "run", "--task", "cnn", "--strategy", "synfl",
+        "--rounds", "2", "--seed", "1",
+        "--history", str(history_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "final metric" in out
+    payload = json.loads(history_path.read_text())
+    assert payload["strategy"] == "synfl"
+    assert len(payload["rounds"]) == 2
+
+
+def test_compare_command(capsys):
+    code = main([
+        "compare", "--task", "cnn", "--rounds", "2",
+        "--strategies", "synfl", "fedmp", "--target", "2.0",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Syn-FL" in out
+    assert "FedMP" in out

@@ -1,0 +1,64 @@
+"""Mini-batch iterator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loader import BatchIterator
+
+
+def test_batch_shapes(rng):
+    x = rng.normal(size=(20, 3))
+    y = rng.integers(0, 2, size=20)
+    iterator = BatchIterator(x, y, batch_size=6, rng=rng)
+    xb, yb = iterator.next_batch()
+    assert xb.shape == (6, 3)
+    assert yb.shape == (6,)
+
+
+def test_epoch_reshuffle_covers_all_samples(rng):
+    x = np.arange(10).reshape(10, 1).astype(float)
+    y = np.arange(10)
+    iterator = BatchIterator(x, y, batch_size=5, rng=rng)
+    seen = set()
+    for _ in range(2):  # one epoch
+        _, yb = iterator.next_batch()
+        seen.update(yb.tolist())
+    assert seen == set(range(10))
+
+
+def test_batch_size_clamped_to_shard(rng):
+    x = rng.normal(size=(3, 2))
+    y = np.zeros(3, dtype=int)
+    iterator = BatchIterator(x, y, batch_size=100, rng=rng)
+    xb, _ = iterator.next_batch()
+    assert xb.shape[0] == 3
+
+
+def test_empty_shard_rejected(rng):
+    with pytest.raises(ValueError):
+        BatchIterator(np.zeros((0, 2)), np.zeros(0), 4, rng=rng)
+
+
+def test_length_mismatch_rejected(rng):
+    with pytest.raises(ValueError):
+        BatchIterator(np.zeros((3, 2)), np.zeros(2), 2, rng=rng)
+
+
+def test_batches_generator_counts(rng):
+    x = rng.normal(size=(8, 2))
+    y = np.zeros(8, dtype=int)
+    iterator = BatchIterator(x, y, batch_size=4, rng=rng)
+    assert len(list(iterator.batches(5))) == 5
+
+
+def test_deterministic_given_seed():
+    x = np.arange(12).reshape(12, 1).astype(float)
+    y = np.arange(12)
+    a = BatchIterator(x, y, 4, rng=np.random.default_rng(1))
+    b = BatchIterator(x, y, 4, rng=np.random.default_rng(1))
+    for _ in range(5):
+        xa, _ = a.next_batch()
+        xb, _ = b.next_batch()
+        assert np.array_equal(xa, xb)

@@ -1,0 +1,75 @@
+"""Synthetic image datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    make_prototype_dataset,
+    make_synthetic_cifar10,
+    make_synthetic_emnist,
+    make_synthetic_mnist,
+    make_synthetic_tiny_imagenet,
+)
+
+
+@pytest.mark.parametrize(
+    "factory,shape,classes",
+    [
+        (make_synthetic_mnist, (1, 28, 28), 10),
+        (make_synthetic_cifar10, (3, 32, 32), 10),
+        (make_synthetic_emnist, (1, 28, 28), 62),
+        (make_synthetic_tiny_imagenet, (3, 64, 64), 200),
+    ],
+)
+def test_shapes_and_class_counts(rng, factory, shape, classes):
+    dataset = factory(train_per_class=3, test_per_class=1, rng=rng)
+    assert dataset.input_shape == shape
+    assert dataset.num_classes == classes
+    assert dataset.train_x.shape == (3 * classes,) + shape
+    assert dataset.test_x.shape == (1 * classes,) + shape
+    assert set(np.unique(dataset.train_y)) == set(range(classes))
+
+
+def test_reproducible_from_seed():
+    a = make_synthetic_mnist(train_per_class=2, test_per_class=1,
+                             rng=np.random.default_rng(9))
+    b = make_synthetic_mnist(train_per_class=2, test_per_class=1,
+                             rng=np.random.default_rng(9))
+    assert np.allclose(a.train_x, b.train_x)
+    assert np.array_equal(a.train_y, b.train_y)
+
+
+def test_classes_are_separable_at_low_noise(rng):
+    """Nearest-prototype classification must beat chance by a wide
+    margin: the datasets have to be learnable."""
+    dataset = make_prototype_dataset(
+        "toy", 5, (1, 16, 16), train_per_class=20, test_per_class=10,
+        noise=0.3, rng=rng,
+    )
+    # class means from train as prototypes
+    prototypes = np.stack([
+        dataset.train_x[dataset.train_y == c].mean(axis=0).reshape(-1)
+        for c in range(5)
+    ])
+    flat = dataset.test_x.reshape(dataset.test_x.shape[0], -1)
+    distances = ((flat[:, None, :] - prototypes[None]) ** 2).sum(axis=2)
+    predictions = distances.argmin(axis=1)
+    accuracy = (predictions == dataset.test_y).mean()
+    assert accuracy > 0.8
+
+
+def test_samples_are_shuffled(rng):
+    dataset = make_synthetic_mnist(train_per_class=10, test_per_class=2,
+                                   rng=rng)
+    # labels should not be sorted by class
+    assert not np.array_equal(dataset.train_y, np.sort(dataset.train_y))
+
+
+def test_mismatched_lengths_rejected(rng):
+    from repro.data.synthetic import ImageDataset
+
+    with pytest.raises(ValueError):
+        ImageDataset("bad", np.zeros((3, 1, 2, 2)), np.zeros(2),
+                     np.zeros((1, 1, 2, 2)), np.zeros(1), 2)

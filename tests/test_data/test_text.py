@@ -1,0 +1,75 @@
+"""Synthetic PTB corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.text import make_synthetic_ptb
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_synthetic_ptb(vocab_size=100, train_tokens=5000,
+                              valid_tokens=600, test_tokens=600,
+                              rng=np.random.default_rng(4))
+
+
+def test_token_ranges(corpus):
+    for stream in (corpus.train_tokens, corpus.valid_tokens,
+                   corpus.test_tokens):
+        assert stream.min() >= 0
+        assert stream.max() < 100
+
+
+def test_batchify_shapes(corpus):
+    inputs, targets = corpus.batchify("train", seq_len=10, batch_size=4)
+    assert inputs.shape == targets.shape
+    assert inputs.shape[1:] == (10, 4)
+
+
+def test_targets_are_shifted_inputs(corpus):
+    inputs, targets = corpus.batchify("train", seq_len=5, batch_size=2)
+    flat_in = inputs.transpose(0, 2, 1).reshape(-1)
+    flat_tg = targets.transpose(0, 2, 1).reshape(-1)
+    assert np.array_equal(flat_tg[:-1], flat_in[1:])
+
+
+def test_batchify_too_short_raises(corpus):
+    with pytest.raises(ValueError):
+        corpus.batchify("valid", seq_len=1000, batch_size=64)
+
+
+def test_corpus_has_markov_structure(corpus):
+    """Bigram entropy must be far below unigram entropy: the LSTM has
+    something to learn."""
+    tokens = corpus.train_tokens
+    vocab = 100
+    unigram = np.bincount(tokens, minlength=vocab) / tokens.size
+    unigram_entropy = -np.sum(
+        unigram[unigram > 0] * np.log(unigram[unigram > 0])
+    )
+    pair_counts = {}
+    for a, b in zip(tokens[:-1], tokens[1:]):
+        pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+    conditional = 0.0
+    total = tokens.size - 1
+    from collections import defaultdict
+
+    by_first = defaultdict(list)
+    for (a, b), count in pair_counts.items():
+        by_first[a].append(count)
+    for a, counts in by_first.items():
+        counts = np.asarray(counts, dtype=float)
+        probs = counts / counts.sum()
+        weight = counts.sum() / total
+        conditional += weight * -np.sum(probs * np.log(probs))
+    assert conditional < 0.7 * unigram_entropy
+
+
+def test_reproducible():
+    a = make_synthetic_ptb(vocab_size=50, train_tokens=1000,
+                           rng=np.random.default_rng(2))
+    b = make_synthetic_ptb(vocab_size=50, train_tokens=1000,
+                           rng=np.random.default_rng(2))
+    assert np.array_equal(a.train_tokens, b.train_tokens)

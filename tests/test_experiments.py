@@ -1,0 +1,98 @@
+"""Experiment plumbing: setups, reporting, result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import clear_cache, run_cached
+from repro.experiments.reporting import (
+    fmt_speedup,
+    fmt_time,
+    print_series,
+    print_table,
+)
+from repro.experiments.setups import (
+    BENCH_TASKS,
+    METHOD_ORDER,
+    bench_scale,
+    make_bench_task,
+    make_devices,
+)
+
+
+def test_bench_tasks_cover_all_paper_workloads():
+    assert set(BENCH_TASKS) == {"cnn", "alexnet", "vgg19", "resnet50", "lstm"}
+
+
+def test_method_order_matches_paper_columns():
+    assert METHOD_ORDER == ["synfl", "upfl", "fedprox", "flexcom", "fedmp"]
+
+
+def test_make_bench_task_unknown():
+    with pytest.raises(KeyError):
+        make_bench_task("transformer")
+
+
+def test_bench_task_builds_runnable_pieces(rng):
+    bench_task = make_bench_task("cnn")
+    task = bench_task.make_task()
+    model = task.build_model(rng)
+    assert model.num_parameters() > 0
+    config = bench_task.make_config("fedmp", max_rounds=3)
+    assert config.max_rounds == 3
+    assert config.strategy == "fedmp"
+    assert config.strategy_kwargs  # bandit kwargs applied
+
+
+def test_bench_task_bandit_kwargs_only_for_bandit_strategies():
+    bench_task = make_bench_task("cnn")
+    assert bench_task.make_config("synfl").strategy_kwargs == {}
+    assert "max_ratio" in bench_task.make_config("upfl").strategy_kwargs
+
+
+def test_bench_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+    assert bench_scale() == 2.5
+    bench_task = make_bench_task("cnn")
+    assert bench_task.make_config("synfl").max_rounds == round(
+        bench_task.max_rounds * 2.5
+    )
+
+
+def test_make_devices_count_composition():
+    devices = make_devices(seed=1, count=20)
+    assert len(devices) == 20
+    clusters = sorted(d.cluster for d in devices)
+    assert clusters.count("A") == 10
+    assert clusters.count("B") == 10
+
+
+def test_run_cached_computes_once():
+    clear_cache()
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return 42
+
+    assert run_cached("k", factory) == 42
+    assert run_cached("k", factory) == 42
+    assert len(calls) == 1
+    clear_cache()
+
+
+def test_print_table_and_series_smoke(capsys):
+    print_table("Title", ["A", "B"], [["1", "2"], ["3", "4"]], note="n")
+    print_series("S", {"m": [(1.0, 0.5), (2.0, 0.7)]})
+    out = capsys.readouterr().out
+    assert "Title" in out
+    assert "(1, 0.500)" in out
+
+
+def test_formatters():
+    assert fmt_time(12.3) == "12s"
+    assert fmt_time(None) == "--"
+    assert fmt_speedup(10.0, 5.0) == "2.00x"
+    assert fmt_speedup(None, 5.0) == "--"
+    assert fmt_speedup(10.0, None) == "--"

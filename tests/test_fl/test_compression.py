@@ -1,0 +1,71 @@
+"""Top-k sparsification and error feedback (FlexCom machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.compression import ErrorFeedback, top_k_sparsify
+
+
+def _delta(rng):
+    return {
+        "a": rng.normal(size=(4, 4)),
+        "b": rng.normal(size=(10,)),
+    }
+
+
+def test_top_k_keeps_requested_fraction(rng):
+    delta = _delta(rng)
+    sparse, kept = top_k_sparsify(delta, 0.25)
+    total = sum(v.size for v in delta.values())
+    assert kept == pytest.approx(round(total * 0.25), abs=2)
+    nonzero = sum(int((v != 0).sum()) for v in sparse.values())
+    assert nonzero == kept
+
+
+def test_top_k_keeps_largest_magnitudes(rng):
+    delta = {"a": np.array([0.1, -5.0, 0.2, 3.0])}
+    sparse, kept = top_k_sparsify(delta, 0.5)
+    assert kept == 2
+    assert sparse["a"].tolist() == [0.0, -5.0, 0.0, 3.0]
+
+
+def test_top_k_full_keep_is_identity(rng):
+    delta = _delta(rng)
+    sparse, kept = top_k_sparsify(delta, 1.0)
+    assert kept == sum(v.size for v in delta.values())
+    for key in delta:
+        assert np.allclose(sparse[key], delta[key])
+
+
+def test_top_k_invalid_fraction(rng):
+    with pytest.raises(ValueError):
+        top_k_sparsify(_delta(rng), 0.0)
+
+
+def test_error_feedback_accumulates_dropped_mass(rng):
+    feedback = ErrorFeedback()
+    delta = {"a": np.array([1.0, 0.1])}
+    compensated = feedback.compensate(delta)
+    sparse, _ = top_k_sparsify(compensated, 0.5)
+    feedback.update(compensated, sparse)
+    # next round the dropped 0.1 is added back
+    second = feedback.compensate({"a": np.array([0.0, 0.05])})
+    assert second["a"][1] == pytest.approx(0.15)
+
+
+def test_error_feedback_transmits_everything_eventually(rng):
+    """Sum of transmitted updates converges to the sum of raw deltas."""
+    feedback = ErrorFeedback()
+    raw_total = np.zeros(6)
+    sent_total = np.zeros(6)
+    for _ in range(60):
+        delta = {"a": rng.normal(size=6)}
+        raw_total += delta["a"]
+        compensated = feedback.compensate(delta)
+        sparse, _ = top_k_sparsify(compensated, 0.34)
+        feedback.update(compensated, sparse)
+        sent_total += sparse["a"]
+    residual = feedback._memory["a"]
+    assert np.allclose(sent_total + residual, raw_total, atol=1e-8)

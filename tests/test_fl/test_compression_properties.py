@@ -1,0 +1,54 @@
+"""Hypothesis property tests for the compression path."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.compression import ErrorFeedback, top_k_sparsify
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3,
+                          allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(finite_floats, min_size=1, max_size=64),
+    keep=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_top_k_properties(values, keep):
+    delta = {"a": np.asarray(values)}
+    sparse, kept = top_k_sparsify(delta, keep)
+    # kept count is at least one and never exceeds the tensor size
+    assert 1 <= kept <= len(values)
+    # sparsified entries are either zero or exactly the original value
+    mask = sparse["a"] != 0
+    assert np.allclose(sparse["a"][mask], delta["a"][mask])
+    # the survivors dominate the dropped entries in magnitude
+    dropped = np.abs(delta["a"][(~mask) & (delta["a"] != 0)])
+    survivors = np.abs(sparse["a"][mask])
+    if dropped.size and survivors.size:
+        assert survivors.min() >= dropped.max() - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2 ** 16),
+    keep=st.floats(min_value=0.1, max_value=0.9),
+    rounds=st.integers(min_value=1, max_value=20),
+)
+def test_error_feedback_conservation(seed, keep, rounds):
+    """raw total == transmitted total + residual memory, always."""
+    rng = np.random.default_rng(seed)
+    feedback = ErrorFeedback()
+    raw = np.zeros(8)
+    sent = np.zeros(8)
+    for _ in range(rounds):
+        delta = {"a": rng.normal(size=8)}
+        raw += delta["a"]
+        compensated = feedback.compensate(delta)
+        sparse, _ = top_k_sparsify(compensated, keep)
+        feedback.update(compensated, sparse)
+        sent += sparse["a"]
+    assert np.allclose(sent + feedback._memory["a"], raw, atol=1e-9)

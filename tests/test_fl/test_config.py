@@ -1,0 +1,33 @@
+"""FLConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fl.config import FLConfig
+
+
+def test_defaults_follow_paper():
+    config = FLConfig()
+    assert config.strategy == "fedmp"
+    assert config.sync_scheme == "r2sp"
+    assert config.local_iterations > 0
+
+
+def test_invalid_sync_scheme():
+    with pytest.raises(ValueError):
+        FLConfig(sync_scheme="asp")
+
+
+def test_invalid_local_iterations():
+    with pytest.raises(ValueError):
+        FLConfig(local_iterations=0)
+
+
+def test_invalid_async_m():
+    with pytest.raises(ValueError):
+        FLConfig(async_m=0)
+
+
+def test_async_m_accepts_positive():
+    assert FLConfig(async_m=5).async_m == 5

@@ -1,0 +1,71 @@
+"""Oracle strategy: capability-aware ratio assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.runner import run_federated_training
+from repro.fl.strategies import make_strategy
+from repro.fl.strategies.oracle import OracleStrategy
+from repro.fl.tasks import ClassificationTask
+from repro.simulation.cluster import make_scenario_devices
+from repro.simulation.device import JETSON_TX2_MODES, DeviceProfile
+
+
+def _mixed_devices():
+    return [
+        DeviceProfile(0, JETSON_TX2_MODES[0], 12e6, "A"),   # fast
+        DeviceProfile(1, JETSON_TX2_MODES[0], 12e6, "A"),
+        DeviceProfile(2, JETSON_TX2_MODES[3], 2e6, "C"),    # slow
+    ]
+
+
+def test_oracle_prunes_only_slow_workers():
+    devices = _mixed_devices()
+    config = FLConfig(strategy="oracle", local_iterations=3, batch_size=16)
+    strategy = make_strategy("oracle", [0, 1, 2], config,
+                             rng=np.random.default_rng(0))
+    strategy.calibrate(devices, full_flops=23e6, full_params=857_738)
+    ratios = strategy.select_ratios(0)
+    assert ratios[0] == 0.0
+    assert ratios[1] == 0.0
+    assert 0.0 < ratios[2] <= strategy.max_ratio
+
+
+def test_oracle_equalises_expected_times():
+    devices = _mixed_devices()
+    config = FLConfig(strategy="oracle", local_iterations=3, batch_size=16)
+    strategy = make_strategy("oracle", [0, 1, 2], config,
+                             rng=np.random.default_rng(0))
+    strategy.calibrate(devices, full_flops=23e6, full_params=857_738)
+    ratios = strategy.select_ratios(0)
+    times = {
+        d.device_id: strategy._expected_time(d, ratios[d.device_id])
+        for d in devices
+    }
+    target = times[0]  # fast workers run unpruned at the median
+    # the slow worker lands near the median (within the max_ratio cap)
+    assert times[2] <= strategy._expected_time(devices[2], 0.0)
+    assert times[2] == pytest.approx(target, rel=0.25) or \
+        ratios[2] == pytest.approx(strategy.max_ratio, abs=1e-3)
+
+
+def test_oracle_runs_end_to_end():
+    dataset = make_synthetic_mnist(train_per_class=20, test_per_class=5,
+                                   rng=np.random.default_rng(0))
+    task = ClassificationTask(dataset, "cnn")
+    devices = make_scenario_devices("high", np.random.default_rng(5))
+    config = FLConfig(strategy="oracle", max_rounds=3, local_iterations=2,
+                      batch_size=8, seed=2)
+    history = run_federated_training(task, devices, config)
+    assert history.final_metric() is not None
+    # the oracle personalises: not every worker shares one ratio
+    ratios = history.rounds[-1].ratios
+    assert len(set(np.round(list(ratios.values()), 4))) > 1
+
+
+def test_oracle_capability_row_lacks_convergence_guarantee():
+    assert OracleStrategy.capabilities.convergence_guarantee is False

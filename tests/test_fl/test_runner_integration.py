@@ -1,0 +1,157 @@
+"""End-to-end integration tests of the training runners.
+
+Small configs keep these fast; they check behaviour (learning happens,
+clocks advance, strategies act, async works), not absolute accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.data.text import make_synthetic_ptb
+from repro.fl.config import FLConfig
+from repro.fl.runner import run_federated_training
+from repro.fl.tasks import ClassificationTask, LanguageModelTask
+from repro.simulation.cluster import make_scenario_devices
+
+
+@pytest.fixture(scope="module")
+def mnist_task():
+    dataset = make_synthetic_mnist(train_per_class=30, test_per_class=8,
+                                   rng=np.random.default_rng(0))
+    return ClassificationTask(dataset, "cnn")
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return make_scenario_devices("medium", np.random.default_rng(7))
+
+
+def _config(**kwargs):
+    base = dict(max_rounds=4, local_iterations=2, batch_size=8, lr=0.05,
+                eval_every=2, seed=3)
+    base.update(kwargs)
+    return FLConfig(**base)
+
+
+def test_synfl_learns_and_clock_advances(mnist_task, devices):
+    history = run_federated_training(mnist_task, devices,
+                                     _config(strategy="synfl"))
+    assert len(history.rounds) == 4
+    assert history.total_time_s > 0
+    times = [r.sim_time_s for r in history.rounds]
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert history.final_metric() is not None
+    assert history.rounds[-1].train_loss < history.rounds[0].train_loss
+
+
+def test_fedmp_assigns_personalised_ratios(mnist_task, devices):
+    history = run_federated_training(
+        mnist_task, devices,
+        _config(strategy="fedmp",
+                strategy_kwargs={"warmup_rounds": 1}),
+    )
+    later = history.rounds[-1].ratios
+    assert len(set(np.round(list(later.values()), 6))) > 1
+    assert all(0.0 <= r < 0.9 for r in later.values())
+
+
+def test_fedmp_faster_than_synfl_in_sim_time(mnist_task, devices):
+    """The headline claim, at smoke scale: FedMP's rounds are shorter."""
+    syn = run_federated_training(mnist_task, devices,
+                                 _config(strategy="synfl", max_rounds=5))
+    fed = run_federated_training(
+        mnist_task, devices,
+        _config(strategy="fedmp", max_rounds=5,
+                strategy_kwargs={"warmup_rounds": 1}),
+    )
+    assert fed.total_time_s < syn.total_time_s
+
+
+def test_bsp_differs_from_r2sp(mnist_task, devices):
+    r2sp = run_federated_training(
+        mnist_task, devices, _config(strategy="fedmp", sync_scheme="r2sp"))
+    bsp = run_federated_training(
+        mnist_task, devices, _config(strategy="fedmp", sync_scheme="bsp"))
+    assert r2sp.rounds[-1].train_loss != bsp.rounds[-1].train_loss
+
+
+def test_flexcom_uploads_fewer_params(mnist_task, devices):
+    history = run_federated_training(
+        mnist_task, devices,
+        _config(strategy="flexcom",
+                strategy_kwargs={"base_keep": 0.2}),
+    )
+    assert history.final_metric() is not None
+
+
+def test_deadline_discards_are_recorded(mnist_task, devices):
+    history = run_federated_training(
+        mnist_task, devices,
+        _config(strategy="synfl", deadline_quorum=0.5,
+                deadline_multiplier=1.0, jitter_sigma=0.3),
+    )
+    assert len(history.rounds) == 4  # runs to completion regardless
+
+
+def test_time_budget_stops_early(mnist_task, devices):
+    history = run_federated_training(
+        mnist_task, devices,
+        _config(strategy="synfl", max_rounds=50, time_budget_s=1.0),
+    )
+    assert len(history.rounds) == 1
+
+
+def test_target_metric_stops_early(mnist_task, devices):
+    history = run_federated_training(
+        mnist_task, devices,
+        _config(strategy="synfl", max_rounds=50, target_metric=0.0,
+                eval_every=1),
+    )
+    assert len(history.rounds) == 1
+
+
+def test_async_runner_m_of_n(mnist_task, devices):
+    history = run_federated_training(
+        mnist_task, devices,
+        _config(strategy="fedmp", async_m=4, max_rounds=5),
+    )
+    assert len(history.rounds) == 5
+    for record in history.rounds:
+        assert len(record.completion_times) == 4
+    times = [r.sim_time_s for r in history.rounds]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+def test_async_m_larger_than_workers_rejected(mnist_task, devices):
+    with pytest.raises(ValueError):
+        run_federated_training(
+            mnist_task, devices, _config(strategy="synfl", async_m=99))
+
+
+def test_reproducible_given_seed(mnist_task, devices):
+    a = run_federated_training(mnist_task, devices,
+                               _config(strategy="fedmp", seed=11))
+    b = run_federated_training(mnist_task, devices,
+                               _config(strategy="fedmp", seed=11))
+    assert a.final_metric() == b.final_metric()
+    assert a.total_time_s == pytest.approx(b.total_time_s)
+
+
+def test_language_model_round_trip():
+    corpus = make_synthetic_ptb(vocab_size=60, train_tokens=6000,
+                                valid_tokens=600, test_tokens=600,
+                                rng=np.random.default_rng(1))
+    task = LanguageModelTask(corpus, seq_len=8, lm_batch_size=4,
+                             model_kwargs={"embedding_dim": 8,
+                                           "hidden_size": 16})
+    devices = make_scenario_devices("medium", np.random.default_rng(5))
+    history = run_federated_training(
+        task, devices,
+        FLConfig(strategy="fedmp", max_rounds=4, local_iterations=2,
+                 batch_size=1, lr=0.5, eval_every=2, seed=2),
+    )
+    assert not history.higher_is_better
+    assert history.final_metric() > 1.0

@@ -1,0 +1,103 @@
+"""Parameter-server aggregation: R2SP vs BSP semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.server import Contribution, ParameterServer
+from repro.models import build_cnn
+from repro.pruning import (
+    build_pruning_plan,
+    extract_submodel,
+    residual_state_dict,
+)
+
+
+def _contribution(model, ratio, rng, with_residual=True):
+    plan = build_pruning_plan(model, ratio)
+    sub = extract_submodel(model, plan, rng=rng)
+    residual = residual_state_dict(model.state_dict(), plan) \
+        if with_residual else None
+    return Contribution(worker_id=0, sub_state=sub.state_dict(), plan=plan,
+                        residual=residual)
+
+
+def test_r2sp_untrained_submodel_is_identity(rng):
+    """Aggregating untouched sub-models under R2SP must reproduce the
+    global model exactly -- the core R2SP invariant."""
+    model = build_cnn(rng=rng)
+    before = model.state_dict()
+    server = ParameterServer(model)
+    contributions = [
+        _contribution(model, ratio, rng) for ratio in (0.0, 0.3, 0.6)
+    ]
+    after = server.aggregate(contributions, scheme="r2sp")
+    for key in before:
+        assert np.allclose(after[key], before[key], atol=1e-6), key
+
+
+def test_bsp_shrinks_pruned_positions(rng):
+    """Without residual recovery, positions pruned by any worker lose
+    mass (the degradation Fig. 7 demonstrates)."""
+    model = build_cnn(rng=rng)
+    before = model.state_dict()
+    server = ParameterServer(model)
+    contributions = [_contribution(model, 0.5, rng, with_residual=False)]
+    after = server.aggregate(contributions, scheme="bsp")
+    total_before = sum(np.abs(v).sum() for v in before.values())
+    total_after = sum(np.abs(v).sum() for v in after.values())
+    assert total_after < total_before
+
+
+def test_r2sp_requires_residual(rng):
+    model = build_cnn(rng=rng)
+    server = ParameterServer(model)
+    contribution = _contribution(model, 0.5, rng, with_residual=False)
+    with pytest.raises(ValueError, match="residual"):
+        server.aggregate([contribution], scheme="r2sp")
+
+
+def test_empty_contributions_rejected(rng):
+    server = ParameterServer(build_cnn(rng=rng))
+    with pytest.raises(ValueError):
+        server.aggregate([], scheme="r2sp")
+
+
+def test_unknown_scheme_rejected(rng):
+    model = build_cnn(rng=rng)
+    server = ParameterServer(model)
+    contribution = _contribution(model, 0.0, rng)
+    with pytest.raises(ValueError):
+        server.aggregate([contribution], scheme="asp")
+
+
+def test_aggregation_is_mean_over_workers(rng):
+    """With identity plans, aggregation is plain FedAvg averaging."""
+    model = build_cnn(rng=rng)
+    server = ParameterServer(model)
+    plan = build_pruning_plan(model, 0.0)
+
+    state_a = model.state_dict()
+    state_b = {key: value + 2.0 for key, value in state_a.items()}
+    zero_residual = {key: np.zeros_like(v) for key, v in state_a.items()}
+    contributions = [
+        Contribution(0, state_a, plan, residual=zero_residual),
+        Contribution(1, state_b, plan, residual=zero_residual),
+    ]
+    after = server.aggregate(contributions, scheme="r2sp")
+    for key in state_a:
+        assert np.allclose(after[key], state_a[key] + 1.0, atol=1e-5)
+
+
+def test_aggregate_updates_model_in_place(rng):
+    model = build_cnn(rng=rng)
+    server = ParameterServer(model)
+    plan = build_pruning_plan(model, 0.0)
+    shifted = {key: value + 1.0 for key, value in model.state_dict().items()}
+    zero_res = {key: np.zeros_like(v) for key, v in shifted.items()}
+    server.aggregate([Contribution(0, shifted, plan, zero_res)],
+                     scheme="r2sp")
+    assert np.allclose(
+        server.global_state["fc2.bias"], shifted["fc2.bias"], atol=1e-6
+    )

@@ -1,0 +1,139 @@
+"""Strategy behaviours: ratios, iterations, compression, Table I."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.config import FLConfig
+from repro.fl.strategies import (
+    STRATEGIES,
+    capability_table,
+    make_strategy,
+)
+from repro.fl.strategies.base import RoundObservation
+from repro.simulation.timing import RoundCosts
+
+WORKERS = [0, 1, 2]
+
+
+def _costs(comp, down=1.0, up=1.0):
+    return RoundCosts(computation_s=comp, download_s=down, upload_s=up)
+
+
+def _observe(strategy, round_index, comp_times, delta_loss=0.5):
+    strategy.observe_round(RoundObservation(
+        round_index=round_index,
+        costs={wid: _costs(t) for wid, t in comp_times.items()},
+        delta_loss=delta_loss,
+    ))
+
+
+def _config(name, **kwargs):
+    return FLConfig(strategy=name, strategy_kwargs=kwargs, local_iterations=4)
+
+
+def test_registry_contains_all_paper_methods():
+    paper_methods = {"fedmp", "synfl", "upfl", "fedprox", "flexcom"}
+    assert paper_methods <= set(STRATEGIES)
+    # plus the fixed-ratio ablation instrument
+    assert "fixed" in STRATEGIES
+
+
+def test_fixed_ratio_strategy(rng):
+    strategy = make_strategy("fixed", WORKERS,
+                             _config("fixed", ratio=0.4), rng=rng)
+    ratios = strategy.select_ratios(0)
+    assert all(r == 0.4 for r in ratios.values())
+    with pytest.raises(ValueError):
+        make_strategy("fixed", WORKERS, _config("fixed", ratio=1.0), rng=rng)
+
+
+def test_make_strategy_unknown():
+    with pytest.raises(KeyError):
+        make_strategy("magic", WORKERS, FLConfig())
+
+
+def test_synfl_always_ratio_zero(rng):
+    strategy = make_strategy("synfl", WORKERS, _config("synfl"), rng=rng)
+    for round_index in range(3):
+        ratios = strategy.select_ratios(round_index)
+        assert all(r == 0.0 for r in ratios.values())
+        _observe(strategy, round_index, {0: 1.0, 1: 2.0, 2: 3.0})
+
+
+def test_fedmp_warmup_then_personalised(rng):
+    strategy = make_strategy("fedmp", WORKERS,
+                             _config("fedmp", warmup_rounds=1), rng=rng)
+    warm = strategy.select_ratios(0)
+    assert all(r == 0.0 for r in warm.values())
+    _observe(strategy, 0, {0: 1.0, 1: 2.0, 2: 3.0})
+    ratios = strategy.select_ratios(1)
+    assert all(0.0 <= r < 0.9 for r in ratios.values())
+    _observe(strategy, 1, {0: 1.0, 1: 2.0, 2: 3.0})
+    assert all(agent.rounds_played == 2 for agent in strategy.agents.values())
+
+
+def test_fedmp_discarded_worker_abandons_play(rng):
+    strategy = make_strategy("fedmp", WORKERS, _config("fedmp"), rng=rng)
+    strategy.select_ratios(0)
+    strategy.observe_round(RoundObservation(
+        round_index=0, costs={0: _costs(1.0), 1: _costs(2.0)},
+        delta_loss=0.1, discarded=[2],
+    ))
+    # worker 2's agent must be selectable again
+    strategy.select_ratios(1)
+
+
+def test_upfl_uniform_across_workers(rng):
+    strategy = make_strategy("upfl", WORKERS,
+                             _config("upfl", warmup_rounds=0), rng=rng)
+    ratios = strategy.select_ratios(0)
+    assert len(set(ratios.values())) == 1
+    _observe(strategy, 0, {0: 1.0, 1: 2.0, 2: 3.0})
+
+
+def test_fedprox_scales_iterations_to_compute(rng):
+    strategy = make_strategy("fedprox", WORKERS, _config("fedprox"), rng=rng)
+    assert strategy.local_iterations(0) == 4  # no history yet
+    _observe(strategy, 0, {0: 1.0, 1: 2.0, 2: 4.0})
+    assert strategy.local_iterations(0) == 4
+    assert strategy.local_iterations(1) == 2
+    assert strategy.local_iterations(2) == 1
+    assert strategy.proximal_mu() > 0
+
+
+def test_flexcom_compresses_slow_links(rng):
+    strategy = make_strategy("flexcom", WORKERS,
+                             _config("flexcom", base_keep=0.3), rng=rng)
+    assert strategy.upload_keep_fraction(0) == pytest.approx(0.3)
+    strategy.observe_round(RoundObservation(
+        round_index=0,
+        costs={
+            0: RoundCosts(1.0, 1.0, upload_s=1.0),
+            1: RoundCosts(1.0, 1.0, upload_s=4.0),
+        },
+        delta_loss=0.1,
+    ))
+    fast_keep = strategy.upload_keep_fraction(0)
+    slow_keep = strategy.upload_keep_fraction(1)
+    assert slow_keep < fast_keep
+    assert strategy.upload_keep_fraction(2) == pytest.approx(0.3)
+
+
+def test_capability_table_matches_table1():
+    rows = dict(capability_table())
+    # FedMP ticks every column
+    assert rows["fedmp"] == ["yes"] * 6
+    # Syn-FL only hardware independence
+    assert rows["synfl"][2] == "yes"
+    assert rows["synfl"].count("yes") == 1
+    # UP-FL (Jiang et al.) needs sparse hardware/libraries
+    assert rows["upfl"][2] == "-"
+    # FlexCom: communication-efficient + comm heterogeneity
+    assert rows["flexcom"][1] == "yes"
+    assert rows["flexcom"][4] == "yes"
+    assert rows["flexcom"][0] == "-"
+    # FedProx: computation heterogeneity, no efficiency columns
+    assert rows["fedprox"][3] == "yes"
+    assert rows["fedprox"][0] == "-"

@@ -1,0 +1,91 @@
+"""Task adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.data.text import make_synthetic_ptb
+from repro.fl.tasks import ClassificationTask, LanguageModelTask
+
+
+@pytest.fixture(scope="module")
+def mnist():
+    return make_synthetic_mnist(train_per_class=10, test_per_class=4,
+                                rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def ptb():
+    return make_synthetic_ptb(vocab_size=60, train_tokens=4000,
+                              valid_tokens=500, test_tokens=500,
+                              rng=np.random.default_rng(0))
+
+
+def test_classification_task_wiring(mnist, rng):
+    task = ClassificationTask(mnist, "cnn")
+    model = task.build_model(rng)
+    assert model.num_classes == 10
+    metric, loss = task.evaluate(model, max_samples=20)
+    assert 0.0 <= metric <= 1.0
+    assert task.count_flops(model) > 0
+    assert task.higher_is_better
+
+
+def test_classification_partition_covers_data(mnist, rng):
+    task = ClassificationTask(mnist, "cnn")
+    shards = task.partition(4, rng)
+    assert len(shards) == 4
+    assert sum(x.shape[0] for x, _ in shards) == mnist.train_x.shape[0]
+
+
+def test_classification_non_iid_level_passthrough(rng):
+    # a dataset with enough per-class supply for the 80% dominant demand
+    rich = make_synthetic_mnist(train_per_class=40, test_per_class=4,
+                                rng=np.random.default_rng(1))
+    task = ClassificationTask(rich, "cnn", non_iid_level=80)
+    shards = task.partition(10, rng)
+    from collections import Counter
+
+    _, labels = shards[0]
+    dominant = Counter(labels).most_common(1)[0][1] / labels.shape[0]
+    assert dominant >= 0.6
+
+
+def test_classification_prune_roundtrip(mnist, rng):
+    task = ClassificationTask(mnist, "cnn")
+    model = task.build_model(rng)
+    plan = task.build_plan(model, 0.5)
+    sub = task.extract(model, plan, rng)
+    assert sub.num_parameters() < model.num_parameters()
+
+
+def test_lm_task_wiring(ptb, rng):
+    task = LanguageModelTask(ptb, seq_len=8, lm_batch_size=4,
+                             model_kwargs={"embedding_dim": 8,
+                                           "hidden_size": 12})
+    model = task.build_model(rng)
+    ppl, ce = task.evaluate(model, max_samples=4)
+    assert ppl > 1.0
+    assert not task.higher_is_better
+    assert task.count_flops(model) > 0
+
+
+def test_lm_partition_and_iterator(ptb, rng):
+    task = LanguageModelTask(ptb, seq_len=8, lm_batch_size=4)
+    shards = task.partition(3, rng)
+    assert len(shards) == 3
+    iterator = task.make_iterator(shards[0], batch_size=1, rng=rng)
+    seq, target = iterator.next_batch()
+    assert seq.shape == (8, 4)
+    assert target.shape == (8, 4)
+
+
+def test_lm_prune_roundtrip(ptb, rng):
+    task = LanguageModelTask(ptb, seq_len=8, lm_batch_size=4,
+                             model_kwargs={"embedding_dim": 8,
+                                           "hidden_size": 12})
+    model = task.build_model(rng)
+    sub = task.extract(model, task.build_plan(model, 0.5), rng)
+    assert sub.num_parameters() < model.num_parameters()

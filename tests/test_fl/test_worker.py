@@ -1,0 +1,69 @@
+"""Worker local training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loader import BatchIterator
+from repro.fl.worker import Worker
+from repro.models import build_cnn
+from repro.simulation.device import JETSON_TX2_MODES, DeviceProfile
+
+
+@pytest.fixture
+def worker(rng):
+    x = rng.normal(size=(40, 1, 28, 28)).astype(np.float32)
+    y = rng.integers(0, 10, size=40)
+    iterator = BatchIterator(x, y, batch_size=8, rng=rng)
+    device = DeviceProfile(0, JETSON_TX2_MODES[0], 10e6)
+    return Worker(0, iterator, device, jitter_sigma=0.0, rng=rng)
+
+
+def test_local_train_changes_parameters(worker, rng):
+    model = build_cnn(rng=rng)
+    before = model.state_dict()
+    loss = worker.local_train(model, tau=2, lr=0.05)
+    assert loss > 0
+    after = model.state_dict()
+    changed = any(
+        not np.allclose(before[key], after[key])
+        for key in before if not key.endswith(("running_mean", "running_var"))
+    )
+    assert changed
+
+
+def test_local_train_loss_is_mean_over_tau(worker, rng):
+    model = build_cnn(rng=rng)
+    loss = worker.local_train(model, tau=3, lr=0.01)
+    assert 0 < loss < 20
+
+
+def test_proximal_training_stays_closer_to_anchor(rng):
+    """FedProx with large mu keeps the local model nearer the dispatch
+    state than plain SGD does."""
+    x = rng.normal(size=(40, 1, 28, 28)).astype(np.float32)
+    y = rng.integers(0, 10, size=40)
+    device = DeviceProfile(0, JETSON_TX2_MODES[0], 10e6)
+
+    def distance(prox_mu):
+        model = build_cnn(rng=np.random.default_rng(0))
+        anchor = model.state_dict()
+        iterator = BatchIterator(x, y, 8, rng=np.random.default_rng(1))
+        worker = Worker(0, iterator, device, jitter_sigma=0.0,
+                        rng=np.random.default_rng(2))
+        worker.local_train(model, tau=5, lr=0.05, prox_mu=prox_mu,
+                           anchor=anchor)
+        after = model.state_dict()
+        return sum(
+            float(((after[key] - anchor[key]) ** 2).sum()) for key in anchor
+        )
+
+    assert distance(prox_mu=5.0) < distance(prox_mu=0.0)
+
+
+def test_round_costs_positive(worker):
+    costs = worker.round_costs(1e6, 1000, 1000, batch_size=8, tau=2)
+    assert costs.computation_s > 0
+    assert costs.download_s > 0
+    assert costs.upload_s > 0

@@ -1,0 +1,63 @@
+"""Checkpoint and history persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.io import load_history, load_state_dict, save_history, save_state_dict
+from repro.models import build_cnn
+
+
+def test_state_dict_roundtrip(tmp_path, rng):
+    model = build_cnn(rng=rng)
+    state = model.state_dict()
+    path = tmp_path / "checkpoint.npz"
+    save_state_dict(state, path)
+    loaded = load_state_dict(path)
+    assert set(loaded) == set(state)
+    for key in state:
+        assert np.allclose(loaded[key], state[key]), key
+
+
+def test_loaded_checkpoint_restores_model(tmp_path, rng):
+    model = build_cnn(rng=rng)
+    path = tmp_path / "checkpoint.npz"
+    save_state_dict(model.state_dict(), path)
+    other = build_cnn(rng=np.random.default_rng(99))
+    other.load_state_dict(load_state_dict(path))
+    x = rng.normal(size=(2, 1, 28, 28)).astype(np.float32)
+    model.eval()
+    other.eval()
+    assert np.allclose(model.forward(x), other.forward(x), atol=1e-6)
+
+
+def test_history_roundtrip(tmp_path):
+    history = TrainingHistory(strategy="fedmp", model_name="cnn/mnist",
+                              higher_is_better=True)
+    history.append(RoundRecord(
+        round_index=0, sim_time_s=10.0, round_time_s=10.0, metric=0.5,
+        eval_loss=1.2, train_loss=1.5, ratios={0: 0.3, 1: 0.0},
+        completion_times={0: 8.0, 1: 10.0}, discarded=[2],
+        overhead_s=0.01,
+    ))
+    history.append(RoundRecord(
+        round_index=1, sim_time_s=20.0, round_time_s=10.0, metric=None,
+        eval_loss=None, train_loss=1.1, ratios={}, completion_times={},
+    ))
+    path = tmp_path / "history.json"
+    save_history(history, path)
+    loaded = load_history(path)
+
+    assert loaded.strategy == "fedmp"
+    assert loaded.higher_is_better
+    assert len(loaded.rounds) == 2
+    first = loaded.rounds[0]
+    assert first.metric == 0.5
+    assert first.ratios == {0: 0.3, 1: 0.0}
+    assert first.completion_times == {0: 8.0, 1: 10.0}
+    assert first.discarded == [2]
+    assert loaded.rounds[1].metric is None
+    # reductions still work on the loaded copy
+    assert loaded.time_to_target(0.5) == 10.0

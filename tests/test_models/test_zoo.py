@@ -1,0 +1,101 @@
+"""Model zoo: shapes, forward/backward, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    build_alexnet,
+    build_cnn,
+    build_lstm_lm,
+    build_model,
+    build_resnet50,
+    build_vgg19,
+)
+
+
+@pytest.mark.parametrize(
+    "builder,kwargs,input_shape,num_classes",
+    [
+        (build_cnn, {}, (1, 28, 28), 10),
+        (build_alexnet, {"width_mult": 0.125}, (3, 32, 32), 10),
+        (build_vgg19, {"width_mult": 0.0625}, (1, 28, 28), 62),
+        (
+            build_resnet50,
+            {"width_mult": 0.125, "blocks_per_stage": (1, 1, 1, 1)},
+            (3, 64, 64),
+            200,
+        ),
+    ],
+)
+def test_forward_backward_shapes(rng, builder, kwargs, input_shape,
+                                 num_classes):
+    model = builder(rng=rng, **kwargs)
+    x = rng.normal(size=(2,) + input_shape).astype(np.float32)
+    out = model.forward(x)
+    assert out.shape == (2, num_classes)
+    model.zero_grad()
+    grad = model.backward(np.ones_like(out) / out.size)
+    assert grad.shape == x.shape
+    assert model.input_shape == input_shape
+    assert model.num_classes == num_classes
+
+
+def test_cnn_matches_paper_architecture(rng):
+    """Two 5x5 convs (32, 64 filters), 256-unit FC, 10-way output."""
+    model = build_cnn(rng=rng)
+    conv1, conv2 = model.get("conv1"), model.get("conv2")
+    assert (conv1.out_channels, conv1.kernel_size) == (32, 5)
+    assert (conv2.out_channels, conv2.kernel_size) == (64, 5)
+    assert model.get("fc1").out_features == 256
+    assert model.get("fc2").out_features == 10
+
+
+def test_vgg19_has_sixteen_convolutions(rng):
+    model = build_vgg19(width_mult=0.0625, rng=rng)
+    conv_names = [n for n in model.layer_names if n.startswith("conv")]
+    assert len(conv_names) == 16
+
+
+def test_resnet50_default_depth_is_16_blocks(rng):
+    model = build_resnet50(width_mult=0.0625, rng=rng)
+    blocks = [n for n in model.layer_names if "block" in n]
+    assert len(blocks) == 3 + 4 + 6 + 3
+
+
+def test_resnet_rejects_bad_stage_count(rng):
+    with pytest.raises(ValueError):
+        build_resnet50(blocks_per_stage=(1, 1), rng=rng)
+
+
+def test_lstm_lm_forward_shape(rng):
+    model = build_lstm_lm(vocab_size=30, embedding_dim=8, hidden_size=12,
+                          rng=rng)
+    ids = rng.integers(0, 30, size=(4, 2))
+    out = model.forward(ids)
+    assert out.shape == (4, 2, 30)
+
+
+def test_registry_builds_by_name(rng):
+    model = build_model("cnn", rng=rng)
+    assert model.name == "cnn"
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError, match="unknown model"):
+        build_model("transformer")
+
+
+def test_width_mult_scales_parameters(rng):
+    small = build_alexnet(width_mult=0.125, rng=rng)
+    big = build_alexnet(width_mult=0.25, rng=rng)
+    assert big.num_parameters() > small.num_parameters()
+
+
+def test_builders_are_seed_deterministic():
+    a = build_cnn(rng=np.random.default_rng(7))
+    b = build_cnn(rng=np.random.default_rng(7))
+    for (name, pa), (_, pb) in zip(a.named_parameters(),
+                                   b.named_parameters()):
+        assert np.allclose(pa, pb), name

@@ -1,0 +1,65 @@
+"""im2col/col2im adjointness and activation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def test_conv_output_size():
+    assert F.conv_output_size(28, 5, 1, 2) == 28
+    assert F.conv_output_size(28, 2, 2, 0) == 14
+    assert F.conv_output_size(7, 3, 2, 0) == 3
+
+
+def test_im2col_shapes(rng):
+    x = rng.normal(size=(2, 3, 6, 6))
+    cols = F.im2col(x, 3, 3, 1, 1)
+    assert cols.shape == (2 * 6 * 6, 3 * 9)
+
+
+def test_im2col_content_matches_naive(rng):
+    x = rng.normal(size=(1, 2, 4, 4))
+    cols = F.im2col(x, 2, 2, 1, 0)
+    # first output position is the top-left patch, channel-major
+    patch = x[0, :, 0:2, 0:2].reshape(-1)
+    assert np.allclose(cols[0], patch)
+    # last position is the bottom-right patch
+    patch = x[0, :, 2:4, 2:4].reshape(-1)
+    assert np.allclose(cols[-1], patch)
+
+
+def test_col2im_is_adjoint_of_im2col(rng):
+    """<im2col(x), y> == <x, col2im(y)> for random x, y (exact adjoint)."""
+    x = rng.normal(size=(2, 3, 5, 5))
+    kh = kw = 3
+    stride, padding = 2, 1
+    cols = F.im2col(x, kh, kw, stride, padding)
+    y = rng.normal(size=cols.shape)
+    lhs = float((cols * y).sum())
+    rhs = float((x * F.col2im(y, x.shape, kh, kw, stride, padding)).sum())
+    assert np.isclose(lhs, rhs)
+
+
+def test_sigmoid_stable_and_correct():
+    x = np.array([-1000.0, 0.0, 1000.0])
+    out = F.sigmoid(x)
+    assert np.allclose(out, [0.0, 0.5, 1.0])
+    assert not np.isnan(out).any()
+
+
+def test_log_softmax_matches_definition(rng):
+    logits = rng.normal(size=(4, 6))
+    ls = F.log_softmax(logits)
+    assert np.allclose(np.exp(ls).sum(axis=1), 1.0)
+
+
+def test_relu_functional():
+    assert np.allclose(F.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+
+def test_tanh_matches_numpy(rng):
+    x = rng.normal(size=(3, 3))
+    assert np.allclose(F.tanh(x), np.tanh(x))

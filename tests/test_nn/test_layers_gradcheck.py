@@ -1,0 +1,127 @@
+"""Finite-difference gradient checks for every layer type.
+
+All checks run in float64 mode; tolerances are absolute against central
+differences with eps=1e-6, so passing means the manual backward passes
+are exact (not approximations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+TOL = 1e-6
+
+
+def _mse_scalar(layer, x, target):
+    def fn():
+        return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+    return fn
+
+
+def _run_layer_check(layer, x, gradcheck, param_names=(), check_input=True):
+    target = np.zeros_like(layer.forward(x))
+    fn = _mse_scalar(layer, x, target)
+    out = layer.forward(x)
+    layer.zero_grad()
+    grad_x = layer.backward(out - target)
+
+    for name in param_names:
+        expected = gradcheck(fn, layer.params[name])
+        assert np.abs(layer.grads[name] - expected).max() < TOL, name
+    if check_input:
+        expected = gradcheck(fn, x)
+        assert np.abs(grad_x - expected).max() < TOL
+
+
+@pytest.mark.usefixtures("float64_mode")
+class TestGradients:
+    def test_linear(self, rng, gradcheck):
+        layer = Linear(5, 4, rng=rng)
+        x = rng.normal(size=(3, 5))
+        _run_layer_check(layer, x, gradcheck, ("weight", "bias"))
+
+    def test_conv2d_basic(self, rng, gradcheck):
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        _run_layer_check(layer, x, gradcheck, ("weight", "bias"))
+
+    def test_conv2d_strided_no_padding(self, rng, gradcheck):
+        layer = Conv2d(3, 2, 3, stride=2, padding=0, rng=rng)
+        x = rng.normal(size=(2, 3, 7, 7))
+        _run_layer_check(layer, x, gradcheck, ("weight", "bias"))
+
+    def test_conv2d_1x1(self, rng, gradcheck):
+        layer = Conv2d(4, 2, 1, rng=rng)
+        x = rng.normal(size=(2, 4, 3, 3))
+        _run_layer_check(layer, x, gradcheck, ("weight", "bias"))
+
+    def test_batchnorm_training(self, rng, gradcheck):
+        layer = BatchNorm2d(3)
+        x = rng.normal(size=(4, 3, 4, 4))
+        _run_layer_check(layer, x, gradcheck, ("gamma", "beta"))
+
+    def test_batchnorm_eval(self, rng, gradcheck):
+        layer = BatchNorm2d(3)
+        # populate running statistics, then check eval-mode gradients
+        layer.forward(rng.normal(size=(8, 3, 4, 4)))
+        layer.eval()
+        x = rng.normal(size=(4, 3, 4, 4))
+        _run_layer_check(layer, x, gradcheck, ("gamma", "beta"))
+
+    def test_relu(self, rng, gradcheck):
+        layer = ReLU()
+        x = rng.normal(size=(4, 6)) + 0.1  # keep away from the kink
+        _run_layer_check(layer, x, gradcheck)
+
+    def test_maxpool_fast_path(self, rng, gradcheck):
+        layer = MaxPool2d(2)
+        x = rng.normal(size=(2, 3, 6, 6))
+        _run_layer_check(layer, x, gradcheck)
+
+    def test_maxpool_overlapping(self, rng, gradcheck):
+        layer = MaxPool2d(3, stride=2)
+        x = rng.normal(size=(2, 2, 7, 7))
+        _run_layer_check(layer, x, gradcheck)
+
+    def test_maxpool_nondivisible_input(self, rng, gradcheck):
+        layer = MaxPool2d(2)
+        x = rng.normal(size=(2, 2, 7, 7))  # trailing row/col trimmed
+        _run_layer_check(layer, x, gradcheck)
+
+    def test_avgpool_global(self, rng, gradcheck):
+        layer = AvgPool2d(None)
+        x = rng.normal(size=(2, 3, 4, 4))
+        _run_layer_check(layer, x, gradcheck)
+
+    def test_avgpool_windowed(self, rng, gradcheck):
+        layer = AvgPool2d(2)
+        x = rng.normal(size=(2, 3, 6, 6))
+        _run_layer_check(layer, x, gradcheck)
+
+    def test_flatten(self, rng, gradcheck):
+        layer = Flatten()
+        x = rng.normal(size=(3, 2, 4, 4))
+        _run_layer_check(layer, x, gradcheck)
+
+
+@pytest.mark.usefixtures("float64_mode")
+def test_conv_requires_input_grad_false_skips_input_grad(rng):
+    layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+    layer.requires_input_grad = False
+    x = rng.normal(size=(2, 2, 5, 5))
+    out = layer.forward(x)
+    grad_x = layer.backward(np.ones_like(out))
+    assert np.all(grad_x == 0.0)
+    # parameter gradients must still be exact
+    assert np.abs(layer.grads["bias"] - out.shape[0] * 25).max() < 1e-9

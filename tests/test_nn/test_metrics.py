@@ -1,0 +1,50 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import build_cnn, build_lstm_lm
+from repro.nn.metrics import (
+    accuracy,
+    evaluate_classifier,
+    evaluate_language_model,
+)
+
+
+def test_accuracy_basic():
+    logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+    targets = np.array([0, 1, 1])
+    assert np.isclose(accuracy(logits, targets), 2 / 3)
+
+
+def test_evaluate_classifier_restores_training_mode(rng):
+    model = build_cnn(rng=rng)
+    model.train()
+    x = rng.normal(size=(8, 1, 28, 28)).astype(np.float32)
+    y = rng.integers(0, 10, size=8)
+    acc, loss = evaluate_classifier(model, x, y, batch_size=4)
+    assert 0.0 <= acc <= 1.0
+    assert loss > 0
+    assert model.training  # restored
+
+
+def test_evaluate_classifier_batching_is_consistent(rng):
+    model = build_cnn(rng=rng)
+    x = rng.normal(size=(10, 1, 28, 28)).astype(np.float32)
+    y = rng.integers(0, 10, size=10)
+    model.eval()
+    acc_small, loss_small = evaluate_classifier(model, x, y, batch_size=3)
+    acc_big, loss_big = evaluate_classifier(model, x, y, batch_size=10)
+    assert np.isclose(acc_small, acc_big)
+    assert np.isclose(loss_small, loss_big, rtol=1e-5)
+
+
+def test_evaluate_language_model_uniform_ppl(rng):
+    model = build_lstm_lm(vocab_size=50, embedding_dim=8, hidden_size=8,
+                          rng=rng)
+    seqs = rng.integers(0, 50, size=(2, 5, 3))
+    targets = rng.integers(0, 50, size=(2, 5, 3))
+    ppl, ce = evaluate_language_model(model, seqs, targets)
+    assert ppl > 1.0
+    assert np.isclose(ppl, np.exp(ce))

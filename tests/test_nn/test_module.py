@@ -1,0 +1,122 @@
+"""Module tree traversal, state_dict round-trips, train/eval modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Dropout, Linear, ReLU
+from repro.nn.module import Module, Sequential
+
+
+def _toy_model(rng):
+    return Sequential(
+        ("conv", Conv2d(1, 2, 3, padding=1, rng=rng)),
+        ("bn", BatchNorm2d(2)),
+        ("relu", ReLU()),
+    )
+
+
+def test_named_parameters_qualified_names(rng):
+    model = _toy_model(rng)
+    names = {name for name, _ in model.named_parameters()}
+    assert names == {"conv.weight", "conv.bias", "bn.gamma", "bn.beta"}
+
+
+def test_state_dict_roundtrip_preserves_values(rng):
+    model = _toy_model(rng)
+    state = model.state_dict()
+    other = _toy_model(np.random.default_rng(99))
+    other.load_state_dict(state)
+    for key, value in other.state_dict().items():
+        assert np.allclose(value, state[key]), key
+
+
+def test_state_dict_returns_copies(rng):
+    model = _toy_model(rng)
+    state = model.state_dict()
+    state["conv.weight"][:] = 123.0
+    assert not np.allclose(
+        dict(model.named_parameters())["conv.weight"], 123.0
+    )
+
+
+def test_load_state_dict_strict_missing_key_raises(rng):
+    model = _toy_model(rng)
+    state = model.state_dict()
+    del state["conv.weight"]
+    with pytest.raises(KeyError):
+        model.load_state_dict(state)
+
+
+def test_load_state_dict_shape_mismatch_raises(rng):
+    model = _toy_model(rng)
+    state = model.state_dict()
+    state["conv.weight"] = np.zeros((5, 5))
+    with pytest.raises(ValueError):
+        model.load_state_dict(state)
+
+
+def test_train_eval_propagates_to_children(rng):
+    model = _toy_model(rng)
+    model.eval()
+    assert all(not m.training for _, m in model.named_modules())
+    model.train()
+    assert all(m.training for _, m in model.named_modules())
+
+
+def test_zero_grad_clears_all_gradients(rng):
+    model = _toy_model(rng)
+    x = rng.normal(size=(2, 1, 4, 4)).astype(np.float32)
+    out = model.forward(x)
+    model.backward(np.ones_like(out))
+    assert any(np.abs(g).sum() > 0 for _, g in model.named_grads())
+    model.zero_grad()
+    assert all(np.abs(g).sum() == 0 for _, g in model.named_grads())
+
+
+def test_num_parameters_counts_scalars(rng):
+    model = _toy_model(rng)
+    # conv: 2*1*3*3 + 2; bn: 2 + 2
+    assert model.num_parameters() == 18 + 2 + 4
+
+
+def test_sequential_rejects_non_module():
+    with pytest.raises(TypeError):
+        Sequential(("bad", 42))
+
+
+def test_sequential_named_layer_access(rng):
+    model = _toy_model(rng)
+    assert isinstance(model.get("conv"), Conv2d)
+    assert model.layer_names == ["conv", "bn", "relu"]
+
+
+def test_dropout_eval_is_identity(rng):
+    layer = Dropout(0.5, rng=rng)
+    layer.eval()
+    x = rng.normal(size=(4, 5)).astype(np.float32)
+    assert np.allclose(layer.forward(x), x)
+
+
+def test_dropout_training_masks_and_scales(rng):
+    layer = Dropout(0.5, rng=np.random.default_rng(3))
+    x = np.ones((200, 50), dtype=np.float32)
+    out = layer.forward(x)
+    zero_fraction = float((out == 0).mean())
+    assert 0.4 < zero_fraction < 0.6
+    kept = out[out != 0]
+    assert np.allclose(kept, 2.0)  # inverted scaling
+
+
+def test_dropout_invalid_probability():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+
+
+def test_module_forward_backward_not_implemented():
+    base = Module()
+    with pytest.raises(NotImplementedError):
+        base.forward(np.zeros(1))
+    with pytest.raises(NotImplementedError):
+        base.backward(np.zeros(1))

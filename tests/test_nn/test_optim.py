@@ -1,0 +1,95 @@
+"""SGD and FedProx proximal SGD behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD, ProximalSGD
+
+
+def _one_layer(rng):
+    return Sequential(("fc", Linear(3, 2, rng=rng)))
+
+
+def test_sgd_step_moves_against_gradient(rng):
+    model = _one_layer(rng)
+    layer = model.get("fc")
+    before = layer.params["weight"].copy()
+    layer.grads["weight"][:] = 1.0
+    SGD(model, lr=0.1).step()
+    assert np.allclose(layer.params["weight"], before - 0.1)
+
+
+def test_sgd_weight_decay(rng):
+    model = _one_layer(rng)
+    layer = model.get("fc")
+    before = layer.params["weight"].copy()
+    SGD(model, lr=0.1, weight_decay=0.5).step()  # zero gradients
+    assert np.allclose(layer.params["weight"], before * (1 - 0.05), atol=1e-6)
+
+
+def test_sgd_momentum_accumulates(rng):
+    model = _one_layer(rng)
+    layer = model.get("fc")
+    before = layer.params["weight"].copy()
+    optimizer = SGD(model, lr=1.0, momentum=0.5)
+    layer.grads["weight"][:] = 1.0
+    optimizer.step()          # velocity = 1
+    layer.grads["weight"][:] = 1.0
+    optimizer.step()          # velocity = 1.5
+    assert np.allclose(layer.params["weight"], before - 2.5)
+
+
+def test_sgd_rejects_nonpositive_lr(rng):
+    with pytest.raises(ValueError):
+        SGD(_one_layer(rng), lr=0.0)
+
+
+def test_proximal_sgd_pulls_toward_anchor(rng):
+    model = _one_layer(rng)
+    layer = model.get("fc")
+    anchor_state = {
+        key: np.zeros_like(value) for key, value in model.state_dict().items()
+    }
+    optimizer = ProximalSGD(model, lr=0.1, mu=1.0)
+    optimizer.set_anchor(anchor_state)
+    before = layer.params["weight"].copy()
+    optimizer.step()  # gradient is zero, so update = -lr * mu * (w - 0)
+    assert np.allclose(layer.params["weight"], before * 0.9, atol=1e-6)
+
+
+def test_proximal_sgd_mu_zero_equals_sgd(rng):
+    model_a = _one_layer(rng)
+    model_b = _one_layer(np.random.default_rng(12345))
+    model_b.load_state_dict(model_a.state_dict())
+    for model in (model_a, model_b):
+        model.get("fc").grads["weight"][:] = 0.7
+    prox = ProximalSGD(model_a, lr=0.2, mu=0.0)
+    prox.set_anchor(model_a.state_dict())
+    prox.step()
+    SGD(model_b, lr=0.2).step()
+    assert np.allclose(
+        model_a.get("fc").params["weight"], model_b.get("fc").params["weight"]
+    )
+
+
+def test_proximal_sgd_rejects_negative_mu(rng):
+    with pytest.raises(ValueError):
+        ProximalSGD(_one_layer(rng), lr=0.1, mu=-1.0)
+
+
+def test_momentum_buffer_survives_shape_consistency(rng):
+    """Momentum slots are keyed per module and reset on shape change."""
+    model = _one_layer(rng)
+    layer = model.get("fc")
+    optimizer = SGD(model, lr=0.1, momentum=0.9)
+    layer.grads["weight"][:] = 1.0
+    optimizer.step()
+    # simulate a sub-model reload with a different shape
+    layer.params["weight"] = np.zeros((2, 2))
+    layer.grads["weight"] = np.ones((2, 2))
+    optimizer.step()  # must not raise
+    assert layer.params["weight"].shape == (2, 2)

@@ -1,0 +1,66 @@
+"""LSTM / Embedding gradient checks and shape behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.recurrent import LSTM, Embedding
+
+TOL = 1e-6
+
+
+@pytest.mark.usefixtures("float64_mode")
+def test_lstm_full_gradcheck(rng, gradcheck):
+    lstm = LSTM(3, 4, rng=rng)
+    x = rng.normal(size=(4, 2, 3))
+    target = rng.normal(size=(4, 2, 4))
+
+    def fn():
+        return 0.5 * float(((lstm.forward(x) - target) ** 2).sum())
+
+    out = lstm.forward(x)
+    lstm.zero_grad()
+    grad_x = lstm.backward(out - target)
+
+    for name in ("w_ih", "w_hh", "bias"):
+        expected = gradcheck(fn, lstm.params[name])
+        assert np.abs(lstm.grads[name] - expected).max() < TOL, name
+    expected = gradcheck(fn, x)
+    assert np.abs(grad_x - expected).max() < TOL
+
+
+@pytest.mark.usefixtures("float64_mode")
+def test_embedding_gradients_accumulate_repeated_ids(rng):
+    embed = Embedding(6, 3, rng=rng)
+    ids = np.array([[1, 1], [1, 2]])  # token 1 appears three times
+    out = embed.forward(ids)
+    embed.zero_grad()
+    embed.backward(np.ones_like(out))
+    assert np.allclose(embed.grads["weight"][1], 3.0)
+    assert np.allclose(embed.grads["weight"][2], 1.0)
+    assert np.allclose(embed.grads["weight"][0], 0.0)
+
+
+def test_lstm_output_shape_and_determinism(rng):
+    lstm = LSTM(5, 7, rng=rng)
+    x = rng.normal(size=(6, 3, 5)).astype(np.float32)
+    out1 = lstm.forward(x)
+    out2 = lstm.forward(x)
+    assert out1.shape == (6, 3, 7)
+    assert np.allclose(out1, out2)
+
+
+def test_lstm_forget_bias_initialised_to_one(rng):
+    lstm = LSTM(3, 4, rng=rng)
+    hidden = lstm.hidden_size
+    assert np.allclose(lstm.params["bias"][hidden:2 * hidden], 1.0)
+    assert np.allclose(lstm.params["bias"][:hidden], 0.0)
+
+
+def test_embedding_forward_looks_up_rows(rng):
+    embed = Embedding(10, 4, rng=rng)
+    ids = np.array([[0, 9], [3, 3]])
+    out = embed.forward(ids)
+    assert out.shape == (2, 2, 4)
+    assert np.allclose(out[0, 1], embed.params["weight"][9])

@@ -1,0 +1,77 @@
+"""l1 importance scores and top-index selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pruning.importance import (
+    conv_filter_scores,
+    linear_neuron_scores,
+    lstm_iss_scores,
+    top_indices,
+)
+
+
+def test_conv_filter_scores_sum_abs_kernel():
+    weight = np.zeros((2, 1, 2, 2))
+    weight[0] = 1.0
+    weight[1] = -2.0
+    assert np.allclose(conv_filter_scores(weight), [4.0, 8.0])
+
+
+def test_conv_filter_scores_rejects_wrong_ndim():
+    with pytest.raises(ValueError):
+        conv_filter_scores(np.zeros((2, 3)))
+
+
+def test_linear_neuron_scores_rows():
+    weight = np.array([[1.0, -1.0], [3.0, 0.0]])
+    assert np.allclose(linear_neuron_scores(weight), [2.0, 3.0])
+
+
+def test_linear_neuron_scores_rejects_wrong_ndim():
+    with pytest.raises(ValueError):
+        linear_neuron_scores(np.zeros((2, 3, 4)))
+
+
+def test_lstm_iss_scores_cover_rows_and_column():
+    hidden = 2
+    w_ih = np.zeros((4 * hidden, 3))
+    w_hh = np.zeros((4 * hidden, hidden))
+    # give unit 0 weight mass in every gate block row of w_ih
+    for gate in range(4):
+        w_ih[gate * hidden + 0, :] = 1.0
+    # put mass in unit 1's recurrent column; this also shows up in the
+    # w_hh *rows* of both units (each row crosses every column)
+    w_hh[:, 1] = 2.0
+    scores = lstm_iss_scores(w_ih, w_hh)
+    # unit 0: 12 from its w_ih rows + 4 gate rows of w_hh crossing col 1
+    assert scores[0] == pytest.approx(12 + 4 * 2.0)
+    # unit 1: 4 gate rows crossing col 1 (8) + its own column (8 * 2)
+    assert scores[1] == pytest.approx(8 + 16)
+
+
+def test_lstm_iss_scores_shape_check():
+    with pytest.raises(ValueError):
+        lstm_iss_scores(np.zeros((7, 3)), np.zeros((8, 2)))
+
+
+def test_top_indices_selects_highest_and_sorts():
+    scores = np.array([0.1, 5.0, 3.0, 4.0])
+    assert top_indices(scores, 2).tolist() == [1, 3]
+
+
+def test_top_indices_keep_all():
+    scores = np.array([1.0, 2.0])
+    assert top_indices(scores, 5).tolist() == [0, 1]
+
+
+def test_top_indices_tie_break_stable():
+    scores = np.array([1.0, 1.0, 1.0])
+    assert top_indices(scores, 2).tolist() == [0, 1]
+
+
+def test_top_indices_rejects_zero_keep():
+    with pytest.raises(ValueError):
+        top_indices(np.array([1.0]), 0)

@@ -1,0 +1,97 @@
+"""Hypothesis property tests on the pruning invariants.
+
+These exercise the recovery/sparse/residual identities over random
+ratios and random weight contents -- the invariants R2SP's convergence
+argument rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import build_cnn
+from repro.pruning import (
+    build_pruning_plan,
+    extract_submodel,
+    pruning_error,
+    recover_state_dict,
+    residual_state_dict,
+    sparse_state_dict,
+)
+from repro.pruning.importance import top_indices
+from repro.pruning.plan import keep_count
+
+ratios = st.floats(min_value=0.0, max_value=0.95, allow_nan=False)
+
+
+def _small_model(seed: int):
+    return build_cnn(rng=np.random.default_rng(seed))
+
+
+@settings(max_examples=15, deadline=None)
+@given(ratio=ratios, seed=st.integers(0, 2 ** 16))
+def test_recovery_identity_property(ratio, seed):
+    model = _small_model(seed)
+    plan = build_pruning_plan(model, ratio)
+    sub = extract_submodel(model, plan, rng=np.random.default_rng(seed))
+    recovered = recover_state_dict(sub.state_dict(), plan, model.state_dict())
+    sparse = sparse_state_dict(model.state_dict(), plan)
+    for key in sparse:
+        assert np.allclose(recovered[key], sparse[key])
+
+
+@settings(max_examples=15, deadline=None)
+@given(ratio=ratios, seed=st.integers(0, 2 ** 16))
+def test_sparse_plus_residual_property(ratio, seed):
+    model = _small_model(seed)
+    state = model.state_dict()
+    plan = build_pruning_plan(model, ratio)
+    sparse = sparse_state_dict(state, plan)
+    residual = residual_state_dict(state, plan)
+    for key in state:
+        assert np.allclose(sparse[key] + residual[key], state[key])
+
+
+@settings(max_examples=15, deadline=None)
+@given(ratio=ratios, seed=st.integers(0, 2 ** 16))
+def test_pruning_error_nonnegative_and_bounded(ratio, seed):
+    model = _small_model(seed)
+    state = model.state_dict()
+    error = pruning_error(state, build_pruning_plan(model, ratio))
+    norm = sum(float((value ** 2).sum()) for value in state.values())
+    assert 0.0 <= error <= norm + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    full=st.integers(min_value=1, max_value=512),
+    ratio=ratios,
+)
+def test_keep_count_properties(full, ratio):
+    kept = keep_count(full, ratio)
+    assert 1 <= kept <= full
+    # removing at most the floor(ratio * full) units
+    assert full - kept <= int(np.floor(full * ratio))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scores=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=64,
+    ),
+    keep_fraction=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_top_indices_properties(scores, keep_fraction):
+    scores = np.asarray(scores)
+    keep = max(1, int(len(scores) * keep_fraction))
+    picked = top_indices(scores, keep)
+    assert picked.size == min(keep, scores.size)
+    assert np.all(np.diff(picked) > 0)  # sorted, unique
+    # every kept score >= every dropped score
+    dropped = np.setdiff1d(np.arange(scores.size), picked)
+    if dropped.size and picked.size:
+        assert scores[picked].min() >= scores[dropped].max() - 1e-9

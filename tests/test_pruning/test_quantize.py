@@ -1,0 +1,82 @@
+"""Residual-model quantization (Section III-C memory optimisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_cnn
+from repro.pruning import build_pruning_plan, residual_state_dict
+from repro.pruning.quantize import (
+    QuantizedState,
+    quantization_error,
+    quantize_state_dict,
+    residual_memory_ratio,
+    state_memory_bytes,
+)
+
+
+@pytest.fixture
+def residual(rng):
+    model = build_cnn(rng=rng)
+    plan = build_pruning_plan(model, 0.5)
+    return residual_state_dict(model.state_dict(), plan), model.state_dict()
+
+
+def test_roundtrip_error_bounded_by_half_step(rng):
+    state = {"w": rng.normal(size=(32, 16)).astype(np.float64)}
+    quantized = quantize_state_dict(state, bits=8)
+    scale = quantized.scales["w"]
+    assert quantization_error(state, quantized) <= scale / 2 + 1e-12
+
+
+def test_zeros_preserved_exactly(residual):
+    residual_state, _ = residual
+    quantized = quantize_state_dict(residual_state, bits=6)
+    restored = quantized.dequantize()
+    for key, value in residual_state.items():
+        zero_mask = value == 0.0
+        assert np.all(restored[key][zero_mask] == 0.0), key
+
+
+def test_memory_shrinks_with_bits(residual):
+    residual_state, _ = residual
+    sizes = [
+        quantize_state_dict(residual_state, bits=b).memory_bytes()
+        for b in (4, 8, 16)
+    ]
+    assert sizes[0] < sizes[1] < sizes[2]
+    assert sizes[1] < state_memory_bytes(residual_state)
+
+
+def test_residual_memory_ratio_matches_paper_band(residual):
+    """The paper quotes 10-20% of the original model for quantized
+    residuals; 4-6 bits land exactly in that band (bits/32)."""
+    residual_state, global_state = residual
+    dense, quantized = residual_memory_ratio(residual_state, global_state,
+                                             bits=5)
+    assert dense == pytest.approx(1.0, rel=0.01)
+    assert 0.10 <= quantized <= 0.20
+
+
+def test_bits_validation(residual):
+    residual_state, _ = residual
+    with pytest.raises(ValueError):
+        quantize_state_dict(residual_state, bits=1)
+    with pytest.raises(ValueError):
+        quantize_state_dict(residual_state, bits=32)
+
+
+def test_error_decreases_with_bits(rng):
+    state = {"w": rng.normal(size=(64,))}
+    errors = [
+        quantization_error(state, quantize_state_dict(state, bits=b))
+        for b in (3, 6, 12)
+    ]
+    assert errors[0] > errors[1] > errors[2]
+
+
+def test_empty_state():
+    quantized = quantize_state_dict({}, bits=8)
+    assert isinstance(quantized, QuantizedState)
+    assert quantization_error({}, quantized) == 0.0

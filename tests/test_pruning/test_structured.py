@@ -1,0 +1,162 @@
+"""Structured pruning: plans, extraction, recovery, R2SP identities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_alexnet, build_cnn, build_resnet50, build_vgg19
+from repro.pruning import (
+    build_pruning_plan,
+    extract_submodel,
+    recover_state_dict,
+    sparse_state_dict,
+)
+from repro.pruning.plan import keep_count
+
+MODEL_CASES = [
+    ("cnn", lambda rng: build_cnn(rng=rng), (1, 28, 28)),
+    ("alexnet",
+     lambda rng: build_alexnet(width_mult=0.125, rng=rng), (3, 32, 32)),
+    ("vgg19",
+     lambda rng: build_vgg19(width_mult=0.0625, rng=rng), (1, 28, 28)),
+    ("resnet50",
+     lambda rng: build_resnet50(width_mult=0.125, blocks_per_stage=(1, 1, 1, 1),
+                                rng=rng), (3, 64, 64)),
+]
+
+
+@pytest.mark.parametrize("name,builder,shape", MODEL_CASES)
+@pytest.mark.parametrize("ratio", [0.0, 0.3, 0.7])
+def test_recovery_equals_sparse_model(rng, name, builder, shape, ratio):
+    """recover(extract(model)) must reproduce the sparse model exactly."""
+    model = builder(rng)
+    plan = build_pruning_plan(model, ratio)
+    sub = extract_submodel(model, plan, rng=rng)
+    recovered = recover_state_dict(sub.state_dict(), plan, model.state_dict())
+    sparse = sparse_state_dict(model.state_dict(), plan)
+    for key in sparse:
+        assert np.allclose(recovered[key], sparse[key]), (name, ratio, key)
+
+
+@pytest.mark.parametrize("name,builder,shape", MODEL_CASES)
+def test_submodel_forward_backward(rng, name, builder, shape):
+    model = builder(rng)
+    plan = build_pruning_plan(model, 0.5)
+    sub = extract_submodel(model, plan, rng=rng)
+    x = rng.normal(size=(2,) + shape).astype(np.float32)
+    out = sub.forward(x)
+    assert out.shape[0] == 2
+    sub.zero_grad()
+    sub.backward(np.ones_like(out) / out.size)
+
+
+@pytest.mark.parametrize("name,builder,shape", MODEL_CASES)
+def test_parameter_reduction_monotone(rng, name, builder, shape):
+    model = builder(rng)
+    previous = model.num_parameters() + 1
+    for ratio in (0.0, 0.25, 0.5, 0.75):
+        sub = extract_submodel(model, build_pruning_plan(model, ratio),
+                               rng=rng)
+        assert sub.num_parameters() < previous
+        previous = sub.num_parameters()
+
+
+def test_zero_ratio_submodel_is_functionally_identical(rng):
+    model = build_cnn(rng=rng)
+    model.eval()
+    plan = build_pruning_plan(model, 0.0)
+    assert plan.is_identity()
+    sub = extract_submodel(model, plan, rng=rng)
+    sub.eval()
+    x = rng.normal(size=(3, 1, 28, 28)).astype(np.float32)
+    assert np.allclose(model.forward(x), sub.forward(x), atol=1e-5)
+
+
+def test_output_layer_never_pruned(rng):
+    model = build_cnn(rng=rng)
+    plan = build_pruning_plan(model, 0.8)
+    assert plan["fc2"].kept_out.size == 10
+
+
+def test_kept_counts_match_formula(rng):
+    model = build_cnn(rng=rng)
+    ratio = 0.4
+    plan = build_pruning_plan(model, ratio)
+    assert plan["conv1"].kept_out.size == keep_count(32, ratio)
+    assert plan["conv2"].kept_out.size == keep_count(64, ratio)
+    assert plan["fc1"].kept_out.size == keep_count(256, ratio)
+
+
+def test_next_layer_inputs_follow_pruned_channels(rng):
+    """Channels removed from conv1 must disappear from conv2's inputs."""
+    model = build_cnn(rng=rng)
+    plan = build_pruning_plan(model, 0.5)
+    assert np.array_equal(plan["conv2"].kept_in, plan["conv1"].kept_out)
+
+
+def test_flatten_expansion_maps_channels_to_features(rng):
+    model = build_cnn(rng=rng)
+    plan = build_pruning_plan(model, 0.5)
+    kept_channels = plan["conv2"].kept_out
+    area = 7 * 7  # 28 -> 14 -> 7 after two 2x2 pools
+    expected = (kept_channels[:, None] * area + np.arange(area)).reshape(-1)
+    assert np.array_equal(plan["fc1"].kept_in, expected)
+
+
+def test_pruned_weights_are_the_top_l1_filters(rng):
+    model = build_cnn(rng=rng)
+    conv1 = model.get("conv1")
+    scores = np.abs(conv1.params["weight"]).sum(axis=(1, 2, 3))
+    plan = build_pruning_plan(model, 0.5)
+    expected = np.sort(np.argsort(-scores, kind="stable")[:16])
+    assert np.array_equal(plan["conv1"].kept_out, expected)
+
+
+def test_extracted_weights_match_source_slices(rng):
+    model = build_cnn(rng=rng)
+    plan = build_pruning_plan(model, 0.5)
+    sub = extract_submodel(model, plan, rng=rng)
+    entry = plan["conv2"]
+    expected = model.get("conv2").params["weight"][
+        np.ix_(entry.kept_out, entry.kept_in)
+    ]
+    assert np.allclose(sub.get("conv2").params["weight"], expected)
+
+
+def test_resnet_block_boundaries_unpruned(rng):
+    model = build_resnet50(width_mult=0.125, blocks_per_stage=(1, 1, 1, 1),
+                           rng=rng)
+    plan = build_pruning_plan(model, 0.6)
+    entry = plan["stage1_block1.conv3"]
+    assert entry.kept_out.size == entry.out_full
+    proj = plan["stage1_block1.downsample.conv"]
+    assert proj.kept_out.size == proj.out_full
+
+
+def test_bn_follows_conv(rng):
+    model = build_vgg19(width_mult=0.0625, rng=rng)
+    plan = build_pruning_plan(model, 0.5)
+    assert np.array_equal(plan["bn1_1"].kept_out, plan["conv1_1"].kept_out)
+
+
+def test_plan_requires_input_shape(rng):
+    from repro.nn.layers import Linear
+    from repro.nn.module import Sequential
+
+    model = Sequential(("fc", Linear(4, 2, rng=rng)))
+    with pytest.raises(ValueError, match="input_shape"):
+        build_pruning_plan(model, 0.5)
+
+
+def test_recover_rejects_shape_drift_on_unplanned_entries(rng):
+    """Entries the plan does not cover are copied through and must keep
+    their shape exactly."""
+    model = build_cnn(rng=rng)
+    plan = build_pruning_plan(model, 0.0)
+    template = model.state_dict()
+    template["extra.bias"] = np.zeros(4)
+    sub_state = model.state_dict()
+    sub_state["extra.bias"] = np.zeros(7)  # drifted shape
+    with pytest.raises(ValueError, match="extra.bias"):
+        recover_state_dict(sub_state, plan, template)

@@ -1,0 +1,63 @@
+"""Deadline-based fault tolerance (Section V-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.faults import DeadlinePolicy, simulate_membership_churn
+
+
+def test_straggler_discarded():
+    policy = DeadlinePolicy(quorum_fraction=0.85, deadline_multiplier=1.5)
+    times = {i: 10.0 + i for i in range(9)}
+    times[9] = 100.0
+    outcome = policy.apply(times)
+    assert outcome.discarded == [9]
+    assert 9 not in outcome.accepted
+    assert outcome.round_time_s == pytest.approx(18.0)
+
+
+def test_all_accepted_when_homogeneous():
+    policy = DeadlinePolicy()
+    times = {i: 10.0 for i in range(10)}
+    outcome = policy.apply(times)
+    assert outcome.discarded == []
+    assert len(outcome.accepted) == 10
+
+
+def test_deadline_is_multiple_of_quorum_time():
+    policy = DeadlinePolicy(quorum_fraction=0.5, deadline_multiplier=2.0)
+    times = {0: 1.0, 1: 2.0, 2: 3.0, 3: 10.0}
+    outcome = policy.apply(times)
+    # quorum index: 2nd arrival (t=2) -> deadline 4.0
+    assert outcome.deadline_s == pytest.approx(4.0)
+    assert outcome.discarded == [3]
+
+
+def test_empty_times_raises():
+    with pytest.raises(ValueError):
+        DeadlinePolicy().apply({})
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        DeadlinePolicy(quorum_fraction=0.0)
+    with pytest.raises(ValueError):
+        DeadlinePolicy(deadline_multiplier=0.5)
+
+
+def test_churn_never_empties_membership(rng):
+    present = simulate_membership_churn(
+        list(range(5)), round_index=1, leave_prob=1.0, rejoin_after=3,
+        rng=rng,
+    )
+    assert present  # at least one worker always remains
+
+
+def test_churn_no_leaves_at_zero_probability(rng):
+    present = simulate_membership_churn(
+        list(range(5)), round_index=1, leave_prob=0.0, rejoin_after=3,
+        rng=rng,
+    )
+    assert present == list(range(5))

@@ -1,0 +1,46 @@
+"""Wireless link model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.network import (
+    REFERENCE_RATE_BPS,
+    WirelessLink,
+    bandwidth_for_distance,
+)
+
+
+def test_rate_at_reference_distance():
+    assert bandwidth_for_distance(10.0) == pytest.approx(REFERENCE_RATE_BPS)
+
+
+def test_rate_decreases_with_distance():
+    rates = [bandwidth_for_distance(d) for d in (10, 20, 40, 80)]
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+
+
+def test_rate_floor():
+    assert bandwidth_for_distance(10_000.0) >= 0.05 * REFERENCE_RATE_BPS
+
+
+def test_invalid_distance():
+    with pytest.raises(ValueError):
+        bandwidth_for_distance(0.0)
+
+
+def test_transfer_time_deterministic_without_jitter():
+    link = WirelessLink(8e6, jitter_sigma=0.0)
+    assert link.transfer_time(1e6) == pytest.approx(1.0)  # 8 Mbit at 8 Mbps
+
+
+def test_transfer_time_jitter_reproducible():
+    a = WirelessLink(8e6, jitter_sigma=0.2, rng=np.random.default_rng(5))
+    b = WirelessLink(8e6, jitter_sigma=0.2, rng=np.random.default_rng(5))
+    assert a.transfer_time(1e6) == pytest.approx(b.transfer_time(1e6))
+
+
+def test_invalid_bandwidth():
+    with pytest.raises(ValueError):
+        WirelessLink(0.0)

@@ -1,0 +1,70 @@
+"""Completion-time model (Eq. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.device import (
+    JETSON_TX2_MODES,
+    TRAIN_FLOPS_MULTIPLIER,
+    DeviceProfile,
+)
+from repro.simulation.timing import BYTES_PER_PARAM, RoundCosts, TimingModel
+
+
+def _device(mode=0, bandwidth=10e6, device_id=0):
+    return DeviceProfile(device_id=device_id, mode=JETSON_TX2_MODES[mode],
+                         bandwidth_bps=bandwidth)
+
+
+def test_computation_time_formula():
+    model = TimingModel(_device(), jitter_sigma=0.0)
+    flops = 1e6
+    t = model.computation_time(flops, batch_size=10, local_iterations=2)
+    expected = flops * TRAIN_FLOPS_MULTIPLIER * 10 * 2 \
+        / _device().flops_per_second
+    assert t == pytest.approx(expected)
+
+
+def test_transfer_time_formula():
+    model = TimingModel(_device(bandwidth=8e6), jitter_sigma=0.0)
+    t = model.transfer_time(1_000_000)
+    expected_bits = 1_000_000 * BYTES_PER_PARAM * 8
+    assert t == pytest.approx(expected_bits / 8e6)
+
+
+def test_round_costs_sum():
+    model = TimingModel(_device(), jitter_sigma=0.0)
+    costs = model.round_costs(1e6, 1000, 500, batch_size=8, local_iterations=3)
+    assert costs.total_s == pytest.approx(
+        costs.computation_s + costs.download_s + costs.upload_s
+    )
+    assert costs.communication_s == pytest.approx(
+        costs.download_s + costs.upload_s
+    )
+
+
+def test_slower_mode_takes_longer():
+    fast = TimingModel(_device(mode=0), jitter_sigma=0.0)
+    slow = TimingModel(_device(mode=3), jitter_sigma=0.0)
+    assert (
+        slow.computation_time(1e6, 8, 2) > fast.computation_time(1e6, 8, 2)
+    )
+
+
+def test_pruning_reduces_both_terms():
+    """Fig. 5's mechanism: fewer FLOPs and fewer params -> less time."""
+    model = TimingModel(_device(), jitter_sigma=0.0)
+    full = model.round_costs(2e6, 2000, 2000, 8, 2)
+    pruned = model.round_costs(1e6, 1000, 1000, 8, 2)
+    assert pruned.computation_s < full.computation_s
+    assert pruned.communication_s < full.communication_s
+
+
+def test_jitter_reproducible_per_device_seed():
+    a = TimingModel(_device(device_id=7), jitter_sigma=0.1)
+    b = TimingModel(_device(device_id=7), jitter_sigma=0.1)
+    assert a.computation_time(1e6, 8, 2) == pytest.approx(
+        b.computation_time(1e6, 8, 2)
+    )

@@ -1,0 +1,54 @@
+"""Hypothesis property tests for the cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.device import JETSON_TX2_MODES, DeviceProfile
+from repro.simulation.network import bandwidth_for_distance
+from repro.simulation.timing import TimingModel
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mode=st.integers(0, 3),
+    bandwidth=st.floats(min_value=1e5, max_value=1e8),
+    flops=st.floats(min_value=1e3, max_value=1e10),
+    params=st.integers(min_value=1, max_value=10 ** 8),
+    batch=st.integers(min_value=1, max_value=256),
+    tau=st.integers(min_value=1, max_value=50),
+)
+def test_costs_positive_and_additive(mode, bandwidth, flops, params, batch,
+                                     tau):
+    device = DeviceProfile(0, JETSON_TX2_MODES[mode], bandwidth)
+    model = TimingModel(device, jitter_sigma=0.0)
+    costs = model.round_costs(flops, params, params, batch, tau)
+    assert costs.computation_s > 0
+    assert costs.download_s > 0
+    assert costs.upload_s > 0
+    assert costs.total_s == costs.computation_s + costs.communication_s
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    d1=st.floats(min_value=1.0, max_value=500.0),
+    d2=st.floats(min_value=1.0, max_value=500.0),
+)
+def test_bandwidth_monotone_in_distance(d1, d2):
+    near, far = min(d1, d2), max(d1, d2)
+    assert bandwidth_for_distance(near) >= bandwidth_for_distance(far)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    flops1=st.floats(min_value=1e3, max_value=1e9),
+    scale=st.floats(min_value=1.001, max_value=100.0),
+)
+def test_computation_monotone_in_flops(flops1, scale):
+    device = DeviceProfile(0, JETSON_TX2_MODES[0], 1e7)
+    model = TimingModel(device, jitter_sigma=0.0)
+    small = model.computation_time(flops1, 8, 2)
+    large = model.computation_time(flops1 * scale, 8, 2)
+    assert large > small
