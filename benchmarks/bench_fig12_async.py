@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments.reporting import fmt_time, print_table
 from repro.experiments.setups import make_bench_task
-from conftest import run_training
+from conftest import comm_volume_params, run_training
 
 TARGET = 0.85
 VARIANTS = [
@@ -50,12 +50,13 @@ def test_fig12_sync_vs_async(once):
 
     rows = [
         [label, fmt_time(time_to(label)),
-         f"{results[label].final_metric():.3f}"]
+         f"{results[label].final_metric():.3f}",
+         f"{comm_volume_params(results[label]) / 1e6:.1f}M"]
         for label, _, _ in VARIANTS
     ]
     print_table(
         f"Fig. 12 -- time to {TARGET:.0%} accuracy ({bench_task.label})",
-        ["Variant", "Time to target", "Final accuracy"],
+        ["Variant", "Time to target", "Final accuracy", "Params moved"],
         rows, note=PAPER_NOTE,
     )
 
@@ -63,3 +64,8 @@ def test_fig12_sync_vs_async(once):
     assert time_to("Asyn-FedMP") < time_to("Asyn-FL"), rows
     # FedMP beats Syn-FL in both settings
     assert time_to("FedMP") < time_to("Syn-FL"), rows
+    # the comm-volume hook instrumented every round of every variant
+    assert all(
+        "download_params" in record.extras and "upload_params" in record.extras
+        for history in results.values() for record in history.rounds
+    ), "comm-volume extras missing from cached histories"

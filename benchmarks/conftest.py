@@ -19,13 +19,19 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.experiments import run_cached
 from repro.experiments.setups import BenchTask, make_devices
+from repro.fl.hooks import CommVolumeHook, TimingHook
 from repro.fl.runner import run_federated_training
 
 
 def run_training(bench_task: BenchTask, strategy: str, devices=None,
                  devices_key: str = "medium", non_iid_level: float = 0.0,
                  **config_overrides):
-    """Run (or fetch from cache) one training experiment."""
+    """Run (or fetch from cache) one training experiment.
+
+    The built-in instrumentation hooks are attached inside the factory
+    so the per-round ``extras`` (wall time, parameters moved) are baked
+    into the cached history records and survive cache hits.
+    """
     key_parts = [
         bench_task.key, strategy, devices_key, f"noniid={non_iid_level}",
     ] + [f"{k}={v}" for k, v in sorted(config_overrides.items())]
@@ -37,9 +43,21 @@ def run_training(bench_task: BenchTask, strategy: str, devices=None,
             devices = make_devices("medium")
         task = bench_task.make_task(non_iid_level)
         config = bench_task.make_config(strategy, **config_overrides)
-        return run_federated_training(task, devices, config)
+        return run_federated_training(
+            task, devices, config,
+            hooks=[TimingHook(), CommVolumeHook()],
+        )
 
     return run_cached(key, factory)
+
+
+def comm_volume_params(history) -> float:
+    """Total parameters moved (both directions) across a history."""
+    return sum(
+        record.extras.get("download_params", 0.0)
+        + record.extras.get("upload_params", 0.0)
+        for record in history.rounds
+    )
 
 
 @pytest.fixture

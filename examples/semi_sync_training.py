@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Semi-synchronous scheduling and sample-weighted aggregation.
+
+Compares three synchronisation rules on the same high-heterogeneity
+deployment with non-IID (hence unequally sized) shards:
+
+- **sync**: barrier rounds -- every round waits for the slowest worker;
+- **semi-sync**: each round aggregates whoever arrives within a fixed
+  deadline and carries stragglers' dispatches over to a later round;
+- **semi-sync + weighted**: same schedule, but contributions are
+  weighted by local sample count (``sync_scheme="r2sp_weighted"``)
+  instead of uniform ``1/N`` -- the unbiased average when the deadline
+  makes participation partial round to round.
+
+A :class:`~repro.fl.hooks.CommVolumeHook` reports how many parameters
+each variant moved, without touching engine internals.
+
+    python examples/semi_sync_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import make_synthetic_mnist
+from repro.fl import CommVolumeHook, FLConfig, run_federated_training
+from repro.fl.tasks import ClassificationTask
+from repro.simulation import make_scenario_devices
+
+DEADLINE_S = 6.0
+ROUNDS = 14
+
+
+def main() -> None:
+    dataset = make_synthetic_mnist(train_per_class=80, test_per_class=20,
+                                   rng=np.random.default_rng(0))
+    # non-IID level 20 -> unequal shard sizes, so weighting matters
+    task = ClassificationTask(dataset, "cnn", non_iid_level=20.0)
+    devices = make_scenario_devices("high", np.random.default_rng(11))
+
+    variants = [
+        ("sync", dict()),
+        ("semi-sync", dict(semi_sync_deadline_s=DEADLINE_S)),
+        ("semi-sync weighted", dict(semi_sync_deadline_s=DEADLINE_S,
+                                    sync_scheme="r2sp_weighted")),
+    ]
+
+    print(f"per-round deadline: {DEADLINE_S:.0f} simulated seconds\n")
+    header = (f"{'variant':<20}{'final acc':>10}{'sim time':>10}"
+              f"{'rounds':>8}{'params moved':>14}{'stragglers':>12}")
+    print(header)
+    for label, overrides in variants:
+        comm = CommVolumeHook()
+        config = FLConfig(
+            strategy="fedmp",
+            max_rounds=ROUNDS,
+            local_iterations=3,
+            batch_size=16,
+            lr=0.05,
+            eval_every=2,
+            seed=4,
+            strategy_kwargs={"warmup_rounds": 1},
+            **overrides,
+        )
+        history = run_federated_training(task, devices, config,
+                                         hooks=[comm])
+        carried = sum(len(r.carried_over) for r in history.rounds)
+        print(f"{label:<20}"
+              f"{history.final_metric():>10.3f}"
+              f"{history.total_time_s:>9.0f}s"
+              f"{len(history.rounds):>8}"
+              f"{comm.total_params / 1e6:>12.1f}M"
+              f"{carried:>12}")
+
+    print(
+        "\nsemi-sync rounds are deadline-bounded instead of "
+        "slowest-worker-bounded; sample weighting keeps the aggregate "
+        "unbiased when the deadline makes participation partial"
+    )
+
+
+if __name__ == "__main__":
+    main()

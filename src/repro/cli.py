@@ -28,7 +28,10 @@ from repro.experiments.setups import (
     make_bench_task,
     make_devices,
 )
+from repro.fl.aggregation import AGGREGATORS
+from repro.fl.hooks import CommVolumeHook, TimingHook
 from repro.fl.runner import run_federated_training
+from repro.fl.schedulers import SCHEDULERS
 from repro.fl.strategies import STRATEGIES
 from repro.io import save_history
 from repro.simulation.cluster import HETEROGENEITY_SCENARIOS, scenario_table
@@ -47,20 +50,32 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--non-iid", type=float, default=0.0,
                         help="non-IID level y (percent or missing classes)")
     parser.add_argument("--sync-scheme", default="r2sp",
-                        choices=("r2sp", "bsp"))
+                        choices=sorted(AGGREGATORS),
+                        help="aggregation scheme (weighted variants "
+                             "weight workers by local sample count)")
+    parser.add_argument("--scheduler", default="auto",
+                        choices=("auto",) + tuple(sorted(SCHEDULERS)),
+                        help="round scheduler; 'auto' derives it from "
+                             "--async-m / --deadline-s")
     parser.add_argument("--async-m", type=int, default=None,
                         help="enable Algorithm 2 with m first arrivals")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        help="enable semi-synchronous rounds with this "
+                             "per-round deadline (simulated seconds)")
     parser.add_argument("--target", type=float, default=None,
                         help="stop when the metric reaches this target")
     parser.add_argument("--seed", type=int, default=17)
 
 
-def _build_history(task_key: str, strategy: str, args) -> "TrainingHistory":
+def _build_history(task_key: str, strategy: str, args,
+                   hooks=None) -> "TrainingHistory":
     bench_task = make_bench_task(task_key)
     devices = make_devices(args.scenario, count=args.workers)
     overrides = dict(
         sync_scheme=args.sync_scheme,
+        scheduler=args.scheduler,
         async_m=args.async_m,
+        semi_sync_deadline_s=args.deadline_s,
         target_metric=args.target,
         seed=args.seed,
     )
@@ -68,11 +83,14 @@ def _build_history(task_key: str, strategy: str, args) -> "TrainingHistory":
         overrides["max_rounds"] = args.rounds
     config = bench_task.make_config(strategy, **overrides)
     task = bench_task.make_task(args.non_iid)
-    return run_federated_training(task, devices, config)
+    return run_federated_training(task, devices, config, hooks=hooks)
 
 
 def _cmd_run(args) -> int:
-    history = _build_history(args.task, args.strategy, args)
+    timing = TimingHook()
+    comm = CommVolumeHook()
+    history = _build_history(args.task, args.strategy, args,
+                             hooks=[timing, comm])
     label = METHOD_LABELS.get(args.strategy, args.strategy)
     print(f"{label} on {make_bench_task(args.task).label} "
           f"({args.scenario} scenario):")
@@ -81,6 +99,9 @@ def _cmd_run(args) -> int:
     print(f"final metric: {history.final_metric():.4f} "
           f"after {len(history.rounds)} rounds "
           f"({history.total_time_s:.1f} simulated seconds)")
+    print(f"comm volume: {comm.total_download_params / 1e6:.2f}M params "
+          f"down, {comm.total_upload_params / 1e6:.2f}M up "
+          f"(host time {timing.total_wall_time_s:.1f}s)")
     if args.history:
         save_history(history, args.history)
         print(f"history written to {args.history}")

@@ -1,0 +1,170 @@
+"""Aggregator classes: the pluggable global-aggregation layer.
+
+Each :class:`Aggregator` turns one round's :class:`Contribution` set
+into a new global state.  All aggregators share the same skeleton --
+zero-expand every sub-model to the global shape, accumulate, normalise
+-- and differ along two independent axes:
+
+**Residual recovery** (Section III-C / Fig. 7):
+
+- **R2SP** (the paper's contribution): each recovered sub-model has its
+  residual model (global minus the dispatched sparse version) added
+  back, so every parameter either carries its freshly trained value or
+  its pre-round global value.  Pruned parameters survive to be trained
+  in later rounds.
+- **BSP**: plain averaging of the recovered sub-models without residual
+  recovery; positions that a worker pruned contribute zeros to the
+  average, so parameters that were ever pruned shrink towards zero --
+  the degradation Fig. 7 shows.
+
+**Participation weighting**:
+
+- The uniform variants weight every contribution ``1/N`` -- the paper's
+  setting, where all workers hold same-size shards and all participate.
+- The ``*_weighted`` variants weight contribution *i* by
+  ``num_samples_i / sum_j num_samples_j`` over the round's **actual
+  participants**.  Under churn or deadline-induced partial
+  participation the participant set varies round to round, so uniform
+  ``1/N`` averaging over-counts small shards; sample-count weighting
+  keeps the aggregate an unbiased estimate of the population update
+  (the FedAvg weighting rule restricted to the present workers).
+
+Weights are renormalised over the participants of each round, so a
+round where only two workers arrive averages those two workers'
+recovered models (plus residuals, under R2SP) with weights summing
+to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.pruning.plan import PruningPlan
+from repro.pruning.structured import recover_state_dict
+
+
+@dataclass
+class Contribution:
+    """One worker's round output, ready for aggregation.
+
+    ``num_samples`` is the size of the worker's local shard; only the
+    weighted aggregators read it (the uniform ones weight every
+    contribution equally).
+    """
+
+    worker_id: int
+    sub_state: Dict[str, np.ndarray]
+    plan: PruningPlan
+    residual: Optional[Dict[str, np.ndarray]] = None  # required for R2SP
+    num_samples: int = 1
+
+
+class Aggregator:
+    """Base class: weighted average of zero-expanded sub-models.
+
+    Subclasses set ``needs_residual`` (R2SP residual recovery) and
+    override :meth:`weight` (participation weighting).  ``name`` is the
+    scheme string used by :class:`repro.fl.config.FLConfig` and the CLI.
+    """
+
+    name: str = "base"
+    #: whether contributions must carry a residual model (R2SP family)
+    needs_residual: bool = False
+
+    def weight(self, contribution: Contribution) -> float:
+        """Unnormalised weight of one contribution (uniform by default)."""
+        return 1.0
+
+    def aggregate(self, contributions: List[Contribution],
+                  template: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Aggregate one round of contributions into a new global state.
+
+        ``template`` supplies the global shapes for zero-expansion.
+        """
+        if not contributions:
+            raise ValueError("cannot aggregate an empty contribution set")
+
+        accumulator: Dict[str, np.ndarray] = {
+            key: np.zeros_like(value, dtype=np.float64)
+            for key, value in template.items()
+        }
+        total_weight = 0.0
+        for contribution in contributions:
+            weight = self.weight(contribution)
+            if weight <= 0.0:
+                raise ValueError(
+                    f"non-positive aggregation weight {weight} for worker "
+                    f"{contribution.worker_id}"
+                )
+            total_weight += weight
+            recovered = recover_state_dict(
+                contribution.sub_state, contribution.plan, template
+            )
+            for key in accumulator:
+                accumulator[key] += weight * recovered[key]
+            if self.needs_residual:
+                if contribution.residual is None:
+                    raise ValueError(
+                        f"R2SP needs a residual model for worker "
+                        f"{contribution.worker_id}"
+                    )
+                for key in accumulator:
+                    accumulator[key] += weight * contribution.residual[key]
+
+        return {
+            key: value / total_weight for key, value in accumulator.items()
+        }
+
+
+class BSPAggregator(Aggregator):
+    """Uniform average of recovered sub-models, no residual recovery."""
+
+    name = "bsp"
+    needs_residual = False
+
+
+class R2SPAggregator(Aggregator):
+    """Uniform average with residual recovery (the paper's R2SP)."""
+
+    name = "r2sp"
+    needs_residual = True
+
+
+class _SampleWeighted:
+    """Mixin: weight each contribution by its shard's sample count."""
+
+    def weight(self, contribution: Contribution) -> float:
+        return float(contribution.num_samples)
+
+
+class WeightedBSPAggregator(_SampleWeighted, BSPAggregator):
+    """BSP with sample-count weighting over the round's participants."""
+
+    name = "bsp_weighted"
+
+
+class WeightedR2SPAggregator(_SampleWeighted, R2SPAggregator):
+    """R2SP with sample-count weighting over the round's participants."""
+
+    name = "r2sp_weighted"
+
+
+#: scheme string -> aggregator class, for config/CLI dispatch
+AGGREGATORS: Dict[str, Type[Aggregator]] = {
+    cls.name: cls
+    for cls in (
+        R2SPAggregator, BSPAggregator,
+        WeightedR2SPAggregator, WeightedBSPAggregator,
+    )
+}
+
+
+def make_aggregator(scheme: str) -> Aggregator:
+    """Instantiate the aggregator named by a ``sync_scheme`` string."""
+    try:
+        return AGGREGATORS[scheme]()
+    except KeyError:
+        raise ValueError(f"unknown aggregation scheme {scheme!r}") from None

@@ -21,7 +21,9 @@ class FLConfig:
     # strategy
     strategy: str = "fedmp"
     strategy_kwargs: Dict[str, Any] = field(default_factory=dict)
-    sync_scheme: str = "r2sp"  # "r2sp" | "bsp"
+    #: aggregation scheme: "r2sp" | "bsp" | "r2sp_weighted" | "bsp_weighted"
+    #: (the weighted variants weight participants by local sample count)
+    sync_scheme: str = "r2sp"
 
     # local training
     local_iterations: int = 5          # tau
@@ -49,15 +51,49 @@ class FLConfig:
     churn_leave_prob: float = 0.0
     churn_rejoin_after: int = 2
 
+    # scheduling: "auto" derives the rule from the legacy knobs below
+    # (async_m set -> "async", semi_sync_deadline_s set -> "semi_sync",
+    # otherwise "sync"); set explicitly to force one
+    scheduler: str = "auto"   # "auto" | "sync" | "async" | "semi_sync"
+
     # asynchronous setting (Algorithm 2)
     async_m: Optional[int] = None
+
+    # semi-synchronous setting: per-round deadline in simulated seconds
+    # (aggregate whoever arrived by then, carry stragglers over)
+    semi_sync_deadline_s: Optional[float] = None
+
+    _SYNC_SCHEMES = ("r2sp", "bsp", "r2sp_weighted", "bsp_weighted")
+    _SCHEDULERS = ("auto", "sync", "async", "semi_sync")
 
     def __post_init__(self) -> None:
         if self.local_iterations <= 0:
             raise ValueError("local_iterations must be positive")
-        if self.sync_scheme not in ("r2sp", "bsp"):
+        if self.sync_scheme not in self._SYNC_SCHEMES:
             raise ValueError(
-                f"sync_scheme must be 'r2sp' or 'bsp', got {self.sync_scheme!r}"
+                f"sync_scheme must be one of {self._SYNC_SCHEMES}, "
+                f"got {self.sync_scheme!r}"
+            )
+        if self.scheduler not in self._SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {self._SCHEDULERS}, "
+                f"got {self.scheduler!r}"
             )
         if self.async_m is not None and self.async_m <= 0:
             raise ValueError("async_m must be positive when set")
+        if (self.semi_sync_deadline_s is not None
+                and self.semi_sync_deadline_s <= 0):
+            raise ValueError("semi_sync_deadline_s must be positive when set")
+        if self.scheduler == "async" and self.async_m is None:
+            raise ValueError("scheduler='async' requires async_m")
+        if (self.scheduler == "semi_sync"
+                and self.semi_sync_deadline_s is None):
+            raise ValueError(
+                "scheduler='semi_sync' requires semi_sync_deadline_s"
+            )
+        if self.scheduler == "sync" and self.async_m is not None:
+            raise ValueError("scheduler='sync' conflicts with async_m")
+        if self.async_m is not None and self.semi_sync_deadline_s is not None:
+            raise ValueError(
+                "async_m and semi_sync_deadline_s are mutually exclusive"
+            )

@@ -1,0 +1,270 @@
+"""The round engine: shared dispatch/train/record plumbing.
+
+An :class:`Engine` owns everything one federated experiment needs --
+the global model and parameter server, the worker pool, the strategy,
+the simulated clock, the aggregator and the hook list -- and exposes
+the per-round building blocks (``dispatch``, ``train``, ``aggregate``,
+``evaluate``, ``finish_round``).  It deliberately contains **no round
+loop**: a :mod:`repro.fl.schedulers` scheduler decides *when* to call
+the blocks (barrier, first-``m`` arrivals, or per-round deadline), so
+new synchronisation rules are one scheduler file, not a runner fork.
+
+RNG discipline: every random stream is derived from ``config.seed`` in
+a fixed order at construction time, and the building blocks consume
+their streams in call order -- two runs with the same config, task and
+devices are bitwise identical, whichever scheduler drives them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.aggregation import Aggregator, Contribution, make_aggregator
+from repro.fl.compression import ErrorFeedback, top_k_sparsify
+from repro.fl.config import FLConfig
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.hooks import HookList, RoundHook
+from repro.fl.server import ParameterServer
+from repro.fl.strategies import Strategy, make_strategy
+from repro.fl.worker import Worker
+from repro.pruning.masks import residual_state_dict
+from repro.simulation.clock import SimulationClock
+from repro.simulation.device import DeviceProfile
+from repro.simulation.faults import DeadlinePolicy, simulate_membership_churn
+from repro.simulation.timing import RoundCosts
+
+
+@dataclass
+class Dispatch:
+    """Everything the PS remembers about one dispatched sub-model."""
+
+    worker_id: int
+    ratio: float
+    plan: object
+    submodel: object
+    dispatched_state: Dict[str, np.ndarray]
+    residual: Optional[Dict[str, np.ndarray]]
+    tau: int
+    costs: RoundCosts
+    dispatch_time: float = 0.0
+    download_params: int = 0
+    upload_params: int = 0
+
+    @property
+    def finish_time(self) -> float:
+        return self.dispatch_time + self.costs.total_s
+
+
+class Engine:
+    """Shared state and building blocks of one experiment.
+
+    Parameters
+    ----------
+    task:
+        A :mod:`repro.fl.tasks` adapter.
+    devices:
+        Heterogeneous device profiles, one worker per device.
+    config:
+        The run configuration; selects strategy, aggregation scheme and
+        stopping criteria.
+    aggregator:
+        Optional explicit :class:`~repro.fl.aggregation.Aggregator`;
+        defaults to the one named by ``config.sync_scheme``.
+    hooks:
+        Optional iterable of :class:`~repro.fl.hooks.RoundHook`
+        observers threaded through every round.
+    """
+
+    def __init__(self, task, devices: Sequence[DeviceProfile],
+                 config: FLConfig,
+                 aggregator: Optional[Aggregator] = None,
+                 hooks: Optional[Iterable[RoundHook]] = None) -> None:
+        self.task = task
+        self.config = config
+        self.master_rng = np.random.default_rng(config.seed)
+
+        self.model = task.build_model(
+            np.random.default_rng(self.master_rng.integers(2 ** 31))
+        )
+        self.aggregator = (
+            aggregator if aggregator is not None
+            else make_aggregator(config.sync_scheme)
+        )
+        self.server = ParameterServer(self.model, aggregator=self.aggregator)
+        self.hooks = HookList(hooks)
+
+        shard_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
+        shards = task.partition(len(devices), shard_rng)
+        self.workers: Dict[int, Worker] = {}
+        for device, shard in zip(devices, shards):
+            worker_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
+            iterator = task.make_iterator(shard, config.batch_size, worker_rng)
+            self.workers[device.device_id] = Worker(
+                device.device_id, iterator, device,
+                jitter_sigma=config.jitter_sigma, rng=worker_rng,
+                num_samples=int(shard[0].shape[0]),
+            )
+
+        self.worker_ids = sorted(self.workers)
+        self.strategy: Strategy = make_strategy(
+            config.strategy, self.worker_ids, config,
+            rng=np.random.default_rng(self.master_rng.integers(2 ** 31)),
+        )
+        if getattr(self.strategy, "needs_calibration", False):
+            self.strategy.calibrate(
+                devices, task.count_flops(self.model),
+                self.model.num_parameters(),
+            )
+        self.extract_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
+        self.clock = SimulationClock()
+        self.history = TrainingHistory(
+            strategy=config.strategy, model_name=task.name,
+            higher_is_better=task.higher_is_better,
+        )
+        self.error_feedback: Dict[int, ErrorFeedback] = {
+            wid: ErrorFeedback() for wid in self.worker_ids
+        }
+        self.deadline_policy = (
+            DeadlinePolicy(config.deadline_quorum, config.deadline_multiplier)
+            if config.deadline_quorum is not None else None
+        )
+        self._prev_train_loss: Optional[float] = None
+        self._churn_rng = np.random.default_rng(
+            self.master_rng.integers(2 ** 31)
+        )
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def present_workers(self, round_index: int) -> List[int]:
+        """Workers participating this round under the churn model."""
+        if self.config.churn_leave_prob <= 0:
+            return list(self.worker_ids)
+        return simulate_membership_churn(
+            self.worker_ids, round_index,
+            leave_prob=self.config.churn_leave_prob,
+            rejoin_after=self.config.churn_rejoin_after,
+            rng=self._churn_rng,
+        )
+
+    # ------------------------------------------------------------------
+    # per-round building blocks
+    # ------------------------------------------------------------------
+    def dispatch(self, worker_id: int, ratio: float, dispatch_time: float,
+                 round_index: int) -> Dispatch:
+        """Prune the global model for one worker and price the round."""
+        plan = self.task.build_plan(self.model, ratio)
+        submodel = self.task.extract(self.model, plan, self.extract_rng)
+        residual = None
+        if self.aggregator.needs_residual:
+            residual = residual_state_dict(self.server.global_state, plan)
+
+        tau = self.strategy.local_iterations(worker_id)
+        num_params = submodel.num_parameters()
+        keep = self.strategy.upload_keep_fraction(worker_id)
+        upload_params = max(1, int(round(num_params * keep)))
+        costs = self.workers[worker_id].round_costs(
+            self.task.count_flops(submodel),
+            download_params=num_params, upload_params=upload_params,
+            batch_size=self.config.batch_size, tau=tau,
+        )
+        dispatch = Dispatch(
+            worker_id=worker_id, ratio=ratio, plan=plan, submodel=submodel,
+            dispatched_state=submodel.state_dict(), residual=residual,
+            tau=tau, costs=costs, dispatch_time=dispatch_time,
+            download_params=num_params, upload_params=upload_params,
+        )
+        self.hooks.on_dispatch(round_index, dispatch)
+        return dispatch
+
+    def train(self, dispatch: Dispatch,
+              round_index: int) -> Tuple[Contribution, float]:
+        """Run the worker's local training; returns its contribution and
+        mean training loss."""
+        worker = self.workers[dispatch.worker_id]
+        train_loss = worker.local_train(
+            dispatch.submodel, tau=dispatch.tau, lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+            prox_mu=self.strategy.proximal_mu(),
+            clip_norm=self.config.clip_norm,
+            anchor=dispatch.dispatched_state,
+        )
+        sub_state = dispatch.submodel.state_dict()
+
+        keep = self.strategy.upload_keep_fraction(dispatch.worker_id)
+        if keep < 1.0:
+            sub_state = self._compress_upload(
+                dispatch.worker_id, dispatch.dispatched_state, sub_state, keep
+            )
+        contribution = Contribution(
+            worker_id=dispatch.worker_id, sub_state=sub_state,
+            plan=dispatch.plan, residual=dispatch.residual,
+            num_samples=worker.num_samples,
+        )
+        self.hooks.on_contribution(round_index, dispatch, contribution,
+                                   train_loss)
+        return contribution, train_loss
+
+    def _compress_upload(self, worker_id: int,
+                         dispatched: Dict[str, np.ndarray],
+                         trained: Dict[str, np.ndarray],
+                         keep: float) -> Dict[str, np.ndarray]:
+        """FlexCom path: top-k sparsify the update with error feedback."""
+        delta = {key: trained[key] - dispatched[key] for key in trained}
+        feedback = self.error_feedback[worker_id]
+        compensated = feedback.compensate(delta)
+        sparse_delta, _ = top_k_sparsify(compensated, keep)
+        feedback.update(compensated, sparse_delta)
+        return {
+            key: dispatched[key] + sparse_delta[key] for key in trained
+        }
+
+    def aggregate(self, contributions: List[Contribution],
+                  round_index: int) -> Dict[str, np.ndarray]:
+        """Fold one round of contributions into the global model."""
+        new_state = self.server.apply(contributions)
+        self.hooks.on_aggregate(round_index, contributions)
+        return new_state
+
+    def evaluate(self, round_index: int,
+                 force: bool = False) -> Tuple[Optional[float], Optional[float]]:
+        due = (round_index + 1) % self.config.eval_every == 0
+        if not (due or force):
+            return None, None
+        metric, loss = self.task.evaluate(
+            self.model, max_samples=self.config.eval_max_samples
+        )
+        return metric, loss
+
+    def delta_loss(self, mean_train_loss: float) -> float:
+        """Loss decrease vs the previous round (0 on the first round)."""
+        if self._prev_train_loss is None:
+            delta = 0.0
+        else:
+            delta = self._prev_train_loss - mean_train_loss
+        self._prev_train_loss = mean_train_loss
+        return delta
+
+    def finish_round(self, record: RoundRecord) -> None:
+        """Close the round: notify hooks, append to the history."""
+        self.hooks.on_round_end(record)
+        self.history.append(record)
+
+    def should_stop(self, record: RoundRecord) -> bool:
+        config = self.config
+        if record.metric is not None and config.target_metric is not None:
+            reached = (
+                record.metric >= config.target_metric
+                if self.history.higher_is_better
+                else record.metric <= config.target_metric
+            )
+            if reached:
+                return True
+        if config.time_budget_s is not None:
+            if record.sim_time_s >= config.time_budget_s:
+                return True
+        return False

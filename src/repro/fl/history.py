@@ -20,6 +20,12 @@ class RoundRecord:
     completion_times: Dict[int, float]
     discarded: List[int] = field(default_factory=list)
     overhead_s: float = 0.0      # decision + pruning time on the PS
+    #: stragglers whose dispatches carried over to the next round
+    #: (semi-synchronous scheduling only; empty otherwise)
+    carried_over: List[int] = field(default_factory=list)
+    #: free-form per-round measurements published by round hooks
+    #: (e.g. ``wall_time_s``, ``download_params``, ``upload_params``)
+    extras: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass

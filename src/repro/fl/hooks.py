@@ -1,0 +1,148 @@
+"""Round hooks: the engine's instrumentation layer.
+
+A :class:`RoundHook` receives callbacks at the four observable points
+of every round -- sub-model dispatch, contribution arrival, global
+aggregation, and round close -- regardless of which scheduler drives
+the round.  Hooks replace reaching into runner internals: the CLI and
+the benchmarks attach the built-in :class:`TimingHook` and
+:class:`CommVolumeHook` and read the per-round numbers they publish
+into :attr:`repro.fl.history.RoundRecord.extras`.
+
+Hooks must not mutate models, contributions or the clock; the engine
+treats them as pure observers (``on_round_end`` may add ``extras``
+entries to the record it receives, which is the supported way to
+publish per-round measurements).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.fl.aggregation import Contribution
+from repro.fl.history import RoundRecord
+
+
+class RoundHook:
+    """No-op base class; subclasses override the callbacks they need.
+
+    ``dispatch`` arguments are :class:`repro.fl.engine.Dispatch`
+    instances (duck-typed here to avoid an import cycle).
+    """
+
+    def on_dispatch(self, round_index: int, dispatch) -> None:
+        """A sub-model was pruned, priced and sent to a worker."""
+
+    def on_contribution(self, round_index: int, dispatch,
+                        contribution: Contribution,
+                        train_loss: float) -> None:
+        """A worker finished local training and uploaded its update."""
+
+    def on_aggregate(self, round_index: int,
+                     contributions: List[Contribution]) -> None:
+        """The PS aggregated the round's contributions into the model."""
+
+    def on_round_end(self, record: RoundRecord) -> None:
+        """The round's record is complete; ``record.extras`` is open."""
+
+
+class HookList(RoundHook):
+    """Composite hook: forwards every callback to its children in order."""
+
+    def __init__(self, hooks: Optional[Iterable[RoundHook]] = None) -> None:
+        self.hooks: List[RoundHook] = list(hooks or [])
+
+    def on_dispatch(self, round_index: int, dispatch) -> None:
+        for hook in self.hooks:
+            hook.on_dispatch(round_index, dispatch)
+
+    def on_contribution(self, round_index: int, dispatch,
+                        contribution: Contribution,
+                        train_loss: float) -> None:
+        for hook in self.hooks:
+            hook.on_contribution(round_index, dispatch, contribution,
+                                 train_loss)
+
+    def on_aggregate(self, round_index: int,
+                     contributions: List[Contribution]) -> None:
+        for hook in self.hooks:
+            hook.on_aggregate(round_index, contributions)
+
+    def on_round_end(self, record: RoundRecord) -> None:
+        for hook in self.hooks:
+            hook.on_round_end(record)
+
+
+class TimingHook(RoundHook):
+    """Wall-clock (host) time per round, published as
+    ``extras["wall_time_s"]``.
+
+    Simulated time already lives in ``RoundRecord.round_time_s``; this
+    hook measures how long the *host* spent producing the round
+    (decision, pruning, local training, aggregation), which is what the
+    overhead benchmarks report.  Timing starts at the round's first
+    dispatch (or at the previous round's end for rounds that only
+    consume carried-over dispatches) and stops at ``on_round_end``.
+    """
+
+    def __init__(self) -> None:
+        self._starts: Dict[int, float] = {}
+        self._last_end: Optional[float] = None
+        self.total_wall_time_s = 0.0
+
+    def on_dispatch(self, round_index: int, dispatch) -> None:
+        self._starts.setdefault(round_index, time.perf_counter())
+
+    def on_round_end(self, record: RoundRecord) -> None:
+        end = time.perf_counter()
+        start = self._starts.pop(record.round_index, None)
+        if start is None:
+            start = self._last_end if self._last_end is not None else end
+        wall = max(0.0, end - start)
+        record.extras["wall_time_s"] = wall
+        self.total_wall_time_s += wall
+        self._last_end = end
+
+
+class CommVolumeHook(RoundHook):
+    """Communication volume per round, in transmitted parameters.
+
+    Publishes ``extras["download_params"]`` (PS -> workers, counted at
+    dispatch) and ``extras["upload_params"]`` (workers -> PS, counted
+    at contribution arrival).  With asynchronous or semi-synchronous
+    scheduling a dispatch is counted in the round that *sends* it while
+    its upload lands in the round that aggregates it, so per-round
+    numbers need not match pairwise; the running totals always do.
+    """
+
+    def __init__(self) -> None:
+        self._download: Dict[int, float] = {}
+        self._upload: Dict[int, float] = {}
+        self.total_download_params = 0.0
+        self.total_upload_params = 0.0
+
+    def on_dispatch(self, round_index: int, dispatch) -> None:
+        volume = float(dispatch.download_params)
+        self._download[round_index] = self._download.get(round_index, 0.0) \
+            + volume
+        self.total_download_params += volume
+
+    def on_contribution(self, round_index: int, dispatch,
+                        contribution: Contribution,
+                        train_loss: float) -> None:
+        volume = float(dispatch.upload_params)
+        self._upload[round_index] = self._upload.get(round_index, 0.0) \
+            + volume
+        self.total_upload_params += volume
+
+    def on_round_end(self, record: RoundRecord) -> None:
+        record.extras["download_params"] = self._download.pop(
+            record.round_index, 0.0
+        )
+        record.extras["upload_params"] = self._upload.pop(
+            record.round_index, 0.0
+        )
+
+    @property
+    def total_params(self) -> float:
+        return self.total_download_params + self.total_upload_params

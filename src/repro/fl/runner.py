@@ -1,354 +1,46 @@
-"""Training runners: the synchronous round loop and Algorithm 2.
+"""Backward-compatible facade over the round engine.
 
-``run_federated_training`` orchestrates everything: per-round ratio
-decisions, distributed pruning, simulated local training, Eq. 5 cost
-accounting, optional deadline-based fault tolerance, R2SP/BSP
-aggregation, and history recording.  With ``config.async_m`` set it
-switches to the event-driven asynchronous loop of Algorithm 2.
+The round protocol used to live here as one monolithic session class;
+it is now composed from three pluggable layers:
+
+- :mod:`repro.fl.engine` -- shared dispatch/train/record plumbing;
+- :mod:`repro.fl.schedulers` -- synchronisation rules (sync barrier,
+  async first-``m`` arrivals, semi-sync per-round deadline);
+- :mod:`repro.fl.aggregation` -- R2SP/BSP aggregators and their
+  sample-count-weighted variants;
+- :mod:`repro.fl.hooks` -- per-round instrumentation callbacks.
+
+``run_federated_training`` keeps the original one-call entrypoint:
+it builds an :class:`~repro.fl.engine.Engine` from the config and runs
+it under the scheduler the config selects.  Behaviour (including the
+random streams, hence the trained models) is identical to the
+pre-engine runner for every pre-engine configuration.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence
 
-import numpy as np
-
-from repro.fl.compression import ErrorFeedback, top_k_sparsify
 from repro.fl.config import FLConfig
-from repro.fl.history import RoundRecord, TrainingHistory
-from repro.fl.server import Contribution, ParameterServer
-from repro.fl.strategies import Strategy, make_strategy
-from repro.fl.strategies.base import RoundObservation
-from repro.fl.worker import Worker
-from repro.pruning.masks import residual_state_dict
-from repro.simulation.clock import SimulationClock
+from repro.fl.engine import Dispatch, Engine
+from repro.fl.history import TrainingHistory
+from repro.fl.hooks import RoundHook
+from repro.fl.schedulers import make_scheduler
 from repro.simulation.device import DeviceProfile
-from repro.simulation.faults import DeadlinePolicy, simulate_membership_churn
-from repro.simulation.timing import RoundCosts
+
+__all__ = ["Dispatch", "Engine", "run_federated_training"]
 
 
-@dataclass
-class _Dispatch:
-    """Everything the PS remembers about one dispatched sub-model."""
-
-    worker_id: int
-    ratio: float
-    plan: object
-    submodel: object
-    dispatched_state: Dict[str, np.ndarray]
-    residual: Optional[Dict[str, np.ndarray]]
-    tau: int
-    costs: RoundCosts
-    dispatch_time: float = 0.0
-
-    @property
-    def finish_time(self) -> float:
-        return self.dispatch_time + self.costs.total_s
-
-
-def run_federated_training(task, devices: Sequence[DeviceProfile],
-                           config: FLConfig) -> TrainingHistory:
+def run_federated_training(
+        task, devices: Sequence[DeviceProfile], config: FLConfig,
+        hooks: Optional[Iterable[RoundHook]] = None) -> TrainingHistory:
     """Run one federated-training experiment and return its history.
 
     ``task`` is a :mod:`repro.fl.tasks` adapter; ``devices`` defines the
     heterogeneous workers (one per device); ``config`` selects strategy,
-    synchronisation scheme and stopping criteria.
+    scheduler, aggregation scheme and stopping criteria.  ``hooks``
+    optionally attaches :class:`~repro.fl.hooks.RoundHook` observers.
     """
-    session = _Session(task, devices, config)
-    if config.async_m is not None:
-        return session.run_async(config.async_m)
-    return session.run_sync()
-
-
-class _Session:
-    """Shared state of one experiment (sync or async)."""
-
-    def __init__(self, task, devices: Sequence[DeviceProfile],
-                 config: FLConfig) -> None:
-        self.task = task
-        self.config = config
-        self.master_rng = np.random.default_rng(config.seed)
-
-        self.model = task.build_model(
-            np.random.default_rng(self.master_rng.integers(2 ** 31))
-        )
-        self.server = ParameterServer(self.model)
-
-        shard_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
-        shards = task.partition(len(devices), shard_rng)
-        self.workers: Dict[int, Worker] = {}
-        for device, shard in zip(devices, shards):
-            worker_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
-            iterator = task.make_iterator(shard, config.batch_size, worker_rng)
-            self.workers[device.device_id] = Worker(
-                device.device_id, iterator, device,
-                jitter_sigma=config.jitter_sigma, rng=worker_rng,
-            )
-
-        self.worker_ids = sorted(self.workers)
-        self.strategy: Strategy = make_strategy(
-            config.strategy, self.worker_ids, config,
-            rng=np.random.default_rng(self.master_rng.integers(2 ** 31)),
-        )
-        if getattr(self.strategy, "needs_calibration", False):
-            self.strategy.calibrate(
-                devices, task.count_flops(self.model),
-                self.model.num_parameters(),
-            )
-        self.extract_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
-        self.clock = SimulationClock()
-        self.history = TrainingHistory(
-            strategy=config.strategy, model_name=task.name,
-            higher_is_better=task.higher_is_better,
-        )
-        self.error_feedback: Dict[int, ErrorFeedback] = {
-            wid: ErrorFeedback() for wid in self.worker_ids
-        }
-        self.deadline_policy = (
-            DeadlinePolicy(config.deadline_quorum, config.deadline_multiplier)
-            if config.deadline_quorum is not None else None
-        )
-        self._prev_train_loss: Optional[float] = None
-        self._churn_rng = np.random.default_rng(
-            self.master_rng.integers(2 ** 31)
-        )
-
-    def _present_workers(self, round_index: int) -> List[int]:
-        """Workers participating this round under the churn model."""
-        if self.config.churn_leave_prob <= 0:
-            return list(self.worker_ids)
-        return simulate_membership_churn(
-            self.worker_ids, round_index,
-            leave_prob=self.config.churn_leave_prob,
-            rejoin_after=self.config.churn_rejoin_after,
-            rng=self._churn_rng,
-        )
-
-    # ------------------------------------------------------------------
-    # shared building blocks
-    # ------------------------------------------------------------------
-    def _dispatch(self, worker_id: int, ratio: float,
-                  dispatch_time: float) -> _Dispatch:
-        """Prune the global model for one worker and price the round."""
-        plan = self.task.build_plan(self.model, ratio)
-        submodel = self.task.extract(self.model, plan, self.extract_rng)
-        residual = None
-        if self.config.sync_scheme == "r2sp":
-            residual = residual_state_dict(self.server.global_state, plan)
-
-        tau = self.strategy.local_iterations(worker_id)
-        num_params = submodel.num_parameters()
-        keep = self.strategy.upload_keep_fraction(worker_id)
-        upload_params = max(1, int(round(num_params * keep)))
-        costs = self.workers[worker_id].round_costs(
-            self.task.count_flops(submodel),
-            download_params=num_params, upload_params=upload_params,
-            batch_size=self.config.batch_size, tau=tau,
-        )
-        return _Dispatch(
-            worker_id=worker_id, ratio=ratio, plan=plan, submodel=submodel,
-            dispatched_state=submodel.state_dict(), residual=residual,
-            tau=tau, costs=costs, dispatch_time=dispatch_time,
-        )
-
-    def _train_dispatch(self, dispatch: _Dispatch) -> Tuple[Contribution, float]:
-        """Run the worker's local training; returns its contribution and
-        mean training loss."""
-        worker = self.workers[dispatch.worker_id]
-        train_loss = worker.local_train(
-            dispatch.submodel, tau=dispatch.tau, lr=self.config.lr,
-            momentum=self.config.momentum,
-            weight_decay=self.config.weight_decay,
-            prox_mu=self.strategy.proximal_mu(),
-            clip_norm=self.config.clip_norm,
-            anchor=dispatch.dispatched_state,
-        )
-        sub_state = dispatch.submodel.state_dict()
-
-        keep = self.strategy.upload_keep_fraction(dispatch.worker_id)
-        if keep < 1.0:
-            sub_state = self._compress_upload(
-                dispatch.worker_id, dispatch.dispatched_state, sub_state, keep
-            )
-        contribution = Contribution(
-            worker_id=dispatch.worker_id, sub_state=sub_state,
-            plan=dispatch.plan, residual=dispatch.residual,
-        )
-        return contribution, train_loss
-
-    def _compress_upload(self, worker_id: int,
-                         dispatched: Dict[str, np.ndarray],
-                         trained: Dict[str, np.ndarray],
-                         keep: float) -> Dict[str, np.ndarray]:
-        """FlexCom path: top-k sparsify the update with error feedback."""
-        delta = {key: trained[key] - dispatched[key] for key in trained}
-        feedback = self.error_feedback[worker_id]
-        compensated = feedback.compensate(delta)
-        sparse_delta, _ = top_k_sparsify(compensated, keep)
-        feedback.update(compensated, sparse_delta)
-        return {
-            key: dispatched[key] + sparse_delta[key] for key in trained
-        }
-
-    def _evaluate(self, round_index: int,
-                  force: bool = False) -> Tuple[Optional[float], Optional[float]]:
-        due = (round_index + 1) % self.config.eval_every == 0
-        if not (due or force):
-            return None, None
-        metric, loss = self.task.evaluate(
-            self.model, max_samples=self.config.eval_max_samples
-        )
-        return metric, loss
-
-    def _delta_loss(self, mean_train_loss: float) -> float:
-        if self._prev_train_loss is None:
-            delta = 0.0
-        else:
-            delta = self._prev_train_loss - mean_train_loss
-        self._prev_train_loss = mean_train_loss
-        return delta
-
-    def _should_stop(self, record: RoundRecord) -> bool:
-        config = self.config
-        if record.metric is not None and config.target_metric is not None:
-            reached = (
-                record.metric >= config.target_metric
-                if self.history.higher_is_better
-                else record.metric <= config.target_metric
-            )
-            if reached:
-                return True
-        if config.time_budget_s is not None:
-            if record.sim_time_s >= config.time_budget_s:
-                return True
-        return False
-
-    # ------------------------------------------------------------------
-    # synchronous loop (Fig. 1 / Eq. 6)
-    # ------------------------------------------------------------------
-    def run_sync(self) -> TrainingHistory:
-        for round_index in range(self.config.max_rounds):
-            present = self._present_workers(round_index)
-            overhead_start = time.perf_counter()
-            ratios = self.strategy.select_ratios(round_index,
-                                                 worker_ids=present)
-            dispatches = {
-                wid: self._dispatch(wid, ratio, self.clock.now)
-                for wid, ratio in ratios.items()
-            }
-            overhead_s = time.perf_counter() - overhead_start
-
-            times = {
-                wid: dispatch.costs.total_s
-                for wid, dispatch in dispatches.items()
-            }
-            if self.deadline_policy is not None and len(times) > 1:
-                outcome = self.deadline_policy.apply(times)
-                accepted_ids = outcome.accepted
-                discarded = outcome.discarded
-                round_time = outcome.round_time_s
-            else:
-                accepted_ids = list(times)
-                discarded = []
-                round_time = max(times.values())
-
-            contributions = []
-            train_losses = []
-            for wid in accepted_ids:
-                contribution, loss = self._train_dispatch(dispatches[wid])
-                contributions.append(contribution)
-                train_losses.append(loss)
-            self.server.aggregate(contributions, scheme=self.config.sync_scheme)
-
-            self.clock.advance(round_time)
-            self.clock.mark_round()
-            mean_train_loss = float(np.mean(train_losses))
-            delta_loss = self._delta_loss(mean_train_loss)
-            self.strategy.observe_round(RoundObservation(
-                round_index=round_index,
-                costs={wid: dispatches[wid].costs for wid in accepted_ids},
-                delta_loss=delta_loss,
-                discarded=discarded,
-            ))
-
-            is_last = round_index == self.config.max_rounds - 1
-            metric, eval_loss = self._evaluate(round_index, force=is_last)
-            record = RoundRecord(
-                round_index=round_index, sim_time_s=self.clock.now,
-                round_time_s=round_time, metric=metric, eval_loss=eval_loss,
-                train_loss=mean_train_loss, ratios=dict(ratios),
-                completion_times=times, discarded=discarded,
-                overhead_s=overhead_s,
-            )
-            self.history.append(record)
-            if self._should_stop(record):
-                break
-        return self.history
-
-    # ------------------------------------------------------------------
-    # asynchronous loop (Algorithm 2)
-    # ------------------------------------------------------------------
-    def run_async(self, m: int) -> TrainingHistory:
-        if m > len(self.worker_ids):
-            raise ValueError(
-                f"async_m={m} exceeds the number of workers "
-                f"({len(self.worker_ids)})"
-            )
-        outstanding: Dict[int, _Dispatch] = {}
-        initial_ratios = self.strategy.select_ratios(0)
-        for wid, ratio in initial_ratios.items():
-            outstanding[wid] = self._dispatch(wid, ratio, self.clock.now)
-
-        for round_index in range(self.config.max_rounds):
-            arrivals = sorted(
-                outstanding.values(), key=lambda d: d.finish_time
-            )[:m]
-            now = arrivals[-1].finish_time
-            previous_now = self.clock.now
-            self.clock.advance_to(max(now, previous_now))
-            self.clock.mark_round()
-
-            contributions = []
-            train_losses = []
-            costs: Dict[int, RoundCosts] = {}
-            for dispatch in arrivals:
-                contribution, loss = self._train_dispatch(dispatch)
-                contributions.append(contribution)
-                train_losses.append(loss)
-                costs[dispatch.worker_id] = dispatch.costs
-                del outstanding[dispatch.worker_id]
-            self.server.aggregate(contributions, scheme=self.config.sync_scheme)
-
-            mean_train_loss = float(np.mean(train_losses))
-            delta_loss = self._delta_loss(mean_train_loss)
-            self.strategy.observe_round(RoundObservation(
-                round_index=round_index, costs=costs, delta_loss=delta_loss,
-            ))
-
-            arrived_ids = sorted(costs)
-            overhead_start = time.perf_counter()
-            new_ratios = self.strategy.select_ratios(
-                round_index + 1, worker_ids=arrived_ids
-            )
-            for wid, ratio in new_ratios.items():
-                outstanding[wid] = self._dispatch(wid, ratio, self.clock.now)
-            overhead_s = time.perf_counter() - overhead_start
-
-            is_last = round_index == self.config.max_rounds - 1
-            metric, eval_loss = self._evaluate(round_index, force=is_last)
-            record = RoundRecord(
-                round_index=round_index, sim_time_s=self.clock.now,
-                round_time_s=self.clock.now - previous_now, metric=metric,
-                eval_loss=eval_loss, train_loss=mean_train_loss,
-                ratios={wid: outstanding[wid].ratio for wid in arrived_ids},
-                completion_times={
-                    wid: cost.total_s for wid, cost in costs.items()
-                },
-                overhead_s=overhead_s,
-            )
-            self.history.append(record)
-            if self._should_stop(record):
-                break
-        return self.history
+    engine = Engine(task, devices, config, hooks=hooks)
+    scheduler = make_scheduler(config)
+    return scheduler.run(engine)

@@ -1,0 +1,32 @@
+"""Round schedulers: synchronisation rules for the round engine.
+
+Three rules ship with the engine -- barrier (sync), first-``m``
+arrivals (async, Algorithm 2) and per-round deadline with carry-over
+(semi-sync).  :func:`make_scheduler` maps an
+:class:`~repro.fl.config.FLConfig` to the right one; new rules are one
+subclass of :class:`~repro.fl.schedulers.base.Scheduler` away.
+"""
+
+from repro.fl.schedulers.asynchronous import AsynchronousScheduler
+from repro.fl.schedulers.base import DispatchQueue, Scheduler, make_scheduler
+from repro.fl.schedulers.semi_sync import SemiSynchronousScheduler
+from repro.fl.schedulers.sync import SynchronousScheduler
+
+#: scheduler name -> class, for config/CLI dispatch
+SCHEDULERS = {
+    cls.name: cls
+    for cls in (
+        SynchronousScheduler, AsynchronousScheduler,
+        SemiSynchronousScheduler,
+    )
+}
+
+__all__ = [
+    "AsynchronousScheduler",
+    "DispatchQueue",
+    "SCHEDULERS",
+    "Scheduler",
+    "SemiSynchronousScheduler",
+    "SynchronousScheduler",
+    "make_scheduler",
+]

@@ -1,82 +1,78 @@
-"""The parameter server: global model custody and aggregation schemes.
+"""The parameter server: global model custody.
 
-Two synchronisation schemes are implemented (Section V-D compares them):
+Aggregation semantics live in :mod:`repro.fl.aggregation` (R2SP / BSP
+and their sample-count-weighted variants); the server holds the global
+model, keeps the shape template for zero-expansion, and applies
+whichever :class:`~repro.fl.aggregation.Aggregator` it is given.
+
+Scheme summary (Section V-D compares the first two):
 
 - **R2SP** (the paper's contribution): each sub-model is recovered
-  (zero-expanded) to the global shape, its residual model is added back,
-  and the results are averaged -- every parameter either carries its
-  trained value or its pre-round global value, so pruned parameters
+  (zero-expanded) to the global shape, its residual model is added
+  back, and the results are averaged -- every parameter either carries
+  its trained value or its pre-round global value, so pruned parameters
   survive to be trained in later rounds.
 - **BSP**: plain averaging of the recovered sub-models without residual
-  recovery; positions a worker pruned contribute zeros, shrinking
-  parameters that were ever pruned -- the degradation Fig. 7 shows.
+  recovery; positions that a worker pruned contribute zeros to the
+  average, so parameters that were ever pruned shrink towards zero --
+  the degradation Fig. 7 shows.
+- **Weighted variants** (``r2sp_weighted`` / ``bsp_weighted``): same
+  recovery rules, but each participant is weighted by its local sample
+  count (renormalised over the round's actual participants) instead of
+  ``1/N`` -- the right average under churn- or deadline-induced
+  partial participation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.fl.aggregation import (
+    Aggregator,
+    Contribution,
+    R2SPAggregator,
+    make_aggregator,
+)
 from repro.nn.module import Module
-from repro.pruning.plan import PruningPlan
-from repro.pruning.structured import recover_state_dict
 
-
-@dataclass
-class Contribution:
-    """One worker's round output, ready for aggregation."""
-
-    worker_id: int
-    sub_state: Dict[str, np.ndarray]
-    plan: PruningPlan
-    residual: Optional[Dict[str, np.ndarray]] = None  # required for R2SP
+__all__ = ["Contribution", "ParameterServer"]
 
 
 class ParameterServer:
-    """Holds the global model and performs global aggregation."""
+    """Holds the global model and applies global aggregation.
 
-    def __init__(self, model: Module) -> None:
+    ``aggregator`` sets the default scheme (R2SP when omitted); each
+    :meth:`apply` call may override it.
+    """
+
+    def __init__(self, model: Module,
+                 aggregator: Optional[Aggregator] = None) -> None:
         self.model = model
         self._template = model.state_dict()
+        self.aggregator = (
+            aggregator if aggregator is not None else R2SPAggregator()
+        )
 
     @property
     def global_state(self) -> Dict[str, np.ndarray]:
         return self.model.state_dict()
 
-    def aggregate(self, contributions: List[Contribution],
-                  scheme: str = "r2sp") -> Dict[str, np.ndarray]:
+    def apply(self, contributions: List[Contribution],
+              aggregator: Optional[Aggregator] = None) -> Dict[str, np.ndarray]:
         """Aggregate one round of contributions and update the model.
 
         Returns the new global state (also loaded into ``self.model``).
         """
-        if not contributions:
-            raise ValueError("cannot aggregate an empty contribution set")
-        if scheme not in ("r2sp", "bsp"):
-            raise ValueError(f"unknown aggregation scheme {scheme!r}")
-
-        template = self._template
-        accumulator: Dict[str, np.ndarray] = {
-            key: np.zeros_like(value, dtype=np.float64)
-            for key, value in template.items()
-        }
-        for contribution in contributions:
-            recovered = recover_state_dict(
-                contribution.sub_state, contribution.plan, template
-            )
-            for key in accumulator:
-                accumulator[key] += recovered[key]
-            if scheme == "r2sp":
-                if contribution.residual is None:
-                    raise ValueError(
-                        f"R2SP needs a residual model for worker "
-                        f"{contribution.worker_id}"
-                    )
-                for key in accumulator:
-                    accumulator[key] += contribution.residual[key]
-
-        count = float(len(contributions))
-        new_state = {key: value / count for key, value in accumulator.items()}
+        active = aggregator if aggregator is not None else self.aggregator
+        new_state = active.aggregate(contributions, self._template)
         self.model.load_state_dict(new_state)
         return self.model.state_dict()
+
+    def aggregate(self, contributions: List[Contribution],
+                  scheme: str = "r2sp") -> Dict[str, np.ndarray]:
+        """String-dispatch facade kept for pre-engine callers; prefer
+        constructing an :class:`~repro.fl.aggregation.Aggregator` and
+        calling :meth:`apply`."""
+        return self.apply(contributions, make_aggregator(scheme))

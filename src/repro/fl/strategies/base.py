@@ -45,6 +45,9 @@ class RoundObservation:
     costs: Dict[int, RoundCosts]       # accepted workers only
     delta_loss: float                  # decrease of the (train) loss
     discarded: List[int] = field(default_factory=list)
+    #: stragglers whose dispatches carried over to the next round
+    #: (semi-synchronous scheduling; they were not discarded)
+    carried_over: List[int] = field(default_factory=list)
 
 
 class Strategy:

@@ -24,10 +24,14 @@ class Worker:
 
     def __init__(self, worker_id: int, iterator, device: DeviceProfile,
                  jitter_sigma: float = 0.08,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 num_samples: int = 1) -> None:
         self.worker_id = worker_id
         self.iterator = iterator
         self.device = device
+        #: local shard size; the weighted aggregators use it to weight
+        #: this worker's contributions
+        self.num_samples = num_samples
         self.rng = rng if rng is not None else np.random.default_rng(worker_id)
         self.timing = TimingModel(
             device, jitter_sigma=jitter_sigma,

@@ -49,6 +49,8 @@ def save_history(history: TrainingHistory, path: PathLike) -> None:
                 },
                 "discarded": list(record.discarded),
                 "overhead_s": record.overhead_s,
+                "carried_over": list(record.carried_over),
+                "extras": dict(record.extras),
             }
             for record in history.rounds
         ],
@@ -78,5 +80,8 @@ def load_history(path: PathLike) -> TrainingHistory:
             },
             discarded=list(entry["discarded"]),
             overhead_s=entry["overhead_s"],
+            # absent in histories written before the round engine
+            carried_over=list(entry.get("carried_over", [])),
+            extras=dict(entry.get("extras", {})),
         ))
     return history

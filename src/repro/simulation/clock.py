@@ -48,6 +48,11 @@ class SimulationClock:
     def round_marks(self) -> List[float]:
         return list(self._round_marks)
 
+    @property
+    def last_mark(self) -> float:
+        """Time of the most recent round boundary (0 before the first)."""
+        return self._round_marks[-1] if self._round_marks else 0.0
+
     def reset(self) -> None:
         self._now = 0.0
         self._round_marks.clear()

@@ -1,0 +1,162 @@
+"""Aggregator classes: uniform and sample-count-weighted semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import (
+    AGGREGATORS,
+    BSPAggregator,
+    Contribution,
+    R2SPAggregator,
+    WeightedBSPAggregator,
+    WeightedR2SPAggregator,
+    make_aggregator,
+)
+from repro.fl.server import ParameterServer
+from repro.models import build_cnn
+from repro.pruning import (
+    build_pruning_plan,
+    extract_submodel,
+    residual_state_dict,
+)
+
+
+def _identity_contribution(model, worker_id, shift, num_samples=1):
+    """Full-model (ratio 0) contribution whose state is global + shift."""
+    plan = build_pruning_plan(model, 0.0)
+    state = {k: v + shift for k, v in model.state_dict().items()}
+    residual = {k: np.zeros_like(v) for k, v in state.items()}
+    return Contribution(worker_id=worker_id, sub_state=state, plan=plan,
+                        residual=residual, num_samples=num_samples)
+
+
+def _pruned_contribution(model, ratio, rng, num_samples=1):
+    plan = build_pruning_plan(model, ratio)
+    sub = extract_submodel(model, plan, rng=rng)
+    residual = residual_state_dict(model.state_dict(), plan)
+    return Contribution(worker_id=0, sub_state=sub.state_dict(), plan=plan,
+                        residual=residual, num_samples=num_samples)
+
+
+def test_registry_covers_all_schemes():
+    assert set(AGGREGATORS) == {
+        "r2sp", "bsp", "r2sp_weighted", "bsp_weighted",
+    }
+    assert isinstance(make_aggregator("r2sp"), R2SPAggregator)
+    assert isinstance(make_aggregator("bsp_weighted"), WeightedBSPAggregator)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError, match="unknown aggregation scheme"):
+        make_aggregator("asp")
+
+
+def test_residual_requirements():
+    assert R2SPAggregator.needs_residual
+    assert WeightedR2SPAggregator.needs_residual
+    assert not BSPAggregator.needs_residual
+    assert not WeightedBSPAggregator.needs_residual
+
+
+def test_uniform_matches_plain_mean(rng):
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    contributions = [
+        _identity_contribution(model, 0, 0.0),
+        _identity_contribution(model, 1, 2.0),
+    ]
+    after = R2SPAggregator().aggregate(contributions, template)
+    for key in template:
+        assert np.allclose(after[key], template[key] + 1.0, atol=1e-5)
+
+
+def test_weighted_mean_uses_sample_counts(rng):
+    """Weights 1 and 3 pull the average 3/4 of the way to worker 1."""
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    contributions = [
+        _identity_contribution(model, 0, 0.0, num_samples=1),
+        _identity_contribution(model, 1, 4.0, num_samples=3),
+    ]
+    after = WeightedR2SPAggregator().aggregate(contributions, template)
+    for key in template:
+        assert np.allclose(after[key], template[key] + 3.0, atol=1e-5)
+
+
+def test_weighted_reduces_to_uniform_on_equal_shards(rng):
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    contributions = [
+        _identity_contribution(model, 0, 0.0, num_samples=7),
+        _identity_contribution(model, 1, 2.0, num_samples=7),
+    ]
+    uniform = R2SPAggregator().aggregate(contributions, template)
+    weighted = WeightedR2SPAggregator().aggregate(contributions, template)
+    for key in template:
+        assert np.allclose(uniform[key], weighted[key], atol=1e-7)
+
+
+def test_weighted_r2sp_identity_on_untrained_submodels(rng):
+    """The R2SP invariant survives weighting: untrained sub-models with
+    arbitrary sample counts aggregate back to the global model."""
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    contributions = [
+        _pruned_contribution(model, ratio, rng, num_samples=count)
+        for ratio, count in ((0.0, 2), (0.3, 9), (0.6, 4))
+    ]
+    after = WeightedR2SPAggregator().aggregate(contributions, template)
+    for key in template:
+        assert np.allclose(after[key], template[key], atol=1e-6), key
+
+
+def test_weighted_renormalises_over_participants(rng):
+    """A partial round (one participant) returns that participant's
+    model regardless of its absolute sample count."""
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    lone = _identity_contribution(model, 3, 1.5, num_samples=42)
+    after = WeightedBSPAggregator().aggregate([lone], template)
+    for key in template:
+        assert np.allclose(after[key], template[key] + 1.5, atol=1e-5)
+
+
+def test_empty_contributions_rejected(rng):
+    with pytest.raises(ValueError, match="empty contribution"):
+        R2SPAggregator().aggregate([], {})
+
+
+def test_non_positive_weight_rejected(rng):
+    model = build_cnn(rng=rng)
+    bad = _identity_contribution(model, 0, 0.0, num_samples=0)
+    with pytest.raises(ValueError, match="non-positive"):
+        WeightedBSPAggregator().aggregate([bad], model.state_dict())
+
+
+def test_missing_residual_rejected(rng):
+    model = build_cnn(rng=rng)
+    contribution = _identity_contribution(model, 0, 0.0)
+    contribution.residual = None
+    with pytest.raises(ValueError, match="residual"):
+        WeightedR2SPAggregator().aggregate([contribution],
+                                           model.state_dict())
+
+
+def test_server_default_aggregator_is_r2sp(rng):
+    server = ParameterServer(build_cnn(rng=rng))
+    assert isinstance(server.aggregator, R2SPAggregator)
+
+
+def test_server_apply_uses_injected_aggregator(rng):
+    model = build_cnn(rng=rng)
+    before = model.state_dict()
+    server = ParameterServer(model, aggregator=WeightedR2SPAggregator())
+    contributions = [
+        _identity_contribution(model, 0, 0.0, num_samples=1),
+        _identity_contribution(model, 1, 4.0, num_samples=3),
+    ]
+    after = server.apply(contributions)
+    for key in before:
+        assert np.allclose(after[key], before[key] + 3.0, atol=1e-5)

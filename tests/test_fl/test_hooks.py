@@ -1,0 +1,139 @@
+"""Round hooks: callback ordering and the built-in instrumentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.hooks import CommVolumeHook, HookList, RoundHook, TimingHook
+from repro.fl.runner import run_federated_training
+from repro.fl.tasks import ClassificationTask
+from repro.simulation.cluster import make_scenario_devices
+
+
+@pytest.fixture(scope="module")
+def task():
+    dataset = make_synthetic_mnist(train_per_class=20, test_per_class=5,
+                                   rng=np.random.default_rng(0))
+    return ClassificationTask(dataset, "cnn")
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return make_scenario_devices("medium", np.random.default_rng(7))
+
+
+def _config(**kwargs):
+    base = dict(strategy="synfl", max_rounds=2, local_iterations=1,
+                batch_size=8, seed=3)
+    base.update(kwargs)
+    return FLConfig(**base)
+
+
+class RecordingHook(RoundHook):
+    """Logs every callback for ordering/content assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_dispatch(self, round_index, dispatch):
+        self.events.append(("dispatch", round_index, dispatch.worker_id))
+
+    def on_contribution(self, round_index, dispatch, contribution,
+                        train_loss):
+        self.events.append(("contribution", round_index,
+                            contribution.worker_id))
+
+    def on_aggregate(self, round_index, contributions):
+        self.events.append(
+            ("aggregate", round_index,
+             tuple(c.worker_id for c in contributions))
+        )
+
+    def on_round_end(self, record):
+        self.events.append(("round_end", record.round_index, None))
+
+
+def test_hook_sees_full_round_lifecycle(task, devices):
+    hook = RecordingHook()
+    run_federated_training(task, devices, _config(), hooks=[hook])
+    kinds = [kind for kind, _, _ in hook.events]
+    n = len(devices)
+    # round 0: n dispatches, n contributions, one aggregate, one end
+    assert kinds[:n] == ["dispatch"] * n
+    assert kinds[n:2 * n] == ["contribution"] * n
+    assert kinds[2 * n] == "aggregate"
+    assert kinds[2 * n + 1] == "round_end"
+    # every aggregate folds exactly the contributed workers
+    for kind, round_index, payload in hook.events:
+        if kind == "aggregate":
+            assert len(payload) == n
+
+
+def test_hook_list_forwards_in_order(task, devices):
+    first, second = RecordingHook(), RecordingHook()
+    hooks = HookList([first, second])
+    hooks.on_round_end(_fake_record(0))
+    assert first.events == second.events == [("round_end", 0, None)]
+
+
+def _fake_record(round_index):
+    from repro.fl.history import RoundRecord
+
+    return RoundRecord(round_index=round_index, sim_time_s=1.0,
+                       round_time_s=1.0, metric=None, eval_loss=None,
+                       train_loss=1.0, ratios={}, completion_times={})
+
+
+def test_timing_hook_publishes_wall_time(task, devices):
+    timing = TimingHook()
+    history = run_federated_training(task, devices, _config(),
+                                     hooks=[timing])
+    for record in history.rounds:
+        assert record.extras["wall_time_s"] > 0.0
+    assert timing.total_wall_time_s == pytest.approx(
+        sum(r.extras["wall_time_s"] for r in history.rounds)
+    )
+
+
+def test_comm_volume_hook_counts_transfers(task, devices):
+    comm = CommVolumeHook()
+    history = run_federated_training(task, devices, _config(),
+                                     hooks=[comm])
+    for record in history.rounds:
+        assert record.extras["download_params"] > 0
+        assert record.extras["upload_params"] > 0
+    assert comm.total_download_params == pytest.approx(
+        sum(r.extras["download_params"] for r in history.rounds)
+    )
+    assert comm.total_params == pytest.approx(
+        comm.total_download_params + comm.total_upload_params
+    )
+
+
+def test_comm_volume_tracks_pruning(task, devices):
+    """FedMP's pruned dispatches move fewer parameters than full models."""
+    full, pruned = CommVolumeHook(), CommVolumeHook()
+    run_federated_training(task, devices, _config(strategy="synfl"),
+                           hooks=[full])
+    run_federated_training(
+        task, devices,
+        _config(strategy="fedmp",
+                strategy_kwargs={"warmup_rounds": 1, "max_ratio": 0.7}),
+        hooks=[pruned],
+    )
+    assert pruned.total_download_params < full.total_download_params
+
+
+def test_hooks_do_not_change_training(task, devices):
+    bare = run_federated_training(task, devices, _config())
+    hooked = run_federated_training(
+        task, devices, _config(),
+        hooks=[TimingHook(), CommVolumeHook(), RecordingHook()],
+    )
+    for a, b in zip(bare.rounds, hooked.rounds):
+        assert a.train_loss == b.train_loss
+        assert a.sim_time_s == b.sim_time_s
+        assert a.metric == b.metric

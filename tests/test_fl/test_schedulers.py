@@ -1,0 +1,209 @@
+"""Scheduler layer: semi-sync rounds, async record fix, deadline x churn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.hooks import RoundHook
+from repro.fl.runner import run_federated_training
+from repro.fl.schedulers import (
+    AsynchronousScheduler,
+    SemiSynchronousScheduler,
+    SynchronousScheduler,
+    make_scheduler,
+)
+from repro.fl.tasks import ClassificationTask
+from repro.simulation.cluster import make_scenario_devices
+
+
+@pytest.fixture(scope="module")
+def task():
+    dataset = make_synthetic_mnist(train_per_class=20, test_per_class=5,
+                                   rng=np.random.default_rng(0))
+    return ClassificationTask(dataset, "cnn")
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return make_scenario_devices("medium", np.random.default_rng(7))
+
+
+def _config(**kwargs):
+    base = dict(strategy="synfl", max_rounds=4, local_iterations=2,
+                batch_size=8, lr=0.05, eval_every=2, seed=3)
+    base.update(kwargs)
+    return FLConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# scheduler selection
+# ----------------------------------------------------------------------
+def test_auto_selection_from_legacy_knobs():
+    assert isinstance(make_scheduler(_config()), SynchronousScheduler)
+    assert isinstance(make_scheduler(_config(async_m=4)),
+                      AsynchronousScheduler)
+    assert isinstance(make_scheduler(_config(semi_sync_deadline_s=5.0)),
+                      SemiSynchronousScheduler)
+
+
+def test_explicit_selection():
+    scheduler = make_scheduler(
+        _config(scheduler="semi_sync", semi_sync_deadline_s=2.5)
+    )
+    assert isinstance(scheduler, SemiSynchronousScheduler)
+    assert scheduler.deadline_s == 2.5
+
+
+def test_config_rejects_inconsistent_scheduling():
+    with pytest.raises(ValueError):
+        _config(scheduler="async")              # needs async_m
+    with pytest.raises(ValueError):
+        _config(scheduler="semi_sync")          # needs a deadline
+    with pytest.raises(ValueError):
+        _config(scheduler="sync", async_m=4)    # conflicting knobs
+    with pytest.raises(ValueError):
+        _config(async_m=4, semi_sync_deadline_s=1.0)
+    with pytest.raises(ValueError):
+        _config(semi_sync_deadline_s=-1.0)
+    with pytest.raises(ValueError):
+        _config(scheduler="bulk")
+
+
+# ----------------------------------------------------------------------
+# semi-synchronous scheduling
+# ----------------------------------------------------------------------
+def test_semi_sync_carries_stragglers(task, devices):
+    """A tight deadline leaves slow workers out of the round; their
+    dispatches carry over instead of being discarded."""
+    history = run_federated_training(
+        task, devices,
+        _config(semi_sync_deadline_s=6.0, max_rounds=5, jitter_sigma=0.0),
+    )
+    assert len(history.rounds) == 5
+    assert history.final_metric() is not None
+    carried = [record.carried_over for record in history.rounds]
+    assert any(carried), "expected at least one round with stragglers"
+    for record in history.rounds:
+        # a carried-over worker did not contribute to this round
+        assert not set(record.carried_over) & set(record.completion_times)
+        # the round never stretches beyond the deadline while
+        # stragglers remain
+        if record.carried_over:
+            assert record.round_time_s <= 6.0 + 1e-9
+
+
+def test_semi_sync_stretches_when_nobody_arrives(task, devices):
+    """A deadline shorter than every completion time still progresses:
+    each round stretches to the earliest arrival."""
+    history = run_federated_training(
+        task, devices,
+        _config(semi_sync_deadline_s=1e-3, max_rounds=3, jitter_sigma=0.0),
+    )
+    assert len(history.rounds) == 3
+    for record in history.rounds:
+        assert len(record.completion_times) >= 1
+        assert record.round_time_s > 1e-3
+
+
+def test_semi_sync_aggregates_everyone_given_slack(task, devices):
+    """With a generous deadline the first round sees all workers."""
+    history = run_federated_training(
+        task, devices,
+        _config(semi_sync_deadline_s=1e6, max_rounds=2),
+    )
+    assert len(history.rounds[0].completion_times) == len(devices)
+    assert history.rounds[0].carried_over == []
+
+
+def test_semi_sync_with_fedmp_and_weighted_aggregation(task, devices):
+    """The new scheduler composes with E-UCB pruning and the weighted
+    aggregator; non-IID shards give unequal sample counts."""
+    non_iid = ClassificationTask(task.dataset, "cnn", non_iid_level=20.0)
+    history = run_federated_training(
+        non_iid, devices,
+        _config(strategy="fedmp", sync_scheme="r2sp_weighted",
+                semi_sync_deadline_s=6.0, max_rounds=5,
+                strategy_kwargs={"warmup_rounds": 1}),
+    )
+    assert len(history.rounds) == 5
+    assert history.final_metric() is not None
+    # pruning ratios are being personalised within the deadline rounds
+    later = [r for r in history.rounds[1:] if len(r.ratios) > 1]
+    assert later
+
+
+def test_semi_sync_survives_churn(task, devices):
+    history = run_federated_training(
+        task, devices,
+        _config(semi_sync_deadline_s=6.0, max_rounds=6,
+                churn_leave_prob=0.4, churn_rejoin_after=1),
+    )
+    assert len(history.rounds) == 6
+    assert history.final_metric() is not None
+
+
+# ----------------------------------------------------------------------
+# async record regression (the ratios-of-the-next-round bug)
+# ----------------------------------------------------------------------
+def test_async_records_aggregated_ratios_not_next_round(task, devices):
+    """Round r's record must report the ratios of the sub-models that
+    were actually aggregated, not the freshly re-dispatched ones.  With
+    a one-round warm-up every round-0 arrival trained an unpruned model
+    (ratio 0), while the round-1 re-dispatches already carry non-zero
+    ratios -- the old runner recorded those by mistake."""
+    history = run_federated_training(
+        task, devices,
+        _config(strategy="fedmp", async_m=4, max_rounds=4,
+                strategy_kwargs={"warmup_rounds": 1}),
+    )
+    first = history.rounds[0]
+    assert len(first.ratios) == 4
+    assert all(ratio == 0.0 for ratio in first.ratios.values())
+    # recorded ratios always describe the arrivals that were aggregated
+    for record in history.rounds:
+        assert set(record.ratios) == set(record.completion_times)
+
+
+# ----------------------------------------------------------------------
+# deadline policy x churn interaction
+# ----------------------------------------------------------------------
+class AggregationAudit(RoundHook):
+    """Captures which workers' contributions each round aggregated."""
+
+    def __init__(self):
+        self.aggregated = {}
+
+    def on_aggregate(self, round_index, contributions):
+        self.aggregated[round_index] = [
+            contribution.worker_id for contribution in contributions
+        ]
+
+
+def test_deadline_policy_with_churn_aggregates_present_accepted(
+        task, devices):
+    """Deadline discarding over a churning membership must aggregate
+    exactly the accepted, present workers -- and never KeyError on a
+    churned-out worker."""
+    audit = AggregationAudit()
+    history = run_federated_training(
+        task, devices,
+        _config(max_rounds=6, deadline_quorum=0.5, deadline_multiplier=1.0,
+                jitter_sigma=0.3, churn_leave_prob=0.4,
+                churn_rejoin_after=1),
+        hooks=[audit],
+    )
+    assert len(history.rounds) == 6
+    all_ids = {device.device_id for device in devices}
+    churn_seen = False
+    for record in history.rounds:
+        participants = set(record.completion_times)
+        churn_seen = churn_seen or len(participants) < len(all_ids)
+        aggregated = set(audit.aggregated[record.round_index])
+        # aggregated == dispatched minus deadline-discarded, all present
+        assert aggregated == participants - set(record.discarded)
+        assert aggregated <= all_ids
+        assert aggregated
+    assert churn_seen, "churn never removed a worker; test is vacuous"

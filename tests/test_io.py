@@ -61,3 +61,77 @@ def test_history_roundtrip(tmp_path):
     assert loaded.rounds[1].metric is None
     # reductions still work on the loaded copy
     assert loaded.time_to_target(0.5) == 10.0
+
+
+def test_history_roundtrip_engine_fields(tmp_path):
+    """The engine-era fields (carried_over, hook extras) roundtrip."""
+    history = TrainingHistory(strategy="fedmp", model_name="cnn/mnist")
+    history.append(RoundRecord(
+        round_index=0, sim_time_s=6.0, round_time_s=6.0, metric=0.4,
+        eval_loss=1.0, train_loss=1.5, ratios={0: 0.2},
+        completion_times={0: 4.0}, carried_over=[1, 2],
+        extras={"wall_time_s": 0.25, "download_params": 1000.0,
+                "upload_params": 900.0},
+    ))
+    path = tmp_path / "history.json"
+    save_history(history, path)
+    loaded = load_history(path)
+    record = loaded.rounds[0]
+    assert record.carried_over == [1, 2]
+    assert record.extras == {"wall_time_s": 0.25,
+                             "download_params": 1000.0,
+                             "upload_params": 900.0}
+
+
+def test_history_load_tolerates_pre_engine_payload(tmp_path):
+    """Histories written before the round engine lack the new keys."""
+    import json
+
+    path = tmp_path / "old.json"
+    payload = {
+        "strategy": "synfl", "model_name": "cnn/mnist",
+        "higher_is_better": True,
+        "rounds": [{
+            "round_index": 0, "sim_time_s": 5.0, "round_time_s": 5.0,
+            "metric": 0.3, "eval_loss": 2.0, "train_loss": 2.5,
+            "ratios": {"0": 0.0}, "completion_times": {"0": 5.0},
+            "discarded": [], "overhead_s": 0.0,
+        }],
+    }
+    path.write_text(json.dumps(payload))
+    loaded = load_history(path)
+    assert loaded.rounds[0].carried_over == []
+    assert loaded.rounds[0].extras == {}
+
+
+def test_live_history_roundtrip_preserves_every_field(tmp_path):
+    """End-to-end: a history produced by the engine with the built-in
+    hooks attached survives JSON export -> import field-for-field."""
+    from dataclasses import fields
+
+    from repro.data.synthetic import make_synthetic_mnist
+    from repro.fl.config import FLConfig
+    from repro.fl.hooks import CommVolumeHook, TimingHook
+    from repro.fl.runner import run_federated_training
+    from repro.fl.tasks import ClassificationTask
+    from repro.simulation.cluster import make_scenario_devices
+
+    dataset = make_synthetic_mnist(train_per_class=10, test_per_class=3,
+                                   rng=np.random.default_rng(0))
+    task = ClassificationTask(dataset, "cnn")
+    devices = make_scenario_devices("medium", np.random.default_rng(7))
+    config = FLConfig(strategy="synfl", max_rounds=2, local_iterations=1,
+                      batch_size=8, seed=5, semi_sync_deadline_s=6.0)
+    history = run_federated_training(
+        task, devices, config, hooks=[TimingHook(), CommVolumeHook()]
+    )
+
+    path = tmp_path / "live.json"
+    save_history(history, path)
+    loaded = load_history(path)
+
+    assert len(loaded.rounds) == len(history.rounds)
+    for original, restored in zip(history.rounds, loaded.rounds):
+        for field in fields(RoundRecord):
+            assert getattr(restored, field.name) \
+                == getattr(original, field.name), field.name
