@@ -51,12 +51,14 @@ def test_fig12_sync_vs_async(once):
     rows = [
         [label, fmt_time(time_to(label)),
          f"{results[label].final_metric():.3f}",
-         f"{comm_volume_params(results[label]) / 1e6:.1f}M"]
+         f"{comm_volume_params(results[label]) / 1e6:.1f}M",
+         f"{results[label].percentile_round_time(95):.0f}s"]
         for label, _, _ in VARIANTS
     ]
     print_table(
         f"Fig. 12 -- time to {TARGET:.0%} accuracy ({bench_task.label})",
-        ["Variant", "Time to target", "Final accuracy", "Params moved"],
+        ["Variant", "Time to target", "Final accuracy", "Params moved",
+         "p95 round"],
         rows, note=PAPER_NOTE,
     )
 
@@ -69,3 +71,9 @@ def test_fig12_sync_vs_async(once):
         "download_params" in record.extras and "upload_params" in record.extras
         for history in results.values() for record in history.rounds
     ), "comm-volume extras missing from cached histories"
+    # the metrics registry summarised every cached run
+    assert all(
+        getattr(history, "telemetry_summary", None)
+        and history.telemetry_summary["histograms"]
+        for history in results.values()
+    ), "telemetry summaries missing from cached histories"

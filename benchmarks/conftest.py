@@ -21,6 +21,7 @@ from repro.experiments import run_cached
 from repro.experiments.setups import BenchTask, make_devices
 from repro.fl.hooks import CommVolumeHook, TimingHook
 from repro.fl.runner import run_federated_training
+from repro.telemetry import MetricsRegistry, Telemetry, TelemetryHook
 
 
 def run_training(bench_task: BenchTask, strategy: str, devices=None,
@@ -30,7 +31,9 @@ def run_training(bench_task: BenchTask, strategy: str, devices=None,
 
     The built-in instrumentation hooks are attached inside the factory
     so the per-round ``extras`` (wall time, parameters moved) are baked
-    into the cached history records and survive cache hits.
+    into the cached history records and survive cache hits.  A metrics
+    registry rides along too; its p50/p95/p99 summaries are stashed on
+    the history as ``telemetry_summary`` so cache hits keep them.
     """
     key_parts = [
         bench_task.key, strategy, devices_key, f"noniid={non_iid_level}",
@@ -43,10 +46,15 @@ def run_training(bench_task: BenchTask, strategy: str, devices=None,
             devices = make_devices("medium")
         task = bench_task.make_task(non_iid_level)
         config = bench_task.make_config(strategy, **config_overrides)
-        return run_federated_training(
+        telemetry = Telemetry(metrics=MetricsRegistry())
+        history = run_federated_training(
             task, devices, config,
-            hooks=[TimingHook(), CommVolumeHook()],
+            hooks=[TimingHook(), CommVolumeHook(),
+                   TelemetryHook(telemetry)],
+            telemetry=telemetry,
         )
+        history.telemetry_summary = telemetry.metrics.to_dict()
+        return history
 
     return run_cached(key, factory)
 

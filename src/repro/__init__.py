@@ -17,7 +17,9 @@ pieces a downstream user typically needs:
 - :mod:`repro.simulation` -- the heterogeneous edge-device simulator,
 - :mod:`repro.data` -- synthetic datasets and non-IID partitioners,
 - :mod:`repro.fl` -- the parameter server, workers and all training
-  strategies (FedMP plus the paper's baselines).
+  strategies (FedMP plus the paper's baselines),
+- :mod:`repro.telemetry` -- span tracing, metrics and per-layer
+  profiling over the round engine.
 """
 
 __version__ = "1.0.0"
@@ -26,6 +28,8 @@ __all__ = [
     "FLConfig",
     "run_federated_training",
     "make_strategy",
+    "Telemetry",
+    "TelemetryHook",
     "__version__",
 ]
 
@@ -33,6 +37,8 @@ _LAZY_EXPORTS = {
     "FLConfig": ("repro.fl.config", "FLConfig"),
     "run_federated_training": ("repro.fl.runner", "run_federated_training"),
     "make_strategy": ("repro.fl.strategies", "make_strategy"),
+    "Telemetry": ("repro.telemetry.runtime", "Telemetry"),
+    "TelemetryHook": ("repro.telemetry.hook", "TelemetryHook"),
 }
 
 

@@ -134,6 +134,47 @@ class EUCBAgent:
         self.history.append(_PlayRecord(self._pending_arm, float(reward)))
         self._pending_arm = None
 
+    def snapshot(self) -> dict:
+        """JSON-ready view of the agent's internal state (Eqs. 9-11).
+
+        Reports, per partition region: the raw pull count, the
+        discounted play count, the discounted empirical mean of the
+        (effective) rewards and the confidence radius -- exactly the
+        quantities :meth:`select_ratio` maximises over -- plus the
+        current interval partition.  Purely observational: calling it
+        never changes the agent.
+        """
+        stats, total = self._discounted_stats()
+        pulls = {region: 0 for region in self.partition}
+        for record in self.history:
+            pulls[self.partition.find(record.arm)] += 1
+        arms = []
+        for region in self.partition:
+            count, reward_sum = stats[region]
+            if count > 0.0:
+                mean = reward_sum / count
+                radius = self.exploration * math.sqrt(
+                    2.0 * math.log(max(total, math.e)) / count
+                )
+            else:
+                mean = None
+                radius = None
+            arms.append({
+                "low": region.low,
+                "high": region.high,
+                "pulls": pulls[region],
+                "discounted_count": count,
+                "mean": mean,
+                "radius": radius,
+            })
+        return {
+            "rounds_played": len(self.history),
+            "num_regions": len(self.partition),
+            "pending_arm": self._pending_arm,
+            "partition": self.partition.snapshot(),
+            "arms": arms,
+        }
+
     def abandon(self) -> None:
         """Discard a pending play (used when a worker misses the round
         deadline and produces no reward signal)."""

@@ -55,6 +55,19 @@ class Partition:
     def regions(self) -> Tuple[Region, ...]:
         return tuple(self._regions)
 
+    def snapshot(self) -> dict:
+        """JSON-ready view of the partition: its bounds and cut edges.
+
+        ``edges`` lists every region boundary left to right, so
+        consecutive pairs are the current regions.
+        """
+        return {
+            "low": self._regions[0].low,
+            "high": self._regions[-1].high,
+            "edges": [region.low for region in self._regions]
+            + [self._regions[-1].high],
+        }
+
     def find(self, arm: float) -> Region:
         """Region containing ``arm``; raises if outside the partition."""
         for region in self._regions:

@@ -22,6 +22,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments.reporting import (
+    print_metrics_summary,
+    print_profile_summary,
+)
 from repro.experiments.setups import (
     BENCH_TASKS,
     METHOD_LABELS,
@@ -35,6 +39,14 @@ from repro.fl.schedulers import SCHEDULERS
 from repro.fl.strategies import STRATEGIES
 from repro.io import save_history
 from repro.simulation.cluster import HETEROGENEITY_SCENARIOS, scenario_table
+from repro.telemetry import (
+    JsonlSink,
+    LayerProfiler,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryHook,
+    Tracer,
+)
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -65,10 +77,32 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--target", type=float, default=None,
                         help="stop when the metric reaches this target")
     parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write engine spans/events as JSONL to FILE")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the metrics registry as JSON to FILE")
+    parser.add_argument("--profile-worker", type=int, default=None,
+                        metavar="N",
+                        help="profile worker N's per-layer forward/backward")
+
+
+def _make_telemetry(args) -> Optional[Telemetry]:
+    """Build the Telemetry bundle the run flags ask for (None if none)."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    profile_worker = getattr(args, "profile_worker", None)
+    if trace_out is None and metrics_out is None and profile_worker is None:
+        return None
+    tracer = Tracer(JsonlSink(trace_out)) if trace_out is not None \
+        else Tracer()
+    metrics = MetricsRegistry(enabled=metrics_out is not None)
+    profiler = LayerProfiler(profile_worker) \
+        if profile_worker is not None else None
+    return Telemetry(tracer=tracer, metrics=metrics, profiler=profiler)
 
 
 def _build_history(task_key: str, strategy: str, args,
-                   hooks=None) -> "TrainingHistory":
+                   hooks=None, telemetry=None) -> "TrainingHistory":
     bench_task = make_bench_task(task_key)
     devices = make_devices(args.scenario, count=args.workers)
     overrides = dict(
@@ -83,14 +117,19 @@ def _build_history(task_key: str, strategy: str, args,
         overrides["max_rounds"] = args.rounds
     config = bench_task.make_config(strategy, **overrides)
     task = bench_task.make_task(args.non_iid)
-    return run_federated_training(task, devices, config, hooks=hooks)
+    return run_federated_training(task, devices, config, hooks=hooks,
+                                  telemetry=telemetry)
 
 
 def _cmd_run(args) -> int:
     timing = TimingHook()
     comm = CommVolumeHook()
+    hooks = [timing, comm]
+    telemetry = _make_telemetry(args)
+    if telemetry is not None:
+        hooks.append(TelemetryHook(telemetry))
     history = _build_history(args.task, args.strategy, args,
-                             hooks=[timing, comm])
+                             hooks=hooks, telemetry=telemetry)
     label = METHOD_LABELS.get(args.strategy, args.strategy)
     print(f"{label} on {make_bench_task(args.task).label} "
           f"({args.scenario} scenario):")
@@ -99,9 +138,24 @@ def _cmd_run(args) -> int:
     print(f"final metric: {history.final_metric():.4f} "
           f"after {len(history.rounds)} rounds "
           f"({history.total_time_s:.1f} simulated seconds)")
+    print(f"round time: mean {history.mean_round_time():.1f}s  "
+          f"p50 {history.percentile_round_time(50):.1f}s  "
+          f"p95 {history.percentile_round_time(95):.1f}s  "
+          f"(PS overhead {history.total_overhead_s:.3f}s)")
     print(f"comm volume: {comm.total_download_params / 1e6:.2f}M params "
           f"down, {comm.total_upload_params / 1e6:.2f}M up "
           f"(host time {timing.total_wall_time_s:.1f}s)")
+    if telemetry is not None:
+        if telemetry.profiler is not None:
+            telemetry.profiler.publish(telemetry.metrics)
+            print_profile_summary(telemetry.profiler)
+        if telemetry.metrics.enabled:
+            print_metrics_summary(telemetry.metrics)
+            telemetry.metrics.save(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        telemetry.close()
+        if args.trace_out is not None:
+            print(f"trace written to {args.trace_out}")
     if args.history:
         save_history(history, args.history)
         print(f"history written to {args.history}")

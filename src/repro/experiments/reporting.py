@@ -48,6 +48,71 @@ def print_series(title: str, series: Dict[str, List[tuple]],
         print(f"  {name:<10} {text}")
 
 
+def print_metrics_summary(registry) -> None:
+    """Console summary of a :class:`~repro.telemetry.MetricsRegistry`.
+
+    Histograms print count/mean/p50/p95/p99, counters and gauges print
+    their current values; instruments are keyed by their Prometheus-ish
+    ``name{label=value,...}`` rendering.
+    """
+    from repro.telemetry.metrics import format_instrument
+
+    rows = []
+    for hist in registry.histograms:
+        summary = hist.summary()
+        if not summary["count"]:
+            continue
+        rows.append((
+            format_instrument(hist.name, hist.labels),
+            summary["count"],
+            f"{summary['mean']:.4g}",
+            f"{summary['p50']:.4g}",
+            f"{summary['p95']:.4g}",
+            f"{summary['p99']:.4g}",
+        ))
+    if rows:
+        print_table("telemetry: histograms",
+                    ("instrument", "count", "mean", "p50", "p95", "p99"),
+                    rows)
+    counter_rows = [
+        (format_instrument(counter.name, counter.labels),
+         f"{counter.value:g}")
+        for counter in registry.counters
+    ]
+    if counter_rows:
+        print_table("telemetry: counters", ("instrument", "total"),
+                    counter_rows)
+
+
+def print_profile_summary(profiler) -> None:
+    """Console summary of a :class:`~repro.telemetry.LayerProfiler`."""
+    records = profiler.summary()
+    if not records:
+        print("\nprofiler: no layers recorded")
+        return
+    rows = []
+    for record in records:
+        flops = (
+            f"{record['total_flops'] / 1e6:.2f}M"
+            if record["total_flops"] is not None else "--"
+        )
+        rows.append((
+            record["name"], record["layer_type"],
+            record["forward_calls"],
+            f"{record['forward_s'] * 1e3:.2f}ms",
+            f"{record['backward_s'] * 1e3:.2f}ms",
+            flops,
+        ))
+    worker = "" if profiler.worker_id is None \
+        else f" (worker {profiler.worker_id})"
+    print_table(
+        f"profiler: per-layer forward/backward{worker}",
+        ("layer", "type", "fwd calls", "fwd time", "bwd time", "flops"),
+        rows,
+        note=f"total instrumented time {profiler.total_s:.3f}s",
+    )
+
+
 def fmt_time(value: Optional[float]) -> str:
     """Format a time-to-target value, '--' when the target was missed."""
     return f"{value:.0f}s" if value is not None else "--"

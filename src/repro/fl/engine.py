@@ -17,6 +17,7 @@ devices are bitwise identical, whichever scheduler drives them.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,7 @@ from repro.simulation.clock import SimulationClock
 from repro.simulation.device import DeviceProfile
 from repro.simulation.faults import DeadlinePolicy, simulate_membership_churn
 from repro.simulation.timing import RoundCosts
+from repro.telemetry.runtime import DISABLED_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -76,14 +78,24 @@ class Engine:
     hooks:
         Optional iterable of :class:`~repro.fl.hooks.RoundHook`
         observers threaded through every round.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle; the engine
+        and its scheduler open spans (``round`` / ``decide`` / ``prune``
+        / ``dispatch`` / ``local_train`` / ``aggregate`` / ``eval``)
+        against it.  Defaults to the shared disabled bundle, whose
+        instruments are all no-ops.
     """
 
     def __init__(self, task, devices: Sequence[DeviceProfile],
                  config: FLConfig,
                  aggregator: Optional[Aggregator] = None,
-                 hooks: Optional[Iterable[RoundHook]] = None) -> None:
+                 hooks: Optional[Iterable[RoundHook]] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.task = task
         self.config = config
+        self.telemetry = (
+            telemetry if telemetry is not None else DISABLED_TELEMETRY
+        )
         self.master_rng = np.random.default_rng(config.seed)
 
         self.model = task.build_model(
@@ -135,6 +147,7 @@ class Engine:
         self._churn_rng = np.random.default_rng(
             self.master_rng.integers(2 ** 31)
         )
+        self.hooks.attach(self)
 
     # ------------------------------------------------------------------
     # membership
@@ -156,28 +169,39 @@ class Engine:
     def dispatch(self, worker_id: int, ratio: float, dispatch_time: float,
                  round_index: int) -> Dispatch:
         """Prune the global model for one worker and price the round."""
-        plan = self.task.build_plan(self.model, ratio)
-        submodel = self.task.extract(self.model, plan, self.extract_rng)
-        residual = None
-        if self.aggregator.needs_residual:
-            residual = residual_state_dict(self.server.global_state, plan)
+        with self.telemetry.span("dispatch", round=round_index,
+                                 worker=worker_id, ratio=ratio) as span:
+            with self.telemetry.span("prune", round=round_index,
+                                     worker=worker_id, ratio=ratio):
+                plan = self.task.build_plan(self.model, ratio)
+                submodel = self.task.extract(self.model, plan,
+                                             self.extract_rng)
+                residual = None
+                if self.aggregator.needs_residual:
+                    residual = residual_state_dict(self.server.global_state,
+                                                   plan)
 
-        tau = self.strategy.local_iterations(worker_id)
-        num_params = submodel.num_parameters()
-        keep = self.strategy.upload_keep_fraction(worker_id)
-        upload_params = max(1, int(round(num_params * keep)))
-        costs = self.workers[worker_id].round_costs(
-            self.task.count_flops(submodel),
-            download_params=num_params, upload_params=upload_params,
-            batch_size=self.config.batch_size, tau=tau,
-        )
-        dispatch = Dispatch(
-            worker_id=worker_id, ratio=ratio, plan=plan, submodel=submodel,
-            dispatched_state=submodel.state_dict(), residual=residual,
-            tau=tau, costs=costs, dispatch_time=dispatch_time,
-            download_params=num_params, upload_params=upload_params,
-        )
-        self.hooks.on_dispatch(round_index, dispatch)
+            tau = self.strategy.local_iterations(worker_id)
+            num_params = submodel.num_parameters()
+            keep = self.strategy.upload_keep_fraction(worker_id)
+            upload_params = max(1, int(round(num_params * keep)))
+            costs = self.workers[worker_id].round_costs(
+                self.task.count_flops(submodel),
+                download_params=num_params, upload_params=upload_params,
+                batch_size=self.config.batch_size, tau=tau,
+            )
+            span.set("download_params", num_params)
+            span.set("upload_params", upload_params)
+            span.set("tau", tau)
+            span.set("completion_time_s", costs.total_s)
+            dispatch = Dispatch(
+                worker_id=worker_id, ratio=ratio, plan=plan,
+                submodel=submodel, dispatched_state=submodel.state_dict(),
+                residual=residual, tau=tau, costs=costs,
+                dispatch_time=dispatch_time, download_params=num_params,
+                upload_params=upload_params,
+            )
+            self.hooks.on_dispatch(round_index, dispatch)
         return dispatch
 
     def train(self, dispatch: Dispatch,
@@ -185,14 +209,27 @@ class Engine:
         """Run the worker's local training; returns its contribution and
         mean training loss."""
         worker = self.workers[dispatch.worker_id]
-        train_loss = worker.local_train(
-            dispatch.submodel, tau=dispatch.tau, lr=self.config.lr,
-            momentum=self.config.momentum,
-            weight_decay=self.config.weight_decay,
-            prox_mu=self.strategy.proximal_mu(),
-            clip_norm=self.config.clip_norm,
-            anchor=dispatch.dispatched_state,
-        )
+        with self.telemetry.span("local_train", round=round_index,
+                                 worker=dispatch.worker_id,
+                                 tau=dispatch.tau,
+                                 ratio=dispatch.ratio) as span:
+            profiler = self.telemetry.profiler
+            profile_ctx = (
+                profiler.attach(dispatch.submodel)
+                if profiler is not None
+                and profiler.matches(dispatch.worker_id)
+                else nullcontext()
+            )
+            with profile_ctx:
+                train_loss = worker.local_train(
+                    dispatch.submodel, tau=dispatch.tau, lr=self.config.lr,
+                    momentum=self.config.momentum,
+                    weight_decay=self.config.weight_decay,
+                    prox_mu=self.strategy.proximal_mu(),
+                    clip_norm=self.config.clip_norm,
+                    anchor=dispatch.dispatched_state,
+                )
+            span.set("train_loss", float(train_loss))
         sub_state = dispatch.submodel.state_dict()
 
         keep = self.strategy.upload_keep_fraction(dispatch.worker_id)
@@ -226,8 +263,12 @@ class Engine:
     def aggregate(self, contributions: List[Contribution],
                   round_index: int) -> Dict[str, np.ndarray]:
         """Fold one round of contributions into the global model."""
-        new_state = self.server.apply(contributions)
-        self.hooks.on_aggregate(round_index, contributions)
+        with self.telemetry.span(
+            "aggregate", round=round_index,
+            workers=[c.worker_id for c in contributions],
+        ):
+            new_state = self.server.apply(contributions)
+            self.hooks.on_aggregate(round_index, contributions)
         return new_state
 
     def evaluate(self, round_index: int,
@@ -235,9 +276,14 @@ class Engine:
         due = (round_index + 1) % self.config.eval_every == 0
         if not (due or force):
             return None, None
-        metric, loss = self.task.evaluate(
-            self.model, max_samples=self.config.eval_max_samples
-        )
+        with self.telemetry.span("eval", round=round_index) as span:
+            metric, loss = self.task.evaluate(
+                self.model, max_samples=self.config.eval_max_samples
+            )
+            if metric is not None:
+                span.set("metric", float(metric))
+            if loss is not None:
+                span.set("eval_loss", float(loss))
         return metric, loss
 
     def delta_loss(self, mean_train_loss: float) -> float:

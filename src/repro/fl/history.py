@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -23,9 +24,12 @@ class RoundRecord:
     #: stragglers whose dispatches carried over to the next round
     #: (semi-synchronous scheduling only; empty otherwise)
     carried_over: List[int] = field(default_factory=list)
-    #: free-form per-round measurements published by round hooks
-    #: (e.g. ``wall_time_s``, ``download_params``, ``upload_params``)
-    extras: Dict[str, float] = field(default_factory=dict)
+    #: free-form per-round measurements published by round hooks.
+    #: Values must be JSON-serialisable (numbers, strings, and nested
+    #: lists/dicts thereof): scalars like ``wall_time_s`` sit next to
+    #: structured payloads like the per-worker E-UCB snapshot under
+    #: ``"eucb"``, and :mod:`repro.io` round-trips them all.
+    extras: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -106,11 +110,36 @@ class TrainingHistory:
             return 0.0
         return sum(r.round_time_s for r in self.rounds) / len(self.rounds)
 
+    def percentile_round_time(self, p: float) -> float:
+        """p-th percentile of per-round durations (Eq. 6 tail view).
+
+        Linear interpolation between order statistics; 0 with no
+        rounds.  ``p`` is in percent, e.g. ``percentile_round_time(95)``
+        is the straggler-dominated tail the semi-sync deadline targets.
+        """
+        if not self.rounds:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        times = sorted(record.round_time_s for record in self.rounds)
+        if len(times) == 1:
+            return times[0]
+        rank = (p / 100.0) * (len(times) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(times) - 1)
+        fraction = rank - low
+        return times[low] + fraction * (times[high] - times[low])
+
     def mean_overhead(self) -> float:
         """Average PS-side algorithm overhead per round (Fig. 11)."""
         if not self.rounds:
             return 0.0
         return sum(r.overhead_s for r in self.rounds) / len(self.rounds)
+
+    @property
+    def total_overhead_s(self) -> float:
+        """Total PS-side decision + pruning time across the run."""
+        return sum(r.overhead_s for r in self.rounds)
 
     @property
     def total_time_s(self) -> float:

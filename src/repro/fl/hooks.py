@@ -30,6 +30,15 @@ class RoundHook:
     instances (duck-typed here to avoid an import cycle).
     """
 
+    def attach(self, engine) -> None:
+        """Called once when the engine composes its hook list.
+
+        ``engine`` is the :class:`repro.fl.engine.Engine` driving the
+        run; hooks that need run-wide context (the strategy for bandit
+        snapshots, the worker pool) keep a reference here.  Stateless
+        hooks ignore it.
+        """
+
     def on_dispatch(self, round_index: int, dispatch) -> None:
         """A sub-model was pruned, priced and sent to a worker."""
 
@@ -51,6 +60,13 @@ class HookList(RoundHook):
 
     def __init__(self, hooks: Optional[Iterable[RoundHook]] = None) -> None:
         self.hooks: List[RoundHook] = list(hooks or [])
+
+    def attach(self, engine) -> None:
+        # tolerate structurally-typed hooks that predate attach()
+        for hook in self.hooks:
+            attach = getattr(hook, "attach", None)
+            if attach is not None:
+                attach(engine)
 
     def on_dispatch(self, round_index: int, dispatch) -> None:
         for hook in self.hooks:
@@ -80,24 +96,37 @@ class TimingHook(RoundHook):
     Simulated time already lives in ``RoundRecord.round_time_s``; this
     hook measures how long the *host* spent producing the round
     (decision, pruning, local training, aggregation), which is what the
-    overhead benchmarks report.  Timing starts at the round's first
-    dispatch (or at the previous round's end for rounds that only
-    consume carried-over dispatches) and stops at ``on_round_end``.
+    overhead benchmarks report.
+
+    Attribution is **disjoint**: round ``k`` is charged the interval
+    from the previous round's end (the hook's first observed dispatch
+    for the opening round) to round ``k``'s own end.  Under async or
+    semi-sync scheduling, work performed before round ``k`` closes --
+    including dispatches already labelled ``k+1`` -- is therefore
+    charged to round ``k`` and never again to ``k+1``, so
+    ``total_wall_time_s`` always equals the sum of the per-round
+    extras.  (Keying starts by dispatch round label instead would
+    double-charge the span between a carried-over round's early
+    re-dispatches and its end.)
     """
 
     def __init__(self) -> None:
-        self._starts: Dict[int, float] = {}
+        self._origin: Optional[float] = None
         self._last_end: Optional[float] = None
         self.total_wall_time_s = 0.0
 
     def on_dispatch(self, round_index: int, dispatch) -> None:
-        self._starts.setdefault(round_index, time.perf_counter())
+        if self._origin is None:
+            self._origin = time.perf_counter()
 
     def on_round_end(self, record: RoundRecord) -> None:
         end = time.perf_counter()
-        start = self._starts.pop(record.round_index, None)
-        if start is None:
-            start = self._last_end if self._last_end is not None else end
+        if self._last_end is not None:
+            start = self._last_end
+        elif self._origin is not None:
+            start = self._origin
+        else:
+            start = end
         wall = max(0.0, end - start)
         record.extras["wall_time_s"] = wall
         self.total_wall_time_s += wall
@@ -146,3 +175,22 @@ class CommVolumeHook(RoundHook):
     @property
     def total_params(self) -> float:
         return self.total_download_params + self.total_upload_params
+
+    @property
+    def pending_download_params(self) -> float:
+        """Dispatched volume not yet attributed to a finished round.
+
+        Non-zero after a run when outstanding dispatches were labelled
+        with a round that never closed (async/semi-sync tails), so
+        ``total_download_params == sum(per-round extras) + pending``.
+        """
+        return float(sum(self._download.values()))
+
+    @property
+    def pending_upload_params(self) -> float:
+        """Uploaded volume not yet attributed to a finished round.
+
+        Always 0 after a completed run: uploads are recorded in the
+        round that aggregates them, and that round always closes.
+        """
+        return float(sum(self._upload.values()))

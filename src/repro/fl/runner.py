@@ -27,20 +27,27 @@ from repro.fl.history import TrainingHistory
 from repro.fl.hooks import RoundHook
 from repro.fl.schedulers import make_scheduler
 from repro.simulation.device import DeviceProfile
+from repro.telemetry.runtime import Telemetry
 
 __all__ = ["Dispatch", "Engine", "run_federated_training"]
 
 
 def run_federated_training(
         task, devices: Sequence[DeviceProfile], config: FLConfig,
-        hooks: Optional[Iterable[RoundHook]] = None) -> TrainingHistory:
+        hooks: Optional[Iterable[RoundHook]] = None,
+        telemetry: Optional[Telemetry] = None) -> TrainingHistory:
     """Run one federated-training experiment and return its history.
 
     ``task`` is a :mod:`repro.fl.tasks` adapter; ``devices`` defines the
     heterogeneous workers (one per device); ``config`` selects strategy,
     scheduler, aggregation scheme and stopping criteria.  ``hooks``
-    optionally attaches :class:`~repro.fl.hooks.RoundHook` observers.
+    optionally attaches :class:`~repro.fl.hooks.RoundHook` observers;
+    ``telemetry`` optionally attaches a :class:`~repro.telemetry.
+    Telemetry` bundle the engine and scheduler emit spans/metrics into
+    (pair it with :class:`~repro.telemetry.TelemetryHook` in ``hooks``
+    for the per-round metrics and E-UCB snapshots).
     """
-    engine = Engine(task, devices, config, hooks=hooks)
+    engine = Engine(task, devices, config, hooks=hooks,
+                    telemetry=telemetry)
     scheduler = make_scheduler(config)
     return scheduler.run(engine)

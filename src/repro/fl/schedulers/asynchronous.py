@@ -41,62 +41,73 @@ class AsynchronousScheduler(Scheduler):
                 f"({len(engine.worker_ids)})"
             )
         outstanding = DispatchQueue()
-        initial_ratios = engine.strategy.select_ratios(0)
+        with engine.telemetry.span("decide", round=0, bootstrap=True,
+                                   workers=len(engine.worker_ids)):
+            initial_ratios = engine.strategy.select_ratios(0)
         for wid, ratio in initial_ratios.items():
             outstanding.add(engine.dispatch(wid, ratio, engine.clock.now, 0))
 
         for round_index in range(config.max_rounds):
-            arrivals = outstanding.pop_first(m)
-            now = arrivals[-1].finish_time
-            previous_now = engine.clock.now
-            engine.clock.advance_to(max(now, previous_now))
-            engine.clock.mark_round()
+            with engine.telemetry.span("round", round=round_index,
+                                       scheduler=self.name) as round_span:
+                arrivals = outstanding.pop_first(m)
+                now = arrivals[-1].finish_time
+                previous_now = engine.clock.now
+                engine.clock.advance_to(max(now, previous_now))
+                engine.clock.mark_round()
 
-            contributions = []
-            train_losses = []
-            costs: Dict[int, RoundCosts] = {}
-            # the ratios actually aggregated this round -- recorded
-            # before re-dispatch overwrites the workers' assignments
-            arrival_ratios: Dict[int, float] = {}
-            for dispatch in arrivals:
-                contribution, loss = engine.train(dispatch, round_index)
-                contributions.append(contribution)
-                train_losses.append(loss)
-                costs[dispatch.worker_id] = dispatch.costs
-                arrival_ratios[dispatch.worker_id] = dispatch.ratio
-            engine.aggregate(contributions, round_index)
+                contributions = []
+                train_losses = []
+                costs: Dict[int, RoundCosts] = {}
+                # the ratios actually aggregated this round -- recorded
+                # before re-dispatch overwrites the workers' assignments
+                arrival_ratios: Dict[int, float] = {}
+                for dispatch in arrivals:
+                    contribution, loss = engine.train(dispatch, round_index)
+                    contributions.append(contribution)
+                    train_losses.append(loss)
+                    costs[dispatch.worker_id] = dispatch.costs
+                    arrival_ratios[dispatch.worker_id] = dispatch.ratio
+                engine.aggregate(contributions, round_index)
 
-            mean_train_loss = float(np.mean(train_losses))
-            delta_loss = engine.delta_loss(mean_train_loss)
-            engine.strategy.observe_round(RoundObservation(
-                round_index=round_index, costs=costs, delta_loss=delta_loss,
-            ))
+                mean_train_loss = float(np.mean(train_losses))
+                delta_loss = engine.delta_loss(mean_train_loss)
+                engine.strategy.observe_round(RoundObservation(
+                    round_index=round_index, costs=costs,
+                    delta_loss=delta_loss,
+                ))
 
-            arrived_ids = sorted(costs)
-            overhead_start = time.perf_counter()
-            new_ratios = engine.strategy.select_ratios(
-                round_index + 1, worker_ids=arrived_ids
-            )
-            for wid, ratio in new_ratios.items():
-                outstanding.add(
-                    engine.dispatch(wid, ratio, engine.clock.now,
-                                    round_index + 1)
+                arrived_ids = sorted(costs)
+                overhead_start = time.perf_counter()
+                with engine.telemetry.span("decide", round=round_index + 1,
+                                           workers=len(arrived_ids)):
+                    new_ratios = engine.strategy.select_ratios(
+                        round_index + 1, worker_ids=arrived_ids
+                    )
+                for wid, ratio in new_ratios.items():
+                    outstanding.add(
+                        engine.dispatch(wid, ratio, engine.clock.now,
+                                        round_index + 1)
+                    )
+                overhead_s = time.perf_counter() - overhead_start
+
+                is_last = round_index == config.max_rounds - 1
+                metric, eval_loss = engine.evaluate(round_index,
+                                                    force=is_last)
+                record = RoundRecord(
+                    round_index=round_index, sim_time_s=engine.clock.now,
+                    round_time_s=engine.clock.now - previous_now,
+                    metric=metric, eval_loss=eval_loss,
+                    train_loss=mean_train_loss,
+                    ratios={wid: arrival_ratios[wid] for wid in arrived_ids},
+                    completion_times={
+                        wid: cost.total_s for wid, cost in costs.items()
+                    },
+                    overhead_s=overhead_s,
                 )
-            overhead_s = time.perf_counter() - overhead_start
-
-            is_last = round_index == config.max_rounds - 1
-            metric, eval_loss = engine.evaluate(round_index, force=is_last)
-            record = RoundRecord(
-                round_index=round_index, sim_time_s=engine.clock.now,
-                round_time_s=engine.clock.now - previous_now, metric=metric,
-                eval_loss=eval_loss, train_loss=mean_train_loss,
-                ratios={wid: arrival_ratios[wid] for wid in arrived_ids},
-                completion_times={
-                    wid: cost.total_s for wid, cost in costs.items()
-                },
-                overhead_s=overhead_s,
-            )
-            engine.finish_round(record)
+                engine.finish_round(record)
+                round_span.set("sim_time_s", engine.clock.now)
+                round_span.set("round_time_s", record.round_time_s)
             if engine.should_stop(record):
                 break
         return engine.history

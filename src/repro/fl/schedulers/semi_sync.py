@@ -46,81 +46,95 @@ class SemiSynchronousScheduler(Scheduler):
         outstanding = DispatchQueue()
 
         present = engine.present_workers(0)
-        initial_ratios = engine.strategy.select_ratios(0, worker_ids=present)
+        with engine.telemetry.span("decide", round=0, bootstrap=True,
+                                   workers=len(present)):
+            initial_ratios = engine.strategy.select_ratios(
+                0, worker_ids=present
+            )
         for wid, ratio in initial_ratios.items():
             outstanding.add(engine.dispatch(wid, ratio, engine.clock.now, 0))
 
         for round_index in range(config.max_rounds):
-            previous_now = engine.clock.now
-            deadline = previous_now + self.deadline_s
-            arrivals = outstanding.pop_until(deadline)
-            if arrivals:
-                if len(outstanding) > 0:
-                    # stragglers remain: the PS waits the full budget
-                    round_end = deadline
+            with engine.telemetry.span("round", round=round_index,
+                                       scheduler=self.name) as round_span:
+                previous_now = engine.clock.now
+                deadline = previous_now + self.deadline_s
+                arrivals = outstanding.pop_until(deadline)
+                if arrivals:
+                    if len(outstanding) > 0:
+                        # stragglers remain: the PS waits the full budget
+                        round_end = deadline
+                    else:
+                        round_end = max(d.finish_time for d in arrivals)
                 else:
-                    round_end = max(d.finish_time for d in arrivals)
-            else:
-                # nobody made the deadline; stretch to the next arrival
-                arrivals = outstanding.pop_first(1)
-                round_end = arrivals[-1].finish_time
-            engine.clock.advance_to(max(round_end, previous_now))
-            engine.clock.mark_round()
+                    # nobody made the deadline; stretch to the next arrival
+                    arrivals = outstanding.pop_first(1)
+                    round_end = arrivals[-1].finish_time
+                engine.clock.advance_to(max(round_end, previous_now))
+                engine.clock.mark_round()
 
-            contributions = []
-            train_losses = []
-            costs: Dict[int, RoundCosts] = {}
-            arrival_ratios: Dict[int, float] = {}
-            for dispatch in arrivals:
-                contribution, loss = engine.train(dispatch, round_index)
-                contributions.append(contribution)
-                train_losses.append(loss)
-                costs[dispatch.worker_id] = dispatch.costs
-                arrival_ratios[dispatch.worker_id] = dispatch.ratio
-            engine.aggregate(contributions, round_index)
-            carried_over = outstanding.worker_ids
+                contributions = []
+                train_losses = []
+                costs: Dict[int, RoundCosts] = {}
+                arrival_ratios: Dict[int, float] = {}
+                for dispatch in arrivals:
+                    contribution, loss = engine.train(dispatch, round_index)
+                    contributions.append(contribution)
+                    train_losses.append(loss)
+                    costs[dispatch.worker_id] = dispatch.costs
+                    arrival_ratios[dispatch.worker_id] = dispatch.ratio
+                engine.aggregate(contributions, round_index)
+                carried_over = outstanding.worker_ids
 
-            mean_train_loss = float(np.mean(train_losses))
-            delta_loss = engine.delta_loss(mean_train_loss)
-            engine.strategy.observe_round(RoundObservation(
-                round_index=round_index, costs=costs, delta_loss=delta_loss,
-                carried_over=carried_over,
-            ))
+                mean_train_loss = float(np.mean(train_losses))
+                delta_loss = engine.delta_loss(mean_train_loss)
+                engine.strategy.observe_round(RoundObservation(
+                    round_index=round_index, costs=costs,
+                    delta_loss=delta_loss, carried_over=carried_over,
+                ))
 
-            # re-dispatch to every idle worker that is present (arrived
-            # workers, plus churned-out workers that have rejoined)
-            overhead_start = time.perf_counter()
-            present = engine.present_workers(round_index + 1)
-            idle = [
-                wid for wid in engine.worker_ids
-                if wid not in outstanding and wid in set(present)
-            ]
-            if idle:
-                new_ratios = engine.strategy.select_ratios(
-                    round_index + 1, worker_ids=idle
+                # re-dispatch to every idle worker that is present
+                # (arrived workers, plus churned-out workers that have
+                # rejoined)
+                overhead_start = time.perf_counter()
+                present = engine.present_workers(round_index + 1)
+                idle = [
+                    wid for wid in engine.worker_ids
+                    if wid not in outstanding and wid in set(present)
+                ]
+                if idle:
+                    with engine.telemetry.span("decide",
+                                               round=round_index + 1,
+                                               workers=len(idle)):
+                        new_ratios = engine.strategy.select_ratios(
+                            round_index + 1, worker_ids=idle
+                        )
+                    for wid, ratio in new_ratios.items():
+                        outstanding.add(
+                            engine.dispatch(wid, ratio, engine.clock.now,
+                                            round_index + 1)
+                        )
+                overhead_s = time.perf_counter() - overhead_start
+
+                is_last = round_index == config.max_rounds - 1
+                metric, eval_loss = engine.evaluate(round_index,
+                                                    force=is_last)
+                arrived_ids = sorted(costs)
+                record = RoundRecord(
+                    round_index=round_index, sim_time_s=engine.clock.now,
+                    round_time_s=engine.clock.now - previous_now,
+                    metric=metric, eval_loss=eval_loss,
+                    train_loss=mean_train_loss,
+                    ratios={wid: arrival_ratios[wid] for wid in arrived_ids},
+                    completion_times={
+                        wid: costs[wid].total_s for wid in arrived_ids
+                    },
+                    carried_over=carried_over,
+                    overhead_s=overhead_s,
                 )
-                for wid, ratio in new_ratios.items():
-                    outstanding.add(
-                        engine.dispatch(wid, ratio, engine.clock.now,
-                                        round_index + 1)
-                    )
-            overhead_s = time.perf_counter() - overhead_start
-
-            is_last = round_index == config.max_rounds - 1
-            metric, eval_loss = engine.evaluate(round_index, force=is_last)
-            arrived_ids = sorted(costs)
-            record = RoundRecord(
-                round_index=round_index, sim_time_s=engine.clock.now,
-                round_time_s=engine.clock.now - previous_now, metric=metric,
-                eval_loss=eval_loss, train_loss=mean_train_loss,
-                ratios={wid: arrival_ratios[wid] for wid in arrived_ids},
-                completion_times={
-                    wid: costs[wid].total_s for wid in arrived_ids
-                },
-                carried_over=carried_over,
-                overhead_s=overhead_s,
-            )
-            engine.finish_round(record)
+                engine.finish_round(record)
+                round_span.set("sim_time_s", engine.clock.now)
+                round_span.set("round_time_s", record.round_time_s)
             if engine.should_stop(record):
                 break
         return engine.history

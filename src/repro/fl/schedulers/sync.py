@@ -29,61 +29,70 @@ class SynchronousScheduler(Scheduler):
     def run(self, engine: Engine) -> TrainingHistory:
         config = engine.config
         for round_index in range(config.max_rounds):
-            present = engine.present_workers(round_index)
-            overhead_start = time.perf_counter()
-            ratios = engine.strategy.select_ratios(round_index,
-                                                   worker_ids=present)
-            dispatches = {
-                wid: engine.dispatch(wid, ratio, engine.clock.now,
-                                     round_index)
-                for wid, ratio in ratios.items()
-            }
-            overhead_s = time.perf_counter() - overhead_start
+            with engine.telemetry.span("round", round=round_index,
+                                       scheduler=self.name) as round_span:
+                present = engine.present_workers(round_index)
+                overhead_start = time.perf_counter()
+                with engine.telemetry.span("decide", round=round_index,
+                                           workers=len(present)):
+                    ratios = engine.strategy.select_ratios(
+                        round_index, worker_ids=present
+                    )
+                dispatches = {
+                    wid: engine.dispatch(wid, ratio, engine.clock.now,
+                                         round_index)
+                    for wid, ratio in ratios.items()
+                }
+                overhead_s = time.perf_counter() - overhead_start
 
-            times = {
-                wid: dispatch.costs.total_s
-                for wid, dispatch in dispatches.items()
-            }
-            if engine.deadline_policy is not None and len(times) > 1:
-                outcome = engine.deadline_policy.apply(times)
-                accepted_ids = outcome.accepted
-                discarded = outcome.discarded
-                round_time = outcome.round_time_s
-            else:
-                accepted_ids = list(times)
-                discarded = []
-                round_time = max(times.values())
+                times = {
+                    wid: dispatch.costs.total_s
+                    for wid, dispatch in dispatches.items()
+                }
+                if engine.deadline_policy is not None and len(times) > 1:
+                    outcome = engine.deadline_policy.apply(times)
+                    accepted_ids = outcome.accepted
+                    discarded = outcome.discarded
+                    round_time = outcome.round_time_s
+                else:
+                    accepted_ids = list(times)
+                    discarded = []
+                    round_time = max(times.values())
 
-            contributions = []
-            train_losses = []
-            for wid in accepted_ids:
-                contribution, loss = engine.train(dispatches[wid],
-                                                  round_index)
-                contributions.append(contribution)
-                train_losses.append(loss)
-            engine.aggregate(contributions, round_index)
+                contributions = []
+                train_losses = []
+                for wid in accepted_ids:
+                    contribution, loss = engine.train(dispatches[wid],
+                                                      round_index)
+                    contributions.append(contribution)
+                    train_losses.append(loss)
+                engine.aggregate(contributions, round_index)
 
-            engine.clock.advance(round_time)
-            engine.clock.mark_round()
-            mean_train_loss = float(np.mean(train_losses))
-            delta_loss = engine.delta_loss(mean_train_loss)
-            engine.strategy.observe_round(RoundObservation(
-                round_index=round_index,
-                costs={wid: dispatches[wid].costs for wid in accepted_ids},
-                delta_loss=delta_loss,
-                discarded=discarded,
-            ))
+                engine.clock.advance(round_time)
+                engine.clock.mark_round()
+                mean_train_loss = float(np.mean(train_losses))
+                delta_loss = engine.delta_loss(mean_train_loss)
+                engine.strategy.observe_round(RoundObservation(
+                    round_index=round_index,
+                    costs={wid: dispatches[wid].costs
+                           for wid in accepted_ids},
+                    delta_loss=delta_loss,
+                    discarded=discarded,
+                ))
 
-            is_last = round_index == config.max_rounds - 1
-            metric, eval_loss = engine.evaluate(round_index, force=is_last)
-            record = RoundRecord(
-                round_index=round_index, sim_time_s=engine.clock.now,
-                round_time_s=round_time, metric=metric, eval_loss=eval_loss,
-                train_loss=mean_train_loss, ratios=dict(ratios),
-                completion_times=times, discarded=discarded,
-                overhead_s=overhead_s,
-            )
-            engine.finish_round(record)
+                is_last = round_index == config.max_rounds - 1
+                metric, eval_loss = engine.evaluate(round_index,
+                                                    force=is_last)
+                record = RoundRecord(
+                    round_index=round_index, sim_time_s=engine.clock.now,
+                    round_time_s=round_time, metric=metric,
+                    eval_loss=eval_loss, train_loss=mean_train_loss,
+                    ratios=dict(ratios), completion_times=times,
+                    discarded=discarded, overhead_s=overhead_s,
+                )
+                engine.finish_round(record)
+                round_span.set("sim_time_s", engine.clock.now)
+                round_span.set("round_time_s", round_time)
             if engine.should_stop(record):
                 break
         return engine.history

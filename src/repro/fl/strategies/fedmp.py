@@ -95,6 +95,25 @@ class FedMPStrategy(Strategy):
             self.agents[wid].abandon()
         self._pending.clear()
 
+    def snapshot(self) -> dict:
+        """JSON-ready E-UCB introspection across every worker's agent.
+
+        The telemetry hook publishes this each round (trace event
+        ``eucb_snapshot`` and ``RoundRecord.extras["eucb"]``), making
+        the bandit's convergence -- arm means, confidence radii, pull
+        counts, interval splits -- visible per worker per round.
+        """
+        return {
+            "discount": self.discount,
+            "theta": self.theta,
+            "exploration": self.exploration,
+            "reward": self.reward,
+            "agents": {
+                str(wid): agent.snapshot()
+                for wid, agent in self.agents.items()
+            },
+        }
+
     def overhead_note(self) -> str:
         regions = sum(agent.num_regions for agent in self.agents.values())
         return f"{len(self.agents)} agents, {regions} partition leaves"

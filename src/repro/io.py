@@ -14,6 +14,7 @@ from typing import Dict, Union
 import numpy as np
 
 from repro.fl.history import RoundRecord, TrainingHistory
+from repro.telemetry.spans import to_jsonable
 
 PathLike = Union[str, Path]
 
@@ -50,7 +51,9 @@ def save_history(history: TrainingHistory, path: PathLike) -> None:
                 "discarded": list(record.discarded),
                 "overhead_s": record.overhead_s,
                 "carried_over": list(record.carried_over),
-                "extras": dict(record.extras),
+                # extras hold hook/telemetry payloads that may nest
+                # dicts/lists and carry numpy scalars
+                "extras": to_jsonable(record.extras),
             }
             for record in history.rounds
         ],

@@ -13,7 +13,7 @@ usual forward + backward heuristic) by the simulator, not here.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.models.blocks import Bottleneck
 from repro.models.lstm_lm import _SeqLinear
@@ -53,6 +53,23 @@ def count_model_flops(model: Module,
         flops, _ = _count_sequence_model(model, seq_len)
         return flops
     flops, _ = _count(model, tuple(input_shape))
+    return flops
+
+
+def count_layer_flops(module: Module,
+                      input_shape: Tuple[int, ...]) -> Optional[int]:
+    """Forward FLOPs per sample for one layer at ``input_shape``.
+
+    ``input_shape`` is the per-sample shape the layer sees (``(C, H,
+    W)`` for spatial layers, ``(F,)`` once flattened).  Returns ``None``
+    for layer types the symbolic trace cannot price (recurrent cells,
+    embeddings), which is the telemetry profiler's cue to report time
+    without FLOPs for that layer.
+    """
+    try:
+        flops, _ = _count(module, tuple(int(d) for d in input_shape))
+    except (TypeError, ValueError):
+        return None
     return flops
 
 

@@ -65,6 +65,17 @@ class Module:
             child_prefix = f"{prefix}.{name}" if prefix else name
             yield from child.named_modules(child_prefix)
 
+    def leaf_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` for child-free modules.
+
+        These are the compute layers -- containers delegate all work to
+        their children -- which is what per-layer instrumentation (the
+        telemetry profiler) wants to wrap exactly once each.
+        """
+        for name, module in self.named_modules(prefix):
+            if not module._children:
+                yield name, module
+
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
         """Yield ``(qualified_name, array)`` for every parameter."""
         for mod_name, module in self.named_modules(prefix):

@@ -1,0 +1,62 @@
+"""Observability for the round engine: tracing, metrics, profiling.
+
+The subsystem has four cooperating pieces, all cheap no-ops until a
+sink or registry is attached:
+
+- :mod:`repro.telemetry.spans` -- nested span tracer exported as
+  JSONL (``round`` / ``decide`` / ``prune`` / ``dispatch`` /
+  ``local_train`` / ``aggregate`` / ``eval``);
+- :mod:`repro.telemetry.metrics` -- counters, gauges and fixed-bucket
+  histograms keyed by name + labels, with p50/p95/p99 summaries;
+- :mod:`repro.telemetry.profiler` -- per-layer forward/backward time
+  and analytic FLOPs for one worker's local training;
+- :mod:`repro.telemetry.hook` -- the :class:`TelemetryHook` round
+  hook publishing engine activity (including FedMP's per-worker E-UCB
+  snapshots) into the above.
+
+:class:`~repro.telemetry.runtime.Telemetry` bundles the instruments;
+pass it to :func:`repro.fl.runner.run_federated_training` (or use the
+CLI flags ``--trace-out`` / ``--metrics-out`` / ``--profile-worker``).
+"""
+
+from repro.telemetry.hook import TelemetryHook
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_instrument,
+)
+from repro.telemetry.profiler import LayerProfiler, LayerRecord
+from repro.telemetry.runtime import DISABLED_TELEMETRY, Telemetry
+from repro.telemetry.spans import (
+    RECORD_KINDS,
+    SPAN_NAMES,
+    ActiveSpan,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    to_jsonable,
+)
+
+__all__ = [
+    "ActiveSpan",
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "DISABLED_TELEMETRY",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LayerProfiler",
+    "LayerRecord",
+    "ListSink",
+    "MetricsRegistry",
+    "RECORD_KINDS",
+    "SPAN_NAMES",
+    "Telemetry",
+    "TelemetryHook",
+    "Tracer",
+    "format_instrument",
+    "to_jsonable",
+]

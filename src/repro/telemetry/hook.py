@@ -1,0 +1,126 @@
+"""The round hook that feeds engine activity into a Telemetry bundle.
+
+:class:`TelemetryHook` implements the :class:`repro.fl.hooks.RoundHook`
+protocol (structurally -- this package stays import-free of
+:mod:`repro.fl` so either can load first) and publishes three things:
+
+- **metrics**: per-worker counters for dispatches/contributions and
+  parameters moved, a gauge for each worker's current pruning ratio,
+  and histograms over completion times, train losses and round times;
+- **trace events**: one ``round_record`` event per round summarising
+  the :class:`~repro.fl.history.RoundRecord`, plus one
+  ``eucb_snapshot`` event when the strategy exposes ``snapshot()``
+  (FedMP's per-worker bandit state: arm means, confidence radii,
+  pull counts and the interval partition);
+- **record extras**: the same bandit snapshot under
+  ``record.extras["eucb"]`` so saved histories carry the decision
+  state round by round.
+
+The engine calls :meth:`attach` once at construction, which is how the
+hook reaches the strategy for snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.telemetry.runtime import Telemetry
+
+#: simulated-seconds buckets for round/completion times (the host-time
+#: defaults bottom out far below typical simulated durations)
+SIM_TIME_BUCKETS = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+LOSS_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
+)
+
+
+class TelemetryHook:
+    """Publish every observable round event into ``telemetry``."""
+
+    def __init__(self, telemetry: Telemetry,
+                 snapshot_bandit: bool = True) -> None:
+        self.telemetry = telemetry
+        self.snapshot_bandit = snapshot_bandit
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # RoundHook protocol
+    # ------------------------------------------------------------------
+    def attach(self, engine) -> None:
+        """Remember the engine so round ends can reach the strategy."""
+        self._engine = engine
+
+    def on_dispatch(self, round_index: int, dispatch) -> None:
+        metrics = self.telemetry.metrics
+        worker = dispatch.worker_id
+        metrics.counter("dispatches_total", worker=worker).inc()
+        metrics.counter("download_params_total", worker=worker).inc(
+            dispatch.download_params
+        )
+        metrics.gauge("pruning_ratio", worker=worker).set(dispatch.ratio)
+        metrics.histogram("completion_time_s", buckets=SIM_TIME_BUCKETS,
+                          worker=worker).observe(dispatch.costs.total_s)
+
+    def on_contribution(self, round_index: int, dispatch, contribution,
+                        train_loss: float) -> None:
+        metrics = self.telemetry.metrics
+        worker = dispatch.worker_id
+        metrics.counter("contributions_total", worker=worker).inc()
+        metrics.counter("upload_params_total", worker=worker).inc(
+            dispatch.upload_params
+        )
+        metrics.histogram("train_loss", buckets=LOSS_BUCKETS).observe(
+            train_loss
+        )
+
+    def on_aggregate(self, round_index: int, contributions) -> None:
+        metrics = self.telemetry.metrics
+        metrics.counter("aggregations_total").inc()
+        metrics.histogram(
+            "contributions_per_round",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        ).observe(len(contributions))
+
+    def on_round_end(self, record) -> None:
+        metrics = self.telemetry.metrics
+        metrics.histogram("round_time_s", buckets=SIM_TIME_BUCKETS).observe(
+            record.round_time_s
+        )
+        metrics.histogram("overhead_s").observe(record.overhead_s)
+        wall = record.extras.get("wall_time_s")
+        if isinstance(wall, (int, float)):
+            metrics.histogram("wall_time_s").observe(wall)
+
+        snapshot = self._bandit_snapshot()
+        if snapshot is not None:
+            record.extras["eucb"] = snapshot
+            self.telemetry.event("eucb_snapshot",
+                                 round=record.round_index,
+                                 snapshot=snapshot)
+        self.telemetry.event(
+            "round_record",
+            round=record.round_index,
+            sim_time_s=record.sim_time_s,
+            round_time_s=record.round_time_s,
+            train_loss=record.train_loss,
+            metric=record.metric,
+            ratios={str(wid): ratio
+                    for wid, ratio in record.ratios.items()},
+            discarded=list(record.discarded),
+            carried_over=list(record.carried_over),
+        )
+
+    # ------------------------------------------------------------------
+    # bandit introspection
+    # ------------------------------------------------------------------
+    def _bandit_snapshot(self) -> Optional[Dict[str, Any]]:
+        if not self.snapshot_bandit or self._engine is None:
+            return None
+        snapshot = getattr(self._engine.strategy, "snapshot", None)
+        if snapshot is None:
+            return None
+        return snapshot()

@@ -1,0 +1,187 @@
+"""Per-layer profiler for :mod:`repro.nn` modules.
+
+:class:`LayerProfiler` wraps every *leaf* module of a model (the
+compute layers -- containers delegate to their children) so each
+``forward`` / ``backward`` call is timed, and pairs the measured host
+time with the analytic per-sample FLOP count from
+:mod:`repro.models.flops`.  Attach it to one worker's local training
+(``repro.cli run --profile-worker N``) to see where that worker's
+round time actually goes, layer by layer.
+
+Wrapping installs instance attributes shadowing the class methods and
+removes them again on exit, so a profiled model is bitwise-identical
+to an unprofiled one outside the ``attach`` context.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+def _leaf_modules(model):
+    """(name, module) pairs for the compute layers of ``model``."""
+    leaf_iter = getattr(model, "leaf_modules", None)
+    if leaf_iter is not None:
+        yield from leaf_iter()
+        return
+    for name, module in model.named_modules():
+        if not getattr(module, "_children", None):
+            yield name, module
+
+
+def _layer_flops(module, per_sample_shape) -> Optional[int]:
+    """Analytic forward FLOPs per sample, ``None`` when uncountable."""
+    from repro.models.flops import count_layer_flops
+
+    return count_layer_flops(module, per_sample_shape)
+
+
+@dataclass
+class LayerRecord:
+    """Accumulated measurements for one named layer."""
+
+    name: str
+    layer_type: str
+    forward_calls: int = 0
+    backward_calls: int = 0
+    forward_s: float = 0.0
+    backward_s: float = 0.0
+    samples: int = 0
+    #: analytic forward FLOPs/sample at the most recent profiled width
+    flops_per_sample: Optional[int] = None
+    #: forward FLOPs summed over every profiled sample (None when the
+    #: layer type is uncountable, e.g. recurrent cells)
+    total_flops: Optional[float] = None
+    _flops_known_bad: bool = field(default=False, repr=False)
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.backward_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "layer_type": self.layer_type,
+            "forward_calls": self.forward_calls,
+            "backward_calls": self.backward_calls,
+            "forward_s": self.forward_s,
+            "backward_s": self.backward_s,
+            "total_s": self.total_s,
+            "samples": self.samples,
+            "flops_per_sample": self.flops_per_sample,
+            "total_flops": self.total_flops,
+        }
+
+
+class LayerProfiler:
+    """Times every leaf layer's forward/backward inside ``attach``.
+
+    ``worker_id`` restricts engine-driven profiling to one worker
+    (``None`` profiles whichever model is attached); records accumulate
+    across attachments so a full run yields per-layer totals.
+    """
+
+    def __init__(self, worker_id: Optional[int] = None) -> None:
+        self.worker_id = worker_id
+        self.records: Dict[str, LayerRecord] = {}
+        self.attach_count = 0
+
+    def matches(self, worker_id: int) -> bool:
+        """Should this worker's training be profiled?"""
+        return self.worker_id is None or worker_id == self.worker_id
+
+    # ------------------------------------------------------------------
+    # wrapping
+    # ------------------------------------------------------------------
+    @contextmanager
+    def attach(self, model):
+        """Profile every forward/backward run on ``model`` in the body."""
+        wrapped = []
+        for name, module in _leaf_modules(model):
+            record = self.records.get(name)
+            if record is None:
+                record = self.records[name] = LayerRecord(
+                    name=name, layer_type=type(module).__name__,
+                )
+            self._wrap(module, record)
+            wrapped.append(module)
+        self.attach_count += 1
+        try:
+            yield self
+        finally:
+            for module in wrapped:
+                # the instance attributes shadowing the class methods
+                del module.forward
+                del module.backward
+
+    def _wrap(self, module, record: LayerRecord) -> None:
+        original_forward = module.forward
+        original_backward = module.backward
+        # FLOPs depend on the attached (possibly pruned) width: resolve
+        # once per attachment, from the first forward's input shape
+        flops_cache: Dict[str, Any] = {}
+
+        def forward(x, *args, **kwargs):
+            start = time.perf_counter()
+            out = original_forward(x, *args, **kwargs)
+            record.forward_s += time.perf_counter() - start
+            record.forward_calls += 1
+            shape = getattr(x, "shape", None)
+            if shape:
+                batch = int(shape[0])
+                record.samples += batch
+                if "per_sample" not in flops_cache:
+                    flops_cache["per_sample"] = (
+                        None if record._flops_known_bad
+                        else _layer_flops(module, shape[1:])
+                    )
+                    if flops_cache["per_sample"] is None:
+                        record._flops_known_bad = True
+                    else:
+                        record.flops_per_sample = flops_cache["per_sample"]
+                per_sample = flops_cache["per_sample"]
+                if per_sample is not None:
+                    record.total_flops = (record.total_flops or 0.0) \
+                        + per_sample * batch
+            return out
+
+        def backward(grad_out, *args, **kwargs):
+            start = time.perf_counter()
+            grad_in = original_backward(grad_out, *args, **kwargs)
+            record.backward_s += time.perf_counter() - start
+            record.backward_calls += 1
+            return grad_in
+
+        module.forward = forward
+        module.backward = backward
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> List[Dict[str, Any]]:
+        """Per-layer dicts, most host time first."""
+        return [
+            record.to_dict()
+            for record in sorted(self.records.values(),
+                                 key=lambda r: r.total_s, reverse=True)
+        ]
+
+    @property
+    def total_s(self) -> float:
+        return sum(record.total_s for record in self.records.values())
+
+    def publish(self, metrics) -> None:
+        """Fold the accumulated totals into a metrics registry."""
+        for record in self.records.values():
+            metrics.counter("layer_forward_s", layer=record.name).inc(
+                record.forward_s
+            )
+            metrics.counter("layer_backward_s", layer=record.name).inc(
+                record.backward_s
+            )
+            if record.total_flops is not None:
+                metrics.counter("layer_flops_total",
+                                layer=record.name).inc(record.total_flops)

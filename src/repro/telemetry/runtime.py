@@ -1,0 +1,51 @@
+"""The :class:`Telemetry` bundle threaded through the round engine.
+
+One object carries the three instruments (tracer, metrics registry,
+optional per-layer profiler) so the engine, schedulers and hooks share
+a single wiring point.  The module-level :data:`DISABLED_TELEMETRY`
+singleton is what an engine uses when no telemetry was requested:
+every instrument on it is a cheap no-op, which keeps the un-observed
+hot path unchanged (the golden-trace test pins this bitwise).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiler import LayerProfiler
+from repro.telemetry.spans import Tracer
+
+
+class Telemetry:
+    """Tracer + metrics registry + optional profiler, as one handle."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 profiler: Optional[LayerProfiler] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(enabled=False)
+        )
+        self.profiler = profiler
+
+    @property
+    def enabled(self) -> bool:
+        return (self.tracer.enabled or self.metrics.enabled
+                or self.profiler is not None)
+
+    # convenience pass-throughs so call sites read ``telemetry.span(...)``
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.tracer.event(name, **attrs)
+
+    def close(self) -> None:
+        """Flush and close the trace sink."""
+        self.tracer.close()
+
+
+#: shared all-no-op bundle; engines fall back to it when no telemetry
+#: is passed (it holds no state, so sharing across engines is safe)
+DISABLED_TELEMETRY = Telemetry()

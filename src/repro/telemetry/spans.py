@@ -1,0 +1,220 @@
+"""Span-based tracing: nested host-time spans exported as JSONL.
+
+A :class:`Tracer` opens named, attribute-carrying spans around the
+round engine's building blocks (``round`` / ``decide`` / ``prune`` /
+``dispatch`` / ``local_train`` / ``aggregate`` / ``eval``) and emits
+one JSON object per *closed* span to a pluggable sink.  Children
+therefore appear before their parents in the stream, like a Chrome
+trace; ``parent_id`` reconstructs the tree.
+
+Record schema (one JSON object per line)::
+
+    {"kind": "span", "name": "local_train", "span_id": 17,
+     "parent_id": 12, "start_s": 0.4183, "duration_s": 0.0921,
+     "attrs": {"round": 1, "worker": 3, "tau": 2, "train_loss": 1.83}}
+
+    {"kind": "event", "name": "eucb_snapshot", "parent_id": 12,
+     "time_s": 0.5241, "attrs": {...}}
+
+``start_s`` / ``time_s`` are host seconds relative to tracer creation.
+A tracer without a sink is disabled: ``span()`` hands back one shared
+no-op context manager and ``event()`` returns immediately, so leaving
+tracing off costs one attribute check per instrumentation point.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+#: the span names the round engine and schedulers emit
+SPAN_NAMES = frozenset(
+    {"round", "decide", "prune", "dispatch", "local_train", "aggregate",
+     "eval"}
+)
+
+#: every record kind a sink may receive
+RECORD_KINDS = frozenset({"span", "event"})
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into JSON-serialisable primitives.
+
+    NumPy scalars become Python scalars, arrays become lists, mapping
+    keys become strings; anything unrecognised falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    return str(value)
+
+
+class JsonlSink:
+    """Appends one compact JSON line per record to a file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file = self.path.open("w", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+class ListSink:
+    """Collects records in memory (tests and ad-hoc inspection)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:  # symmetry with JsonlSink
+        pass
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The collected span records, optionally filtered by name."""
+        return [
+            record for record in self.records
+            if record["kind"] == "span"
+            and (name is None or record["name"] == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The collected event records, optionally filtered by name."""
+        return [
+            record for record in self.records
+            if record["kind"] == "event"
+            and (name is None or record["name"] == name)
+        ]
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        """Discard the attribute."""
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class ActiveSpan:
+    """One live span; use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "start_s")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.start_s: float = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on the open span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "ActiveSpan":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._exit(self)
+        return False
+
+
+class Tracer:
+    """Nested-span tracer over one sink.
+
+    Spans nest via an explicit stack (the engine is single-threaded);
+    the innermost open span is the parent of new spans and events.
+    """
+
+    def __init__(self, sink=None) -> None:
+        self._sink = sink
+        self._stack: List[ActiveSpan] = []
+        self._origin = time.perf_counter()
+        self._next_id = 1
+
+    @property
+    def enabled(self) -> bool:
+        return self._sink is not None
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as ``with tracer.span("prune", worker=3):``."""
+        if self._sink is None:
+            return NOOP_SPAN
+        return ActiveSpan(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit a point-in-time record under the current span."""
+        if self._sink is None:
+            return
+        parent = self._stack[-1].span_id if self._stack else None
+        self._sink.emit({
+            "kind": "event",
+            "name": name,
+            "parent_id": parent,
+            "time_s": self._now(),
+            "attrs": to_jsonable(attrs),
+        })
+
+    def _enter(self, span: ActiveSpan) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.start_s = self._now()
+        self._stack.append(span)
+
+    def _exit(self, span: ActiveSpan) -> None:
+        if span in self._stack:
+            # tolerate mis-nested exits by unwinding to this span
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+        self._sink.emit({
+            "kind": "span",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start_s": span.start_s,
+            "duration_s": self._now() - span.start_s,
+            "attrs": to_jsonable(span.attrs),
+        })
+
+    def close(self) -> None:
+        """Close the sink (flushes JSONL files)."""
+        if self._sink is not None:
+            close = getattr(self._sink, "close", None)
+            if close is not None:
+                close()

@@ -112,3 +112,47 @@ def test_reward_normalization_constant_rewards(rng):
         agent.observe(5.0)  # constant -> zero spread
     bounds = agent.upper_confidence_bounds()
     assert all(np.isfinite(b) or math.isinf(b) for b in bounds.values())
+
+
+def test_snapshot_reports_bandit_state(rng):
+    agent = EUCBAgent(theta=0.1, max_ratio=0.8,
+                      rng=np.random.default_rng(0))
+    _play(agent, lambda a: 1.0 - (a - 0.4) ** 2, 30,
+          np.random.default_rng(1))
+    snapshot = agent.snapshot()
+    assert snapshot["rounds_played"] == 30
+    assert snapshot["num_regions"] == agent.num_regions
+    assert snapshot["pending_arm"] is None
+    assert len(snapshot["arms"]) == snapshot["num_regions"]
+    # raw pull counts account for every play
+    assert sum(arm["pulls"] for arm in snapshot["arms"]) == 30
+    # arms tile the partition exactly
+    edges = snapshot["partition"]["edges"]
+    assert [arm["low"] for arm in snapshot["arms"]] == edges[:-1]
+    assert [arm["high"] for arm in snapshot["arms"]] == edges[1:]
+    for arm in snapshot["arms"]:
+        if arm["discounted_count"] > 0:
+            assert arm["mean"] is not None
+            assert arm["radius"] is not None and arm["radius"] > 0
+        else:
+            assert arm["mean"] is None
+            assert arm["radius"] is None
+
+
+def test_snapshot_is_json_ready_and_pure(rng):
+    import json
+
+    agent = EUCBAgent(theta=0.2, rng=np.random.default_rng(4))
+    _play(agent, lambda a: 0.5, 10, np.random.default_rng(5))
+    first = agent.snapshot()
+    json.dumps(first)  # JSON-serialisable as-is
+    assert agent.snapshot() == first  # observation does not mutate
+    arm = agent.select_ratio()  # agent still fully functional
+    assert agent.snapshot()["pending_arm"] == arm
+    agent.observe(0.5)
+
+
+def test_snapshot_of_fresh_agent(rng):
+    snapshot = EUCBAgent(rng=rng).snapshot()
+    assert snapshot["rounds_played"] == 0
+    assert all(arm["mean"] is None for arm in snapshot["arms"])

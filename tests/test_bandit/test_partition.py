@@ -72,3 +72,12 @@ def test_partition_always_disjoint_union():
         assert high_a == pytest.approx(low_b)
     assert edges[0][0] == 0.0
     assert edges[-1][1] == 1.0
+
+
+def test_partition_snapshot_lists_edges():
+    partition = Partition(0.0, 0.9)
+    region = partition.find(0.4)
+    partition.split(region, 0.45)
+    snapshot = partition.snapshot()
+    assert snapshot == {"low": 0.0, "high": 0.9,
+                        "edges": [0.0, 0.45, 0.9]}

@@ -73,3 +73,33 @@ def test_empty_history():
     assert h.total_time_s == 0.0
     assert h.mean_round_time() == 0.0
     assert h.mean_overhead() == 0.0
+
+
+def test_percentile_round_time(history):
+    # durations are [10, 1, 1, 1, 1]
+    assert history.percentile_round_time(0) == 1.0
+    assert history.percentile_round_time(50) == 1.0
+    assert history.percentile_round_time(100) == 10.0
+    # p75 interpolates between the 3rd and 4th order statistics (1, 10)
+    assert history.percentile_round_time(75) == pytest.approx(1.0)
+    assert history.percentile_round_time(95) == pytest.approx(
+        1.0 + 0.8 * 9.0
+    )
+
+
+def test_percentile_round_time_validates_and_degenerates():
+    h = TrainingHistory(strategy="x", model_name="y")
+    assert h.percentile_round_time(95) == 0.0
+    h.append(_record(0, 7.0, None))
+    assert h.percentile_round_time(50) == 7.0
+    with pytest.raises(ValueError):
+        h.percentile_round_time(101)
+    with pytest.raises(ValueError):
+        h.percentile_round_time(-5)
+
+
+def test_total_overhead(history):
+    for i, record in enumerate(history.rounds):
+        record.overhead_s = 0.01 * (i + 1)
+    assert history.total_overhead_s == pytest.approx(0.15)
+    assert history.mean_overhead() == pytest.approx(0.03)

@@ -135,3 +135,70 @@ def test_live_history_roundtrip_preserves_every_field(tmp_path):
         for field in fields(RoundRecord):
             assert getattr(restored, field.name) \
                 == getattr(original, field.name), field.name
+
+
+def test_history_roundtrip_nested_extras(tmp_path):
+    """Telemetry-era extras nest dicts/lists and carry numpy scalars."""
+    history = TrainingHistory(strategy="fedmp", model_name="cnn/mnist")
+    history.append(RoundRecord(
+        round_index=0, sim_time_s=6.0, round_time_s=6.0, metric=0.4,
+        eval_loss=1.0, train_loss=1.5, ratios={0: 0.2},
+        completion_times={0: 4.0},
+        extras={
+            "wall_time_s": np.float64(0.25),
+            "eucb": {
+                "agents": {
+                    "0": {
+                        "rounds_played": np.int64(3),
+                        "arms": [
+                            {"low": 0.0, "high": 0.4,
+                             "pulls": 2, "mean": 0.8},
+                            {"low": 0.4, "high": 0.8,
+                             "pulls": 1, "mean": None},
+                        ],
+                    },
+                },
+            },
+        },
+    ))
+    path = tmp_path / "history.json"
+    save_history(history, path)
+    loaded = load_history(path)
+    extras = loaded.rounds[0].extras
+    assert extras["wall_time_s"] == 0.25
+    agent = extras["eucb"]["agents"]["0"]
+    assert agent["rounds_played"] == 3
+    assert agent["arms"][1]["mean"] is None
+    assert agent["arms"][0] == {"low": 0.0, "high": 0.4,
+                                "pulls": 2, "mean": 0.8}
+
+
+def test_live_telemetry_history_roundtrips(tmp_path):
+    """A history carrying real E-UCB snapshots survives save/load."""
+    from repro.data.synthetic import make_synthetic_mnist
+    from repro.fl.config import FLConfig
+    from repro.fl.runner import run_federated_training
+    from repro.fl.tasks import ClassificationTask
+    from repro.simulation.cluster import make_scenario_devices
+    from repro.telemetry import Telemetry, TelemetryHook
+
+    dataset = make_synthetic_mnist(train_per_class=10, test_per_class=3,
+                                   rng=np.random.default_rng(0))
+    task = ClassificationTask(dataset, "cnn")
+    devices = make_scenario_devices("medium", np.random.default_rng(7))
+    config = FLConfig(strategy="fedmp", max_rounds=2, local_iterations=1,
+                      batch_size=8, seed=5,
+                      strategy_kwargs={"warmup_rounds": 1})
+    telemetry = Telemetry()
+    history = run_federated_training(task, devices, config,
+                                     hooks=[TelemetryHook(telemetry)],
+                                     telemetry=telemetry)
+    assert all("eucb" in r.extras for r in history.rounds)
+
+    path = tmp_path / "live.json"
+    save_history(history, path)
+    loaded = load_history(path)
+    for original, restored in zip(history.rounds, loaded.rounds):
+        assert restored.extras["eucb"]["agents"].keys() \
+            == original.extras["eucb"]["agents"].keys()
+        assert restored.extras["eucb"] == original.extras["eucb"]

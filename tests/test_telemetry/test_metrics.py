@@ -1,0 +1,103 @@
+"""Metrics registry: instruments, label keying, percentile summaries."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Histogram,
+    MetricsRegistry,
+    format_instrument,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("dispatches_total", worker=0)
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_label_sets_key_distinct_instruments():
+    registry = MetricsRegistry()
+    a = registry.counter("x", worker=0)
+    b = registry.counter("x", worker=1)
+    again = registry.counter("x", worker=0)
+    assert a is again
+    assert a is not b
+    # label order must not matter
+    assert registry.gauge("g", a=1, b=2) is registry.gauge("g", b=2, a=1)
+
+
+def test_gauge_keeps_last_value():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("pruning_ratio", worker=2)
+    gauge.set(0.3)
+    gauge.set(0.6)
+    assert gauge.value == 0.6
+
+
+def test_histogram_percentiles_interpolate():
+    hist = Histogram("t", {}, buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.5, 3.0):
+        hist.observe(value)
+    summary = hist.summary()
+    assert summary["count"] == 4
+    assert summary["min"] == 0.5
+    assert summary["max"] == 3.0
+    assert summary["sum"] == pytest.approx(6.5)
+    # percentiles are monotone and inside the observed range
+    p50, p95, p99 = summary["p50"], summary["p95"], summary["p99"]
+    assert 0.5 <= p50 <= p95 <= p99 <= 3.0
+
+
+def test_histogram_overflow_reports_observed_max():
+    hist = Histogram("t", {}, buckets=(1.0,))
+    hist.observe(10.0)
+    hist.observe(100.0)
+    assert hist.percentile(99.0) == 100.0
+
+
+def test_empty_histogram_summary():
+    hist = Histogram("t", {})
+    assert hist.percentile(50.0) is None
+    assert hist.summary()["count"] == 0
+    assert hist.summary()["p95"] is None
+
+
+def test_disabled_registry_hands_out_noops():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("x", worker=0)
+    counter.inc()
+    registry.gauge("g").set(1.0)
+    registry.histogram("h").observe(2.0)
+    # shared null instruments, nothing registered
+    assert registry.counter("y") is registry.counter("z")
+    assert registry.counters == []
+    assert registry.to_dict() == {"counters": [], "gauges": [],
+                                  "histograms": []}
+
+
+def test_format_instrument():
+    assert format_instrument("x", {}) == "x"
+    assert format_instrument("x", {"worker": 3, "layer": "fc1"}) \
+        == "x{layer=fc1,worker=3}"
+
+
+def test_registry_save_roundtrips(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("dispatches_total", worker=0).inc(4)
+    registry.histogram("round_time_s").observe(1.25)
+    path = tmp_path / "metrics.json"
+    registry.save(path)
+    payload = json.loads(path.read_text())
+    assert payload["counters"][0]["name"] == "dispatches_total"
+    assert payload["counters"][0]["value"] == 4
+    hist = payload["histograms"][0]
+    assert hist["summary"]["count"] == 1
+    assert len(hist["bucket_counts"]) == len(hist["buckets"]) + 1

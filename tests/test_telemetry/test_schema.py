@@ -1,0 +1,99 @@
+"""Acceptance: a CLI run with tracing emits schema-valid JSONL.
+
+This is the contract the DESIGN.md "Observability" section documents;
+CI's telemetry-smoke job produces the same artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.spans import RECORD_KINDS, SPAN_NAMES
+
+REQUIRED_SPAN_KEYS = {"kind", "name", "span_id", "parent_id", "start_s",
+                      "duration_s", "attrs"}
+REQUIRED_EVENT_KEYS = {"kind", "name", "parent_id", "time_s", "attrs"}
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("telemetry")
+    trace = out / "trace.jsonl"
+    metrics = out / "metrics.json"
+    code = main([
+        "run", "--task", "cnn", "--strategy", "fedmp",
+        "--rounds", "3", "--workers", "4", "--seed", "5",
+        "--trace-out", str(trace), "--metrics-out", str(metrics),
+    ])
+    assert code == 0
+    records = [json.loads(line)
+               for line in trace.read_text().splitlines()]
+    return records, json.loads(metrics.read_text())
+
+
+def test_every_record_matches_schema(artifacts):
+    records, _ = artifacts
+    assert records, "trace is empty"
+    for record in records:
+        assert record["kind"] in RECORD_KINDS
+        if record["kind"] == "span":
+            assert REQUIRED_SPAN_KEYS <= set(record)
+            assert record["name"] in SPAN_NAMES
+            assert isinstance(record["span_id"], int)
+            assert record["duration_s"] >= 0.0
+            assert record["start_s"] >= 0.0
+        else:
+            assert REQUIRED_EVENT_KEYS <= set(record)
+            assert record["time_s"] >= 0.0
+        assert record["parent_id"] is None \
+            or isinstance(record["parent_id"], int)
+        assert isinstance(record["attrs"], dict)
+
+
+def test_parent_ids_resolve(artifacts):
+    records, _ = artifacts
+    span_ids = {r["span_id"] for r in records if r["kind"] == "span"}
+    for record in records:
+        if record["parent_id"] is not None:
+            assert record["parent_id"] in span_ids
+
+
+def test_trace_covers_every_round_event(artifacts):
+    records, _ = artifacts
+    spans = [r for r in records if r["kind"] == "span"]
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span)
+    rounds, workers = 3, 4
+    assert len(by_name["round"]) == rounds
+    assert len(by_name["dispatch"]) == rounds * workers
+    assert len(by_name["local_train"]) == rounds * workers
+    assert len(by_name["aggregate"]) == rounds
+    # worker ids and pruning ratios on every dispatch
+    for span in by_name["dispatch"]:
+        assert span["attrs"]["worker"] in range(workers)
+        assert 0.0 <= span["attrs"]["ratio"] < 1.0
+    # one E-UCB snapshot per round, with per-worker agent state
+    snapshots = [r for r in records
+                 if r["kind"] == "event" and r["name"] == "eucb_snapshot"]
+    assert len(snapshots) == rounds
+    for event in snapshots:
+        agents = event["attrs"]["snapshot"]["agents"]
+        assert set(agents) == {str(w) for w in range(workers)}
+
+
+def test_metrics_json_shape(artifacts):
+    _, metrics = artifacts
+    assert set(metrics) == {"counters", "gauges", "histograms"}
+    names = {c["name"] for c in metrics["counters"]}
+    assert {"dispatches_total", "contributions_total",
+            "download_params_total", "upload_params_total"} <= names
+    for hist in metrics["histograms"]:
+        assert len(hist["bucket_counts"]) == len(hist["buckets"]) + 1
+        summary = hist["summary"]
+        assert summary["count"] == sum(hist["bucket_counts"])
+        if summary["count"]:
+            assert summary["p50"] <= summary["p95"] <= summary["p99"]
