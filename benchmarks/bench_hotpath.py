@@ -1,0 +1,125 @@
+"""Dispatch->aggregate hot-path micro-benchmark.
+
+Measures round wall-time and peak per-run allocations (tracemalloc)
+for the fast path (per-round dispatch cache + scatter-add
+aggregation) against the pre-PR slow path (fresh plan/extraction per
+dispatch, ``recover_state_dict`` per contribution, materialised
+residual models), on the same seeded FedMP/R2SP run.
+
+Regenerate the committed baseline with::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_hotpath.json
+
+Wall-time and the allocation pass are measured in separate runs so
+tracemalloc's overhead does not skew the timings. Absolute numbers are
+host-dependent; the committed baseline documents the expected *ratio*
+between the two paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.engine import Engine
+from repro.fl.schedulers import make_scheduler
+from repro.fl.tasks import ClassificationTask
+from repro.simulation.cluster import make_scenario_devices
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import Telemetry
+
+ROUNDS = 6
+
+CONFIG = dict(
+    strategy="fedmp",
+    sync_scheme="r2sp",
+    max_rounds=ROUNDS,
+    local_iterations=2,
+    batch_size=8,
+    lr=0.05,
+    eval_every=ROUNDS,
+    seed=11,
+    strategy_kwargs={"warmup_rounds": 1},
+)
+
+
+def build_engine(fast: bool, with_metrics: bool = False) -> Engine:
+    dataset = make_synthetic_mnist(train_per_class=20, test_per_class=5,
+                                   rng=np.random.default_rng(0))
+    task = ClassificationTask(dataset, "cnn")
+    devices = make_scenario_devices("medium", np.random.default_rng(7))
+    config = FLConfig(fast_path=fast, **CONFIG)
+    telemetry = Telemetry(metrics=MetricsRegistry()) if with_metrics else None
+    engine = Engine(task, devices, config, telemetry=telemetry)
+    if not fast:
+        engine.aggregator.dense = True
+    return engine
+
+
+def _counter_total(engine: Engine, name: str) -> float:
+    return sum(counter.value
+               for counter in engine.telemetry.metrics.counters
+               if counter.name == name)
+
+
+def measure(fast: bool) -> dict:
+    # timing pass
+    engine = build_engine(fast)
+    start = time.perf_counter()
+    make_scheduler(engine.config).run(engine)
+    wall_s = time.perf_counter() - start
+
+    # allocation pass (separate run: tracemalloc skews wall-time)
+    engine = build_engine(fast, with_metrics=True)
+    tracemalloc.start()
+    make_scheduler(engine.config).run(engine)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    return {
+        "rounds": ROUNDS,
+        "wall_s_total": round(wall_s, 4),
+        "wall_ms_per_round": round(1000.0 * wall_s / ROUNDS, 2),
+        "peak_alloc_mb": round(peak / 2 ** 20, 3),
+        "dispatch_cache_hits": _counter_total(
+            engine, "dispatch_cache_hits_total"),
+        "dispatch_alloc_saved_params": _counter_total(
+            engine, "dispatch_alloc_saved_params_total"),
+        "alloc_saved_arrays": _counter_total(
+            engine, "dispatch_alloc_saved_arrays_total")
+        + _counter_total(engine, "aggregate_alloc_saved_arrays_total"),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON report to this path")
+    args = parser.parse_args()
+
+    slow = measure(fast=False)
+    fast = measure(fast=True)
+    report = {
+        "benchmark": "dispatch_aggregate_hotpath",
+        "config": {k: v for k, v in CONFIG.items()},
+        "slow_path": slow,
+        "fast_path": fast,
+        "speedup_wall": round(slow["wall_s_total"] / fast["wall_s_total"], 3),
+        "peak_alloc_ratio": round(
+            slow["peak_alloc_mb"] / fast["peak_alloc_mb"], 3),
+    }
+    text = json.dumps(report, indent=2, sort_keys=False) + "\n"
+    if args.out is not None:
+        args.out.write_text(text)
+    print(text, end="")
+
+
+if __name__ == "__main__":
+    main()

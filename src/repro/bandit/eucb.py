@@ -7,19 +7,39 @@ One agent exists per worker.  Each round it
 2. picks the region maximising the upper confidence bound (Eq. 11),
    preferring never-played regions,
 3. samples the pruning ratio uniformly inside the region,
-4. splits the region at the played arm while its diameter exceeds the
-   granularity ``theta``, and
-5. later receives the observed reward via :meth:`observe`.
+4. once the play's reward is *observed*, splits the region at the
+   played arm while its diameter exceeds the granularity ``theta``, and
+5. receives the observed reward via :meth:`observe`.
 
 The discount factor ``lambda`` (default 0.95, Section V-A) weights
 recent rounds more, letting the agent track capability drift.
+
+Two implementation notes:
+
+- **Incremental statistics.**  The discounted per-region counts and
+  reward sums are maintained incrementally (every ``observe`` multiplies
+  each region's running statistics by the discount and adds the new
+  play), so a selection costs O(regions) rather than the
+  O(rounds x regions) full-history replay of the original
+  implementation.  Reward min-max normalisation is folded in
+  analytically: the normalised discounted mean is
+  ``(raw_mean - low) / (high - low)`` over the running reward range, so
+  only raw sums need to be stored.  Plays are re-assigned to child
+  regions only when a region is actually split.
+- **Deferred splits.**  The split of the played region happens in
+  :meth:`observe`, not :meth:`select_ratio`.  Splitting at selection
+  time leaked tree structure when a play was abandoned (deadline miss /
+  churn): the pending arm was cleared but the split persisted, so
+  phantom never-rewarded regions accumulated, each with an infinite
+  UCB, permanently distorting exploration.  A play that produces no
+  reward now leaves the partition untouched.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,10 +48,28 @@ from repro.bandit.partition import Partition, Region
 
 @dataclass
 class _PlayRecord:
-    """One historical play: the arm value and its observed reward."""
+    """One historical play: the arm value, its observed reward, and the
+    1-based play index (used to recompute discount weights on splits)."""
 
     arm: float
     reward: float
+    step: int = 0
+
+
+@dataclass
+class _RegionStats:
+    """Running discounted statistics of one partition region.
+
+    ``disc_count`` / ``disc_raw_sum`` use the "latest play has weight 1"
+    convention: after the ``n``-th observation they equal
+    ``sum_i d**(n - step_i)`` and ``sum_i d**(n - step_i) * reward_i``
+    over the region's plays.  Eq. 9/10 weights (``d**(k - step)`` with
+    ``k = n + 1``) are recovered by multiplying by one extra discount.
+    """
+
+    plays: List[_PlayRecord] = field(default_factory=list)
+    disc_count: float = 0.0
+    disc_raw_sum: float = 0.0
 
 
 class EUCBAgent:
@@ -54,18 +92,83 @@ class EUCBAgent:
         self.partition = Partition(0.0, max_ratio)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.history: List[_PlayRecord] = []
+        self._stats: Dict[Region, _RegionStats] = {}
+        self._reward_low: Optional[float] = None
+        self._reward_high: Optional[float] = None
         self._pending_arm: Optional[float] = None
+        self._pending_region: Optional[Region] = None
+        self._pending_split: bool = False
 
     # ------------------------------------------------------------------
     # statistics (Eqs. 9-11)
     # ------------------------------------------------------------------
+    def _normalized_mean(self, stats: _RegionStats) -> float:
+        """Discounted empirical mean of the region's (effective)
+        rewards; the extra Eq. 9 discount cancels in the ratio."""
+        mean_raw = stats.disc_raw_sum / stats.disc_count
+        if not self.normalize_rewards:
+            return mean_raw
+        low, high = self._reward_low, self._reward_high
+        spread = high - low
+        if spread <= 0.0:
+            return 0.5
+        return (mean_raw - low) / spread
+
     def _discounted_stats(self) -> Tuple[dict, float]:
-        """Per-region (discounted count, discounted reward sum) and the
-        total discounted count ``n_k`` over all regions."""
+        """Per-region (discounted count, discounted normalised mean or
+        ``None``) in Eq. 9 convention, plus the total discounted count
+        ``n_k`` over all regions.  O(regions)."""
+        d = self.discount
+        counts = {}
+        total = 0.0
+        for region in self.partition:
+            stats = self._stats.get(region)
+            count = d * stats.disc_count if stats is not None else 0.0
+            counts[region] = count
+            total += count
+        stats_out = {}
+        for region in self.partition:
+            count = counts[region]
+            if count > 0.0:
+                mean = self._normalized_mean(self._stats[region])
+            else:
+                mean = None
+            stats_out[region] = (count, mean)
+        return stats_out, total
+
+    def upper_confidence_bounds(self) -> dict:
+        """Eq. 11 for every region; unexplored regions get ``inf``."""
+        stats, total = self._discounted_stats()
+        bounds = {}
+        for region, (count, mean) in stats.items():
+            if count <= 0.0 or mean is None:
+                bounds[region] = math.inf
+            else:
+                padding = self.exploration * math.sqrt(
+                    2.0 * math.log(max(total, math.e)) / count
+                )
+                bounds[region] = mean + padding
+        return bounds
+
+    def _replay_stats(self) -> Tuple[dict, float]:
+        """Reference O(rounds x regions) full-history replay of Eq. 9.
+
+        Used only by tests to cross-check the incremental statistics;
+        the hot path never calls this.
+        """
         k = len(self.history) + 1
         counts = {region: 0.0 for region in self.partition}
         sums = {region: 0.0 for region in self.partition}
-        rewards = self._effective_rewards()
+        raw = [record.reward for record in self.history]
+        if self.normalize_rewards and raw:
+            low, high = min(raw), max(raw)
+            spread = high - low
+            if spread <= 0.0:
+                rewards = [0.5] * len(raw)
+            else:
+                rewards = [(value - low) / spread for value in raw]
+        else:
+            rewards = raw
         for step, (record, reward) in enumerate(
             zip(self.history, rewards), start=1
         ):
@@ -79,42 +182,15 @@ class EUCBAgent:
         }
         return stats, total
 
-    def _effective_rewards(self) -> List[float]:
-        """Raw rewards, optionally min-max normalised to ``[0, 1]``.
-
-        Eq. 8 rewards have an arbitrary scale (loss decrease over a time
-        gap); normalising keeps the exploitation term comparable to the
-        ``sqrt(2 log n / N)`` padding so neither dominates.
-        """
-        raw = [record.reward for record in self.history]
-        if not self.normalize_rewards or not raw:
-            return raw
-        low, high = min(raw), max(raw)
-        spread = high - low
-        if spread <= 0.0:
-            return [0.5] * len(raw)
-        return [(value - low) / spread for value in raw]
-
-    def upper_confidence_bounds(self) -> dict:
-        """Eq. 11 for every region; unexplored regions get ``inf``."""
-        stats, total = self._discounted_stats()
-        bounds = {}
-        for region, (count, reward_sum) in stats.items():
-            if count <= 0.0:
-                bounds[region] = math.inf
-            else:
-                mean = reward_sum / count
-                padding = self.exploration * math.sqrt(
-                    2.0 * math.log(max(total, math.e)) / count
-                )
-                bounds[region] = mean + padding
-        return bounds
-
     # ------------------------------------------------------------------
     # Algorithm 1 main loop
     # ------------------------------------------------------------------
     def select_ratio(self) -> float:
-        """Choose the round's pruning ratio (Lines 3-8 of Algorithm 1)."""
+        """Choose the round's pruning ratio (Lines 3-8 of Algorithm 1).
+
+        The split of the chosen region is *deferred* to :meth:`observe`
+        so that an abandoned play leaves the partition untouched.
+        """
         if self._pending_arm is not None:
             raise RuntimeError(
                 "select_ratio called twice without observing a reward"
@@ -122,17 +198,56 @@ class EUCBAgent:
         bounds = self.upper_confidence_bounds()
         best_region = max(self.partition, key=lambda r: bounds[r])
         arm = float(self.rng.uniform(best_region.low, best_region.high))
-        if best_region.diameter > self.theta:
-            self.partition.split(best_region, arm)
         self._pending_arm = arm
+        self._pending_region = best_region
+        self._pending_split = best_region.diameter > self.theta
         return arm
 
     def observe(self, reward: float) -> None:
-        """Record the reward of the most recent play (Lines 11-12)."""
+        """Record the reward of the most recent play (Lines 11-12) and
+        perform the play's deferred region split."""
         if self._pending_arm is None:
             raise RuntimeError("observe called without a pending play")
-        self.history.append(_PlayRecord(self._pending_arm, float(reward)))
+        arm = self._pending_arm
+        if self._pending_split and self._pending_region is not None:
+            left, right = self.partition.split(self._pending_region, arm)
+            self._split_stats(self._pending_region, left, right)
         self._pending_arm = None
+        self._pending_region = None
+        self._pending_split = False
+
+        record = _PlayRecord(arm, float(reward), step=len(self.history) + 1)
+        self.history.append(record)
+        d = self.discount
+        for stats in self._stats.values():
+            stats.disc_count *= d
+            stats.disc_raw_sum *= d
+        target = self.partition.find(arm)
+        stats = self._stats.setdefault(target, _RegionStats())
+        stats.plays.append(record)
+        stats.disc_count += 1.0
+        stats.disc_raw_sum += record.reward
+        if self._reward_low is None or record.reward < self._reward_low:
+            self._reward_low = record.reward
+        if self._reward_high is None or record.reward > self._reward_high:
+            self._reward_high = record.reward
+
+    def _split_stats(self, region: Region, left: Region,
+                     right: Region) -> None:
+        """Re-assign a split region's plays and statistics to its
+        children.  O(plays in the region); splits happen at most once
+        per region, so the amortised cost stays negligible."""
+        old = self._stats.pop(region, None)
+        if old is None:
+            return
+        n = len(self.history)
+        for record in old.plays:
+            child = left if left.contains(record.arm) else right
+            stats = self._stats.setdefault(child, _RegionStats())
+            stats.plays.append(record)
+            weight = self.discount ** (n - record.step)
+            stats.disc_count += weight
+            stats.disc_raw_sum += weight * record.reward
 
     def snapshot(self) -> dict:
         """JSON-ready view of the agent's internal state (Eqs. 9-11).
@@ -145,24 +260,21 @@ class EUCBAgent:
         never changes the agent.
         """
         stats, total = self._discounted_stats()
-        pulls = {region: 0 for region in self.partition}
-        for record in self.history:
-            pulls[self.partition.find(record.arm)] += 1
         arms = []
         for region in self.partition:
-            count, reward_sum = stats[region]
+            count, mean = stats[region]
+            region_stats = self._stats.get(region)
+            pulls = len(region_stats.plays) if region_stats is not None else 0
             if count > 0.0:
-                mean = reward_sum / count
                 radius = self.exploration * math.sqrt(
                     2.0 * math.log(max(total, math.e)) / count
                 )
             else:
-                mean = None
                 radius = None
             arms.append({
                 "low": region.low,
                 "high": region.high,
-                "pulls": pulls[region],
+                "pulls": pulls,
                 "discounted_count": count,
                 "mean": mean,
                 "radius": radius,
@@ -177,8 +289,12 @@ class EUCBAgent:
 
     def abandon(self) -> None:
         """Discard a pending play (used when a worker misses the round
-        deadline and produces no reward signal)."""
+        deadline and produces no reward signal).  Because the region
+        split is deferred to :meth:`observe`, abandoning leaves the
+        partition exactly as it was before :meth:`select_ratio`."""
         self._pending_arm = None
+        self._pending_region = None
+        self._pending_split = False
 
     @property
     def num_regions(self) -> int:

@@ -42,8 +42,13 @@ from typing import Dict, List, Optional, Type
 
 import numpy as np
 
+from repro.pruning.masks import residual_state_dict
 from repro.pruning.plan import PruningPlan
-from repro.pruning.structured import recover_state_dict
+from repro.pruning.structured import (
+    recover_state_dict,
+    scatter_add_param,
+    scatter_add_residual,
+)
 
 
 @dataclass
@@ -53,13 +58,21 @@ class Contribution:
     ``num_samples`` is the size of the worker's local shard; only the
     weighted aggregators read it (the uniform ones weight every
     contribution equally).
+
+    R2SP-family aggregators need the residual model.  It can be supplied
+    in either of two forms: ``residual`` (the materialised
+    ``global - sparse`` dict, the legacy slow path) or ``global_state``
+    (the frozen pre-round global state, shared by every contribution of
+    the round), from which the aggregator folds the residual in-place
+    without allocating it.  ``residual`` wins when both are set.
     """
 
     worker_id: int
     sub_state: Dict[str, np.ndarray]
     plan: PruningPlan
-    residual: Optional[Dict[str, np.ndarray]] = None  # required for R2SP
+    residual: Optional[Dict[str, np.ndarray]] = None
     num_samples: int = 1
+    global_state: Optional[Dict[str, np.ndarray]] = None
 
 
 class Aggregator:
@@ -73,6 +86,10 @@ class Aggregator:
     name: str = "base"
     #: whether contributions must carry a residual model (R2SP family)
     needs_residual: bool = False
+    #: when True, use the reference dense path (zero-expand every
+    #: contribution via :func:`recover_state_dict`) instead of in-place
+    #: scatter-add.  Bitwise-identical output; kept for A/B testing.
+    dense: bool = False
 
     def weight(self, contribution: Contribution) -> float:
         """Unnormalised weight of one contribution (uniform by default)."""
@@ -83,40 +100,117 @@ class Aggregator:
         """Aggregate one round of contributions into a new global state.
 
         ``template`` supplies the global shapes for zero-expansion.
+        Zero-weight contributions (e.g. a worker handed an empty shard
+        by a pathological non-IID partition) carry no information and
+        are skipped; only a round where *every* weight vanishes is an
+        error.  Negative weights are always rejected.
         """
         if not contributions:
             raise ValueError("cannot aggregate an empty contribution set")
+
+        weighted = []
+        for contribution in contributions:
+            weight = self.weight(contribution)
+            if weight < 0.0:
+                raise ValueError(
+                    f"negative aggregation weight {weight} for worker "
+                    f"{contribution.worker_id}"
+                )
+            if weight == 0.0:
+                continue
+            weighted.append((contribution, weight))
+        if not weighted:
+            raise ValueError(
+                "all contributions have non-positive aggregation weight; "
+                "nothing to aggregate"
+            )
 
         accumulator: Dict[str, np.ndarray] = {
             key: np.zeros_like(value, dtype=np.float64)
             for key, value in template.items()
         }
         total_weight = 0.0
-        for contribution in contributions:
-            weight = self.weight(contribution)
-            if weight <= 0.0:
-                raise ValueError(
-                    f"non-positive aggregation weight {weight} for worker "
-                    f"{contribution.worker_id}"
-                )
+        for contribution, weight in weighted:
             total_weight += weight
-            recovered = recover_state_dict(
-                contribution.sub_state, contribution.plan, template
-            )
-            for key in accumulator:
-                accumulator[key] += weight * recovered[key]
-            if self.needs_residual:
-                if contribution.residual is None:
-                    raise ValueError(
-                        f"R2SP needs a residual model for worker "
-                        f"{contribution.worker_id}"
-                    )
-                for key in accumulator:
-                    accumulator[key] += weight * contribution.residual[key]
+            if self.dense:
+                self._accumulate_dense(accumulator, contribution, weight,
+                                       template)
+            else:
+                self._accumulate_scatter(accumulator, contribution, weight,
+                                         template)
 
         return {
             key: value / total_weight for key, value in accumulator.items()
         }
+
+    def _accumulate_dense(self, accumulator: Dict[str, np.ndarray],
+                          contribution: Contribution, weight: float,
+                          template: Dict[str, np.ndarray]) -> None:
+        """Reference path: full zero-expansion per contribution."""
+        recovered = recover_state_dict(
+            contribution.sub_state, contribution.plan, template
+        )
+        for key in accumulator:
+            accumulator[key] += weight * recovered[key]
+        if self.needs_residual:
+            residual = self._residual_of(contribution)
+            for key in accumulator:
+                accumulator[key] += weight * residual[key]
+
+    def _accumulate_scatter(self, accumulator: Dict[str, np.ndarray],
+                            contribution: Contribution, weight: float,
+                            template: Dict[str, np.ndarray]) -> None:
+        """Fast path: indexed in-place accumulation, no full-size
+        per-contribution allocations."""
+        plan = contribution.plan
+        planned = plan.param_names()
+        sub_state = contribution.sub_state
+        for key, full_value in template.items():
+            sub_value = sub_state[key]
+            entry_info = planned.get(key)
+            if entry_info is not None:
+                layer_name, suffix = entry_info
+                scatter_add_param(accumulator[key], suffix, plan[layer_name],
+                                  sub_value, weight)
+            else:
+                if sub_value.shape != full_value.shape:
+                    raise ValueError(
+                        f"unplanned entry {key!r} changed shape: "
+                        f"{sub_value.shape} vs {full_value.shape}"
+                    )
+                accumulator[key] += weight * sub_value
+        if self.needs_residual:
+            if contribution.residual is not None:
+                for key in accumulator:
+                    accumulator[key] += weight * contribution.residual[key]
+            elif contribution.global_state is not None:
+                # The residual is the pre-round global value at pruned
+                # positions and zero at kept ones; unplanned keys were
+                # dispatched whole so their residual vanishes entirely.
+                global_state = contribution.global_state
+                for key, (layer_name, suffix) in planned.items():
+                    if key in accumulator:
+                        scatter_add_residual(
+                            accumulator[key], suffix, plan[layer_name],
+                            global_state[key], weight,
+                        )
+            else:
+                raise ValueError(
+                    f"R2SP needs a residual model for worker "
+                    f"{contribution.worker_id}"
+                )
+
+    def _residual_of(self, contribution: Contribution) -> Dict[str, np.ndarray]:
+        """Materialised residual for the dense reference path."""
+        if contribution.residual is not None:
+            return contribution.residual
+        if contribution.global_state is not None:
+            return residual_state_dict(contribution.global_state,
+                                       contribution.plan)
+        raise ValueError(
+            f"R2SP needs a residual model for worker "
+            f"{contribution.worker_id}"
+        )
 
 
 class BSPAggregator(Aggregator):

@@ -4,13 +4,28 @@ FlexCom (Li et al., INFOCOM 2021) lets heterogeneous workers compress
 their *uploads* to different levels.  We implement magnitude top-k
 sparsification of the local model delta with per-worker error feedback
 (the standard memory trick that keeps compressed SGD convergent).
+
+Error feedback under **adaptive pruning** needs care: the sub-model a
+worker trains changes shape (and which global units each position maps
+to) round to round, so keying the residual memory by parameter name in
+*sub-model* coordinates either crashes on a shape mismatch or silently
+adds mass to the wrong units.  :class:`ErrorFeedback` therefore stores
+its memory in **global** coordinates whenever the round's
+:class:`~repro.pruning.plan.PruningPlan` is supplied: ``compensate``
+gathers the memory through the plan into the current sub-model shape,
+and ``update`` scatters the newly dropped mass back, leaving the memory
+of currently-pruned units untouched until they are dispatched again.
+The plan-less calls keep the legacy fixed-shape behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+from repro.pruning.plan import PruningPlan
+from repro.pruning.structured import gather_param, scatter_assign_param
 
 
 def top_k_sparsify(delta: Dict[str, np.ndarray],
@@ -18,7 +33,11 @@ def top_k_sparsify(delta: Dict[str, np.ndarray],
     """Keep the globally largest ``keep_fraction`` of delta entries.
 
     Returns the sparsified delta (zeros elsewhere) and the number of
-    surviving scalars (what actually crosses the uplink).
+    surviving scalars (what actually crosses the uplink).  Exactly
+    ``max(1, round(total * keep_fraction))`` scalars survive: magnitude
+    ties at the threshold are broken deterministically by position
+    (earliest entry in dict-then-C order wins), so the kept count always
+    agrees with the pre-priced upload volume.
     """
     if not 0.0 < keep_fraction <= 1.0:
         raise ValueError(
@@ -30,11 +49,22 @@ def top_k_sparsify(delta: Dict[str, np.ndarray],
     if keep >= total:
         return {key: value.copy() for key, value in delta.items()}, total
 
-    threshold = np.partition(np.abs(flat), total - keep)[total - keep]
+    abs_flat = np.abs(flat)
+    threshold = np.partition(abs_flat, total - keep)[total - keep]
+    keep_mask = abs_flat > threshold
+    need = keep - int(keep_mask.sum())
+    if need > 0:
+        # admit exactly `need` threshold-magnitude ties, lowest offset
+        # first (np.flatnonzero returns ascending positions)
+        ties = np.flatnonzero(abs_flat == threshold)[:need]
+        keep_mask[ties] = True
+
     sparsified: Dict[str, np.ndarray] = {}
+    offset = 0
     kept = 0
     for key, value in delta.items():
-        mask = np.abs(value) >= threshold
+        mask = keep_mask[offset:offset + value.size].reshape(value.shape)
+        offset += value.size
         kept += int(mask.sum())
         sparsified[key] = np.where(mask, value, 0.0)
     return sparsified, kept
@@ -45,21 +75,70 @@ class ErrorFeedback:
 
     ``compensate`` adds the accumulated residual before compression;
     ``update`` stores what the compressor dropped this round.
+
+    When the round's pruning ``plan`` is supplied, the memory lives in
+    global coordinates (see the module docstring); ``update`` then also
+    needs ``template`` (the global state dict) to size first-touch
+    entries.  Without a plan, shapes must stay fixed across rounds.
     """
 
     def __init__(self) -> None:
         self._memory: Dict[str, np.ndarray] = {}
 
-    def compensate(self, delta: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        if not self._memory:
-            return {key: value.copy() for key, value in delta.items()}
-        return {
-            key: value + self._memory.get(key, 0.0)
-            for key, value in delta.items()
-        }
+    def compensate(self, delta: Dict[str, np.ndarray],
+                   plan: Optional[PruningPlan] = None,
+                   ) -> Dict[str, np.ndarray]:
+        if plan is None:
+            if not self._memory:
+                return {key: value.copy() for key, value in delta.items()}
+            return {
+                key: value + self._memory.get(key, 0.0)
+                for key, value in delta.items()
+            }
+        mapping = plan.param_names()
+        compensated: Dict[str, np.ndarray] = {}
+        for key, value in delta.items():
+            memory = self._memory.get(key)
+            if memory is None:
+                compensated[key] = value.copy()
+                continue
+            info = mapping.get(key)
+            if info is None:
+                compensated[key] = value + memory
+            else:
+                layer_name, suffix = info
+                compensated[key] = value + gather_param(
+                    suffix, plan[layer_name], memory
+                )
+        return compensated
 
     def update(self, compensated: Dict[str, np.ndarray],
-               transmitted: Dict[str, np.ndarray]) -> None:
-        self._memory = {
-            key: compensated[key] - transmitted[key] for key in compensated
-        }
+               transmitted: Dict[str, np.ndarray],
+               plan: Optional[PruningPlan] = None,
+               template: Optional[Dict[str, np.ndarray]] = None) -> None:
+        if plan is None:
+            self._memory = {
+                key: compensated[key] - transmitted[key] for key in compensated
+            }
+            return
+        mapping = plan.param_names()
+        for key in compensated:
+            dropped = compensated[key] - transmitted[key]
+            info = mapping.get(key)
+            if info is None:
+                self._memory[key] = dropped
+                continue
+            layer_name, suffix = info
+            memory = self._memory.get(key)
+            if memory is None:
+                if template is None:
+                    raise ValueError(
+                        "plan-aware ErrorFeedback.update needs the global "
+                        "template to allocate first-touch memory"
+                    )
+                memory = np.zeros_like(template[key])
+                self._memory[key] = memory
+            # this round's dispatched positions had their memory consumed
+            # by compensate; overwrite them with the freshly dropped mass.
+            # Positions pruned this round keep their banked residual.
+            scatter_assign_param(memory, suffix, plan[layer_name], dropped)

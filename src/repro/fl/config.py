@@ -38,6 +38,12 @@ class FLConfig:
     time_budget_s: Optional[float] = None
     target_metric: Optional[float] = None
 
+    # hot-loop fast path: per-round dispatch cache (plan/sub-model reuse
+    # across same-ratio workers) + scatter-add aggregation with the
+    # residual folded from one shared global snapshot.  Bitwise-identical
+    # to the dense slow path; disable only for A/B debugging.
+    fast_path: bool = True
+
     # bookkeeping
     eval_every: int = 1
     eval_max_samples: Optional[int] = None

@@ -17,6 +17,7 @@ devices are bitwise identical, whichever scheduler drives them.
 
 from __future__ import annotations
 
+import copy
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -54,6 +55,9 @@ class Dispatch:
     dispatch_time: float = 0.0
     download_params: int = 0
     upload_params: int = 0
+    #: frozen pre-round global state shared by the round's dispatches;
+    #: set on the fast path instead of materialising ``residual``
+    global_state: Optional[Dict[str, np.ndarray]] = None
 
     @property
     def finish_time(self) -> float:
@@ -131,6 +135,22 @@ class Engine:
                 self.model.num_parameters(),
             )
         self.extract_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
+
+        # Dispatch fast path: within one cache epoch (between two
+        # aggregations) the global model is frozen, so same-ratio workers
+        # share one plan / extracted sub-model and the round needs at most
+        # one global-state snapshot.  Sub-model sharing is only exact when
+        # extraction consumes no randomness (no rng-bearing modules such
+        # as Dropout, whose per-clone seed draw must stay per-worker).
+        self.fast_path = bool(getattr(config, "fast_path", True))
+        self._share_submodels = self.fast_path and not any(
+            getattr(module, "rng", None) is not None
+            for _, module in self.model.named_modules()
+        )
+        self._plan_cache: Dict[float, object] = {}
+        self._submodel_cache: Dict[float, Tuple[object, Dict[str, np.ndarray]]] = {}
+        self._round_state: Optional[Dict[str, np.ndarray]] = None
+
         self.clock = SimulationClock()
         self.history = TrainingHistory(
             strategy=config.strategy, model_name=task.name,
@@ -173,13 +193,16 @@ class Engine:
                                  worker=worker_id, ratio=ratio) as span:
             with self.telemetry.span("prune", round=round_index,
                                      worker=worker_id, ratio=ratio):
-                plan = self.task.build_plan(self.model, ratio)
-                submodel = self.task.extract(self.model, plan,
-                                             self.extract_rng)
+                plan, submodel, dispatched_state = self._pruned_submodel(ratio)
                 residual = None
+                global_state = None
                 if self.aggregator.needs_residual:
-                    residual = residual_state_dict(self.server.global_state,
-                                                   plan)
+                    if self.fast_path:
+                        global_state = self._round_global_state()
+                    else:
+                        residual = residual_state_dict(
+                            self.server.global_state, plan
+                        )
 
             tau = self.strategy.local_iterations(worker_id)
             num_params = submodel.num_parameters()
@@ -196,13 +219,71 @@ class Engine:
             span.set("completion_time_s", costs.total_s)
             dispatch = Dispatch(
                 worker_id=worker_id, ratio=ratio, plan=plan,
-                submodel=submodel, dispatched_state=submodel.state_dict(),
+                submodel=submodel, dispatched_state=dispatched_state,
                 residual=residual, tau=tau, costs=costs,
                 dispatch_time=dispatch_time, download_params=num_params,
-                upload_params=upload_params,
+                upload_params=upload_params, global_state=global_state,
             )
             self.hooks.on_dispatch(round_index, dispatch)
         return dispatch
+
+    def _pruned_submodel(self, ratio: float):
+        """Plan + extracted sub-model + its pristine state for ``ratio``,
+        served from the per-epoch cache when the fast path allows it.
+
+        On a sub-model cache hit the clone is rebuilt by deep-copying the
+        cached template and reloading the pristine state, which skips the
+        l1 walk, the fancy-indexed weight extraction and the layer-init
+        RNG draws entirely.  The shared ``dispatched_state`` dict is
+        treated as immutable by all consumers.
+        """
+        if not self.fast_path:
+            plan = self.task.build_plan(self.model, ratio)
+            submodel = self.task.extract(self.model, plan, self.extract_rng)
+            return plan, submodel, submodel.state_dict()
+
+        metrics = self.telemetry.metrics
+        key = float(ratio)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self.task.build_plan(self.model, ratio)
+            self._plan_cache[key] = plan
+            metrics.counter("dispatch_cache_misses_total", kind="plan").inc()
+        else:
+            metrics.counter("dispatch_cache_hits_total", kind="plan").inc()
+
+        if not self._share_submodels:
+            submodel = self.task.extract(self.model, plan, self.extract_rng)
+            return plan, submodel, submodel.state_dict()
+
+        cached = self._submodel_cache.get(key)
+        if cached is None:
+            submodel = self.task.extract(self.model, plan, self.extract_rng)
+            state = submodel.state_dict()
+            self._submodel_cache[key] = (submodel, state)
+            metrics.counter("dispatch_cache_misses_total",
+                            kind="submodel").inc()
+            return plan, submodel, state
+        template, state = cached
+        clone = copy.deepcopy(template)
+        clone.load_state_dict(state)
+        metrics.counter("dispatch_cache_hits_total", kind="submodel").inc()
+        metrics.counter("dispatch_alloc_saved_params_total").inc(
+            clone.num_parameters()
+        )
+        return plan, clone, state
+
+    def _round_global_state(self) -> Dict[str, np.ndarray]:
+        """One frozen global-state snapshot per cache epoch, shared by
+        every R2SP dispatch of the round in place of a materialised
+        residual model."""
+        if self._round_state is None:
+            self._round_state = self.server.global_state
+        else:
+            self.telemetry.metrics.counter(
+                "dispatch_alloc_saved_arrays_total", kind="residual",
+            ).inc(2 * len(self._round_state))
+        return self._round_state
 
     def train(self, dispatch: Dispatch,
               round_index: int) -> Tuple[Contribution, float]:
@@ -235,12 +316,14 @@ class Engine:
         keep = self.strategy.upload_keep_fraction(dispatch.worker_id)
         if keep < 1.0:
             sub_state = self._compress_upload(
-                dispatch.worker_id, dispatch.dispatched_state, sub_state, keep
+                dispatch.worker_id, dispatch.dispatched_state, sub_state,
+                keep, dispatch.plan,
             )
         contribution = Contribution(
             worker_id=dispatch.worker_id, sub_state=sub_state,
             plan=dispatch.plan, residual=dispatch.residual,
             num_samples=worker.num_samples,
+            global_state=dispatch.global_state,
         )
         self.hooks.on_contribution(round_index, dispatch, contribution,
                                    train_loss)
@@ -249,13 +332,20 @@ class Engine:
     def _compress_upload(self, worker_id: int,
                          dispatched: Dict[str, np.ndarray],
                          trained: Dict[str, np.ndarray],
-                         keep: float) -> Dict[str, np.ndarray]:
-        """FlexCom path: top-k sparsify the update with error feedback."""
+                         keep: float, plan) -> Dict[str, np.ndarray]:
+        """FlexCom path: top-k sparsify the update with error feedback.
+
+        The error memory is kept in global coordinates via the round's
+        pruning plan, so adaptive pruning may change the sub-model
+        shape (and which units each position maps to) between rounds
+        without corrupting or crashing the feedback loop.
+        """
         delta = {key: trained[key] - dispatched[key] for key in trained}
         feedback = self.error_feedback[worker_id]
-        compensated = feedback.compensate(delta)
+        compensated = feedback.compensate(delta, plan=plan)
         sparse_delta, _ = top_k_sparsify(compensated, keep)
-        feedback.update(compensated, sparse_delta)
+        feedback.update(compensated, sparse_delta, plan=plan,
+                        template=self.server.template)
         return {
             key: dispatched[key] + sparse_delta[key] for key in trained
         }
@@ -268,6 +358,21 @@ class Engine:
             workers=[c.worker_id for c in contributions],
         ):
             new_state = self.server.apply(contributions)
+            if self.fast_path and not self.aggregator.dense:
+                saved = len(contributions) * len(self.server.template)
+                if self.aggregator.needs_residual:
+                    saved += len(self.server.template) * sum(
+                        1 for c in contributions
+                        if c.residual is None and c.global_state is not None
+                    )
+                self.telemetry.metrics.counter(
+                    "aggregate_alloc_saved_arrays_total",
+                ).inc(saved)
+            # the global model changed: every cached plan/sub-model and
+            # the round snapshot are stale from here on
+            self._plan_cache.clear()
+            self._submodel_cache.clear()
+            self._round_state = None
             self.hooks.on_aggregate(round_index, contributions)
         return new_state
 

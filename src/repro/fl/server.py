@@ -59,6 +59,12 @@ class ParameterServer:
     def global_state(self) -> Dict[str, np.ndarray]:
         return self.model.state_dict()
 
+    @property
+    def template(self) -> Dict[str, np.ndarray]:
+        """Shape template captured at construction (values are stale;
+        read only shapes/keys from it)."""
+        return self._template
+
     def apply(self, contributions: List[Contribution],
               aggregator: Optional[Aggregator] = None) -> Dict[str, np.ndarray]:
         """Aggregate one round of contributions and update the model.

@@ -29,7 +29,11 @@ from repro.pruning.importance import (
 from repro.pruning.structured import (
     build_pruning_plan,
     extract_submodel,
+    gather_param,
     recover_state_dict,
+    scatter_add_param,
+    scatter_add_residual,
+    scatter_assign_param,
 )
 from repro.pruning.masks import residual_state_dict, sparse_state_dict
 from repro.pruning.iss import build_iss_plan, extract_iss_submodel
@@ -43,7 +47,11 @@ __all__ = [
     "lstm_iss_scores",
     "build_pruning_plan",
     "extract_submodel",
+    "gather_param",
     "recover_state_dict",
+    "scatter_add_param",
+    "scatter_add_residual",
+    "scatter_assign_param",
     "sparse_state_dict",
     "residual_state_dict",
     "build_iss_plan",

@@ -16,6 +16,15 @@ import numpy as np
 #: Recognised layer kinds; each has its own scatter rule during recovery.
 LAYER_KINDS = ("conv", "linear", "bn", "lstm", "embedding")
 
+#: Parameter names owned by each layer kind (used by recovery/scatter).
+KIND_PARAM_NAMES = {
+    "conv": ("weight", "bias"),
+    "linear": ("weight", "bias"),
+    "bn": ("gamma", "beta", "running_mean", "running_var"),
+    "lstm": ("w_ih", "w_hh", "bias"),
+    "embedding": ("weight",),
+}
+
 
 @dataclass
 class LayerPrune:
@@ -56,6 +65,16 @@ class LayerPrune:
         mask[self.kept_out] = False
         return np.flatnonzero(mask)
 
+    @property
+    def in_pruned(self) -> Optional[np.ndarray]:
+        """Indices of removed input connections (``None`` when the layer
+        has no input axis)."""
+        if self.kept_in is None:
+            return None
+        mask = np.ones(self.in_full, dtype=bool)
+        mask[self.kept_in] = False
+        return np.flatnonzero(mask)
+
     def keeps_everything(self) -> bool:
         """True when no unit of this layer was removed."""
         out_all = self.kept_out.size == self.out_full
@@ -73,6 +92,11 @@ class PruningPlan:
 
     ratio: float
     layers: Dict[str, LayerPrune] = field(default_factory=dict)
+    #: lazily built full-parameter-key -> (layer, suffix) mapping; reset
+    #: whenever a layer is added
+    _param_names: Optional[Dict[str, Tuple[str, str]]] = field(
+        default=None, init=False, repr=False, compare=False,
+    )
 
     def __getitem__(self, name: str) -> LayerPrune:
         return self.layers[name]
@@ -90,6 +114,20 @@ class PruningPlan:
         if name in self.layers:
             raise ValueError(f"duplicate plan entry for layer {name!r}")
         self.layers[name] = entry
+        self._param_names = None
+
+    def param_names(self) -> Dict[str, Tuple[str, str]]:
+        """Full-state-dict key -> ``(layer_name, param_suffix)`` for every
+        parameter this plan touches.  Built once and cached; the mapping is
+        pure index bookkeeping so it never depends on model values.
+        """
+        if self._param_names is None:
+            mapping: Dict[str, Tuple[str, str]] = {}
+            for layer_name, entry in self.layers.items():
+                for suffix in KIND_PARAM_NAMES[entry.kind]:
+                    mapping[f"{layer_name}.{suffix}"] = (layer_name, suffix)
+            self._param_names = mapping
+        return self._param_names
 
     def is_identity(self) -> bool:
         """True when the plan removes nothing (ratio effectively 0)."""

@@ -43,16 +43,12 @@ from repro.pruning.importance import (
     linear_neuron_scores,
     top_indices,
 )
-from repro.pruning.plan import LayerPrune, PruningPlan, keep_count
-
-#: Parameter names owned by each layer kind (used by recovery/scatter).
-KIND_PARAM_NAMES = {
-    "conv": ("weight", "bias"),
-    "linear": ("weight", "bias"),
-    "bn": ("gamma", "beta", "running_mean", "running_var"),
-    "lstm": ("w_ih", "w_hh", "bias"),
-    "embedding": ("weight",),
-}
+from repro.pruning.plan import (
+    KIND_PARAM_NAMES,
+    LayerPrune,
+    PruningPlan,
+    keep_count,
+)
 
 
 @dataclass
@@ -387,11 +383,7 @@ def recover_state_dict(sub_state: Dict[str, np.ndarray], plan: PruningPlan,
 
 def _planned_param_names(plan: PruningPlan) -> Dict[str, Tuple[str, str]]:
     """Map full parameter key -> (layer name, param suffix)."""
-    mapping: Dict[str, Tuple[str, str]] = {}
-    for layer_name, entry in plan.items():
-        for suffix in KIND_PARAM_NAMES[entry.kind]:
-            mapping[f"{layer_name}.{suffix}"] = (layer_name, suffix)
-    return mapping
+    return plan.param_names()
 
 
 def _gate_rows(kept: np.ndarray, hidden_full: int) -> np.ndarray:
@@ -401,27 +393,97 @@ def _gate_rows(kept: np.ndarray, hidden_full: int) -> np.ndarray:
     ).astype(np.intp)
 
 
+def _kept_index(suffix: str, entry: LayerPrune):
+    """Index object selecting the kept (surviving) positions of a full
+    parameter — the positions a sub-model parameter maps onto."""
+    kind = entry.kind
+    if kind in ("conv", "linear") and suffix == "weight":
+        return np.ix_(entry.kept_out, entry.kept_in)
+    if kind in ("conv", "linear") and suffix == "bias":
+        return entry.kept_out
+    if kind == "bn":
+        return entry.kept_out
+    if kind == "lstm":
+        rows = _gate_rows(entry.kept_out, entry.out_full)
+        if suffix == "w_ih":
+            return np.ix_(rows, entry.kept_in)
+        if suffix == "w_hh":
+            return np.ix_(rows, entry.kept_out)
+        return rows  # bias
+    if kind == "embedding" and suffix == "weight":
+        return (slice(None), entry.kept_out)
+    raise ValueError(f"no scatter rule for kind={kind!r} suffix={suffix!r}")
+
+
+def gather_param(suffix: str, entry: LayerPrune,
+                 full_value: np.ndarray) -> np.ndarray:
+    """Extract the sub-model view of a full-shape parameter (the exact
+    inverse of :func:`scatter_assign_param`).  Always returns a copy."""
+    return full_value[_kept_index(suffix, entry)]
+
+
+def scatter_assign_param(full: np.ndarray, suffix: str, entry: LayerPrune,
+                         sub_value: np.ndarray) -> None:
+    """Write ``sub_value`` into the kept positions of ``full`` in place;
+    every other position is left untouched."""
+    full[_kept_index(suffix, entry)] = sub_value
+
+
+def scatter_add_param(acc: np.ndarray, suffix: str, entry: LayerPrune,
+                      sub_value: np.ndarray, weight: float) -> None:
+    """Accumulate ``weight * sub_value`` into the kept positions of
+    ``acc`` in place — equivalent to ``acc += weight *
+    _scatter_param(...)`` without allocating the zero-expanded array."""
+    acc[_kept_index(suffix, entry)] += weight * sub_value
+
+
+def scatter_add_residual(acc: np.ndarray, suffix: str, entry: LayerPrune,
+                         full_value: np.ndarray, weight: float) -> None:
+    """Accumulate ``weight * full_value`` at every *pruned* position of
+    ``acc`` in place.
+
+    For R2SP the residual of a sub-model against the global state is
+    exactly the global value at pruned positions and exactly zero at
+    kept positions, so this folds the residual model in without
+    materialising ``global - sparse`` as a full array.  The pruned set
+    of a 2-D weight is the disjoint union (pruned rows x all columns)
+    u (kept rows x pruned columns); each position is touched once.
+    """
+    kind = entry.kind
+    out_p = entry.out_pruned
+    if kind in ("conv", "linear") and suffix == "weight":
+        if out_p.size:
+            acc[out_p] += weight * full_value[out_p]
+        in_p = entry.in_pruned
+        if in_p is not None and in_p.size:
+            idx = np.ix_(entry.kept_out, in_p)
+            acc[idx] += weight * full_value[idx]
+    elif (kind in ("conv", "linear") and suffix == "bias") or kind == "bn":
+        if out_p.size:
+            acc[out_p] += weight * full_value[out_p]
+    elif kind == "lstm":
+        rows_p = _gate_rows(out_p, entry.out_full)
+        if rows_p.size:
+            acc[rows_p] += weight * full_value[rows_p]
+        if suffix == "w_ih":
+            in_p = entry.in_pruned
+            if in_p is not None and in_p.size:
+                idx = np.ix_(_gate_rows(entry.kept_out, entry.out_full), in_p)
+                acc[idx] += weight * full_value[idx]
+        elif suffix == "w_hh":
+            if out_p.size:
+                idx = np.ix_(_gate_rows(entry.kept_out, entry.out_full), out_p)
+                acc[idx] += weight * full_value[idx]
+    elif kind == "embedding" and suffix == "weight":
+        if out_p.size:
+            acc[:, out_p] += weight * full_value[:, out_p]
+    else:
+        raise ValueError(f"no scatter rule for kind={kind!r} suffix={suffix!r}")
+
+
 def _scatter_param(suffix: str, entry: LayerPrune, sub_value: np.ndarray,
                    full_shape: Tuple[int, ...]) -> np.ndarray:
     """Place a sub-model parameter into a zero array of the full shape."""
     full = np.zeros(full_shape, dtype=sub_value.dtype)
-    kind = entry.kind
-    if kind in ("conv", "linear") and suffix == "weight":
-        full[np.ix_(entry.kept_out, entry.kept_in)] = sub_value
-    elif kind in ("conv", "linear") and suffix == "bias":
-        full[entry.kept_out] = sub_value
-    elif kind == "bn":
-        full[entry.kept_out] = sub_value
-    elif kind == "lstm":
-        rows = _gate_rows(entry.kept_out, entry.out_full)
-        if suffix == "w_ih":
-            full[np.ix_(rows, entry.kept_in)] = sub_value
-        elif suffix == "w_hh":
-            full[np.ix_(rows, entry.kept_out)] = sub_value
-        else:  # bias
-            full[rows] = sub_value
-    elif kind == "embedding" and suffix == "weight":
-        full[:, entry.kept_out] = sub_value
-    else:
-        raise ValueError(f"no scatter rule for kind={kind!r} suffix={suffix!r}")
+    scatter_assign_param(full, suffix, entry, sub_value)
     return full

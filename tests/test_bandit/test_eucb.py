@@ -67,6 +67,67 @@ def test_abandon_clears_pending(rng):
     assert agent.rounds_played == 1
 
 
+def test_abandon_does_not_leak_partition_regions(rng):
+    """Regression: abandoned plays used to leave behind the split made
+    at selection time, accumulating phantom never-rewarded regions with
+    infinite UCB."""
+    agent = EUCBAgent(theta=0.01, max_ratio=0.9, rng=rng)
+    agent.select_ratio()
+    agent.observe(1.0)
+    before = agent.num_regions
+    for _ in range(25):
+        agent.select_ratio()
+        agent.abandon()
+    assert agent.num_regions == before
+    # and no unexplored-phantom regions distort the bounds beyond the
+    # single legitimate unexplored sibling of the first split
+    bounds = agent.upper_confidence_bounds()
+    assert sum(math.isinf(b) for b in bounds.values()) <= 1
+
+
+def test_split_is_deferred_to_observe(rng):
+    agent = EUCBAgent(theta=0.01, max_ratio=0.9, rng=rng)
+    before = agent.num_regions
+    agent.select_ratio()
+    assert agent.num_regions == before       # not yet
+    agent.observe(1.0)
+    assert agent.num_regions == before + 1   # split lands with the reward
+
+
+def test_incremental_stats_match_full_replay():
+    """The O(regions) incremental statistics must agree with the
+    reference full-history replay through splits, abandons and drift."""
+    agent = EUCBAgent(theta=0.05, discount=0.9, max_ratio=0.9,
+                      rng=np.random.default_rng(3))
+    noise = np.random.default_rng(4)
+    for round_index in range(120):
+        arm = agent.select_ratio()
+        if round_index % 7 == 3:
+            agent.abandon()
+            continue
+        peak = 0.2 if round_index < 60 else 0.7
+        agent.observe(1.0 - 6.0 * (arm - peak) ** 2 + noise.normal(0, 0.02))
+        incremental, inc_total = agent._discounted_stats()
+        replay, rep_total = agent._replay_stats()
+        assert inc_total == pytest.approx(rep_total, rel=1e-9)
+        for region in agent.partition:
+            inc_count, inc_mean = incremental[region]
+            rep_count, rep_sum = replay[region]
+            assert inc_count == pytest.approx(rep_count, rel=1e-9, abs=1e-12)
+            if rep_count > 0.0:
+                assert inc_mean == pytest.approx(rep_sum / rep_count,
+                                                 rel=1e-9, abs=1e-12)
+
+
+def test_snapshot_pull_counts_survive_splits(rng):
+    agent = EUCBAgent(theta=0.02, max_ratio=0.8,
+                      rng=np.random.default_rng(6))
+    _play(agent, lambda a: 1.0 - (a - 0.3) ** 2, 60,
+          np.random.default_rng(7))
+    snapshot = agent.snapshot()
+    assert sum(arm["pulls"] for arm in snapshot["arms"]) == 60
+
+
 def test_unexplored_regions_have_infinite_ucb(rng):
     agent = EUCBAgent(theta=0.2, rng=rng)
     agent.select_ratio()

@@ -135,6 +135,98 @@ def test_non_positive_weight_rejected(rng):
         WeightedBSPAggregator().aggregate([bad], model.state_dict())
 
 
+def test_zero_weight_contribution_is_skipped(rng):
+    """Regression: an empty shard (num_samples=0) must not crash the
+    round; the zero-weight contribution simply carries no signal."""
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    contributions = [
+        _identity_contribution(model, 0, 0.0, num_samples=2),
+        _identity_contribution(model, 1, 4.0, num_samples=2),
+        _identity_contribution(model, 2, 100.0, num_samples=0),  # empty shard
+    ]
+    after = WeightedR2SPAggregator().aggregate(contributions, template)
+    for key in template:
+        assert np.allclose(after[key], template[key] + 2.0, atol=1e-5)
+
+
+def test_all_zero_weights_rejected(rng):
+    model = build_cnn(rng=rng)
+    contributions = [
+        _identity_contribution(model, i, 0.0, num_samples=0) for i in range(3)
+    ]
+    with pytest.raises(ValueError, match="non-positive"):
+        WeightedBSPAggregator().aggregate(contributions, model.state_dict())
+
+
+def test_negative_weight_rejected(rng):
+    model = build_cnn(rng=rng)
+    bad = _identity_contribution(model, 0, 0.0, num_samples=-3)
+    with pytest.raises(ValueError, match="negative"):
+        WeightedBSPAggregator().aggregate([bad], model.state_dict())
+
+
+def _trained_pruned_contribution(model, worker_id, ratio, shift, rng,
+                                 num_samples=1, materialise_residual=True):
+    """Pruned contribution whose sub-state was 'trained' (shifted)."""
+    plan = build_pruning_plan(model, ratio)
+    sub = extract_submodel(model, plan, rng=rng)
+    sub_state = {k: v + shift for k, v in sub.state_dict().items()}
+    global_state = model.state_dict()
+    residual = (residual_state_dict(global_state, plan)
+                if materialise_residual else None)
+    return Contribution(worker_id=worker_id, sub_state=sub_state, plan=plan,
+                        residual=residual, num_samples=num_samples,
+                        global_state=None if materialise_residual
+                        else global_state)
+
+
+@pytest.mark.parametrize("scheme", sorted(AGGREGATORS))
+def test_scatter_path_matches_dense_path_bitwise(scheme, rng):
+    """The in-place scatter-add fast path must reproduce the reference
+    dense (zero-expansion) path bit for bit."""
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    extract_rng = np.random.default_rng(7)
+    contributions = [
+        _trained_pruned_contribution(model, i, ratio, shift, extract_rng,
+                                     num_samples=count)
+        for i, (ratio, shift, count) in enumerate(
+            ((0.0, 0.125, 2), (0.3, -0.5, 9), (0.6, 1.0, 4))
+        )
+    ]
+    dense_agg = make_aggregator(scheme)
+    dense_agg.dense = True
+    fast_agg = make_aggregator(scheme)
+    dense = dense_agg.aggregate(contributions, template)
+    fast = fast_agg.aggregate(contributions, template)
+    assert set(dense) == set(fast)
+    for key in dense:
+        assert np.array_equal(dense[key], fast[key]), key
+
+
+def test_global_state_residual_matches_materialised_residual(rng):
+    """Folding the residual from the shared global snapshot equals the
+    legacy per-contribution materialised residual, bit for bit."""
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    legacy = [
+        _trained_pruned_contribution(model, i, ratio, shift,
+                                     np.random.default_rng(11 + i))
+        for i, (ratio, shift) in enumerate(((0.25, 0.5), (0.5, -0.25)))
+    ]
+    shared = [
+        _trained_pruned_contribution(model, i, ratio, shift,
+                                     np.random.default_rng(11 + i),
+                                     materialise_residual=False)
+        for i, (ratio, shift) in enumerate(((0.25, 0.5), (0.5, -0.25)))
+    ]
+    after_legacy = R2SPAggregator().aggregate(legacy, template)
+    after_shared = R2SPAggregator().aggregate(shared, template)
+    for key in template:
+        assert np.array_equal(after_legacy[key], after_shared[key]), key
+
+
 def test_missing_residual_rejected(rng):
     model = build_cnn(rng=rng)
     contribution = _identity_contribution(model, 0, 0.0)

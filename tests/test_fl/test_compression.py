@@ -6,6 +6,9 @@ import numpy as np
 import pytest
 
 from repro.fl.compression import ErrorFeedback, top_k_sparsify
+from repro.models import build_cnn
+from repro.pruning import build_pruning_plan, extract_submodel
+from repro.pruning.plan import LayerPrune, PruningPlan
 
 
 def _delta(rng):
@@ -69,3 +72,73 @@ def test_error_feedback_transmits_everything_eventually(rng):
         sent_total += sparse["a"]
     residual = feedback._memory["a"]
     assert np.allclose(sent_total + residual, raw_total, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# plan-aware (global-coordinate) error feedback under adaptive pruning
+# ----------------------------------------------------------------------
+def test_error_feedback_survives_shape_changes_across_rounds(rng):
+    """Regression: adaptive pruning changes the sub-model shape round to
+    round; name-keyed sub-model-coordinate memory crashed (or silently
+    broadcast) on the second round."""
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    feedback = ErrorFeedback()
+    extract = np.random.default_rng(3)
+    for ratio in (0.3, 0.6, 0.0, 0.45):
+        plan = build_pruning_plan(model, ratio)
+        sub = extract_submodel(model, plan, rng=extract)
+        delta = {
+            key: np.full_like(value, 0.01)
+            for key, value in sub.state_dict().items()
+        }
+        compensated = feedback.compensate(delta, plan=plan)
+        for key in delta:
+            assert compensated[key].shape == delta[key].shape
+        sparse, _ = top_k_sparsify(compensated, 0.3)
+        feedback.update(compensated, sparse, plan=plan, template=template)
+    for key, memory in feedback._memory.items():
+        assert memory.shape == template[key].shape
+
+
+def _linear_plan(kept_out):
+    plan = PruningPlan(ratio=0.5)
+    plan.add("fc", LayerPrune(kind="linear", kept_out=kept_out, out_full=4,
+                              kept_in=[0, 1, 2, 3], in_full=4))
+    return plan
+
+
+def test_memory_banked_for_pruned_units_until_redispatch():
+    """Mass dropped for a unit stays banked while the unit is pruned
+    and is compensated the next time that unit is dispatched."""
+    template = {"fc.weight": np.zeros((4, 4)), "fc.bias": np.zeros(4)}
+    feedback = ErrorFeedback()
+
+    plan_a = _linear_plan([0, 1])
+    delta = {"fc.weight": np.ones((2, 4)), "fc.bias": np.ones(2)}
+    compensated = feedback.compensate(delta, plan=plan_a)
+    nothing = {key: np.zeros_like(value) for key, value in compensated.items()}
+    feedback.update(compensated, nothing, plan=plan_a, template=template)
+
+    # round 2 dispatches the *other* rows; they carry no banked memory
+    plan_b = _linear_plan([2, 3])
+    zeros = {"fc.weight": np.zeros((2, 4)), "fc.bias": np.zeros(2)}
+    compensated_b = feedback.compensate(zeros, plan=plan_b)
+    assert np.allclose(compensated_b["fc.weight"], 0.0)
+    assert np.allclose(compensated_b["fc.bias"], 0.0)
+    feedback.update(compensated_b, compensated_b, plan=plan_b,
+                    template=template)
+
+    # round 3 re-dispatches rows 0/1: the banked ones come back
+    compensated_c = feedback.compensate(zeros, plan=plan_a)
+    assert np.allclose(compensated_c["fc.weight"], 1.0)
+    assert np.allclose(compensated_c["fc.bias"], 1.0)
+
+
+def test_plan_aware_update_requires_template():
+    feedback = ErrorFeedback()
+    plan = _linear_plan([0, 1])
+    delta = {"fc.weight": np.ones((2, 4)), "fc.bias": np.ones(2)}
+    nothing = {key: np.zeros_like(value) for key, value in delta.items()}
+    with pytest.raises(ValueError, match="template"):
+        feedback.update(delta, nothing, plan=plan)

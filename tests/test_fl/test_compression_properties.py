@@ -32,6 +32,47 @@ def test_top_k_properties(values, keep):
         assert survivors.min() >= dropped.max() - 1e-9
 
 
+@settings(max_examples=60, deadline=None)
+@given(
+    magnitudes=st.lists(
+        st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0]),
+        min_size=2, max_size=48,
+    ),
+    signs=st.lists(st.sampled_from([-1.0, 1.0]), min_size=48, max_size=48),
+    keep=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_top_k_exact_budget_under_ties(magnitudes, signs, keep):
+    """Regression: tied magnitudes at the threshold used to overshoot
+    the budget (``>= threshold`` kept every tie); exactly
+    ``max(1, round(total * keep))`` scalars must survive."""
+    values = [m * s for m, s in zip(magnitudes, signs)]
+    half = len(values) // 2
+    delta = {"a": np.asarray(values[:half]), "b": np.asarray(values[half:])}
+    total = len(values)
+    sparse, kept = top_k_sparsify(delta, keep)
+    budget = max(1, int(round(total * keep)))
+    if budget >= total:
+        assert kept == total
+    else:
+        assert kept == budget
+    nonzero = sum(int((v != 0).sum()) for v in sparse.values())
+    # zero-valued survivors are invisible in the output, so the
+    # non-zero count can only undershoot the kept count
+    assert nonzero <= kept
+
+
+def test_top_k_tie_break_is_deterministic_and_positional():
+    """All-equal magnitudes: the earliest positions win the budget."""
+    delta = {"a": np.full(4, 0.5), "b": np.full(4, -0.5)}
+    sparse, kept = top_k_sparsify(delta, 0.5)
+    assert kept == 4
+    assert sparse["a"].tolist() == [0.5, 0.5, 0.5, 0.5]
+    assert sparse["b"].tolist() == [0.0, 0.0, 0.0, 0.0]
+    again, _ = top_k_sparsify(delta, 0.5)
+    for key in delta:
+        assert np.array_equal(sparse[key], again[key])
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     seed=st.integers(0, 2 ** 16),

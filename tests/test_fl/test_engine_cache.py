@@ -1,0 +1,181 @@
+"""Dispatch fast path: per-epoch plan/sub-model cache semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.engine import Engine
+from repro.fl.schedulers import make_scheduler
+from repro.fl.tasks import ClassificationTask
+from repro.simulation.cluster import make_scenario_devices
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import Telemetry
+
+
+@pytest.fixture(scope="module")
+def task():
+    dataset = make_synthetic_mnist(train_per_class=12, test_per_class=4,
+                                   rng=np.random.default_rng(0))
+    return ClassificationTask(dataset, "cnn")
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return make_scenario_devices("medium", np.random.default_rng(7))
+
+
+def _engine(task, devices, **kwargs):
+    base = dict(strategy="fixed", strategy_kwargs={"ratio": 0.3},
+                max_rounds=2, local_iterations=1, batch_size=8,
+                eval_every=10, seed=5)
+    base.update(kwargs)
+    config = FLConfig(**base)
+    telemetry = Telemetry(metrics=MetricsRegistry())
+    return Engine(task, devices, config, telemetry=telemetry)
+
+
+def _counter_sum(engine, name, **labels):
+    total = 0.0
+    for counter in engine.telemetry.metrics.counters:
+        if counter.name == name and all(
+            str(counter.labels.get(k)) == str(v) for k, v in labels.items()
+        ):
+            total += counter.value
+    return total
+
+
+def test_same_ratio_dispatches_share_plan_and_submodel(task, devices):
+    engine = _engine(task, devices)
+    n = len(engine.worker_ids)
+    for worker_id in engine.worker_ids:
+        engine.dispatch(worker_id, 0.3, 0.0, round_index=0)
+    assert _counter_sum(engine, "dispatch_cache_misses_total",
+                        kind="plan") == 1
+    assert _counter_sum(engine, "dispatch_cache_hits_total",
+                        kind="plan") == n - 1
+    assert _counter_sum(engine, "dispatch_cache_misses_total",
+                        kind="submodel") == 1
+    assert _counter_sum(engine, "dispatch_cache_hits_total",
+                        kind="submodel") == n - 1
+    assert _counter_sum(engine, "dispatch_alloc_saved_params_total") > 0
+
+
+def test_cached_clones_are_independent_models(task, devices):
+    engine = _engine(task, devices)
+    first = engine.dispatch(engine.worker_ids[0], 0.3, 0.0, round_index=0)
+    second = engine.dispatch(engine.worker_ids[1], 0.3, 0.0, round_index=0)
+    assert first.submodel is not second.submodel
+    assert first.plan is second.plan
+    # identical pristine weights, but training one must not leak into
+    # the other
+    for key, value in first.submodel.state_dict().items():
+        assert np.array_equal(value, second.submodel.state_dict()[key])
+    engine.train(first, round_index=0)
+    trained = first.submodel.state_dict()
+    pristine = second.submodel.state_dict()
+    assert any(
+        not np.array_equal(trained[key], pristine[key]) for key in trained
+    )
+
+
+def test_aggregate_invalidates_the_cache(task, devices):
+    engine = _engine(task, devices)
+    dispatches = [
+        engine.dispatch(worker_id, 0.3, 0.0, round_index=0)
+        for worker_id in engine.worker_ids
+    ]
+    contributions = [
+        engine.train(dispatch, round_index=0)[0] for dispatch in dispatches
+    ]
+    assert engine._plan_cache and engine._submodel_cache
+    engine.aggregate(contributions, round_index=0)
+    assert not engine._plan_cache
+    assert not engine._submodel_cache
+    assert engine._round_state is None
+    # next round misses again (global model changed)
+    engine.dispatch(engine.worker_ids[0], 0.3, 0.0, round_index=1)
+    assert _counter_sum(engine, "dispatch_cache_misses_total",
+                        kind="plan") == 2
+
+
+def test_r2sp_round_shares_one_global_snapshot(task, devices):
+    engine = _engine(task, devices, sync_scheme="r2sp")
+    first = engine.dispatch(engine.worker_ids[0], 0.3, 0.0, round_index=0)
+    second = engine.dispatch(engine.worker_ids[1], 0.3, 0.0, round_index=0)
+    assert first.residual is None and second.residual is None
+    assert first.global_state is second.global_state
+    assert _counter_sum(engine, "dispatch_alloc_saved_arrays_total",
+                        kind="residual") > 0
+
+
+def test_slow_path_materialises_residuals(task, devices):
+    engine = _engine(task, devices, sync_scheme="r2sp", fast_path=False)
+    dispatch = engine.dispatch(engine.worker_ids[0], 0.3, 0.0, round_index=0)
+    assert dispatch.residual is not None
+    assert dispatch.global_state is None
+    assert not engine._plan_cache and not engine._submodel_cache
+
+
+def test_submodel_sharing_disabled_for_rng_bearing_models(devices):
+    """Dropout draws a fresh seed per extracted clone, so sub-model
+    sharing would change the RNG stream; only the plan may be cached."""
+    from repro.data.text import make_synthetic_ptb
+    from repro.fl.tasks import LanguageModelTask
+
+    corpus = make_synthetic_ptb(vocab_size=40, train_tokens=2000,
+                                valid_tokens=200, test_tokens=200,
+                                rng=np.random.default_rng(1))
+    lm_task = LanguageModelTask(corpus, seq_len=8, lm_batch_size=4,
+                                model_kwargs={"embedding_dim": 8,
+                                              "hidden_size": 12,
+                                              "dropout": 0.2})
+    config = FLConfig(strategy="fixed", strategy_kwargs={"ratio": 0.25},
+                      max_rounds=1, local_iterations=1, batch_size=4, seed=2)
+    engine = Engine(lm_task, devices, config)
+    assert engine.fast_path
+    assert not engine._share_submodels
+    first = engine.dispatch(engine.worker_ids[0], 0.25, 0.0, round_index=0)
+    second = engine.dispatch(engine.worker_ids[1], 0.25, 0.0, round_index=0)
+    assert first.plan is second.plan          # plans carry no randomness
+    assert first.submodel is not second.submodel
+    assert not engine._submodel_cache
+
+
+def test_compressed_upload_survives_ratio_changes(task, devices):
+    """Regression: FlexCom-style compression combined with adaptive
+    pruning used to crash in round 2 because the error-feedback memory
+    was keyed in sub-model coordinates."""
+    engine = _engine(task, devices, sync_scheme="bsp")
+    worker_id = engine.worker_ids[0]
+    for round_index, ratio in enumerate((0.3, 0.6, 0.0)):
+        dispatch = engine.dispatch(worker_id, ratio, 0.0, round_index)
+        trained = {
+            key: value + 0.05
+            for key, value in dispatch.dispatched_state.items()
+        }
+        uploaded = engine._compress_upload(
+            worker_id, dispatch.dispatched_state, trained, 0.5, dispatch.plan
+        )
+        for key in trained:
+            assert uploaded[key].shape == trained[key].shape
+        engine._plan_cache.clear()
+        engine._submodel_cache.clear()
+
+
+def test_fast_path_round_matches_slow_path(task, devices):
+    """One full synchronous round, fast vs slow engine: bitwise equal."""
+    results = {}
+    for fast in (True, False):
+        engine = _engine(task, devices, sync_scheme="r2sp_weighted",
+                         fast_path=fast)
+        history = make_scheduler(engine.config).run(engine)
+        results[fast] = (engine.server.global_state, history)
+    fast_state, fast_history = results[True]
+    slow_state, slow_history = results[False]
+    for key in slow_state:
+        assert np.array_equal(fast_state[key], slow_state[key]), key
+    assert [r.train_loss for r in fast_history.rounds] == \
+           [r.train_loss for r in slow_history.rounds]
