@@ -287,6 +287,95 @@ class EUCBAgent:
             "arms": arms,
         }
 
+    def consistency_report(self, tolerance: float = 1e-9) -> List[str]:
+        """Cross-check the agent's internal state; return violations.
+
+        Three families of checks, all observational:
+
+        - **Partition integrity.**  The regions must tile
+          ``[low, high]`` exactly -- contiguous, non-degenerate, no
+          gaps or overlaps -- and every historical arm must fall inside
+          the partition's range.
+        - **Non-negative statistics.**  Discounted counts and the total
+          discounted count can never go negative.
+        - **Incremental == replay.**  The O(regions) incremental
+          discounted statistics must agree (within ``tolerance``,
+          relative) with the O(rounds x regions) full-history replay
+          oracle :meth:`_replay_stats`.
+
+        An empty list means the agent is internally consistent.
+        """
+        problems: List[str] = []
+        regions = list(self.partition)
+        low = regions[0].low
+        high = regions[-1].high
+        cursor = low
+        for region in regions:
+            if not math.isclose(region.low, cursor, abs_tol=tolerance):
+                problems.append(
+                    f"partition gap/overlap: region starts at {region.low!r}"
+                    f" but previous one ended at {cursor!r}"
+                )
+            if region.high <= region.low:
+                problems.append(
+                    f"degenerate region [{region.low!r}, {region.high!r}]"
+                )
+            cursor = region.high
+        if not math.isclose(cursor, high, abs_tol=tolerance):
+            problems.append(
+                f"partition does not reach its upper bound: last region "
+                f"ends at {cursor!r}, expected {high!r}"
+            )
+        for record in self.history:
+            if not low <= record.arm <= high:
+                problems.append(
+                    f"historical arm {record.arm!r} outside "
+                    f"[{low!r}, {high!r}]"
+                )
+
+        inc_stats, inc_total = self._discounted_stats()
+        ref_stats, ref_total = self._replay_stats()
+        if inc_total < 0.0:
+            problems.append(f"negative total discounted count {inc_total!r}")
+        scale = max(abs(ref_total), 1.0)
+        if abs(inc_total - ref_total) > tolerance * scale:
+            problems.append(
+                f"total discounted count drifted: incremental {inc_total!r}"
+                f" vs replay {ref_total!r}"
+            )
+        for region in regions:
+            count, mean = inc_stats[region]
+            ref_count, ref_sum = ref_stats[region]
+            if count < 0.0:
+                problems.append(
+                    f"negative discounted count {count!r} in region "
+                    f"[{region.low!r}, {region.high!r}]"
+                )
+            if abs(count - ref_count) > tolerance * max(abs(ref_count), 1.0):
+                problems.append(
+                    f"discounted count drifted in region "
+                    f"[{region.low!r}, {region.high!r}]: incremental "
+                    f"{count!r} vs replay {ref_count!r}"
+                )
+                continue
+            if mean is None:
+                if ref_count > tolerance:
+                    problems.append(
+                        f"region [{region.low!r}, {region.high!r}] has "
+                        f"replay count {ref_count!r} but no incremental mean"
+                    )
+                continue
+            if ref_count <= 0.0:
+                continue
+            ref_mean = ref_sum / ref_count
+            if abs(mean - ref_mean) > tolerance * max(abs(ref_mean), 1.0):
+                problems.append(
+                    f"discounted mean drifted in region "
+                    f"[{region.low!r}, {region.high!r}]: incremental "
+                    f"{mean!r} vs replay {ref_mean!r}"
+                )
+        return problems
+
     def abandon(self) -> None:
         """Discard a pending play (used when a worker misses the round
         deadline and produces no reward signal).  Because the region

@@ -10,6 +10,8 @@ Run a federated-training experiment end-to-end from the shell::
 
     python -m repro.cli devices --scenario high
 
+    python -m repro.cli verify --preset cnn --rounds 5
+
 ``--task`` names a bench-scale workload from
 :mod:`repro.experiments.setups` (cnn / alexnet / vgg19 / resnet50 /
 lstm); every knob of :class:`repro.fl.FLConfig` that matters for quick
@@ -186,6 +188,26 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify.run import (
+        DEFAULT_SEMISYNC_TOLERANCE_ULPS,
+        run_verification,
+    )
+
+    semisync = (
+        args.semisync_tolerance if args.semisync_tolerance is not None
+        else DEFAULT_SEMISYNC_TOLERANCE_ULPS
+    )
+    report = run_verification(
+        preset=args.preset, rounds=args.rounds,
+        tolerance_ulps=args.tolerance,
+        semisync_tolerance_ulps=semisync,
+        scenario=args.scenario, workers=args.workers, seed=args.seed,
+    )
+    print(report.describe())
+    return 0 if report.passed else 1
+
+
 def _cmd_devices(args) -> int:
     devices = make_devices(args.scenario, count=args.workers)
     print(f"scenario {args.scenario!r}: {len(devices)} devices")
@@ -224,6 +246,32 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=sorted(HETEROGENEITY_SCENARIOS))
     devices_parser.add_argument("--workers", type=int, default=None)
     devices_parser.set_defaults(func=_cmd_devices)
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="run the verification battery (invariants, differential "
+             "fast-vs-dense / sync-vs-semisync, fault conformance)")
+    verify_parser.add_argument("--preset", default="cnn",
+                               choices=sorted(BENCH_TASKS),
+                               help="bench-scale workload to verify on")
+    verify_parser.add_argument("--rounds", type=int, default=5,
+                               help="rounds per verification run")
+    verify_parser.add_argument("--tolerance", type=int, default=0,
+                               metavar="ULPS",
+                               help="fast-vs-dense divergence tolerance "
+                                    "(the fast path is specified bitwise "
+                                    "identical: default 0)")
+    verify_parser.add_argument("--semisync-tolerance", type=int,
+                               default=None, metavar="ULPS",
+                               help="sync-vs-semisync divergence tolerance "
+                                    "(default: measured headroom, see "
+                                    "DESIGN.md 3.4)")
+    verify_parser.add_argument("--scenario", default="medium",
+                               choices=sorted(HETEROGENEITY_SCENARIOS))
+    verify_parser.add_argument("--workers", type=int, default=None,
+                               help="override worker count (half A / half B)")
+    verify_parser.add_argument("--seed", type=int, default=17)
+    verify_parser.set_defaults(func=_cmd_verify)
     return parser
 
 

@@ -51,6 +51,38 @@ from repro.pruning.structured import (
 )
 
 
+class AggregationError(ValueError):
+    """Base class for typed aggregation failures.
+
+    Subclasses ``ValueError`` so pre-existing callers that catch the
+    untyped error keep working; new code should catch the specific
+    subclasses below.
+    """
+
+
+class EmptyRoundError(AggregationError):
+    """No contribution (or none with positive weight) to aggregate."""
+
+
+class DuplicateContributionError(AggregationError):
+    """Two contributions from the same worker in one round.
+
+    No scheduler produces this legitimately (a worker has at most one
+    outstanding dispatch), so a duplicate always signals a bug or an
+    injected fault upstream.
+    """
+
+
+class PoisonedUpdateError(AggregationError):
+    """A contribution carries NaN/Inf values.
+
+    One poisoned array would silently corrupt the whole global model
+    (NaN propagates through the weighted average), so the aggregator
+    rejects it -- or, under ``nan_policy="skip"``, drops the offending
+    contribution and counts it.
+    """
+
+
 @dataclass
 class Contribution:
     """One worker's round output, ready for aggregation.
@@ -90,10 +122,26 @@ class Aggregator:
     #: contribution via :func:`recover_state_dict`) instead of in-place
     #: scatter-add.  Bitwise-identical output; kept for A/B testing.
     dense: bool = False
+    #: what to do with NaN/Inf-poisoned contributions: "raise" (reject
+    #: the round with :class:`PoisonedUpdateError`), "skip" (drop the
+    #: contribution and count it) or "off" (no finiteness scan)
+    nan_policy: str = "raise"
+    #: optional :class:`repro.telemetry.MetricsRegistry` the aggregator
+    #: counts skipped poisoned updates into (set by the engine)
+    metrics = None
+
+    NAN_POLICIES = ("raise", "skip", "off")
 
     def weight(self, contribution: Contribution) -> float:
         """Unnormalised weight of one contribution (uniform by default)."""
         return 1.0
+
+    def _poisoned_entry(self, contribution: Contribution) -> Optional[str]:
+        """Name of the first non-finite uploaded array, or ``None``."""
+        for key, value in contribution.sub_state.items():
+            if not np.isfinite(value).all():
+                return key
+        return None
 
     def aggregate(self, contributions: List[Contribution],
                   template: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -103,24 +151,49 @@ class Aggregator:
         Zero-weight contributions (e.g. a worker handed an empty shard
         by a pathological non-IID partition) carry no information and
         are skipped; only a round where *every* weight vanishes is an
-        error.  Negative weights are always rejected.
+        error.  Negative weights are always rejected, as are duplicate
+        worker ids (no scheduler produces them legitimately).
+        NaN/Inf-poisoned contributions are rejected or skipped per
+        ``nan_policy``.
         """
         if not contributions:
-            raise ValueError("cannot aggregate an empty contribution set")
+            raise EmptyRoundError("cannot aggregate an empty contribution set")
+        seen = set()
+        for contribution in contributions:
+            if contribution.worker_id in seen:
+                raise DuplicateContributionError(
+                    f"worker {contribution.worker_id} contributed twice in "
+                    f"one round"
+                )
+            seen.add(contribution.worker_id)
 
         weighted = []
         for contribution in contributions:
             weight = self.weight(contribution)
             if weight < 0.0:
-                raise ValueError(
+                raise AggregationError(
                     f"negative aggregation weight {weight} for worker "
                     f"{contribution.worker_id}"
                 )
             if weight == 0.0:
                 continue
+            if self.nan_policy != "off":
+                poisoned = self._poisoned_entry(contribution)
+                if poisoned is not None:
+                    if self.nan_policy == "raise":
+                        raise PoisonedUpdateError(
+                            f"worker {contribution.worker_id} uploaded "
+                            f"non-finite values in {poisoned!r}"
+                        )
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "poisoned_updates_total",
+                            worker=contribution.worker_id,
+                        ).inc()
+                    continue
             weighted.append((contribution, weight))
         if not weighted:
-            raise ValueError(
+            raise EmptyRoundError(
                 "all contributions have non-positive aggregation weight; "
                 "nothing to aggregate"
             )
@@ -256,9 +329,16 @@ AGGREGATORS: Dict[str, Type[Aggregator]] = {
 }
 
 
-def make_aggregator(scheme: str) -> Aggregator:
+def make_aggregator(scheme: str, nan_policy: str = "raise") -> Aggregator:
     """Instantiate the aggregator named by a ``sync_scheme`` string."""
+    if nan_policy not in Aggregator.NAN_POLICIES:
+        raise ValueError(
+            f"nan_policy must be one of {Aggregator.NAN_POLICIES}, "
+            f"got {nan_policy!r}"
+        )
     try:
-        return AGGREGATORS[scheme]()
+        aggregator = AGGREGATORS[scheme]()
     except KeyError:
         raise ValueError(f"unknown aggregation scheme {scheme!r}") from None
+    aggregator.nan_policy = nan_policy
+    return aggregator

@@ -85,6 +85,12 @@ class ErrorFeedback:
     def __init__(self) -> None:
         self._memory: Dict[str, np.ndarray] = {}
 
+    def memory_snapshot(self) -> Dict[str, np.ndarray]:
+        """Copy of the banked residual memory (global coordinates when a
+        plan was ever supplied).  Observational: used by the verification
+        subsystem's mass-accounting invariant."""
+        return {key: value.copy() for key, value in self._memory.items()}
+
     def compensate(self, delta: Dict[str, np.ndarray],
                    plan: Optional[PruningPlan] = None,
                    ) -> Dict[str, np.ndarray]:

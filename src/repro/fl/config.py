@@ -44,6 +44,11 @@ class FLConfig:
     # to the dense slow path; disable only for A/B debugging.
     fast_path: bool = True
 
+    # NaN/Inf-poisoned uploads: "raise" rejects the round with a typed
+    # PoisonedUpdateError, "skip" drops the offending contribution (and
+    # counts it in telemetry), "off" disables the finiteness scan
+    nan_policy: str = "raise"
+
     # bookkeeping
     eval_every: int = 1
     eval_max_samples: Optional[int] = None
@@ -71,10 +76,16 @@ class FLConfig:
 
     _SYNC_SCHEMES = ("r2sp", "bsp", "r2sp_weighted", "bsp_weighted")
     _SCHEDULERS = ("auto", "sync", "async", "semi_sync")
+    _NAN_POLICIES = ("raise", "skip", "off")
 
     def __post_init__(self) -> None:
         if self.local_iterations <= 0:
             raise ValueError("local_iterations must be positive")
+        if self.nan_policy not in self._NAN_POLICIES:
+            raise ValueError(
+                f"nan_policy must be one of {self._NAN_POLICIES}, "
+                f"got {self.nan_policy!r}"
+            )
         if self.sync_scheme not in self._SYNC_SCHEMES:
             raise ValueError(
                 f"sync_scheme must be one of {self._SYNC_SCHEMES}, "

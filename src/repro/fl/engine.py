@@ -107,8 +107,10 @@ class Engine:
         )
         self.aggregator = (
             aggregator if aggregator is not None
-            else make_aggregator(config.sync_scheme)
+            else make_aggregator(config.sync_scheme,
+                                 nan_policy=config.nan_policy)
         )
+        self.aggregator.metrics = self.telemetry.metrics
         self.server = ParameterServer(self.model, aggregator=self.aggregator)
         self.hooks = HookList(hooks)
 
@@ -352,11 +354,18 @@ class Engine:
 
     def aggregate(self, contributions: List[Contribution],
                   round_index: int) -> Dict[str, np.ndarray]:
-        """Fold one round of contributions into the global model."""
+        """Fold one round of contributions into the global model.
+
+        ``before_aggregate`` hooks may rewrite the contribution set
+        first (the sanctioned interception point fault injectors use);
+        every observer hook then sees the set that was aggregated.
+        """
         with self.telemetry.span(
             "aggregate", round=round_index,
             workers=[c.worker_id for c in contributions],
         ):
+            contributions = self.hooks.before_aggregate(round_index,
+                                                        contributions)
             new_state = self.server.apply(contributions)
             if self.fast_path and not self.aggregator.dense:
                 saved = len(contributions) * len(self.server.template)

@@ -11,7 +11,10 @@ into :attr:`repro.fl.history.RoundRecord.extras`.
 Hooks must not mutate models, contributions or the clock; the engine
 treats them as pure observers (``on_round_end`` may add ``extras``
 entries to the record it receives, which is the supported way to
-publish per-round measurements).
+publish per-round measurements).  The one sanctioned exception is
+``before_aggregate``: a hook may return a rewritten contribution list
+there, which is how the verification subsystem's fault injector
+(:mod:`repro.verify.faults`) drops, duplicates or delays updates.
 """
 
 from __future__ import annotations
@@ -47,6 +50,17 @@ class RoundHook:
                         train_loss: float) -> None:
         """A worker finished local training and uploaded its update."""
 
+    def before_aggregate(self, round_index: int,
+                         contributions: List[Contribution],
+                         ) -> Optional[List[Contribution]]:
+        """The round's contributions are about to be aggregated.
+
+        Returning a list replaces the round's contribution set (the
+        fault-injection interception point); returning ``None`` leaves
+        it untouched, which is what every pure observer should do.
+        """
+        return None
+
     def on_aggregate(self, round_index: int,
                      contributions: List[Contribution]) -> None:
         """The PS aggregated the round's contributions into the model."""
@@ -78,6 +92,18 @@ class HookList(RoundHook):
         for hook in self.hooks:
             hook.on_contribution(round_index, dispatch, contribution,
                                  train_loss)
+
+    def before_aggregate(self, round_index: int,
+                         contributions: List[Contribution],
+                         ) -> List[Contribution]:
+        for hook in self.hooks:
+            interceptor = getattr(hook, "before_aggregate", None)
+            if interceptor is None:
+                continue
+            replaced = interceptor(round_index, contributions)
+            if replaced is not None:
+                contributions = replaced
+        return contributions
 
     def on_aggregate(self, round_index: int,
                      contributions: List[Contribution]) -> None:

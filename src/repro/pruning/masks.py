@@ -20,9 +20,14 @@ from repro.pruning.plan import LayerPrune, PruningPlan
 from repro.pruning.structured import _gate_rows, _planned_param_names
 
 
-def _keep_mask(suffix: str, entry: LayerPrune,
-               shape: Tuple[int, ...]) -> np.ndarray:
-    """Boolean mask of surviving positions for one parameter array."""
+def keep_mask(suffix: str, entry: LayerPrune,
+              shape: Tuple[int, ...]) -> np.ndarray:
+    """Boolean mask of surviving positions for one parameter array.
+
+    Public so the verification subsystem can reason about which
+    positions of a global array a plan dispatches versus leaves to the
+    residual model.
+    """
     mask = np.zeros(shape, dtype=bool)
     kind = entry.kind
     if kind in ("conv", "linear") and suffix == "weight":
@@ -44,6 +49,10 @@ def _keep_mask(suffix: str, entry: LayerPrune,
     else:
         raise ValueError(f"no mask rule for kind={kind!r} suffix={suffix!r}")
     return mask
+
+
+#: pre-publication name, kept for in-tree callers
+_keep_mask = keep_mask
 
 
 def sparse_state_dict(full_state: Dict[str, np.ndarray],

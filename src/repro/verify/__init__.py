@@ -1,0 +1,73 @@
+"""Verification subsystem: invariants, differential runs, fault injection.
+
+Three complementary ways of checking that the round engine does what
+it claims (see DESIGN.md section 3.4):
+
+- :mod:`repro.verify.invariants` -- an engine hook that re-derives
+  R2SP mass conservation, plan well-formedness, error-feedback
+  accounting and E-UCB statistics integrity every round against slow
+  reference oracles.
+- :mod:`repro.verify.differential` -- runs semantics-preserving
+  configuration pairs (fast path vs dense reference, sync vs
+  semi-sync with an unreachable deadline) under one seed and reports
+  the first ULP divergence.
+- :mod:`repro.verify.faults` -- deterministic injection of dropped,
+  duplicated, poisoned, stale and zero-sample contributions, with the
+  engine's response pinned per fault kind.
+
+:func:`repro.verify.run.run_verification` (CLI: ``repro verify``)
+composes all three into one pass/fail battery.  Property-test
+generators live in :mod:`repro.verify.strategies`; they are not
+imported here so ``repro.verify`` works without ``hypothesis``.
+"""
+
+from repro.verify.differential import (
+    DifferentialReport,
+    ParamDivergence,
+    StateCaptureHook,
+    compare_state_sequences,
+    differential_fast_vs_dense,
+    differential_sync_vs_semisync,
+    ulp_distance,
+)
+from repro.verify.errors import (
+    AggregationError,
+    DivergenceError,
+    DuplicateContributionError,
+    EmptyRoundError,
+    InvariantViolation,
+    PoisonedUpdateError,
+    VerificationError,
+)
+from repro.verify.faults import FAULT_KINDS, FaultInjectionHook, FaultSpec
+from repro.verify.invariants import ALL_CHECKS, InvariantHook
+from repro.verify.run import (
+    CheckResult,
+    VerificationReport,
+    run_verification,
+)
+
+__all__ = [
+    "AggregationError",
+    "ALL_CHECKS",
+    "CheckResult",
+    "DifferentialReport",
+    "DivergenceError",
+    "DuplicateContributionError",
+    "EmptyRoundError",
+    "FAULT_KINDS",
+    "FaultInjectionHook",
+    "FaultSpec",
+    "InvariantHook",
+    "InvariantViolation",
+    "ParamDivergence",
+    "PoisonedUpdateError",
+    "StateCaptureHook",
+    "VerificationError",
+    "VerificationReport",
+    "compare_state_sequences",
+    "differential_fast_vs_dense",
+    "differential_sync_vs_semisync",
+    "run_verification",
+    "ulp_distance",
+]

@@ -1,0 +1,272 @@
+"""Differential testing: two configurations of the same seeded run.
+
+The round engine promises that several configuration axes are
+*semantics-preserving*:
+
+- the dispatch/aggregation **fast path** (plan & sub-model caching +
+  scatter-add accumulation) is bitwise identical to the dense
+  reference path (``fast_path=False`` + ``Aggregator.dense=True``);
+- a **semi-synchronous** round with an unreachable deadline admits
+  every worker, so it aggregates the same contribution *set* as the
+  synchronous barrier -- in arrival order rather than worker-id order,
+  which reorders the floating-point summation but (for float32 models
+  summed in the aggregator's float64 accumulator) cannot change it.
+
+This module runs both sides of such a pair under one seed, captures
+the global state after every aggregation, and reports the first
+divergence beyond a tolerance measured in ULPs (units in the last
+place): the number of representable floats between two values, the
+natural scale-free metric for "how different did the arithmetic get".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.config import FLConfig
+from repro.fl.engine import Engine
+from repro.fl.history import TrainingHistory
+from repro.fl.hooks import RoundHook
+from repro.fl.schedulers import make_scheduler
+from repro.verify.errors import DivergenceError
+
+__all__ = [
+    "ulp_distance",
+    "StateCaptureHook",
+    "ParamDivergence",
+    "DifferentialReport",
+    "capture_run",
+    "compare_state_sequences",
+    "differential_fast_vs_dense",
+    "differential_sync_vs_semisync",
+]
+
+#: a semi-sync deadline no simulated round can miss
+UNREACHABLE_DEADLINE_S = 1e12
+
+
+def _ulp_key(values: np.ndarray) -> np.ndarray:
+    """Monotone uint64 key of IEEE-754 floats.
+
+    Maps each float to an unsigned integer such that the float order
+    is the integer order; the ULP distance between two floats is then
+    the absolute difference of their keys.
+    """
+    if values.dtype == np.float64:
+        bits = values.view(np.uint64)
+        sign = np.uint64(1) << np.uint64(63)
+    elif values.dtype == np.float32:
+        bits = values.view(np.uint32)
+        sign = np.uint32(1) << np.uint32(31)
+    else:
+        raise TypeError(
+            f"ulp_distance needs float32/float64 arrays, got {values.dtype}"
+        )
+    # positives: set the sign bit; negatives: flip all bits.  Either way
+    # the resulting unsigned keys sort exactly like the floats.
+    keys = np.where(bits & sign, ~bits, bits | sign)
+    return keys.astype(np.uint64)
+
+
+def ulp_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ULP distance between two same-dtype float arrays.
+
+    0 means bitwise identical; 1 means adjacent representable floats.
+    ``+0.0`` and ``-0.0`` are adjacent (distance 1).  NaNs compare by
+    bit pattern.  Distances are clipped to ``2**63 - 1``.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.dtype != b.dtype:
+        raise TypeError(f"dtype mismatch: {a.dtype} vs {b.dtype}")
+    key_a = _ulp_key(a)
+    key_b = _ulp_key(b)
+    diff = np.maximum(key_a, key_b) - np.minimum(key_a, key_b)
+    return np.minimum(diff, np.uint64(2 ** 63 - 1)).astype(np.int64)
+
+
+@dataclass
+class ParamDivergence:
+    """First parameter entry that exceeded the tolerance."""
+
+    round_index: int
+    key: str
+    index: int          # flat index into the parameter array
+    ulps: int
+    value_a: float
+    value_b: float
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential comparison."""
+
+    label_a: str
+    label_b: str
+    rounds_compared: int
+    rounds_a: int
+    rounds_b: int
+    tolerance_ulps: int
+    max_ulps: int
+    first_divergence: Optional[ParamDivergence] = None
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.first_divergence is None
+            and self.rounds_a == self.rounds_b
+            and self.rounds_compared > 0
+        )
+
+    def describe(self) -> str:
+        head = (f"{self.label_a} vs {self.label_b}: "
+                f"{self.rounds_compared} rounds, "
+                f"max {self.max_ulps} ULPs "
+                f"(tolerance {self.tolerance_ulps})")
+        if self.rounds_a != self.rounds_b:
+            return (f"{head} -- FAILED: round counts differ "
+                    f"({self.rounds_a} vs {self.rounds_b})")
+        if self.first_divergence is not None:
+            d = self.first_divergence
+            return (f"{head} -- FAILED at round {d.round_index}, "
+                    f"{d.key}[{d.index}]: {d.value_a!r} vs {d.value_b!r} "
+                    f"({d.ulps} ULPs)")
+        return f"{head} -- OK"
+
+    def raise_if_failed(self) -> None:
+        if not self.passed:
+            raise DivergenceError(self.describe())
+
+
+class StateCaptureHook(RoundHook):
+    """Snapshot the global state after every aggregation."""
+
+    def __init__(self) -> None:
+        self.states: List[Dict[str, np.ndarray]] = []
+        self._engine = None
+
+    def attach(self, engine) -> None:
+        self._engine = engine
+
+    def on_aggregate(self, round_index, contributions) -> None:
+        # global_state already returns a fresh copy
+        self.states.append(self._engine.server.global_state)
+
+
+def capture_run(task, devices: Sequence, config: FLConfig,
+                dense: bool = False,
+                extra_hooks: Sequence[RoundHook] = (),
+                ) -> Tuple[TrainingHistory, List[Dict[str, np.ndarray]]]:
+    """Run one experiment, returning its history and the per-round
+    global states.  ``dense=True`` forces the reference aggregation
+    path (full zero-expansion, no dispatch cache)."""
+    capture = StateCaptureHook()
+    engine = Engine(task, devices, config,
+                    hooks=[capture, *extra_hooks])
+    if dense:
+        engine.aggregator.dense = True
+    scheduler = make_scheduler(config)
+    history = scheduler.run(engine)
+    return history, capture.states
+
+
+def compare_state_sequences(states_a: List[Dict[str, np.ndarray]],
+                            states_b: List[Dict[str, np.ndarray]],
+                            tolerance_ulps: int = 0,
+                            label_a: str = "a",
+                            label_b: str = "b") -> DifferentialReport:
+    """Compare two captured state sequences round by round.
+
+    Reports the first entry whose ULP distance exceeds the tolerance
+    (round, parameter name, flat index) plus the global maximum
+    distance over all compared rounds.
+    """
+    rounds = min(len(states_a), len(states_b))
+    max_ulps = 0
+    first: Optional[ParamDivergence] = None
+    for round_index in range(rounds):
+        state_a, state_b = states_a[round_index], states_b[round_index]
+        if state_a.keys() != state_b.keys():
+            missing = sorted(state_a.keys() ^ state_b.keys())
+            raise ValueError(
+                f"round {round_index}: state dicts disagree on keys "
+                f"{missing}"
+            )
+        for key in sorted(state_a):
+            ulps = ulp_distance(state_a[key], state_b[key])
+            worst = int(ulps.max()) if ulps.size else 0
+            max_ulps = max(max_ulps, worst)
+            if first is None and worst > tolerance_ulps:
+                index = int(np.argmax(ulps.reshape(-1)))
+                first = ParamDivergence(
+                    round_index=round_index, key=key, index=index,
+                    ulps=int(ulps.reshape(-1)[index]),
+                    value_a=float(state_a[key].reshape(-1)[index]),
+                    value_b=float(state_b[key].reshape(-1)[index]),
+                )
+        if first is not None:
+            break
+    return DifferentialReport(
+        label_a=label_a, label_b=label_b, rounds_compared=rounds,
+        rounds_a=len(states_a), rounds_b=len(states_b),
+        tolerance_ulps=tolerance_ulps, max_ulps=max_ulps,
+        first_divergence=first,
+    )
+
+
+def differential_fast_vs_dense(task_factory: Callable[[], object],
+                               devices: Sequence, config: FLConfig,
+                               tolerance_ulps: int = 0,
+                               ) -> DifferentialReport:
+    """Fast path vs dense reference under one seed.
+
+    The fast path is *specified* to be bitwise identical, so the
+    default tolerance is zero ULPs.
+    """
+    fast_config = replace(config, fast_path=True)
+    dense_config = replace(config, fast_path=False)
+    _, states_fast = capture_run(task_factory(), devices, fast_config)
+    _, states_dense = capture_run(task_factory(), devices, dense_config,
+                                  dense=True)
+    return compare_state_sequences(
+        states_fast, states_dense, tolerance_ulps,
+        label_a="fast_path", label_b="dense_reference",
+    )
+
+
+def differential_sync_vs_semisync(task_factory: Callable[[], object],
+                                  devices: Sequence, config: FLConfig,
+                                  tolerance_ulps: int = 0,
+                                  ) -> DifferentialReport:
+    """Sync barrier vs semi-sync with an unreachable deadline.
+
+    Both sides aggregate every worker each round; they differ only in
+    the *order* contributions are accumulated (worker id vs arrival
+    time).  Summation order still cannot change the result, because
+    the aggregator accumulates float32 uploads in a float64
+    accumulator: each addend carries 24 significant bits, so any sum
+    of a realistic fleet's contributions is *exact* in the 53-bit
+    accumulator and order-independent.  The default tolerance is
+    therefore 0 ULPs; it is configurable for float64-model setups,
+    where reordering genuinely rounds differently.
+    """
+    if config.scheduler not in ("auto", "sync") or config.async_m is not None \
+            or config.semi_sync_deadline_s is not None:
+        raise ValueError(
+            "differential_sync_vs_semisync needs a plain synchronous "
+            "base config"
+        )
+    sync_config = replace(config, scheduler="sync")
+    semi_config = replace(config, scheduler="semi_sync",
+                          semi_sync_deadline_s=UNREACHABLE_DEADLINE_S)
+    _, states_sync = capture_run(task_factory(), devices, sync_config)
+    _, states_semi = capture_run(task_factory(), devices, semi_config)
+    return compare_state_sequences(
+        states_sync, states_semi, tolerance_ulps,
+        label_a="sync", label_b="semi_sync_inf",
+    )

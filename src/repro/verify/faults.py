@@ -1,0 +1,164 @@
+"""Deterministic fault injection for conformance testing.
+
+:class:`FaultInjectionHook` rewrites a round's contribution set at the
+engine's sanctioned ``before_aggregate`` interception point, driven by
+an explicit list of :class:`FaultSpec` records -- no randomness, so a
+fault scenario is exactly reproducible.
+
+Fault taxonomy and the engine behaviour each one must produce
+(asserted by :mod:`tests.test_verify.test_faults` and the ``repro
+verify`` conformance stage):
+
+========================  =================================================
+kind                      defined engine behaviour
+========================  =================================================
+``drop``                  The contribution never reaches the aggregator.
+                          Remaining workers are averaged with renormalised
+                          weights; a round losing *every* contribution
+                          raises :class:`EmptyRoundError`.
+``duplicate``             A second contribution with the same worker id is
+                          appended; the aggregator rejects the round with
+                          :class:`DuplicateContributionError` (no scheduler
+                          produces duplicates legitimately).
+``poison``                The worker's arrays are laced with NaN.  Under
+                          ``nan_policy="raise"`` the round fails with
+                          :class:`PoisonedUpdateError`; under ``"skip"``
+                          the contribution is dropped, counted in
+                          ``poisoned_updates_total``, and the round
+                          proceeds with the survivors.
+``stale``                 The contribution is withheld for ``delay_rounds``
+                          rounds, then *replaces* the worker's fresh
+                          contribution in the round it lands in (the model
+                          it was trained against is by then stale).  The
+                          engine aggregates it like any other update --
+                          staleness degrades quality, not validity.
+``zero_samples``          The contribution reports ``num_samples=0``.
+                          Sample-weighted aggregators skip it (weight 0);
+                          uniform aggregators are unaffected by sample
+                          counts and average it normally.
+========================  =================================================
+
+Injected faults are counted into telemetry as
+``faults_injected_total`` labelled by kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import Contribution
+from repro.fl.hooks import RoundHook
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultInjectionHook"]
+
+FAULT_KINDS = ("drop", "duplicate", "poison", "stale", "zero_samples")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: *kind* against *worker_id* in *round_index*.
+
+    ``delay_rounds`` only applies to ``stale`` faults (how many rounds
+    the contribution is withheld before landing).
+    """
+
+    kind: str
+    round_index: int
+    worker_id: int
+    delay_rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"available: {FAULT_KINDS}"
+            )
+        if self.kind == "stale" and self.delay_rounds <= 0:
+            raise ValueError("stale faults need delay_rounds >= 1")
+
+
+def _poisoned_copy(contribution: Contribution) -> Contribution:
+    """Copy of a contribution with NaN planted in its largest array."""
+    sub_state = {
+        key: value.copy() for key, value in contribution.sub_state.items()
+    }
+    victim = max(sub_state, key=lambda key: sub_state[key].size)
+    flat = sub_state[victim].reshape(-1)
+    flat[: max(1, flat.size // 8)] = np.nan
+    return dc_replace(contribution, sub_state=sub_state)
+
+
+class FaultInjectionHook(RoundHook):
+    """Apply a deterministic fault schedule at ``before_aggregate``.
+
+    ``injected`` records every applied spec in application order;
+    ``pending_stale`` holds withheld contributions between rounds.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec]) -> None:
+        self.specs = list(specs)
+        self.injected: List[FaultSpec] = []
+        self._stale: Dict[int, List[Contribution]] = {}
+        self._engine = None
+
+    def attach(self, engine) -> None:
+        self._engine = engine
+
+    @property
+    def pending_stale(self) -> int:
+        """Withheld contributions not yet re-injected."""
+        return sum(len(held) for held in self._stale.values())
+
+    def _count(self, spec: FaultSpec) -> None:
+        self.injected.append(spec)
+        if self._engine is not None:
+            self._engine.telemetry.metrics.counter(
+                "faults_injected_total", kind=spec.kind,
+            ).inc()
+
+    def before_aggregate(self, round_index: int,
+                         contributions: List[Contribution],
+                         ) -> Optional[List[Contribution]]:
+        result = list(contributions)
+        changed = False
+
+        for spec in self.specs:
+            if spec.round_index != round_index:
+                continue
+            target = next(
+                (c for c in result if c.worker_id == spec.worker_id), None
+            )
+            if target is None:
+                continue
+            position = next(
+                i for i, c in enumerate(result) if c is target
+            )
+            if spec.kind == "drop":
+                del result[position]
+            elif spec.kind == "duplicate":
+                result.append(dc_replace(target))
+            elif spec.kind == "poison":
+                result[position] = _poisoned_copy(target)
+            elif spec.kind == "zero_samples":
+                result[position] = dc_replace(target, num_samples=0)
+            elif spec.kind == "stale":
+                del result[position]
+                self._stale.setdefault(
+                    round_index + spec.delay_rounds, []
+                ).append(target)
+            self._count(spec)
+            changed = True
+
+        # land withheld contributions: each replaces its worker's fresh
+        # contribution this round (a worker uploads at most once)
+        for held in self._stale.pop(round_index, []):
+            result = [
+                c for c in result if c.worker_id != held.worker_id
+            ]
+            result.append(held)
+            changed = True
+
+        return result if changed else None

@@ -96,3 +96,111 @@ def test_formatters():
     assert fmt_speedup(10.0, 5.0) == "2.00x"
     assert fmt_speedup(None, 5.0) == "--"
     assert fmt_speedup(10.0, None) == "--"
+
+
+def test_run_cached_keys_are_independent():
+    clear_cache()
+    assert run_cached("a", lambda: 1) == 1
+    assert run_cached("b", lambda: 2) == 2
+    # a later factory for a cached key is never invoked
+    assert run_cached("a", lambda: pytest.fail("cache miss")) == 1
+    clear_cache()
+
+
+def test_clear_cache_forces_recompute():
+    clear_cache()
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return len(calls)
+
+    assert run_cached("k", factory) == 1
+    clear_cache()
+    assert run_cached("k", factory) == 2
+    clear_cache()
+
+
+def test_print_table_without_rows(capsys):
+    print_table("Empty", ["col_a", "col_b"], [])
+    out = capsys.readouterr().out
+    assert "Empty" in out
+    assert "col_a" in out
+
+
+def test_print_series_subsamples_long_series(capsys):
+    points = [(float(i), float(i) / 100.0) for i in range(100)]
+    print_series("Long", {"m": points}, max_points=5)
+    out = capsys.readouterr().out
+    # subsampled, but the final point always survives
+    assert out.count("(") < len(points)
+    assert "(99, 0.990)" in out
+
+
+def test_print_metrics_summary_renders_instruments(capsys):
+    from repro.experiments.reporting import print_metrics_summary
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("rounds_total", strategy="fedmp").inc(3)
+    histogram = registry.histogram("round_time_s")
+    for value in (0.5, 1.0, 2.0):
+        histogram.observe(value)
+    print_metrics_summary(registry)
+    out = capsys.readouterr().out
+    assert "telemetry: counters" in out
+    assert "rounds_total{strategy=fedmp}" in out
+    assert "telemetry: histograms" in out
+    assert "round_time_s" in out
+
+
+def test_print_metrics_summary_empty_registry_prints_nothing(capsys):
+    from repro.experiments.reporting import print_metrics_summary
+    from repro.telemetry import MetricsRegistry
+
+    print_metrics_summary(MetricsRegistry(enabled=True))
+    assert capsys.readouterr().out == ""
+
+
+def test_print_profile_summary_renders_layers(capsys):
+    from repro.experiments.reporting import print_profile_summary
+
+    class _Profiler:
+        worker_id = 3
+        total_s = 1.5
+
+        def summary(self):
+            return [
+                {"name": "conv1", "layer_type": "Conv2D",
+                 "forward_calls": 4, "forward_s": 0.25,
+                 "backward_s": 0.5, "total_flops": 2e6},
+                {"name": "fc", "layer_type": "Linear",
+                 "forward_calls": 4, "forward_s": 0.1,
+                 "backward_s": 0.2, "total_flops": None},
+            ]
+
+    print_profile_summary(_Profiler())
+    out = capsys.readouterr().out
+    assert "(worker 3)" in out
+    assert "conv1" in out
+    assert "2.00M" in out
+    assert "--" in out          # missing FLOPs render as placeholder
+    assert "total instrumented time 1.500s" in out
+
+
+def test_print_profile_summary_without_layers(capsys):
+    from repro.experiments.reporting import print_profile_summary
+
+    class _Empty:
+        worker_id = None
+        total_s = 0.0
+
+        def summary(self):
+            return []
+
+    print_profile_summary(_Empty())
+    assert "no layers recorded" in capsys.readouterr().out
+
+
+def test_fmt_speedup_zero_denominator():
+    assert fmt_speedup(10.0, 0.0) == "--"

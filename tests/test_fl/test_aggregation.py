@@ -7,14 +7,19 @@ import pytest
 
 from repro.fl.aggregation import (
     AGGREGATORS,
+    AggregationError,
     BSPAggregator,
     Contribution,
+    DuplicateContributionError,
+    EmptyRoundError,
+    PoisonedUpdateError,
     R2SPAggregator,
     WeightedBSPAggregator,
     WeightedR2SPAggregator,
     make_aggregator,
 )
 from repro.fl.server import ParameterServer
+from repro.telemetry import MetricsRegistry
 from repro.models import build_cnn
 from repro.pruning import (
     build_pruning_plan,
@@ -32,12 +37,13 @@ def _identity_contribution(model, worker_id, shift, num_samples=1):
                         residual=residual, num_samples=num_samples)
 
 
-def _pruned_contribution(model, ratio, rng, num_samples=1):
+def _pruned_contribution(model, ratio, rng, num_samples=1, worker_id=0):
     plan = build_pruning_plan(model, ratio)
     sub = extract_submodel(model, plan, rng=rng)
     residual = residual_state_dict(model.state_dict(), plan)
-    return Contribution(worker_id=0, sub_state=sub.state_dict(), plan=plan,
-                        residual=residual, num_samples=num_samples)
+    return Contribution(worker_id=worker_id, sub_state=sub.state_dict(),
+                        plan=plan, residual=residual,
+                        num_samples=num_samples)
 
 
 def test_registry_covers_all_schemes():
@@ -104,8 +110,10 @@ def test_weighted_r2sp_identity_on_untrained_submodels(rng):
     model = build_cnn(rng=rng)
     template = model.state_dict()
     contributions = [
-        _pruned_contribution(model, ratio, rng, num_samples=count)
-        for ratio, count in ((0.0, 2), (0.3, 9), (0.6, 4))
+        _pruned_contribution(model, ratio, rng, num_samples=count,
+                             worker_id=worker_id)
+        for worker_id, (ratio, count)
+        in enumerate(((0.0, 2), (0.3, 9), (0.6, 4)))
     ]
     after = WeightedR2SPAggregator().aggregate(contributions, template)
     for key in template:
@@ -252,3 +260,91 @@ def test_server_apply_uses_injected_aggregator(rng):
     after = server.apply(contributions)
     for key in before:
         assert np.allclose(after[key], before[key] + 3.0, atol=1e-5)
+
+
+# ----------------------------------------------------------------------
+# typed failures: duplicates and NaN/Inf-poisoned uploads
+# ----------------------------------------------------------------------
+def _poison(contribution, value=np.nan):
+    key = sorted(contribution.sub_state)[0]
+    contribution.sub_state[key] = contribution.sub_state[key].copy()
+    contribution.sub_state[key].reshape(-1)[0] = value
+    return contribution
+
+
+def test_duplicate_worker_ids_rejected(rng):
+    model = build_cnn(rng=rng)
+    contributions = [
+        _identity_contribution(model, 7, 0.0),
+        _identity_contribution(model, 7, 1.0),
+    ]
+    with pytest.raises(DuplicateContributionError, match="worker 7"):
+        R2SPAggregator().aggregate(contributions, model.state_dict())
+
+
+@pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+def test_poisoned_update_rejected_by_default(bad, rng):
+    model = build_cnn(rng=rng)
+    contributions = [
+        _identity_contribution(model, 0, 0.0),
+        _poison(_identity_contribution(model, 1, 1.0), bad),
+    ]
+    with pytest.raises(PoisonedUpdateError, match="worker 1"):
+        R2SPAggregator().aggregate(contributions, model.state_dict())
+
+
+def test_poisoned_update_skipped_and_counted_under_skip_policy(rng):
+    model = build_cnn(rng=rng)
+    template = model.state_dict()
+    clean = [
+        _identity_contribution(model, 0, 0.0),
+        _identity_contribution(model, 1, 2.0),
+    ]
+    poisoned = clean + [_poison(_identity_contribution(model, 2, 9.0))]
+    aggregator = make_aggregator("r2sp", nan_policy="skip")
+    aggregator.metrics = MetricsRegistry(enabled=True)
+    after = aggregator.aggregate(poisoned, template)
+    expected = R2SPAggregator().aggregate(clean, template)
+    for key in template:
+        assert np.array_equal(after[key], expected[key])
+    skipped = [c for c in aggregator.metrics.counters
+               if c.name == "poisoned_updates_total"]
+    assert len(skipped) == 1
+    assert skipped[0].value == 1
+    assert skipped[0].labels == {"worker": 2}
+
+
+def test_all_poisoned_contributions_leave_an_empty_round(rng):
+    model = build_cnn(rng=rng)
+    aggregator = make_aggregator("r2sp", nan_policy="skip")
+    with pytest.raises(EmptyRoundError):
+        aggregator.aggregate(
+            [_poison(_identity_contribution(model, 0, 0.0))],
+            model.state_dict(),
+        )
+
+
+def test_nan_policy_off_propagates_poison(rng):
+    """Documents what the guard protects against: without the scan a
+    single NaN reaches the aggregated global state."""
+    model = build_cnn(rng=rng)
+    aggregator = make_aggregator("r2sp", nan_policy="off")
+    after = aggregator.aggregate(
+        [
+            _identity_contribution(model, 0, 0.0),
+            _poison(_identity_contribution(model, 1, 1.0)),
+        ],
+        model.state_dict(),
+    )
+    assert any(np.isnan(value).any() for value in after.values())
+
+
+def test_make_aggregator_validates_nan_policy():
+    with pytest.raises(ValueError, match="nan_policy"):
+        make_aggregator("r2sp", nan_policy="ignore")
+
+
+def test_typed_errors_remain_value_errors():
+    for error in (AggregationError, EmptyRoundError,
+                  DuplicateContributionError, PoisonedUpdateError):
+        assert issubclass(error, ValueError)

@@ -31,3 +31,10 @@ def test_invalid_async_m():
 
 def test_async_m_accepts_positive():
     assert FLConfig(async_m=5).async_m == 5
+
+
+def test_nan_policy_default_and_validation():
+    assert FLConfig().nan_policy == "raise"
+    assert FLConfig(nan_policy="skip").nan_policy == "skip"
+    with pytest.raises(ValueError, match="nan_policy"):
+        FLConfig(nan_policy="ignore")

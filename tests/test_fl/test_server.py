@@ -14,13 +14,13 @@ from repro.pruning import (
 )
 
 
-def _contribution(model, ratio, rng, with_residual=True):
+def _contribution(model, ratio, rng, with_residual=True, worker_id=0):
     plan = build_pruning_plan(model, ratio)
     sub = extract_submodel(model, plan, rng=rng)
     residual = residual_state_dict(model.state_dict(), plan) \
         if with_residual else None
-    return Contribution(worker_id=0, sub_state=sub.state_dict(), plan=plan,
-                        residual=residual)
+    return Contribution(worker_id=worker_id, sub_state=sub.state_dict(),
+                        plan=plan, residual=residual)
 
 
 def test_r2sp_untrained_submodel_is_identity(rng):
@@ -30,7 +30,8 @@ def test_r2sp_untrained_submodel_is_identity(rng):
     before = model.state_dict()
     server = ParameterServer(model)
     contributions = [
-        _contribution(model, ratio, rng) for ratio in (0.0, 0.3, 0.6)
+        _contribution(model, ratio, rng, worker_id=worker_id)
+        for worker_id, ratio in enumerate((0.0, 0.3, 0.6))
     ]
     after = server.aggregate(contributions, scheme="r2sp")
     for key in before:

@@ -1,0 +1,38 @@
+"""Shared fixtures for the verification-subsystem tests.
+
+Engine runs here are deliberately tiny -- four workers, two or three
+rounds of the bench-scale CNN.  That is enough for the dispatch cache,
+error feedback and the bandit to engage, while keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.setups import make_bench_task, make_devices
+
+ROUNDS = 2
+WORKERS = 4
+
+
+@pytest.fixture(scope="package")
+def bench():
+    return make_bench_task("cnn")
+
+
+@pytest.fixture(scope="package")
+def fleet():
+    return make_devices("medium", count=WORKERS)
+
+
+@pytest.fixture(scope="package")
+def short_config(bench):
+    """Factory for short, eval-free configs on the shared bench task."""
+
+    def build(strategy="fedmp", rounds=ROUNDS, **overrides):
+        overrides.setdefault("seed", 17)
+        overrides.setdefault("target_metric", None)
+        overrides.setdefault("eval_every", rounds)
+        return bench.make_config(strategy, max_rounds=rounds, **overrides)
+
+    return build

@@ -1,0 +1,160 @@
+"""Fault injection: every fault kind produces its documented outcome."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.hooks import RoundHook
+from repro.fl.runner import run_federated_training
+from repro.telemetry import MetricsRegistry, Telemetry, Tracer
+from repro.verify import (
+    FAULT_KINDS,
+    DuplicateContributionError,
+    EmptyRoundError,
+    FaultInjectionHook,
+    FaultSpec,
+    PoisonedUpdateError,
+    StateCaptureHook,
+    compare_state_sequences,
+)
+
+from .conftest import WORKERS
+
+
+class _CountHook(RoundHook):
+    def __init__(self) -> None:
+        self.counts = []
+
+    def on_aggregate(self, round_index, contributions) -> None:
+        self.counts.append(len(contributions))
+
+
+def _run(bench, fleet, config, specs, telemetry=None):
+    """Run a faulted experiment; returns (fault hook, per-round counts,
+    captured global states)."""
+    fault = FaultInjectionHook(specs)
+    count = _CountHook()
+    capture = StateCaptureHook()
+    run_federated_training(bench.make_task(0.0), fleet, config,
+                           hooks=[fault, count, capture],
+                           telemetry=telemetry)
+    return fault, count.counts, capture.states
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("meteor", 0, 0)
+
+
+def test_spec_rejects_non_positive_stale_delay():
+    with pytest.raises(ValueError, match="delay_rounds"):
+        FaultSpec("stale", 0, 0, delay_rounds=0)
+
+
+def test_fault_kinds_cover_the_documented_taxonomy():
+    assert FAULT_KINDS == ("drop", "duplicate", "poison", "stale",
+                           "zero_samples")
+
+
+# ----------------------------------------------------------------------
+# drop
+# ----------------------------------------------------------------------
+def test_drop_removes_one_contribution(bench, fleet, short_config):
+    fault, counts, _ = _run(bench, fleet, short_config("fedmp"),
+                            [FaultSpec("drop", 1, fleet[0].device_id)])
+    assert counts == [WORKERS, WORKERS - 1]
+    assert len(fault.injected) == 1
+
+
+def test_dropping_every_worker_raises_empty_round(bench, fleet, short_config):
+    specs = [FaultSpec("drop", 1, device.device_id) for device in fleet]
+    with pytest.raises(EmptyRoundError):
+        _run(bench, fleet, short_config("fedmp"), specs)
+
+
+def test_fault_against_absent_worker_is_not_counted(
+        bench, fleet, short_config):
+    fault, counts, _ = _run(bench, fleet, short_config("fedmp"),
+                            [FaultSpec("drop", 0, 999)])
+    assert counts == [WORKERS, WORKERS]
+    assert fault.injected == []
+
+
+# ----------------------------------------------------------------------
+# duplicate / poison
+# ----------------------------------------------------------------------
+def test_duplicate_contribution_rejected(bench, fleet, short_config):
+    with pytest.raises(DuplicateContributionError, match="twice"):
+        _run(bench, fleet, short_config("fedmp"),
+             [FaultSpec("duplicate", 0, fleet[0].device_id)])
+
+
+def test_poison_rejected_under_default_policy(bench, fleet, short_config):
+    with pytest.raises(PoisonedUpdateError, match="non-finite"):
+        _run(bench, fleet, short_config("fedmp"),
+             [FaultSpec("poison", 0, fleet[0].device_id)])
+
+
+def test_poison_skipped_and_counted_under_skip_policy(
+        bench, fleet, short_config):
+    telemetry = Telemetry(tracer=Tracer(),
+                          metrics=MetricsRegistry(enabled=True))
+    _, counts, states = _run(
+        bench, fleet, short_config("fedmp", nan_policy="skip"),
+        [FaultSpec("poison", 1, fleet[0].device_id)],
+        telemetry=telemetry,
+    )
+    # the poisoned contribution stays in the round's set but carries no
+    # weight; the skip is observable through telemetry
+    assert counts == [WORKERS, WORKERS]
+    skipped = sum(c.value for c in telemetry.metrics.counters
+                  if c.name == "poisoned_updates_total")
+    assert skipped == 1
+    assert all(np.isfinite(value).all()
+               for value in states[-1].values())
+
+
+def test_poison_propagates_with_guard_off(bench, fleet, short_config):
+    """Regression guard: nan_policy='off' restores the pre-guard
+    behaviour, where one poisoned upload corrupts the global model."""
+    _, _, states = _run(
+        bench, fleet, short_config("fedmp", nan_policy="off"),
+        [FaultSpec("poison", 0, fleet[0].device_id)],
+    )
+    assert any(np.isnan(value).any() for value in states[-1].values())
+
+
+# ----------------------------------------------------------------------
+# stale / zero samples
+# ----------------------------------------------------------------------
+def test_stale_contribution_lands_one_round_late(bench, fleet, short_config):
+    fault, counts, _ = _run(
+        bench, fleet, short_config("fedmp"),
+        [FaultSpec("stale", 0, fleet[0].device_id, delay_rounds=1)],
+    )
+    # withheld from round 0; replaces the worker's fresh upload in
+    # round 1, so the landing round still has one entry per worker
+    assert counts == [WORKERS - 1, WORKERS]
+    assert fault.pending_stale == 0
+    assert len(fault.injected) == 1
+
+
+def test_zero_samples_equivalent_to_drop_under_weighting(
+        bench, fleet, short_config):
+    config = short_config("fedmp", sync_scheme="r2sp_weighted")
+    worker = fleet[0].device_id
+    _, zero_counts, zero_states = _run(
+        bench, fleet, config, [FaultSpec("zero_samples", 1, worker)])
+    _, drop_counts, drop_states = _run(
+        bench, fleet, config, [FaultSpec("drop", 1, worker)])
+    # the zero-sample contribution stays in the round but the weighted
+    # aggregator assigns it weight zero -- same arithmetic as dropping it
+    assert zero_counts == [WORKERS, WORKERS]
+    assert drop_counts == [WORKERS, WORKERS - 1]
+    report = compare_state_sequences(zero_states, drop_states,
+                                     label_a="zero_samples", label_b="drop")
+    assert report.passed, report.describe()

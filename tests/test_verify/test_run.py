@@ -1,0 +1,73 @@
+"""VerificationReport plumbing and the ``repro verify`` CLI surface.
+
+The full battery itself runs in CI (and via ``python -m repro.cli
+verify``); here we pin the report semantics and argument handling
+without paying for eleven engine runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser
+from repro.verify import CheckResult, VerificationReport
+from repro.verify.run import run_verification
+
+
+def _report(*passed_flags):
+    report = VerificationReport(preset="cnn", rounds=3)
+    for index, passed in enumerate(passed_flags):
+        report.results.append(
+            CheckResult(f"check/{index}", passed, "detail text"))
+    return report
+
+
+def test_report_passes_only_when_every_check_does():
+    assert _report(True, True).passed
+    assert not _report(True, False).passed
+    assert not _report(False).passed
+
+
+def test_report_failures_lists_failed_checks():
+    report = _report(True, False, False)
+    assert [r.name for r in report.failures()] == ["check/1", "check/2"]
+
+
+def test_report_describe_marks_each_check():
+    text = _report(True, False).describe()
+    assert "[PASS] check/0" in text
+    assert "[FAIL] check/1" in text
+    assert "1 check(s) FAILED" in text
+    assert _report(True).describe().endswith("verdict: OK")
+
+
+def test_run_verification_needs_at_least_two_rounds():
+    with pytest.raises(ValueError, match="at least 2 rounds"):
+        run_verification(rounds=1)
+
+
+def test_cli_parses_verify_arguments():
+    args = build_parser().parse_args([
+        "verify", "--preset", "lstm", "--rounds", "4",
+        "--tolerance", "2", "--semisync-tolerance", "8",
+        "--workers", "6", "--seed", "3",
+    ])
+    assert args.preset == "lstm"
+    assert args.rounds == 4
+    assert args.tolerance == 2
+    assert args.semisync_tolerance == 8
+    assert args.workers == 6
+    assert args.seed == 3
+
+
+def test_cli_verify_defaults():
+    args = build_parser().parse_args(["verify"])
+    assert args.preset == "cnn"
+    assert args.rounds == 5
+    assert args.tolerance == 0
+    assert args.semisync_tolerance is None
+
+
+def test_cli_rejects_unknown_preset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["verify", "--preset", "transformer"])
