@@ -79,6 +79,21 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--target", type=float, default=None,
                         help="stop when the metric reaches this target")
     parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--executor", default="serial",
+                        choices=("serial", "process"),
+                        help="execution backend for local training; "
+                             "'process' fans out to a worker-process pool "
+                             "(bitwise-identical results)")
+    parser.add_argument("--num-procs", type=int, default=None, metavar="N",
+                        help="process-pool size (default: one per CPU, "
+                             "clamped to the fleet size)")
+    parser.add_argument("--nan-policy", default="raise",
+                        choices=("raise", "skip", "off"),
+                        help="poisoned-upload handling: reject the round, "
+                             "drop the contribution, or disable the scan")
+    parser.add_argument("--no-fast-path", action="store_true",
+                        help="disable the dispatch/aggregation fast path "
+                             "(A/B debugging; bitwise-identical results)")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write engine spans/events as JSONL to FILE")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
@@ -114,6 +129,10 @@ def _build_history(task_key: str, strategy: str, args,
         semi_sync_deadline_s=args.deadline_s,
         target_metric=args.target,
         seed=args.seed,
+        executor=getattr(args, "executor", "serial"),
+        num_procs=getattr(args, "num_procs", None),
+        nan_policy=getattr(args, "nan_policy", "raise"),
+        fast_path=not getattr(args, "no_fast_path", False),
     )
     if args.rounds is not None:
         overrides["max_rounds"] = args.rounds
@@ -124,6 +143,12 @@ def _build_history(task_key: str, strategy: str, args,
 
 
 def _cmd_run(args) -> int:
+    if (getattr(args, "executor", "serial") == "process"
+            and getattr(args, "profile_worker", None) is not None):
+        print("error: --profile-worker requires --executor serial "
+              "(the profiled modules train in child processes)",
+              file=sys.stderr)
+        return 2
     timing = TimingHook()
     comm = CommVolumeHook()
     hooks = [timing, comm]
@@ -203,6 +228,7 @@ def _cmd_verify(args) -> int:
         tolerance_ulps=args.tolerance,
         semisync_tolerance_ulps=semisync,
         scenario=args.scenario, workers=args.workers, seed=args.seed,
+        executor=args.executor, num_procs=args.num_procs,
     )
     print(report.describe())
     return 0 if report.passed else 1
@@ -271,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--workers", type=int, default=None,
                                help="override worker count (half A / half B)")
     verify_parser.add_argument("--seed", type=int, default=17)
+    verify_parser.add_argument("--executor", default="serial",
+                               choices=("serial", "process"),
+                               help="'process' adds the serial-vs-process "
+                                    "parity stage (0-ULP states + "
+                                    "byte-identical history)")
+    verify_parser.add_argument("--num-procs", type=int, default=None,
+                               metavar="N",
+                               help="pool size for the process stage")
     verify_parser.set_defaults(func=_cmd_verify)
     return parser
 

@@ -49,6 +49,20 @@ class FLConfig:
     # counts it in telemetry), "off" disables the finiteness scan
     nan_policy: str = "raise"
 
+    # execution backend: "serial" trains inline, "process" fans local
+    # training out to a persistent process pool behind the wire codec
+    # (bitwise-identical results; see repro.runtime)
+    executor: str = "serial"
+    #: process-pool size; None means one process per CPU, clamped to the
+    #: fleet size
+    num_procs: Optional[int] = None
+    #: device-time emulation: before training, occupy real wall-clock for
+    #: ``emulate_device_factor * costs.total_s`` seconds (both executors,
+    #: so serial-vs-process comparisons stay fair).  0 disables.  Used by
+    #: benchmarks to surface parallel speedup on latency-dominated
+    #: workloads; never affects simulated time or training results.
+    emulate_device_factor: float = 0.0
+
     # bookkeeping
     eval_every: int = 1
     eval_max_samples: Optional[int] = None
@@ -77,10 +91,20 @@ class FLConfig:
     _SYNC_SCHEMES = ("r2sp", "bsp", "r2sp_weighted", "bsp_weighted")
     _SCHEDULERS = ("auto", "sync", "async", "semi_sync")
     _NAN_POLICIES = ("raise", "skip", "off")
+    _EXECUTORS = ("serial", "process")
 
     def __post_init__(self) -> None:
         if self.local_iterations <= 0:
             raise ValueError("local_iterations must be positive")
+        if self.executor not in self._EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {self._EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+        if self.num_procs is not None and self.num_procs <= 0:
+            raise ValueError("num_procs must be positive when set")
+        if self.emulate_device_factor < 0:
+            raise ValueError("emulate_device_factor must be >= 0")
         if self.nan_policy not in self._NAN_POLICIES:
             raise ValueError(
                 f"nan_policy must be one of {self._NAN_POLICIES}, "

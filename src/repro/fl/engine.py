@@ -18,7 +18,6 @@ devices are bitwise identical, whichever scheduler drives them.
 from __future__ import annotations
 
 import copy
-from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -33,6 +32,9 @@ from repro.fl.server import ParameterServer
 from repro.fl.strategies import Strategy, make_strategy
 from repro.fl.worker import Worker
 from repro.pruning.masks import residual_state_dict
+from repro.runtime.codec import TrainHyper
+from repro.runtime.executor import Executor, TrainRequest, make_executor
+from repro.runtime.pool import WorkerSpec
 from repro.simulation.clock import SimulationClock
 from repro.simulation.device import DeviceProfile
 from repro.simulation.faults import DeadlinePolicy, simulate_membership_churn
@@ -94,7 +96,8 @@ class Engine:
                  config: FLConfig,
                  aggregator: Optional[Aggregator] = None,
                  hooks: Optional[Iterable[RoundHook]] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 executor: Optional[Executor] = None) -> None:
         self.task = task
         self.config = config
         self.telemetry = (
@@ -117,14 +120,27 @@ class Engine:
         shard_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
         shards = task.partition(len(devices), shard_rng)
         self.workers: Dict[int, Worker] = {}
+        self.worker_specs: List[WorkerSpec] = []
         for device, shard in zip(devices, shards):
-            worker_rng = np.random.default_rng(self.master_rng.integers(2 ** 31))
+            # the seed is recorded (not just the generator) so a pool
+            # child can replay the exact construction sequence below
+            worker_seed = int(self.master_rng.integers(2 ** 31))
+            worker_rng = np.random.default_rng(worker_seed)
             iterator = task.make_iterator(shard, config.batch_size, worker_rng)
             self.workers[device.device_id] = Worker(
                 device.device_id, iterator, device,
                 jitter_sigma=config.jitter_sigma, rng=worker_rng,
                 num_samples=int(shard[0].shape[0]),
             )
+            self.worker_specs.append(WorkerSpec(
+                worker_id=device.device_id, seed=worker_seed,
+                shard_inputs=shard[0], shard_targets=shard[1],
+                batch_size=config.batch_size, device=device,
+                jitter_sigma=config.jitter_sigma,
+                num_samples=int(shard[0].shape[0]),
+                iterator_kind=getattr(task, "iterator_kind", "batch"),
+                task_name=task.name,
+            ))
 
         self.worker_ids = sorted(self.workers)
         self.strategy: Strategy = make_strategy(
@@ -145,10 +161,11 @@ class Engine:
         # extraction consumes no randomness (no rng-bearing modules such
         # as Dropout, whose per-clone seed draw must stay per-worker).
         self.fast_path = bool(getattr(config, "fast_path", True))
-        self._share_submodels = self.fast_path and not any(
+        self._has_rng_modules = any(
             getattr(module, "rng", None) is not None
             for _, module in self.model.named_modules()
         )
+        self._share_submodels = self.fast_path and not self._has_rng_modules
         self._plan_cache: Dict[float, object] = {}
         self._submodel_cache: Dict[float, Tuple[object, Dict[str, np.ndarray]]] = {}
         self._round_state: Optional[Dict[str, np.ndarray]] = None
@@ -170,6 +187,16 @@ class Engine:
             self.master_rng.integers(2 ** 31)
         )
         self.hooks.attach(self)
+        # the execution seam is built last: with the process executor the
+        # pool forks here, after every RNG stream above has been derived
+        self.executor: Executor = (
+            executor if executor is not None
+            else make_executor(
+                config, workers=self.workers, specs=self.worker_specs,
+                telemetry=self.telemetry,
+                pickle_submodels=self._has_rng_modules,
+            )
+        )
 
     # ------------------------------------------------------------------
     # membership
@@ -289,47 +316,65 @@ class Engine:
 
     def train(self, dispatch: Dispatch,
               round_index: int) -> Tuple[Contribution, float]:
-        """Run the worker's local training; returns its contribution and
-        mean training loss."""
-        worker = self.workers[dispatch.worker_id]
-        with self.telemetry.span("local_train", round=round_index,
-                                 worker=dispatch.worker_id,
-                                 tau=dispatch.tau,
-                                 ratio=dispatch.ratio) as span:
-            profiler = self.telemetry.profiler
-            profile_ctx = (
-                profiler.attach(dispatch.submodel)
-                if profiler is not None
-                and profiler.matches(dispatch.worker_id)
-                else nullcontext()
-            )
-            with profile_ctx:
-                train_loss = worker.local_train(
-                    dispatch.submodel, tau=dispatch.tau, lr=self.config.lr,
-                    momentum=self.config.momentum,
+        """Run one worker's local training; returns its contribution and
+        mean training loss.  Convenience wrapper over :meth:`train_all`."""
+        return self.train_all([dispatch], round_index)[0]
+
+    def train_all(self, dispatches: Sequence[Dispatch],
+                  round_index: int) -> List[Tuple[Contribution, float]]:
+        """Run local training for a batch of dispatches via the executor.
+
+        Results come back in dispatch order regardless of executor, and
+        the post-processing below (upload compression, contribution
+        assembly, hook notification) always runs sequentially in that
+        order in the parent -- so hook observations and every RNG-free
+        reduction are independent of the execution backend.
+        """
+        requests = [
+            TrainRequest(
+                worker_id=dispatch.worker_id, ratio=dispatch.ratio,
+                tau=dispatch.tau, plan=dispatch.plan,
+                submodel=dispatch.submodel,
+                dispatched_state=dispatch.dispatched_state,
+                hyper=TrainHyper(
+                    lr=self.config.lr, momentum=self.config.momentum,
                     weight_decay=self.config.weight_decay,
                     prox_mu=self.strategy.proximal_mu(),
                     clip_norm=self.config.clip_norm,
-                    anchor=dispatch.dispatched_state,
-                )
-            span.set("train_loss", float(train_loss))
-        sub_state = dispatch.submodel.state_dict()
-
-        keep = self.strategy.upload_keep_fraction(dispatch.worker_id)
-        if keep < 1.0:
-            sub_state = self._compress_upload(
-                dispatch.worker_id, dispatch.dispatched_state, sub_state,
-                keep, dispatch.plan,
+                ),
+                emulate_s=(
+                    dispatch.costs.total_s
+                    * self.config.emulate_device_factor
+                ),
             )
-        contribution = Contribution(
-            worker_id=dispatch.worker_id, sub_state=sub_state,
-            plan=dispatch.plan, residual=dispatch.residual,
-            num_samples=worker.num_samples,
-            global_state=dispatch.global_state,
-        )
-        self.hooks.on_contribution(round_index, dispatch, contribution,
-                                   train_loss)
-        return contribution, train_loss
+            for dispatch in dispatches
+        ]
+        results = self.executor.run(requests, round_index)
+
+        out: List[Tuple[Contribution, float]] = []
+        for dispatch, result in zip(dispatches, results):
+            sub_state = result.sub_state
+            train_loss = result.train_loss
+            keep = self.strategy.upload_keep_fraction(dispatch.worker_id)
+            if keep < 1.0:
+                sub_state = self._compress_upload(
+                    dispatch.worker_id, dispatch.dispatched_state, sub_state,
+                    keep, dispatch.plan,
+                )
+            contribution = Contribution(
+                worker_id=dispatch.worker_id, sub_state=sub_state,
+                plan=dispatch.plan, residual=dispatch.residual,
+                num_samples=self.workers[dispatch.worker_id].num_samples,
+                global_state=dispatch.global_state,
+            )
+            self.hooks.on_contribution(round_index, dispatch, contribution,
+                                       train_loss)
+            out.append((contribution, train_loss))
+        return out
+
+    def close(self) -> None:
+        """Release the executor (worker processes, pipes).  Idempotent."""
+        self.executor.close()
 
     def _compress_upload(self, worker_id: int,
                          dispatched: Dict[str, np.ndarray],

@@ -50,4 +50,9 @@ def run_federated_training(
     engine = Engine(task, devices, config, hooks=hooks,
                     telemetry=telemetry)
     scheduler = make_scheduler(config)
-    return scheduler.run(engine)
+    try:
+        return scheduler.run(engine)
+    finally:
+        # with executor="process" this tears down the worker pool; the
+        # serial executor's close is a no-op
+        engine.close()

@@ -56,16 +56,14 @@ class AsynchronousScheduler(Scheduler):
                 engine.clock.advance_to(max(now, previous_now))
                 engine.clock.mark_round()
 
-                contributions = []
-                train_losses = []
+                trained = engine.train_all(arrivals, round_index)
+                contributions = [contribution for contribution, _ in trained]
+                train_losses = [loss for _, loss in trained]
                 costs: Dict[int, RoundCosts] = {}
                 # the ratios actually aggregated this round -- recorded
                 # before re-dispatch overwrites the workers' assignments
                 arrival_ratios: Dict[int, float] = {}
                 for dispatch in arrivals:
-                    contribution, loss = engine.train(dispatch, round_index)
-                    contributions.append(contribution)
-                    train_losses.append(loss)
                     costs[dispatch.worker_id] = dispatch.costs
                     arrival_ratios[dispatch.worker_id] = dispatch.ratio
                 engine.aggregate(contributions, round_index)

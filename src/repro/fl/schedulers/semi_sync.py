@@ -73,14 +73,12 @@ class SemiSynchronousScheduler(Scheduler):
                 engine.clock.advance_to(max(round_end, previous_now))
                 engine.clock.mark_round()
 
-                contributions = []
-                train_losses = []
+                trained = engine.train_all(arrivals, round_index)
+                contributions = [contribution for contribution, _ in trained]
+                train_losses = [loss for _, loss in trained]
                 costs: Dict[int, RoundCosts] = {}
                 arrival_ratios: Dict[int, float] = {}
                 for dispatch in arrivals:
-                    contribution, loss = engine.train(dispatch, round_index)
-                    contributions.append(contribution)
-                    train_losses.append(loss)
                     costs[dispatch.worker_id] = dispatch.costs
                     arrival_ratios[dispatch.worker_id] = dispatch.ratio
                 engine.aggregate(contributions, round_index)

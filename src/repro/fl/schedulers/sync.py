@@ -59,13 +59,11 @@ class SynchronousScheduler(Scheduler):
                     discarded = []
                     round_time = max(times.values())
 
-                contributions = []
-                train_losses = []
-                for wid in accepted_ids:
-                    contribution, loss = engine.train(dispatches[wid],
-                                                      round_index)
-                    contributions.append(contribution)
-                    train_losses.append(loss)
+                trained = engine.train_all(
+                    [dispatches[wid] for wid in accepted_ids], round_index
+                )
+                contributions = [contribution for contribution, _ in trained]
+                train_losses = [loss for _, loss in trained]
                 engine.aggregate(contributions, round_index)
 
                 engine.clock.advance(round_time)

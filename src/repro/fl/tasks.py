@@ -33,6 +33,8 @@ class ClassificationTask:
 
     higher_is_better = True
     metric_name = "accuracy"
+    #: iterator family a pool child must rebuild (see repro.runtime.pool)
+    iterator_kind = "batch"
 
     def __init__(self, dataset: ImageDataset, model_name: str,
                  model_kwargs: Optional[Dict[str, Any]] = None,
@@ -108,6 +110,8 @@ class LanguageModelTask:
 
     higher_is_better = False
     metric_name = "perplexity"
+    #: iterator family a pool child must rebuild (see repro.runtime.pool)
+    iterator_kind = "sequence"
 
     def __init__(self, dataset: TextDataset, seq_len: int = 20,
                  lm_batch_size: int = 8,

@@ -1,0 +1,83 @@
+"""Parallel execution runtime: process-pool workers behind a wire codec.
+
+The FL engine historically ran every ``Worker.local_train`` inline; this
+package is the execution substrate that actually parallelises it:
+
+- :mod:`repro.runtime.codec` -- a versioned binary wire format for
+  dispatches and contributions (pruning plans as packed ``uint32``
+  indices, contiguous ``float32`` tensor payloads, optional quantized
+  payload mode, CRC32 integrity, strict decode-time validation);
+- :mod:`repro.runtime.pool` -- persistent worker processes rebuilt from
+  picklable :class:`~repro.runtime.pool.WorkerSpec` records so the
+  child-side RNG streams are bitwise-identical to in-process execution;
+- :mod:`repro.runtime.transport` -- ``LocalTransport`` (zero-copy) and
+  ``ProcessTransport`` (pipes + codec) behind one interface, with
+  per-call timeouts, bounded retry with backoff, and wall-clock
+  straggler detection that composes with
+  :mod:`repro.simulation.faults`;
+- :mod:`repro.runtime.executor` -- the ``Engine``'s ``executor=`` seam:
+  :class:`~repro.runtime.executor.SerialExecutor` (default, inline) and
+  :class:`~repro.runtime.executor.ProcessExecutor` (the pool).
+
+The headline guarantee is **0-ULP parity**: a run with
+``executor="process"`` produces bitwise-identical global states and a
+byte-identical history JSON to the serial path (see DESIGN.md 3.5 and
+``repro verify --executor process``).
+"""
+
+from repro.runtime.codec import (
+    WIRE_VERSION,
+    ContributionPayload,
+    DispatchPayload,
+    TrainHyper,
+    WireFormatError,
+    decode_contribution,
+    decode_dispatch,
+    encode_contribution,
+    encode_dispatch,
+)
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TrainRequest,
+    TrainResult,
+    make_executor,
+)
+from repro.runtime.pool import ProcessPool, WorkerSpec
+from repro.runtime.transport import (
+    LocalTransport,
+    ProcessTransport,
+    RetryPolicy,
+    StragglerDetector,
+    TransportError,
+    TransportTimeoutError,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "ContributionPayload",
+    "DispatchPayload",
+    "Executor",
+    "LocalTransport",
+    "ProcessExecutor",
+    "ProcessPool",
+    "ProcessTransport",
+    "RetryPolicy",
+    "SerialExecutor",
+    "StragglerDetector",
+    "TrainHyper",
+    "TrainRequest",
+    "TrainResult",
+    "TransportError",
+    "TransportTimeoutError",
+    "WireFormatError",
+    "WorkerCrashError",
+    "WorkerSpec",
+    "decode_contribution",
+    "decode_dispatch",
+    "encode_contribution",
+    "encode_dispatch",
+    "make_executor",
+]

@@ -1,0 +1,426 @@
+"""Versioned binary wire format for dispatches and contributions.
+
+Every frame is little-endian and self-delimiting::
+
+    magic b"FMPW" | version u16 | kind u8 | flags u8 | body | crc32 u32
+
+``kind`` distinguishes the two frame types (PS -> worker dispatch,
+worker -> PS contribution); ``flags`` bit 0 marks a quantized tensor
+payload.  The CRC32 (:func:`zlib.crc32`) covers everything before the
+trailer, so a flipped bit anywhere in the frame is caught before any
+payload is interpreted.
+
+A **dispatch** body carries the worker id, the local-iteration budget,
+the training hyper-parameters, the :class:`~repro.pruning.plan.
+PruningPlan` (kept indices packed as ``uint32`` per layer) and the
+dispatched sub-model state (per-tensor records with contiguous
+``float32`` payloads).  A **contribution** body carries the worker id,
+its sample count, the training loss, the child-side wall time and the
+trained state.
+
+The optional quantized payload mode reuses
+:mod:`repro.pruning.quantize`: each tensor is shipped as ``int16``
+codes plus one ``float64`` scale (the paper's Section III-C residual
+trick).  Quantization is lossy, so the engine's 0-ULP parity path never
+enables it; the codec round-trips the *codes* exactly.
+
+Decoding validates strictly: truncated frames, bad magic, unsupported
+versions, CRC mismatches, unknown layer kinds or dtype codes, kept
+indices out of range and trailing garbage all raise the typed
+:class:`WireFormatError` -- never a silent wrong decode.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.pruning.plan import LAYER_KINDS, LayerPrune, PruningPlan
+from repro.pruning.quantize import quantize_state_dict
+
+__all__ = [
+    "WIRE_VERSION",
+    "KIND_DISPATCH",
+    "KIND_CONTRIBUTION",
+    "FLAG_QUANTIZED",
+    "WireFormatError",
+    "TrainHyper",
+    "DispatchPayload",
+    "ContributionPayload",
+    "encode_dispatch",
+    "decode_dispatch",
+    "encode_contribution",
+    "decode_contribution",
+    "frame_kind",
+]
+
+MAGIC = b"FMPW"
+WIRE_VERSION = 1
+
+KIND_DISPATCH = 1
+KIND_CONTRIBUTION = 2
+
+FLAG_QUANTIZED = 0x01
+
+#: wire dtype code -> numpy little-endian dtype string
+_DTYPE_CODES: Dict[int, str] = {0: "<f4", 1: "<f8"}
+_DTYPE_TO_CODE = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+
+_HEADER = struct.Struct("<4sHBB")
+_CRC = struct.Struct("<I")
+
+
+class WireFormatError(ValueError):
+    """A frame failed decode-time validation (truncated, corrupt,
+    version-mismatched, or structurally invalid)."""
+
+
+@dataclass(frozen=True)
+class TrainHyper:
+    """The local-SGD hyper-parameters a dispatch ships to its worker."""
+
+    lr: float
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    prox_mu: float = 0.0
+    clip_norm: Optional[float] = None
+
+
+@dataclass
+class DispatchPayload:
+    """A decoded dispatch frame."""
+
+    worker_id: int
+    tau: int
+    emulate_s: float
+    hyper: TrainHyper
+    plan: PruningPlan
+    state: Dict[str, np.ndarray]
+
+
+@dataclass
+class ContributionPayload:
+    """A decoded contribution frame."""
+
+    worker_id: int
+    num_samples: int
+    train_loss: float
+    wall_time_s: float
+    state: Dict[str, np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+class _Writer:
+    def __init__(self) -> None:
+        self._parts = [b""]  # placeholder for the header
+
+    def header(self, kind: int, flags: int) -> None:
+        self._parts[0] = _HEADER.pack(MAGIC, WIRE_VERSION, kind, flags)
+
+    def pack(self, fmt: str, *values) -> None:
+        self._parts.append(struct.pack("<" + fmt, *values))
+
+    def string(self, text: str) -> None:
+        data = text.encode("utf-8")
+        if len(data) > 0xFFFF:
+            raise WireFormatError(f"name too long for the wire: {text!r}")
+        self.pack("H", len(data))
+        self._parts.append(data)
+
+    def array(self, values: np.ndarray, dtype: str) -> None:
+        self._parts.append(np.ascontiguousarray(values, dtype=dtype).tobytes())
+
+    def finish(self) -> bytes:
+        body = b"".join(self._parts)
+        return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+class _Reader:
+    """Bounds-checked sequential reader over one frame's body."""
+
+    def __init__(self, buf: memoryview) -> None:
+        self._buf = buf
+        self._pos = 0
+
+    def take(self, count: int) -> memoryview:
+        end = self._pos + count
+        if count < 0 or end > len(self._buf):
+            raise WireFormatError(
+                f"truncated frame: wanted {count} byte(s) at offset "
+                f"{self._pos}, {len(self._buf) - self._pos} available"
+            )
+        view = self._buf[self._pos:end]
+        self._pos = end
+        return view
+
+    def unpack(self, fmt: str) -> Tuple:
+        layout = struct.Struct("<" + fmt)
+        return layout.unpack(self.take(layout.size))
+
+    def string(self) -> str:
+        (length,) = self.unpack("H")
+        try:
+            return bytes(self.take(length)).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid utf-8 name: {exc}") from exc
+
+    def array(self, dtype: str, count: int) -> np.ndarray:
+        itemsize = np.dtype(dtype).itemsize
+        view = self.take(count * itemsize)
+        return np.frombuffer(view, dtype=dtype).copy()
+
+    def expect_exhausted(self) -> None:
+        if self._pos != len(self._buf):
+            raise WireFormatError(
+                f"trailing garbage: {len(self._buf) - self._pos} "
+                f"unread byte(s) after the body"
+            )
+
+
+# ----------------------------------------------------------------------
+# plan block
+# ----------------------------------------------------------------------
+def _write_plan(writer: _Writer, plan: PruningPlan) -> None:
+    layers = list(plan.items())
+    writer.pack("I", len(layers))
+    for name, entry in layers:
+        writer.string(name)
+        writer.pack("B", LAYER_KINDS.index(entry.kind))
+        writer.pack("II", int(entry.out_full), int(entry.kept_out.size))
+        writer.array(entry.kept_out, "<u4")
+        if entry.kept_in is None:
+            writer.pack("B", 0)
+        else:
+            writer.pack("B", 1)
+            writer.pack("II", int(entry.in_full), int(entry.kept_in.size))
+            writer.array(entry.kept_in, "<u4")
+
+
+def _read_kept(reader: _Reader, full: int, count: int,
+               axis: str, layer: str) -> np.ndarray:
+    if count > full:
+        raise WireFormatError(
+            f"layer {layer!r}: {count} kept {axis} indices exceed the "
+            f"full size {full}"
+        )
+    kept = reader.array("<u4", count).astype(np.intp)
+    if count and int(kept.max()) >= full:
+        raise WireFormatError(
+            f"layer {layer!r}: kept {axis} index {int(kept.max())} out of "
+            f"range for full size {full}"
+        )
+    return kept
+
+
+def _read_plan(reader: _Reader, ratio: float) -> PruningPlan:
+    (num_layers,) = reader.unpack("I")
+    plan = PruningPlan(ratio=ratio)
+    for _ in range(num_layers):
+        name = reader.string()
+        (kind_index,) = reader.unpack("B")
+        if kind_index >= len(LAYER_KINDS):
+            raise WireFormatError(
+                f"layer {name!r}: unknown layer-kind code {kind_index}"
+            )
+        out_full, out_count = reader.unpack("II")
+        kept_out = _read_kept(reader, out_full, out_count, "output", name)
+        (has_in,) = reader.unpack("B")
+        kept_in = None
+        in_full = None
+        if has_in:
+            in_full, in_count = reader.unpack("II")
+            kept_in = _read_kept(reader, in_full, in_count, "input", name)
+        try:
+            plan.add(name, LayerPrune(
+                kind=LAYER_KINDS[kind_index], kept_out=kept_out,
+                out_full=out_full, kept_in=kept_in, in_full=in_full,
+            ))
+        except ValueError as exc:
+            raise WireFormatError(f"invalid plan entry: {exc}") from exc
+    return plan
+
+
+# ----------------------------------------------------------------------
+# tensor block
+# ----------------------------------------------------------------------
+def _write_state(writer: _Writer, state: Dict[str, np.ndarray],
+                 quantize_bits: Optional[int]) -> None:
+    quantized = (
+        quantize_state_dict(state, bits=quantize_bits)
+        if quantize_bits is not None else None
+    )
+    writer.pack("I", len(state))
+    for key, value in state.items():
+        value = np.asarray(value)
+        code = _DTYPE_TO_CODE.get(value.dtype)
+        if code is None:
+            raise WireFormatError(
+                f"tensor {key!r}: unsupported wire dtype {value.dtype}"
+            )
+        writer.string(key)
+        writer.pack("BB", code, value.ndim)
+        writer.pack("I" * value.ndim, *value.shape)
+        if quantized is None:
+            writer.array(value, _DTYPE_CODES[code])
+        else:
+            writer.pack("Bd", quantized.bits, quantized.scales[key])
+            writer.array(quantized.codes[key], "<i2")
+
+
+def _read_state(reader: _Reader,
+                quantized: bool) -> Dict[str, np.ndarray]:
+    (num_tensors,) = reader.unpack("I")
+    state: Dict[str, np.ndarray] = {}
+    for _ in range(num_tensors):
+        key = reader.string()
+        if key in state:
+            raise WireFormatError(f"duplicate tensor {key!r}")
+        code, ndim = reader.unpack("BB")
+        if code not in _DTYPE_CODES:
+            raise WireFormatError(
+                f"tensor {key!r}: unknown dtype code {code}"
+            )
+        shape = reader.unpack("I" * ndim) if ndim else ()
+        count = 1
+        for dim in shape:
+            count *= dim
+        if quantized:
+            bits, scale = reader.unpack("Bd")
+            if not 2 <= bits <= 16:
+                raise WireFormatError(
+                    f"tensor {key!r}: quantization bits {bits} out of range"
+                )
+            codes = reader.array("<i2", count)
+            value = (codes.astype(np.float64) * scale).astype(
+                _DTYPE_CODES[code]
+            )
+        else:
+            value = reader.array(_DTYPE_CODES[code], count)
+        state[key] = value.reshape(shape)
+    return state
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+def _clip_to_wire(clip_norm: Optional[float]) -> float:
+    return float("nan") if clip_norm is None else float(clip_norm)
+
+
+def _clip_from_wire(value: float) -> Optional[float]:
+    return None if np.isnan(value) else float(value)
+
+
+def encode_dispatch(worker_id: int, plan: PruningPlan,
+                    state: Dict[str, np.ndarray], *, tau: int,
+                    hyper: TrainHyper, emulate_s: float = 0.0,
+                    quantize_bits: Optional[int] = None) -> bytes:
+    """Encode one PS -> worker dispatch frame."""
+    writer = _Writer()
+    flags = FLAG_QUANTIZED if quantize_bits is not None else 0
+    writer.header(KIND_DISPATCH, flags)
+    writer.pack("II", worker_id, tau)
+    writer.pack("d", float(emulate_s))
+    writer.pack("ddddd", hyper.lr, hyper.momentum, hyper.weight_decay,
+                hyper.prox_mu, _clip_to_wire(hyper.clip_norm))
+    writer.pack("d", float(plan.ratio))
+    _write_plan(writer, plan)
+    _write_state(writer, state, quantize_bits)
+    return writer.finish()
+
+
+def encode_contribution(worker_id: int, state: Dict[str, np.ndarray], *,
+                        train_loss: float, wall_time_s: float,
+                        num_samples: int = 1,
+                        quantize_bits: Optional[int] = None) -> bytes:
+    """Encode one worker -> PS contribution frame."""
+    writer = _Writer()
+    flags = FLAG_QUANTIZED if quantize_bits is not None else 0
+    writer.header(KIND_CONTRIBUTION, flags)
+    writer.pack("II", worker_id, num_samples)
+    writer.pack("dd", float(train_loss), float(wall_time_s))
+    _write_state(writer, state, quantize_bits)
+    return writer.finish()
+
+
+def _open_frame(frame: bytes, expected_kind: int) -> Tuple[_Reader, int]:
+    if len(frame) < _HEADER.size + _CRC.size:
+        raise WireFormatError(
+            f"frame too short: {len(frame)} byte(s), need at least "
+            f"{_HEADER.size + _CRC.size}"
+        )
+    (stored_crc,) = _CRC.unpack(frame[-_CRC.size:])
+    actual_crc = zlib.crc32(frame[:-_CRC.size]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        raise WireFormatError(
+            f"CRC mismatch: stored {stored_crc:#010x}, "
+            f"computed {actual_crc:#010x}"
+        )
+    magic, version, kind, flags = _HEADER.unpack(frame[:_HEADER.size])
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (this codec speaks "
+            f"{WIRE_VERSION})"
+        )
+    if kind != expected_kind:
+        raise WireFormatError(
+            f"wrong frame kind {kind} (expected {expected_kind})"
+        )
+    body = memoryview(frame)[_HEADER.size:-_CRC.size]
+    return _Reader(body), flags
+
+
+def frame_kind(frame: bytes) -> int:
+    """The kind code of a frame, after validating magic and version
+    (but not the CRC)."""
+    if len(frame) < _HEADER.size:
+        raise WireFormatError("frame shorter than the header")
+    magic, version, kind, _ = _HEADER.unpack(frame[:_HEADER.size])
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    return kind
+
+
+def decode_dispatch(frame: bytes) -> DispatchPayload:
+    """Decode and validate one dispatch frame."""
+    reader, flags = _open_frame(frame, KIND_DISPATCH)
+    worker_id, tau = reader.unpack("II")
+    (emulate_s,) = reader.unpack("d")
+    lr, momentum, weight_decay, prox_mu, clip = reader.unpack("ddddd")
+    (ratio,) = reader.unpack("d")
+    plan = _read_plan(reader, ratio)
+    state = _read_state(reader, bool(flags & FLAG_QUANTIZED))
+    reader.expect_exhausted()
+    return DispatchPayload(
+        worker_id=worker_id, tau=tau, emulate_s=emulate_s,
+        hyper=TrainHyper(lr=lr, momentum=momentum,
+                         weight_decay=weight_decay, prox_mu=prox_mu,
+                         clip_norm=_clip_from_wire(clip)),
+        plan=plan, state=state,
+    )
+
+
+def decode_contribution(frame: bytes) -> ContributionPayload:
+    """Decode and validate one contribution frame."""
+    reader, flags = _open_frame(frame, KIND_CONTRIBUTION)
+    worker_id, num_samples = reader.unpack("II")
+    train_loss, wall_time_s = reader.unpack("dd")
+    state = _read_state(reader, bool(flags & FLAG_QUANTIZED))
+    reader.expect_exhausted()
+    return ContributionPayload(
+        worker_id=worker_id, num_samples=num_samples,
+        train_loss=train_loss, wall_time_s=wall_time_s, state=state,
+    )

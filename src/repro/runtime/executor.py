@@ -1,0 +1,461 @@
+"""The engine's execution seam: serial (inline) or process-pool training.
+
+Schedulers hand the engine a batch of dispatches; the engine turns them
+into :class:`TrainRequest` records and submits them through its
+executor.  :class:`SerialExecutor` preserves the historical inline
+behaviour exactly (same call order, same RNG consumption, same
+telemetry spans).  :class:`ProcessExecutor` encodes each request with
+the wire codec, fans it out to a persistent
+:class:`~repro.runtime.pool.ProcessPool`, gathers the contribution
+frames, and decodes them -- with per-round ``serialize`` / ``transfer``
+/ ``parallel_train`` spans and ``wire_bytes_total`` /
+``retries_total`` / ``stragglers_total`` counters.
+
+Both executors return the same :class:`TrainResult` list in submission
+order, and both are bitwise-identical to each other: the only state a
+training round consumes in the child -- the iterator RNG stream -- is
+reconstructed there from the worker's spec, and trained states travel
+back as exact ``float32`` payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import deque
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_for_connections
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.codec import (
+    TrainHyper,
+    decode_contribution,
+    encode_dispatch,
+)
+from repro.runtime.pool import ProcessPool, WorkerSpec
+from repro.runtime.transport import (
+    LocalTransport,
+    ProcessTransport,
+    RetryPolicy,
+    TransportError,
+    TransportTimeoutError,
+    WorkerCrashError,
+)
+from repro.telemetry.runtime import DISABLED_TELEMETRY, Telemetry
+
+__all__ = [
+    "TrainRequest",
+    "TrainResult",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+
+@dataclass
+class TrainRequest:
+    """One unit of local training, as the executor sees it."""
+
+    worker_id: int
+    ratio: float
+    tau: int
+    plan: object
+    submodel: object
+    dispatched_state: Dict[str, np.ndarray]
+    hyper: TrainHyper
+    #: real seconds of device-latency emulation (0 disables; see
+    #: ``FLConfig.emulate_device_factor``)
+    emulate_s: float = 0.0
+
+
+@dataclass
+class TrainResult:
+    """One unit of finished local training."""
+
+    worker_id: int
+    sub_state: Dict[str, np.ndarray]
+    train_loss: float
+    wall_time_s: float = 0.0
+
+
+class Executor:
+    """Runs batches of training requests; returns results in order."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        #: worker ids the straggler heartbeat flagged in the most
+        #: recent batch (always empty for serial execution)
+        self.last_stragglers: List[int] = []
+
+    def run(self, requests: Sequence[TrainRequest],
+            round_index: int = 0) -> List[TrainResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (no-op by default)."""
+
+
+class SerialExecutor(Executor):
+    """Inline execution on the parent's workers (the default).
+
+    Behaviour-preserving with the pre-executor engine: one
+    ``local_train`` span per request, profiler attachment for the
+    matched worker, training mutates the dispatched sub-model in
+    place.
+    """
+
+    name = "serial"
+
+    def __init__(self, workers: Dict[int, object],
+                 telemetry: Optional[Telemetry] = None) -> None:
+        super().__init__()
+        self.workers = workers
+        self.telemetry = (
+            telemetry if telemetry is not None else DISABLED_TELEMETRY
+        )
+        self._transport = LocalTransport(self._execute)
+
+    def run(self, requests: Sequence[TrainRequest],
+            round_index: int = 0) -> List[TrainResult]:
+        results = []
+        for request in requests:
+            with self.telemetry.span("local_train", round=round_index,
+                                     worker=request.worker_id,
+                                     tau=request.tau,
+                                     ratio=request.ratio) as span:
+                profiler = self.telemetry.profiler
+                profile_ctx = (
+                    profiler.attach(request.submodel)
+                    if profiler is not None
+                    and profiler.matches(request.worker_id)
+                    else nullcontext()
+                )
+                with profile_ctx:
+                    result = self._transport.request(request)
+                span.set("train_loss", float(result.train_loss))
+            results.append(result)
+        return results
+
+    def _execute(self, request: TrainRequest) -> TrainResult:
+        worker = self.workers[request.worker_id]
+        hyper = request.hyper
+        start = time.perf_counter()
+        if request.emulate_s > 0.0:
+            time.sleep(request.emulate_s)
+        train_loss = worker.local_train(
+            request.submodel, tau=request.tau, lr=hyper.lr,
+            momentum=hyper.momentum, weight_decay=hyper.weight_decay,
+            prox_mu=hyper.prox_mu, clip_norm=hyper.clip_norm,
+            anchor=request.dispatched_state,
+        )
+        return TrainResult(
+            worker_id=request.worker_id,
+            sub_state=request.submodel.state_dict(),
+            train_loss=float(train_loss),
+            wall_time_s=time.perf_counter() - start,
+        )
+
+
+def _plan_signature(plan) -> Tuple:
+    """Architecture signature of a plan: the kept sizes per layer.
+
+    Two plans with the same signature produce structurally identical
+    sub-models, so a child may clone a cached template instead of
+    unpickling a fresh module graph.
+    """
+    return tuple(
+        (name, entry.kind, int(entry.out_full), int(entry.kept_out.size),
+         -1 if entry.in_full is None else int(entry.in_full),
+         -1 if entry.kept_in is None else int(entry.kept_in.size))
+        for name, entry in plan.items()
+    )
+
+
+@dataclass
+class _InFlight:
+    """Book-keeping for one outstanding train request."""
+
+    request: TrainRequest
+    member_index: int
+    frame: Optional[bytes] = field(default=None, repr=False)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution behind the wire codec.
+
+    ``pickle_submodels=True`` ships the actual extracted module graph
+    with every dispatch instead of cloning a cached template in the
+    child.  The engine sets it for models with RNG-bearing modules
+    (e.g. ``Dropout``): their per-module generators are consumed
+    during the forward pass, so a child-side template clone would not
+    carry the same generator state as the parent's extraction.
+    """
+
+    name = "process"
+
+    def __init__(self, specs: Sequence[WorkerSpec],
+                 num_procs: Optional[int] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 pickle_submodels: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 straggler_quorum: float = 0.85,
+                 straggler_multiplier: float = 1.5,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__()
+        from repro.runtime.transport import StragglerDetector
+
+        self.telemetry = (
+            telemetry if telemetry is not None else DISABLED_TELEMETRY
+        )
+        self.pickle_submodels = pickle_submodels
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.pool = ProcessPool(list(specs), num_procs=num_procs,
+                                start_method=start_method)
+        metrics = self.telemetry.metrics
+        self.transports = {
+            member.index: ProcessTransport(member, retry=self.retry,
+                                           metrics=metrics)
+            for member in self.pool.members
+        }
+        self.detector = StragglerDetector(straggler_quorum,
+                                          straggler_multiplier)
+        self._seq = 0
+        self._cached_templates: Dict[int, set] = {
+            member.index: set() for member in self.pool.members
+        }
+        # handshake: surface a child that died during start-up as a
+        # typed transport error instead of a hung first round
+        for member in self.pool.members:
+            self.transports[member.index].request(
+                ("ping", self._next_seq(), 0.0)
+            )
+
+    @property
+    def parallelism(self) -> int:
+        return len(self.pool.members)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def run(self, requests: Sequence[TrainRequest],
+            round_index: int = 0) -> List[TrainResult]:
+        if not requests:
+            return []
+        telemetry = self.telemetry
+        metrics = telemetry.metrics
+        self.last_stragglers = []
+        with telemetry.span("parallel_train", round=round_index,
+                            requests=len(requests),
+                            procs=self.parallelism) as batch_span:
+            # -- serialize ----------------------------------------------
+            pending: Dict[int, _InFlight] = {}
+            queues: Dict[int, deque] = {}
+            with telemetry.span("serialize", round=round_index,
+                                requests=len(requests)):
+                for request in requests:
+                    member = self.pool.by_worker[request.worker_id]
+                    frame = encode_dispatch(
+                        request.worker_id, request.plan,
+                        request.dispatched_state, tau=request.tau,
+                        hyper=request.hyper, emulate_s=request.emulate_s,
+                    )
+                    key = _plan_signature(request.plan)
+                    cacheable = not self.pickle_submodels
+                    seen = self._cached_templates[member.index]
+                    if self.pickle_submodels or key not in seen:
+                        blob = pickle.dumps(
+                            request.submodel,
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                        if cacheable:
+                            seen.add(key)
+                    else:
+                        blob = None
+                    seq = self._next_seq()
+                    metrics.counter("wire_bytes_total",
+                                    kind="dispatch").inc(len(frame))
+                    if blob is not None:
+                        metrics.counter("wire_bytes_total",
+                                        kind="template").inc(len(blob))
+                    queues.setdefault(member.index, deque()).append(
+                        (seq, ("train", seq, frame, blob, key, cacheable))
+                    )
+                    pending[seq] = _InFlight(request=request,
+                                             member_index=member.index)
+
+            # -- transfer + gather --------------------------------------
+            started = time.perf_counter()
+            with telemetry.span("transfer", round=round_index,
+                                requests=len(requests)) as transfer_span:
+                completion_s = self._gather(queues, pending, started)
+                reply_bytes = sum(
+                    len(flight.frame) for flight in pending.values()
+                )
+                metrics.counter("wire_bytes_total",
+                                kind="contribution").inc(reply_bytes)
+                transfer_span.set("reply_bytes", reply_bytes)
+
+            # -- decode + per-request spans -----------------------------
+            results = []
+            for seq, flight in pending.items():
+                request = flight.request
+                payload = decode_contribution(flight.frame)
+                if payload.worker_id != request.worker_id:
+                    raise TransportError(
+                        f"reply {seq} carries worker "
+                        f"{payload.worker_id}, expected "
+                        f"{request.worker_id}"
+                    )
+                with telemetry.span("local_train", round=round_index,
+                                    worker=request.worker_id,
+                                    tau=request.tau,
+                                    ratio=request.ratio) as span:
+                    span.set("train_loss", float(payload.train_loss))
+                    span.set("worker_wall_s", float(payload.wall_time_s))
+                results.append(TrainResult(
+                    worker_id=payload.worker_id,
+                    sub_state=payload.state,
+                    train_loss=float(payload.train_loss),
+                    wall_time_s=float(payload.wall_time_s),
+                ))
+
+            # -- straggler heartbeat ------------------------------------
+            flagged = self.detector.flag(completion_s)
+            if flagged:
+                self.last_stragglers = sorted(flagged)
+                metrics.counter("stragglers_total",
+                                executor=self.name).inc(len(flagged))
+                telemetry.event("straggler_detected", round=round_index,
+                                workers=sorted(flagged))
+                batch_span.set("stragglers", sorted(flagged))
+        return results
+
+    def _gather(self, queues: Dict[int, deque],
+                pending: Dict[int, _InFlight],
+                started: float) -> Dict[int, float]:
+        """Pump each member's request queue and collect every reply.
+
+        At most ONE train request is outstanding per member: the next
+        one is sent only after the previous reply has been fully read.
+        This is deadlock-free by construction -- a pipe write can only
+        stall when its reader is busy, and with one request in flight
+        the child is always parked in ``recv`` when the parent writes
+        (frames are regularly larger than the OS pipe buffer, so
+        fire-and-forget batching genuinely deadlocks: parent blocked
+        writing request *n+1*, child blocked writing reply *n*).
+        Sequencing costs nothing because each child handles requests
+        serially anyway.
+
+        Train requests are never resent (a replay would double-consume
+        child RNG streams); each empty poll interval counts as one
+        retry, and the batch fails with a typed error after
+        ``max_retries`` consecutive empty intervals, after
+        ``timeout_s`` of total waiting, or as soon as a member with
+        outstanding work dies.
+        """
+        metrics = self.telemetry.metrics
+        # member index -> seq of its one in-flight request
+        outstanding: Dict[int, int] = {}
+        for index, queue in queues.items():
+            seq, message = queue.popleft()
+            self.transports[index].send(message)
+            outstanding[index] = seq
+        completion: Dict[int, float] = {}
+        misses = 0
+        while outstanding:
+            conns = {
+                self.pool.members[index].conn: index
+                for index in outstanding
+            }
+            elapsed = time.perf_counter() - started
+            if elapsed >= self.retry.timeout_s:
+                raise TransportTimeoutError(
+                    f"{len(outstanding)} training repl(y/ies) still "
+                    f"missing after {elapsed:.1f}s "
+                    f"(budget {self.retry.timeout_s:.1f}s)"
+                )
+            interval = min(self.retry.backoff(misses),
+                           self.retry.timeout_s - elapsed)
+            ready = _wait_for_connections(list(conns), timeout=interval)
+            if not ready:
+                misses += 1
+                metrics.counter("retries_total",
+                                transport="process").inc()
+                for index in outstanding:
+                    if not self.transports[index].alive():
+                        raise WorkerCrashError(
+                            f"pool member {index} died with "
+                            f"{len(outstanding)} training request(s) "
+                            f"outstanding"
+                        )
+                if misses > self.retry.max_retries:
+                    raise TransportTimeoutError(
+                        f"no training reply after "
+                        f"{self.retry.max_retries} backoff interval(s) "
+                        f"({time.perf_counter() - started:.1f}s elapsed)"
+                    )
+                continue
+            misses = 0
+            for conn in ready:
+                index = conns[conn]
+                transport = self.transports[index]
+                while conn.poll(0):
+                    reply = transport.receive()
+                    op, seq = reply[0], reply[1]
+                    if op == "err":
+                        raise TransportError(
+                            f"worker process raised during training:\n"
+                            f"{reply[2]}"
+                        )
+                    if op != "ok" or seq != outstanding.get(index):
+                        continue  # stale control-plane reply
+                    pending[seq].frame = reply[2]
+                    worker_id = pending[seq].request.worker_id
+                    completion[worker_id] = time.perf_counter() - started
+                    queue = queues[index]
+                    if queue:
+                        next_seq, message = queue.popleft()
+                        transport.send(message)
+                        outstanding[index] = next_seq
+                    else:
+                        del outstanding[index]
+                        break
+        return completion
+
+    def close(self) -> None:
+        self.pool.close()
+
+
+def make_executor(config, *, workers: Dict[int, object],
+                  specs: Sequence[WorkerSpec],
+                  telemetry: Optional[Telemetry] = None,
+                  pickle_submodels: bool = False) -> Executor:
+    """Build the executor ``config.executor`` names."""
+    kind = getattr(config, "executor", "serial")
+    if kind == "serial":
+        return SerialExecutor(workers, telemetry=telemetry)
+    if kind == "process":
+        bundle = telemetry if telemetry is not None else DISABLED_TELEMETRY
+        if bundle.profiler is not None:
+            raise ValueError(
+                "the per-layer profiler requires executor='serial': "
+                "with executor='process' the modules it would instrument "
+                "train in child processes"
+            )
+        quorum = (
+            config.deadline_quorum
+            if getattr(config, "deadline_quorum", None) is not None else 0.85
+        )
+        return ProcessExecutor(
+            specs, num_procs=getattr(config, "num_procs", None),
+            telemetry=telemetry, pickle_submodels=pickle_submodels,
+            straggler_quorum=quorum,
+            straggler_multiplier=getattr(config, "deadline_multiplier", 1.5),
+        )
+    raise ValueError(f"unknown executor {kind!r}")

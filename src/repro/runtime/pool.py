@@ -1,0 +1,272 @@
+"""Persistent worker processes rebuilt from picklable specs.
+
+The parity problem this module solves: the engine's workers own live
+RNG streams (the shared iterator/worker generator and the timing
+model's jitter generator) that are derived from ``config.seed`` in a
+fixed construction order, so a worker cannot simply be pickled into a
+child -- generator state would fork and the runs would diverge.
+Instead the engine records, per worker, the *seed* its generator was
+built from plus everything else construction needs
+(:class:`WorkerSpec`), and the child re-runs the exact construction
+sequence:
+
+1. ``rng = np.random.default_rng(seed)``;
+2. the data iterator is built first (a ``BatchIterator`` draws its
+   epoch permutation *at construction*);
+3. ``Worker.__init__`` then draws the :class:`~repro.simulation.timing.
+   TimingModel` seed from the same generator.
+
+Step order is load-bearing: swapping 2 and 3 shifts every subsequent
+draw.  ``tests/test_runtime/test_pool.py`` pins that a spec-rebuilt
+worker reproduces both the identical jitter stream and the identical
+batch stream.
+
+Each pool child owns a *group* of workers (round-robin over sorted
+worker ids, so the assignment is a pure function of the fleet) and
+serves ``train`` requests off one duplex pipe: decode the dispatch
+frame, materialise the sub-model, run ``local_train``, reply with an
+encoded contribution frame.  Sub-model architectures are cached per
+plan signature so steady-state dispatches ship only the codec frame,
+not a pickled module graph.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.codec import (
+    decode_dispatch,
+    encode_contribution,
+)
+from repro.simulation.device import DeviceProfile
+
+if TYPE_CHECKING:  # cycle guard: repro.fl.engine imports this package
+    from repro.fl.worker import Worker
+
+__all__ = ["ITERATOR_KINDS", "WorkerSpec", "PoolMember", "ProcessPool"]
+
+#: iterator families a spec can rebuild ("batch" draws an epoch
+#: permutation at construction; "sequence" draws only per batch)
+ITERATOR_KINDS = ("batch", "sequence")
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a child process needs to rebuild one worker exactly.
+
+    Picklable by construction: arrays, a frozen
+    :class:`~repro.simulation.device.DeviceProfile` and plain scalars.
+    """
+
+    worker_id: int
+    seed: int
+    shard_inputs: np.ndarray
+    shard_targets: np.ndarray
+    batch_size: int
+    device: DeviceProfile
+    jitter_sigma: float
+    num_samples: int
+    iterator_kind: str = "batch"
+    task_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.iterator_kind not in ITERATOR_KINDS:
+            raise ValueError(
+                f"iterator_kind must be one of {ITERATOR_KINDS}, "
+                f"got {self.iterator_kind!r}"
+            )
+
+    def build(self) -> Worker:
+        """Reconstruct the worker with bitwise-identical RNG streams.
+
+        Mirrors ``Engine.__init__`` exactly: one generator seeded from
+        ``seed``, consumed first by the iterator's construction and
+        then by ``Worker.__init__``'s timing-seed draw.
+        """
+        # imported here, not at module scope: repro.fl.engine imports
+        # this package, so a top-level repro.fl import would be a cycle
+        from repro.fl.tasks import _SequenceBatchIterator
+        from repro.fl.worker import Worker
+
+        rng = np.random.default_rng(self.seed)
+        if self.iterator_kind == "batch":
+            from repro.data.loader import BatchIterator
+            iterator = BatchIterator(self.shard_inputs, self.shard_targets,
+                                     self.batch_size, rng=rng)
+        else:
+            iterator = _SequenceBatchIterator(self.shard_inputs,
+                                              self.shard_targets, rng)
+        return Worker(self.worker_id, iterator, self.device,
+                      jitter_sigma=self.jitter_sigma, rng=rng,
+                      num_samples=self.num_samples)
+
+
+# ----------------------------------------------------------------------
+# child side
+# ----------------------------------------------------------------------
+def _handle_train(workers: Dict[int, Worker], templates: Dict[object, object],
+                  frame: bytes, module_blob: Optional[bytes],
+                  template_key: object, cacheable: bool) -> bytes:
+    payload = decode_dispatch(frame)
+    if module_blob is not None:
+        submodel = pickle.loads(module_blob)
+        if cacheable:
+            templates[template_key] = copy.deepcopy(submodel)
+    else:
+        template = templates.get(template_key)
+        if template is None:
+            raise RuntimeError(
+                f"no cached sub-model template for key {template_key!r}"
+            )
+        submodel = copy.deepcopy(template)
+    submodel.load_state_dict(payload.state)
+    worker = workers[payload.worker_id]
+    hyper = payload.hyper
+    start = time.perf_counter()
+    if payload.emulate_s > 0.0:
+        # device-time emulation: occupy real wall-clock for the
+        # simulated device latency (see DESIGN.md 3.5)
+        time.sleep(payload.emulate_s)
+    train_loss = worker.local_train(
+        submodel, tau=payload.tau, lr=hyper.lr, momentum=hyper.momentum,
+        weight_decay=hyper.weight_decay, prox_mu=hyper.prox_mu,
+        clip_norm=hyper.clip_norm, anchor=payload.state,
+    )
+    wall_s = time.perf_counter() - start
+    return encode_contribution(
+        payload.worker_id, submodel.state_dict(),
+        train_loss=float(train_loss), wall_time_s=wall_s,
+        num_samples=worker.num_samples,
+    )
+
+
+def _child_main(conn, specs_blob: bytes) -> None:
+    """Serve one pipe until shutdown.
+
+    Message grammar (tuples; ``seq`` correlates replies to requests):
+
+    - ``("ping", seq, delay_s)`` -> ``("pong", seq)`` after sleeping
+      ``delay_s`` (the delay exists so tests can provoke timeouts);
+    - ``("train", seq, frame, module_blob, template_key, cacheable)``
+      -> ``("ok", seq, contribution_frame)`` or
+      ``("err", seq, traceback_text)``;
+    - ``("shutdown",)`` -> exit.
+    """
+    specs: List[WorkerSpec] = pickle.loads(specs_blob)
+    workers = {spec.worker_id: spec.build() for spec in specs}
+    templates: Dict[object, object] = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = message[0]
+            if op == "shutdown":
+                break
+            if op == "ping":
+                _, seq, delay_s = message
+                if delay_s:
+                    time.sleep(delay_s)
+                conn.send(("pong", seq))
+            elif op == "train":
+                _, seq, frame, module_blob, template_key, cacheable = message
+                try:
+                    reply = _handle_train(workers, templates, frame,
+                                          module_blob, template_key,
+                                          cacheable)
+                except Exception:
+                    conn.send(("err", seq, traceback.format_exc()))
+                else:
+                    conn.send(("ok", seq, reply))
+            # unknown ops are dropped silently: the parent's sequence
+            # numbers make lost requests visible as timeouts
+    except KeyboardInterrupt:
+        pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass
+class PoolMember:
+    """One child process and the parent's end of its pipe."""
+
+    index: int
+    proc: mp.process.BaseProcess
+    conn: object
+    worker_ids: List[int] = field(default_factory=list)
+
+
+def _pick_start_method() -> str:
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ProcessPool:
+    """A fixed fleet of persistent worker processes.
+
+    Workers are assigned round-robin over their sorted ids, so the
+    worker -> child mapping is deterministic for a given fleet and
+    pool size.  Children are daemonic: an abnormal parent exit cannot
+    leave them behind.
+    """
+
+    def __init__(self, specs: List[WorkerSpec],
+                 num_procs: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        if not specs:
+            raise ValueError("a process pool needs at least one WorkerSpec")
+        specs = sorted(specs, key=lambda spec: spec.worker_id)
+        count = num_procs if num_procs is not None else (mp.cpu_count() or 1)
+        count = max(1, min(int(count), len(specs)))
+        ctx = mp.get_context(start_method or _pick_start_method())
+        self.members: List[PoolMember] = []
+        self.by_worker: Dict[int, PoolMember] = {}
+        for index in range(count):
+            group = specs[index::count]
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_child_main,
+                args=(child_conn, pickle.dumps(group)),
+                name=f"repro-pool-{index}", daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            member = PoolMember(
+                index=index, proc=proc, conn=parent_conn,
+                worker_ids=[spec.worker_id for spec in group],
+            )
+            self.members.append(member)
+            for spec in group:
+                self.by_worker[spec.worker_id] = member
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def close(self, join_timeout_s: float = 5.0) -> None:
+        """Ask every child to exit; terminate any that do not."""
+        for member in self.members:
+            try:
+                member.conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for member in self.members:
+            member.proc.join(timeout=join_timeout_s)
+            if member.proc.is_alive():
+                member.proc.terminate()
+                member.proc.join(timeout=join_timeout_s)
+            try:
+                member.conn.close()
+            except OSError:
+                pass

@@ -1,0 +1,213 @@
+"""Transport semantics over the worker pool: timeouts, retry, stragglers.
+
+Two transports share one request/response surface:
+
+- :class:`LocalTransport` hands the message to an in-process handler
+  (zero-copy: no serialization, no pipe);
+- :class:`ProcessTransport` speaks the pipe protocol of
+  :mod:`repro.runtime.pool` with per-call timeouts and bounded,
+  backoff-paced retry.
+
+Retry discipline: pipes do not lose messages, so only *idempotent*
+control messages (pings) are ever resent -- :meth:`ProcessTransport.
+request` resends with exponential backoff and discards duplicate
+replies by sequence number.  Training requests must never be resent
+(a replay would double-consume the child's iterator RNG and break
+parity); the executor's gather loop instead polls with the same
+backoff schedule, counts each empty poll slice in ``retries_total``,
+and escalates to :class:`TransportTimeoutError` /
+:class:`WorkerCrashError`.
+
+:class:`StragglerDetector` is the wall-clock heartbeat: it applies the
+*same* quorum-deadline rule the schedulers use on simulated times
+(:class:`repro.simulation.faults.DeadlinePolicy`) to the observed
+completion times of one parallel batch, flagging pool members that are
+materially slower than the fleet.  Detection is observability-only --
+it feeds telemetry (``stragglers_total``, ``straggler_detected``
+events), never the simulated schedule, so parallel runs stay
+bitwise-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.simulation.faults import DeadlinePolicy
+
+__all__ = [
+    "TransportError",
+    "TransportTimeoutError",
+    "WorkerCrashError",
+    "RetryPolicy",
+    "Transport",
+    "LocalTransport",
+    "ProcessTransport",
+    "StragglerDetector",
+]
+
+
+class TransportError(RuntimeError):
+    """Base class for transport failures."""
+
+
+class TransportTimeoutError(TransportError):
+    """No reply arrived within the retry budget."""
+
+
+class WorkerCrashError(TransportError):
+    """A pool process died with requests outstanding."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-call timeout and backoff-paced retry budget.
+
+    ``backoff(attempt)`` yields the poll/resend interval for the given
+    zero-based attempt; a call fails with
+    :class:`TransportTimeoutError` after ``max_retries`` consecutive
+    empty intervals or once ``timeout_s`` of total waiting elapses,
+    whichever comes first.
+    """
+
+    timeout_s: float = 600.0
+    max_retries: int = 10
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_s * self.backoff_factor ** attempt
+
+
+class Transport:
+    """One request/response channel to a training endpoint."""
+
+    name = "base"
+
+    def request(self, message, timeout_s: Optional[float] = None):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release channel resources (no-op by default)."""
+
+
+class LocalTransport(Transport):
+    """Zero-copy in-process transport: the message object is handed to
+    the handler directly, the reply object is returned directly."""
+
+    name = "local"
+
+    def __init__(self, handler: Callable) -> None:
+        self._handler = handler
+
+    def request(self, message, timeout_s: Optional[float] = None):
+        return self._handler(message)
+
+
+class ProcessTransport(Transport):
+    """Pipe transport to one :class:`~repro.runtime.pool.PoolMember`."""
+
+    name = "process"
+
+    def __init__(self, member, retry: Optional[RetryPolicy] = None,
+                 metrics=None) -> None:
+        self.member = member
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.metrics = metrics
+
+    # -- primitives (used by the executor's gather loop) ---------------
+    def alive(self) -> bool:
+        return self.member.proc.is_alive()
+
+    def send(self, message) -> None:
+        try:
+            self.member.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError(
+                f"pool member {self.member.index} is gone: {exc}"
+            ) from exc
+
+    def poll(self, timeout_s: float) -> bool:
+        return self.member.conn.poll(timeout_s)
+
+    def receive(self):
+        try:
+            return self.member.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashError(
+                f"pool member {self.member.index} closed its pipe "
+                f"mid-conversation"
+            ) from exc
+
+    def _count_retry(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("retries_total",
+                                 transport=self.name).inc()
+
+    # -- idempotent round trip -----------------------------------------
+    def request(self, message, timeout_s: Optional[float] = None):
+        """Send an **idempotent** control message and await its reply.
+
+        Resends with exponential backoff (each resend counts in
+        ``retries_total``); replies whose sequence number does not
+        match -- duplicates provoked by an earlier resend -- are
+        discarded.  Never use this for training requests: replaying
+        one would double-consume the child's RNG streams.
+        """
+        seq = message[1]
+        budget = timeout_s if timeout_s is not None else self.retry.timeout_s
+        start = time.perf_counter()
+        attempt = 0
+        self.send(message)
+        while True:
+            remaining = budget - (time.perf_counter() - start)
+            interval = min(self.retry.backoff(attempt), max(remaining, 0.0))
+            if self.poll(interval):
+                reply = self.receive()
+                if len(reply) >= 2 and reply[1] == seq:
+                    return reply
+                continue  # stale duplicate from an earlier resend
+            if not self.alive():
+                raise WorkerCrashError(
+                    f"pool member {self.member.index} died while a "
+                    f"{message[0]!r} request was outstanding"
+                )
+            attempt += 1
+            self._count_retry()
+            if (attempt > self.retry.max_retries
+                    or time.perf_counter() - start >= budget):
+                raise TransportTimeoutError(
+                    f"no reply to {message[0]!r} from pool member "
+                    f"{self.member.index} after {attempt} attempt(s) "
+                    f"({budget:.1f}s budget)"
+                )
+            self.send(message)
+
+    def close(self) -> None:
+        try:
+            self.member.conn.close()
+        except OSError:
+            pass
+
+
+class StragglerDetector:
+    """Wall-clock straggler heartbeat over one parallel batch.
+
+    Applies :class:`~repro.simulation.faults.DeadlinePolicy` -- the
+    exact rule the semi-sync/deadline schedulers apply to *simulated*
+    completion times -- to the *observed* per-worker wall times of a
+    pool round: record the time ``d`` at which the quorum fraction of
+    replies is in, then flag whoever is slower than
+    ``deadline_multiplier * d``.
+    """
+
+    def __init__(self, quorum_fraction: float = 0.85,
+                 deadline_multiplier: float = 1.5) -> None:
+        self.policy = DeadlinePolicy(quorum_fraction, deadline_multiplier)
+
+    def flag(self, completion_s: Dict[int, float]) -> List[int]:
+        """Worker ids whose observed completion breached the deadline."""
+        if len(completion_s) < 2:
+            return []
+        return list(self.policy.apply(completion_s).discarded)

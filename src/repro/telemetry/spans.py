@@ -31,10 +31,12 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-#: the span names the round engine and schedulers emit
+#: the span names the round engine, schedulers and the parallel
+#: runtime emit ("serialize" / "transfer" / "parallel_train" only
+#: appear with executor="process")
 SPAN_NAMES = frozenset(
     {"round", "decide", "prune", "dispatch", "local_train", "aggregate",
-     "eval"}
+     "eval", "serialize", "transfer", "parallel_train"}
 )
 
 #: every record kind a sink may receive

@@ -27,7 +27,9 @@ from repro.verify.differential import (
     StateCaptureHook,
     compare_state_sequences,
     differential_fast_vs_dense,
+    differential_serial_vs_process,
     differential_sync_vs_semisync,
+    normalised_history_bytes,
     ulp_distance,
 )
 from repro.verify.errors import (
@@ -67,7 +69,9 @@ __all__ = [
     "VerificationReport",
     "compare_state_sequences",
     "differential_fast_vs_dense",
+    "differential_serial_vs_process",
     "differential_sync_vs_semisync",
+    "normalised_history_bytes",
     "run_verification",
     "ulp_distance",
 ]

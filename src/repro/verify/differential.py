@@ -42,6 +42,8 @@ __all__ = [
     "compare_state_sequences",
     "differential_fast_vs_dense",
     "differential_sync_vs_semisync",
+    "differential_serial_vs_process",
+    "normalised_history_bytes",
 ]
 
 #: a semi-sync deadline no simulated round can miss
@@ -171,7 +173,10 @@ def capture_run(task, devices: Sequence, config: FLConfig,
     if dense:
         engine.aggregator.dense = True
     scheduler = make_scheduler(config)
-    history = scheduler.run(engine)
+    try:
+        history = scheduler.run(engine)
+    finally:
+        engine.close()
     return history, capture.states
 
 
@@ -270,3 +275,64 @@ def differential_sync_vs_semisync(task_factory: Callable[[], object],
         states_sync, states_semi, tolerance_ulps,
         label_a="sync", label_b="semi_sync_inf",
     )
+
+
+def normalised_history_bytes(history: TrainingHistory) -> bytes:
+    """Canonical bytes of a history with wall-clock noise removed.
+
+    Runs the real JSON serialisation path (:func:`repro.io.
+    save_history`), then zeroes the two fields that measure host time
+    rather than simulated behaviour -- ``overhead_s`` and any
+    ``extras["wall_time_s"]`` a hook recorded -- and re-dumps with
+    sorted keys.  Two runs are behaviourally identical iff these bytes
+    are equal.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.io import save_history
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "history.json"
+        save_history(history, path)
+        payload = json.loads(path.read_text())
+    for entry in payload["rounds"]:
+        entry["overhead_s"] = 0.0
+        extras = entry.get("extras") or {}
+        extras.pop("wall_time_s", None)
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def differential_serial_vs_process(task_factory: Callable[[], object],
+                                   devices: Sequence, config: FLConfig,
+                                   tolerance_ulps: int = 0,
+                                   num_procs: Optional[int] = None,
+                                   ) -> Tuple[DifferentialReport, bool]:
+    """Serial executor vs process-pool executor under one seed.
+
+    The parallel runtime is *specified* to be bitwise identical
+    (DESIGN.md 3.5): child workers rebuild the exact RNG streams from
+    their specs and trained states travel back as exact ``float32``
+    payloads, so the default tolerance is zero ULPs.  Returns the state
+    report plus whether the two runs' normalised history JSON bytes
+    were identical.
+    """
+    serial_config = replace(config, executor="serial")
+    process_config = replace(config, executor="process",
+                             num_procs=num_procs)
+    history_serial, states_serial = capture_run(
+        task_factory(), devices, serial_config
+    )
+    history_process, states_process = capture_run(
+        task_factory(), devices, process_config
+    )
+    report = compare_state_sequences(
+        states_serial, states_process, tolerance_ulps,
+        label_a="serial", label_b="process",
+    )
+    histories_match = (
+        normalised_history_bytes(history_serial)
+        == normalised_history_bytes(history_process)
+    )
+    return report, histories_match

@@ -33,6 +33,7 @@ from repro.verify.differential import (
     DifferentialReport,
     StateCaptureHook,
     differential_fast_vs_dense,
+    differential_serial_vs_process,
     differential_sync_vs_semisync,
 )
 from repro.verify.errors import (
@@ -217,8 +218,15 @@ def run_verification(preset: str = "cnn", rounds: int = 5,
                      DEFAULT_SEMISYNC_TOLERANCE_ULPS,
                      scenario: str = "medium",
                      workers: Optional[int] = None,
-                     seed: int = 17) -> VerificationReport:
-    """Run the full verification battery on one bench preset."""
+                     seed: int = 17,
+                     executor: str = "serial",
+                     num_procs: Optional[int] = None) -> VerificationReport:
+    """Run the full verification battery on one bench preset.
+
+    ``executor="process"`` adds a fourth stage: a serial-vs-process
+    differential run that must be 0-ULP identical in every per-round
+    global state *and* byte-identical in the normalised history JSON.
+    """
     if rounds < 2:
         raise ValueError("verification needs at least 2 rounds")
     bench = make_bench_task(preset)
@@ -310,5 +318,24 @@ def run_verification(preset: str = "cnn", rounds: int = 5,
         count_hint="the zero-sample contribution stays in the round "
                    "(the weighted aggregator skips it internally)",
     ))
+
+    # --- stage 4: parallel-runtime parity (opt-in) ------------------------
+    if executor == "process":
+        diff_report, histories_match = differential_serial_vs_process(
+            lambda: bench.make_task(0.0), devices, base,
+            tolerance_ulps=tolerance_ulps, num_procs=num_procs,
+        )
+        report.results.append(CheckResult(
+            "differential/serial_vs_process", diff_report.passed,
+            diff_report.describe(),
+        ))
+        report.results.append(CheckResult(
+            "history/serial_vs_process_bytes", histories_match,
+            "normalised history JSON is byte-identical under both "
+            "executors" if histories_match else
+            "normalised history JSON DIFFERS between executors",
+        ))
+    elif executor != "serial":
+        raise ValueError(f"unknown executor {executor!r}")
 
     return report

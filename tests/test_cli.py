@@ -52,3 +52,53 @@ def test_compare_command(capsys):
     out = capsys.readouterr().out
     assert "Syn-FL" in out
     assert "FedMP" in out
+
+
+def test_run_process_executor_matches_serial_history(tmp_path, capsys):
+    """`--executor process` must produce the same run as serial (the
+    CLI-level view of the runtime's 0-ULP parity guarantee)."""
+    serial_path = tmp_path / "serial.json"
+    process_path = tmp_path / "process.json"
+    base = ["run", "--task", "cnn", "--strategy", "synfl",
+            "--rounds", "1", "--seed", "3"]
+    assert main(base + ["--history", str(serial_path)]) == 0
+    assert main(base + ["--executor", "process", "--num-procs", "2",
+                        "--history", str(process_path)]) == 0
+    capsys.readouterr()
+    serial = json.loads(serial_path.read_text())
+    process = json.loads(process_path.read_text())
+    for entry in serial["rounds"] + process["rounds"]:
+        entry["overhead_s"] = 0.0  # host time, not behaviour
+        (entry.get("extras") or {}).pop("wall_time_s", None)
+    assert serial == process
+
+
+def test_run_nan_policy_and_fast_path_flags_reach_config(tmp_path, capsys):
+    history_path = tmp_path / "history.json"
+    code = main([
+        "run", "--task", "cnn", "--strategy", "synfl",
+        "--rounds", "1", "--seed", "1", "--nan-policy", "skip",
+        "--no-fast-path", "--history", str(history_path),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    assert json.loads(history_path.read_text())["rounds"]
+
+
+def test_run_rejects_profiler_with_process_executor(capsys):
+    code = main([
+        "run", "--task", "cnn", "--strategy", "synfl", "--rounds", "1",
+        "--executor", "process", "--profile-worker", "0",
+    ])
+    assert code == 2
+    assert "--profile-worker" in capsys.readouterr().err
+
+
+def test_verify_parser_accepts_executor_flags():
+    parser = build_parser()
+    args = parser.parse_args(["verify", "--executor", "process",
+                              "--num-procs", "2"])
+    assert args.executor == "process"
+    assert args.num_procs == 2
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--executor", "threads"])

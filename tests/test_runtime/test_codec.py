@@ -1,0 +1,222 @@
+"""Wire-codec tests: hypothesis round-trips, strict rejection, and
+round-trips over every registry model's real extracted sub-models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.models.registry import build_model
+from repro.pruning.quantize import quantize_state_dict
+from repro.pruning.iss import build_iss_plan, extract_iss_submodel
+from repro.pruning.structured import build_pruning_plan, extract_submodel
+from repro.runtime.codec import (
+    KIND_CONTRIBUTION,
+    KIND_DISPATCH,
+    WIRE_VERSION,
+    TrainHyper,
+    WireFormatError,
+    decode_contribution,
+    decode_dispatch,
+    encode_contribution,
+    encode_dispatch,
+    frame_kind,
+)
+from repro.verify.strategies import (
+    linear_chain_scenarios,
+    state_dicts,
+)
+
+HYPER = TrainHyper(lr=0.05, momentum=0.9, weight_decay=1e-4,
+                   prox_mu=0.01, clip_norm=5.0)
+
+
+def _assert_states_equal(decoded, original):
+    assert set(decoded) == set(original)
+    for key, value in original.items():
+        got = decoded[key]
+        assert got.shape == np.asarray(value).shape
+        np.testing.assert_array_equal(got, value)
+
+
+def _assert_plans_equal(decoded, original):
+    decoded_layers = dict(decoded.items())
+    original_layers = dict(original.items())
+    assert decoded.ratio == original.ratio
+    assert set(decoded_layers) == set(original_layers)
+    for name, entry in original_layers.items():
+        got = decoded_layers[name]
+        assert got.kind == entry.kind
+        assert got.out_full == entry.out_full
+        np.testing.assert_array_equal(got.kept_out, entry.kept_out)
+        assert (got.kept_in is None) == (entry.kept_in is None)
+        if entry.kept_in is not None:
+            assert got.in_full == entry.in_full
+            np.testing.assert_array_equal(got.kept_in, entry.kept_in)
+
+
+# ----------------------------------------------------------------------
+# hypothesis round-trips
+# ----------------------------------------------------------------------
+@given(scenario=linear_chain_scenarios())
+@settings(max_examples=50, deadline=None)
+def test_dispatch_roundtrip(scenario):
+    _, plan, sub_state, _ = scenario
+    frame = encode_dispatch(3, plan, sub_state, tau=7, hyper=HYPER,
+                            emulate_s=0.25)
+    assert frame_kind(frame) == KIND_DISPATCH
+    payload = decode_dispatch(frame)
+    assert payload.worker_id == 3
+    assert payload.tau == 7
+    assert payload.emulate_s == 0.25
+    assert payload.hyper == HYPER
+    _assert_plans_equal(payload.plan, plan)
+    _assert_states_equal(payload.state, sub_state)
+
+
+@given(state=state_dicts())
+@settings(max_examples=50, deadline=None)
+def test_contribution_roundtrip(state):
+    frame = encode_contribution(5, state, train_loss=1.25,
+                                wall_time_s=0.5, num_samples=48)
+    assert frame_kind(frame) == KIND_CONTRIBUTION
+    payload = decode_contribution(frame)
+    assert payload.worker_id == 5
+    assert payload.num_samples == 48
+    assert payload.train_loss == 1.25
+    assert payload.wall_time_s == 0.5
+    _assert_states_equal(payload.state, state)
+
+
+@given(state=state_dicts())
+@settings(max_examples=30, deadline=None)
+def test_quantized_roundtrip_matches_dequantize(state):
+    """Quantized frames are lossy vs the input but must decode to
+    exactly what quantize -> dequantize produces."""
+    frame = encode_contribution(1, state, train_loss=0.0, wall_time_s=0.0,
+                                quantize_bits=8)
+    payload = decode_contribution(frame)
+    expected = quantize_state_dict(state, bits=8).dequantize()
+    for key, value in expected.items():
+        np.testing.assert_array_equal(
+            payload.state[key], value.astype(np.float32)
+        )
+        assert payload.state[key].dtype == np.float32
+
+
+def test_none_clip_norm_roundtrips():
+    hyper = TrainHyper(lr=0.1, clip_norm=None)
+    state = {"w": np.ones((2, 2), dtype=np.float32)}
+    from repro.pruning.plan import PruningPlan
+    frame = encode_dispatch(0, PruningPlan(ratio=0.0), state, tau=1,
+                            hyper=hyper)
+    assert decode_dispatch(frame).hyper.clip_norm is None
+
+
+def test_float64_tensors_roundtrip():
+    state = {"w": np.linspace(0, 1, 7, dtype=np.float64)}
+    frame = encode_contribution(0, state, train_loss=0.0, wall_time_s=0.0)
+    decoded = decode_contribution(frame).state["w"]
+    assert decoded.dtype == np.float64
+    np.testing.assert_array_equal(decoded, state["w"])
+
+
+# ----------------------------------------------------------------------
+# rejection: corrupt frames raise WireFormatError, never mis-decode
+# ----------------------------------------------------------------------
+def _sample_frame() -> bytes:
+    state = {"w": np.arange(12, dtype=np.float32).reshape(3, 4),
+             "b": np.ones(3, dtype=np.float32)}
+    return encode_contribution(2, state, train_loss=0.5, wall_time_s=0.1)
+
+
+def test_truncated_prefixes_rejected():
+    frame = _sample_frame()
+    # every strict prefix must be rejected (truncation at any offset)
+    for cut in range(len(frame)):
+        with pytest.raises(WireFormatError):
+            decode_contribution(frame[:cut])
+
+
+def test_flipped_byte_rejected_by_crc():
+    frame = bytearray(_sample_frame())
+    for offset in (0, 5, len(frame) // 2, len(frame) - 1):
+        corrupt = bytearray(frame)
+        corrupt[offset] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            decode_contribution(bytes(corrupt))
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(WireFormatError):
+        decode_contribution(_sample_frame() + b"\x00")
+
+
+def test_version_mismatch_rejected():
+    import struct
+    import zlib
+    frame = bytearray(_sample_frame())
+    struct.pack_into("<H", frame, 4, WIRE_VERSION + 1)
+    # re-seal so the version check (not the CRC) is what fires
+    body = bytes(frame[:-4])
+    sealed = body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+    with pytest.raises(WireFormatError, match="version"):
+        decode_contribution(sealed)
+
+
+def test_wrong_kind_rejected():
+    frame = _sample_frame()
+    with pytest.raises(WireFormatError, match="kind"):
+        decode_dispatch(frame)
+
+
+def test_kept_index_out_of_range_rejected():
+    from repro.pruning.plan import LayerPrune, PruningPlan
+    plan = PruningPlan(ratio=0.5)
+    plan.add("fc", LayerPrune(kind="linear",
+                              kept_out=np.array([0, 1], dtype=np.intp),
+                              out_full=4))
+    state = {"fc.weight": np.zeros((2, 3), dtype=np.float32)}
+    frame = bytearray(encode_dispatch(0, plan, state, tau=1,
+                                      hyper=TrainHyper(lr=0.1)))
+    import struct
+    import zlib
+    # locate the plan entry by its length-prefixed name, skip the kind
+    # byte and the (out_full, count) pair, then patch kept index 1 -> 9
+    # (out of range for out_full=4) and re-seal
+    entry = bytes(frame).index(b"\x02\x00fc")
+    offset = entry + 4 + 1 + 8
+    assert frame[offset:offset + 8] == np.array([0, 1], dtype="<u4").tobytes()
+    frame[offset:offset + 8] = np.array([0, 9], dtype="<u4").tobytes()
+    body = bytes(frame[:-4])
+    sealed = body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+    with pytest.raises(WireFormatError, match="out of range"):
+        decode_dispatch(sealed)
+
+
+# ----------------------------------------------------------------------
+# every registry model round-trips under verify-preset ratios
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("model_name", ["cnn", "alexnet", "vgg19",
+                                        "resnet50", "lstm_lm"])
+@pytest.mark.parametrize("ratio", [0.0, 0.35, 0.7])
+def test_registry_models_roundtrip(model_name, ratio):
+    rng = np.random.default_rng(11)
+    model = build_model(model_name, rng=rng)
+    if model_name == "lstm_lm":
+        plan = build_iss_plan(model, ratio)
+        submodel = extract_iss_submodel(model, plan,
+                                        np.random.default_rng(12))
+    else:
+        plan = build_pruning_plan(model, ratio)
+        submodel = extract_submodel(model, plan, np.random.default_rng(12))
+    state = submodel.state_dict()
+    frame = encode_dispatch(0, plan, state, tau=2,
+                            hyper=TrainHyper(lr=0.05))
+    payload = decode_dispatch(frame)
+    _assert_plans_equal(payload.plan, plan)
+    _assert_states_equal(payload.state, state)
+    # corrupting any single byte of a real frame must raise, not decode
+    corrupt = bytearray(frame)
+    corrupt[len(corrupt) // 3] ^= 0x01
+    with pytest.raises(WireFormatError):
+        decode_dispatch(bytes(corrupt))

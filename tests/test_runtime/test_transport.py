@@ -1,0 +1,116 @@
+"""Transport semantics: retry/backoff, timeouts, crashes, stragglers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.pool import ProcessPool, WorkerSpec
+from repro.runtime.transport import (
+    ProcessTransport,
+    RetryPolicy,
+    StragglerDetector,
+    TransportTimeoutError,
+    WorkerCrashError,
+)
+from repro.simulation.cluster import make_scenario_devices
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _make_pool() -> ProcessPool:
+    rng = np.random.default_rng(0)
+    device = make_scenario_devices({"A": 1}, np.random.default_rng(3))[0]
+    spec = WorkerSpec(
+        worker_id=0, seed=11,
+        shard_inputs=rng.normal(size=(8, 1, 4, 4)).astype(np.float32),
+        shard_targets=rng.integers(0, 2, size=8).astype(np.int64),
+        batch_size=4, device=device, jitter_sigma=0.05, num_samples=8,
+    )
+    return ProcessPool([spec], num_procs=1)
+
+
+def _retry_sum(metrics: MetricsRegistry) -> float:
+    return sum(counter.value for counter in metrics.counters
+               if counter.name == "retries_total")
+
+
+def test_backoff_schedule():
+    policy = RetryPolicy(backoff_s=0.25, backoff_factor=2.0)
+    assert policy.backoff(0) == pytest.approx(0.25)
+    assert policy.backoff(2) == pytest.approx(1.0)
+
+
+def test_ping_roundtrip():
+    pool = _make_pool()
+    try:
+        transport = ProcessTransport(pool.members[0])
+        assert transport.request(("ping", 1, 0.0)) == ("pong", 1)
+    finally:
+        pool.close()
+
+
+def test_delayed_reply_provokes_resend_and_duplicates_are_discarded():
+    pool = _make_pool()
+    try:
+        metrics = MetricsRegistry()
+        retry = RetryPolicy(timeout_s=20.0, max_retries=100,
+                            backoff_s=0.05, backoff_factor=1.0)
+        transport = ProcessTransport(pool.members[0], retry=retry,
+                                     metrics=metrics)
+        # the child sleeps 0.4s before answering, so the 0.05s backoff
+        # schedule resends the ping several times...
+        assert transport.request(("ping", 1, 0.4)) == ("pong", 1)
+        assert _retry_sum(metrics) >= 1
+        # ...and every duplicate pong(1) the resends provoked must be
+        # discarded by sequence number, not returned for seq 2
+        assert transport.request(("ping", 2, 0.0)) == ("pong", 2)
+    finally:
+        pool.close(join_timeout_s=1.0)
+
+
+def test_exhausted_budget_raises_typed_timeout():
+    pool = _make_pool()
+    try:
+        retry = RetryPolicy(timeout_s=0.3, max_retries=2, backoff_s=0.05)
+        transport = ProcessTransport(pool.members[0], retry=retry)
+        with pytest.raises(TransportTimeoutError, match="ping"):
+            transport.request(("ping", 1, 5.0))
+    finally:
+        pool.close(join_timeout_s=0.5)
+
+
+def test_dead_member_raises_worker_crash_error():
+    pool = _make_pool()
+    try:
+        member = pool.members[0]
+        member.proc.terminate()
+        member.proc.join(timeout=5.0)
+        transport = ProcessTransport(
+            member, retry=RetryPolicy(timeout_s=2.0, backoff_s=0.05)
+        )
+        with pytest.raises(WorkerCrashError):
+            transport.request(("ping", 1, 0.0))
+    finally:
+        pool.close(join_timeout_s=0.5)
+
+
+# ----------------------------------------------------------------------
+# straggler heartbeat
+# ----------------------------------------------------------------------
+def test_straggler_detector_needs_two_observations():
+    detector = StragglerDetector()
+    assert detector.flag({}) == []
+    assert detector.flag({0: 123.0}) == []
+
+
+def test_straggler_detector_uniform_batch_is_clean():
+    detector = StragglerDetector(quorum_fraction=0.5,
+                                 deadline_multiplier=1.5)
+    assert detector.flag({i: 1.0 for i in range(4)}) == []
+
+
+def test_straggler_detector_flags_outlier():
+    detector = StragglerDetector(quorum_fraction=0.5,
+                                 deadline_multiplier=1.5)
+    flagged = detector.flag({0: 1.0, 1: 1.0, 2: 1.0, 3: 10.0})
+    assert flagged == [3]
