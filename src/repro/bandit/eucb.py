@@ -49,11 +49,17 @@ from repro.bandit.partition import Partition, Region
 @dataclass
 class _PlayRecord:
     """One historical play: the arm value, its observed reward, and the
-    1-based play index (used to recompute discount weights on splits)."""
+    1-based play index (used to recompute discount weights on splits).
+
+    ``count`` > 1 records a *cohort* play: ``count`` members shared the
+    arm and reported one mean reward, accounted as ``count`` consecutive
+    virtual plays ending at ``step``.
+    """
 
     arm: float
     reward: float
     step: int = 0
+    count: int = 1
 
 
 @dataclass
@@ -92,6 +98,9 @@ class EUCBAgent:
         self.partition = Partition(0.0, max_ratio)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.history: List[_PlayRecord] = []
+        #: total number of *virtual* plays (sum of record counts); equals
+        #: ``len(history)`` while every play has count 1
+        self._total_steps: int = 0
         self._stats: Dict[Region, _RegionStats] = {}
         self._reward_low: Optional[float] = None
         self._reward_high: Optional[float] = None
@@ -102,6 +111,16 @@ class EUCBAgent:
     # ------------------------------------------------------------------
     # statistics (Eqs. 9-11)
     # ------------------------------------------------------------------
+    def _geom(self, count: int) -> float:
+        """Discount-weighted size of a ``count``-member virtual play
+        group whose last member has weight 1:
+        ``1 + d + ... + d**(count-1)``.  Exactly 1.0 for count 1, so
+        single-member plays keep their historical bit patterns."""
+        if count == 1:
+            return 1.0
+        d = self.discount
+        return (1.0 - d ** count) / (1.0 - d)
+
     def _normalized_mean(self, stats: _RegionStats) -> float:
         """Discounted empirical mean of the region's (effective)
         rewards; the extra Eq. 9 discount cancels in the ratio."""
@@ -156,7 +175,7 @@ class EUCBAgent:
         Used only by tests to cross-check the incremental statistics;
         the hot path never calls this.
         """
-        k = len(self.history) + 1
+        k = self._total_steps + 1
         counts = {region: 0.0 for region in self.partition}
         sums = {region: 0.0 for region in self.partition}
         raw = [record.reward for record in self.history]
@@ -169,10 +188,9 @@ class EUCBAgent:
                 rewards = [(value - low) / spread for value in raw]
         else:
             rewards = raw
-        for step, (record, reward) in enumerate(
-            zip(self.history, rewards), start=1
-        ):
-            weight = self.discount ** (k - step)
+        for record, reward in zip(self.history, rewards):
+            weight = (self.discount ** (k - record.step)
+                      * self._geom(record.count))
             region = self.partition.find(record.arm)
             counts[region] += weight
             sums[region] += weight * reward
@@ -203,11 +221,21 @@ class EUCBAgent:
         self._pending_split = best_region.diameter > self.theta
         return arm
 
-    def observe(self, reward: float) -> None:
+    def observe(self, reward: float, count: int = 1) -> None:
         """Record the reward of the most recent play (Lines 11-12) and
-        perform the play's deferred region split."""
+        perform the play's deferred region split.
+
+        ``count`` > 1 books the play with *member multiplicity*: a
+        cohort of ``count`` workers shared the arm and reported one mean
+        reward, accounted as ``count`` consecutive virtual plays (the
+        older stats age by ``discount**count``, the play contributes a
+        geometric weight ``1 + d + ... + d**(count-1)``).  ``count=1``
+        is bit-for-bit the historical single-worker update.
+        """
         if self._pending_arm is None:
             raise RuntimeError("observe called without a pending play")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
         arm = self._pending_arm
         if self._pending_split and self._pending_region is not None:
             left, right = self.partition.split(self._pending_region, arm)
@@ -216,17 +244,21 @@ class EUCBAgent:
         self._pending_region = None
         self._pending_split = False
 
-        record = _PlayRecord(arm, float(reward), step=len(self.history) + 1)
+        self._total_steps += count
+        record = _PlayRecord(arm, float(reward), step=self._total_steps,
+                             count=count)
         self.history.append(record)
         d = self.discount
+        aging = d if count == 1 else d ** count
         for stats in self._stats.values():
-            stats.disc_count *= d
-            stats.disc_raw_sum *= d
+            stats.disc_count *= aging
+            stats.disc_raw_sum *= aging
+        weight = self._geom(count)
         target = self.partition.find(arm)
         stats = self._stats.setdefault(target, _RegionStats())
         stats.plays.append(record)
-        stats.disc_count += 1.0
-        stats.disc_raw_sum += record.reward
+        stats.disc_count += weight
+        stats.disc_raw_sum += weight * record.reward
         if self._reward_low is None or record.reward < self._reward_low:
             self._reward_low = record.reward
         if self._reward_high is None or record.reward > self._reward_high:
@@ -240,12 +272,13 @@ class EUCBAgent:
         old = self._stats.pop(region, None)
         if old is None:
             return
-        n = len(self.history)
+        n = self._total_steps
         for record in old.plays:
             child = left if left.contains(record.arm) else right
             stats = self._stats.setdefault(child, _RegionStats())
             stats.plays.append(record)
-            weight = self.discount ** (n - record.step)
+            weight = (self.discount ** (n - record.step)
+                      * self._geom(record.count))
             stats.disc_count += weight
             stats.disc_raw_sum += weight * record.reward
 
@@ -281,6 +314,7 @@ class EUCBAgent:
             })
         return {
             "rounds_played": len(self.history),
+            "total_steps": self._total_steps,
             "num_regions": len(self.partition),
             "pending_arm": self._pending_arm,
             "partition": self.partition.snapshot(),

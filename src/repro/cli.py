@@ -94,6 +94,20 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-fast-path", action="store_true",
                         help="disable the dispatch/aggregation fast path "
                              "(A/B debugging; bitwise-identical results)")
+    parser.add_argument("--clients-per-round", type=int, default=None,
+                        metavar="M",
+                        help="sample M clients per round instead of "
+                             "dispatching to the whole fleet")
+    parser.add_argument("--cohort-rounds", default="auto",
+                        choices=("auto", "on", "off"),
+                        help="cohort-sharded dispatch/training/aggregation "
+                             "(one shared sub-model per ratio x cluster "
+                             "bucket; bitwise-identical results)")
+    parser.add_argument("--history-detail", default="auto",
+                        choices=("auto", "member", "cohort"),
+                        help="round-record granularity: per-worker entries "
+                             "or per-cohort aggregates (auto switches to "
+                             "cohort detail on large fleets)")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="write engine spans/events as JSONL to FILE")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
@@ -133,6 +147,9 @@ def _build_history(task_key: str, strategy: str, args,
         num_procs=getattr(args, "num_procs", None),
         nan_policy=getattr(args, "nan_policy", "raise"),
         fast_path=not getattr(args, "no_fast_path", False),
+        clients_per_round=getattr(args, "clients_per_round", None),
+        cohort_rounds=getattr(args, "cohort_rounds", "auto"),
+        history_detail=getattr(args, "history_detail", "auto"),
     )
     if args.rounds is not None:
         overrides["max_rounds"] = args.rounds

@@ -205,16 +205,107 @@ class Aggregator:
         total_weight = 0.0
         for contribution, weight in weighted:
             total_weight += weight
-            if self.dense:
+
+        if self.dense:
+            for contribution, weight in weighted:
                 self._accumulate_dense(accumulator, contribution, weight,
                                        template)
-            else:
-                self._accumulate_scatter(accumulator, contribution, weight,
-                                         template)
+        else:
+            for members in self._cohort_groups(weighted):
+                if len(members) == 1:
+                    contribution, weight = members[0]
+                    self._accumulate_scatter(accumulator, contribution,
+                                             weight, template)
+                else:
+                    self._accumulate_cohort(accumulator, members, template)
 
         return {
             key: value / total_weight for key, value in accumulator.items()
         }
+
+    def _cohort_groups(self, weighted):
+        """Group weighted contributions that share one dispatched cohort.
+
+        Contributions qualify when they share the identical plan object
+        and (under R2SP) the identical frozen global snapshot, and carry
+        unit weight -- the conditions under which a per-cohort partial
+        sum plus a single residual fold is exactly the member-order
+        accumulation (see :meth:`_accumulate_cohort`).  Everything else
+        stays a singleton group on the per-member scatter path.  Groups
+        come back in first-occurrence order.
+        """
+        groups: Dict[object, list] = {}
+        order = []
+        for contribution, weight in weighted:
+            shareable = (
+                weight == 1.0
+                and contribution.residual is None
+                and (not self.needs_residual
+                     or contribution.global_state is not None)
+            )
+            if shareable:
+                key = (id(contribution.plan), id(contribution.global_state))
+            else:
+                key = ("solo", contribution.worker_id)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((contribution, weight))
+        return [groups[key] for key in order]
+
+    def _accumulate_cohort(self, accumulator: Dict[str, np.ndarray],
+                           members: list,
+                           template: Dict[str, np.ndarray]) -> None:
+        """Cohort path: one partial sum + one residual fold per group.
+
+        All member weights are exactly 1.0 (enforced by
+        :meth:`_cohort_groups`), so the float64 partial sum accumulates
+        the identical addends the per-member path would have scattered,
+        and the residual -- identical for every member, since they share
+        the plan and the global snapshot -- folds in once with the group
+        weight, multiplied in float64 so ``M * g`` is the exact sum of
+        ``M`` unit-weight folds.
+        """
+        first, _ = members[0]
+        plan = first.plan
+        planned = plan.param_names()
+
+        partial: Dict[str, np.ndarray] = {}
+        for contribution, _weight in members:
+            for key, sub_value in contribution.sub_state.items():
+                existing = partial.get(key)
+                if existing is None:
+                    partial[key] = sub_value.astype(np.float64)
+                else:
+                    existing += sub_value
+
+        for key, full_value in template.items():
+            entry_info = planned.get(key)
+            if entry_info is not None:
+                layer_name, suffix = entry_info
+                scatter_add_param(accumulator[key], suffix, plan[layer_name],
+                                  partial[key], 1.0)
+            else:
+                if partial[key].shape != full_value.shape:
+                    raise ValueError(
+                        f"unplanned entry {key!r} changed shape: "
+                        f"{partial[key].shape} vs {full_value.shape}"
+                    )
+                accumulator[key] += partial[key]
+
+        if self.needs_residual:
+            global_state = first.global_state
+            group_weight = float(len(members))
+            for key, (layer_name, suffix) in planned.items():
+                if key in accumulator:
+                    scatter_add_residual(
+                        accumulator[key], suffix, plan[layer_name],
+                        global_state[key].astype(np.float64), group_weight,
+                    )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "aggregate_cohort_partial_sums_total",
+            ).inc()
 
     def _accumulate_dense(self, accumulator: Dict[str, np.ndarray],
                           contribution: Contribution, weight: float,

@@ -88,10 +88,33 @@ class FLConfig:
     # (aggregate whoever arrived by then, carry stragglers over)
     semi_sync_deadline_s: Optional[float] = None
 
+    # fleet scale: sample this many clients per round from the present
+    # workers (seeded via the engine's master RNG, after all existing
+    # streams, so unsampled runs keep their bit-exact traces); None
+    # trains the whole present fleet every round
+    clients_per_round: Optional[int] = None
+
+    # cohort-sharded rounds: workers that share a (pruning-plan, cluster)
+    # bucket are dispatched/trained/aggregated as one cohort.  "auto"
+    # enables cohorts whenever the fast path can share sub-models,
+    # "on"/"off" force the choice.  "off" is the per-member reference
+    # path the cohort differential compares against.
+    cohort_rounds: str = "auto"   # "auto" | "on" | "off"
+
+    # history granularity: "member" keeps per-worker ratios/completion
+    # times in every RoundRecord (O(fleet) JSON), "cohort" stores
+    # per-cohort aggregates instead; "auto" picks member below
+    # _HISTORY_DETAIL_AUTO_FLEET workers and cohort at fleet scale
+    history_detail: str = "auto"   # "auto" | "member" | "cohort"
+
     _SYNC_SCHEMES = ("r2sp", "bsp", "r2sp_weighted", "bsp_weighted")
     _SCHEDULERS = ("auto", "sync", "async", "semi_sync")
     _NAN_POLICIES = ("raise", "skip", "off")
     _EXECUTORS = ("serial", "process")
+    _COHORT_MODES = ("auto", "on", "off")
+    _HISTORY_DETAILS = ("auto", "member", "cohort")
+    #: fleet size at which history_detail="auto" switches to cohort
+    _HISTORY_DETAIL_AUTO_FLEET = 1024
 
     def __post_init__(self) -> None:
         if self.local_iterations <= 0:
@@ -137,4 +160,16 @@ class FLConfig:
         if self.async_m is not None and self.semi_sync_deadline_s is not None:
             raise ValueError(
                 "async_m and semi_sync_deadline_s are mutually exclusive"
+            )
+        if self.clients_per_round is not None and self.clients_per_round <= 0:
+            raise ValueError("clients_per_round must be positive when set")
+        if self.cohort_rounds not in self._COHORT_MODES:
+            raise ValueError(
+                f"cohort_rounds must be one of {self._COHORT_MODES}, "
+                f"got {self.cohort_rounds!r}"
+            )
+        if self.history_detail not in self._HISTORY_DETAILS:
+            raise ValueError(
+                f"history_detail must be one of {self._HISTORY_DETAILS}, "
+                f"got {self.history_detail!r}"
             )

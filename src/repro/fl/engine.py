@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.fl.aggregation import Aggregator, Contribution, make_aggregator
+from repro.fl.cohort import Cohort
 from repro.fl.compression import ErrorFeedback, top_k_sparsify
 from repro.fl.config import FLConfig
 from repro.fl.history import RoundRecord, TrainingHistory
@@ -31,9 +32,15 @@ from repro.fl.hooks import HookList, RoundHook
 from repro.fl.server import ParameterServer
 from repro.fl.strategies import Strategy, make_strategy
 from repro.fl.worker import Worker
+from repro.nn.batched import supports_cohort_training
 from repro.pruning.masks import residual_state_dict
 from repro.runtime.codec import TrainHyper
-from repro.runtime.executor import Executor, TrainRequest, make_executor
+from repro.runtime.executor import (
+    CohortTrainRequest,
+    Executor,
+    TrainRequest,
+    make_executor,
+)
 from repro.runtime.pool import WorkerSpec
 from repro.simulation.clock import SimulationClock
 from repro.simulation.device import DeviceProfile
@@ -60,6 +67,15 @@ class Dispatch:
     #: frozen pre-round global state shared by the round's dispatches;
     #: set on the fast path instead of materialising ``residual``
     global_state: Optional[Dict[str, np.ndarray]] = None
+    #: local shard size, carried so aggregation-time weighting never
+    #: re-resolves the full worker table
+    num_samples: int = 1
+    #: owning :class:`~repro.fl.cohort.Cohort` on the cohort path, in
+    #: which case ``submodel`` is None (the cohort template is shared)
+    cohort: Optional[Cohort] = None
+    #: raw trained sub-model state (pre upload-compression), recorded by
+    #: ``train_all`` for observer hooks and invariant checks
+    trained_state: Optional[Dict[str, np.ndarray]] = None
 
     @property
     def finish_time(self) -> float:
@@ -146,6 +162,7 @@ class Engine:
         self.strategy: Strategy = make_strategy(
             config.strategy, self.worker_ids, config,
             rng=np.random.default_rng(self.master_rng.integers(2 ** 31)),
+            devices=devices,
         )
         if getattr(self.strategy, "needs_calibration", False):
             self.strategy.calibrate(
@@ -186,6 +203,31 @@ class Engine:
         self._churn_rng = np.random.default_rng(
             self.master_rng.integers(2 ** 31)
         )
+        # client sampling draws from its own stream, derived after every
+        # pre-existing one so unsampled runs keep their bit-exact traces
+        self._sampling_rng = np.random.default_rng(
+            self.master_rng.integers(2 ** 31)
+        )
+
+        # Cohort-sharded rounds: bucket sampled workers by
+        # (ratio, cluster) and dispatch/train/aggregate per bucket.
+        # Requires the sub-model-sharing fast path (one template serves
+        # the whole cohort), so "auto" follows _share_submodels.
+        if config.cohort_rounds == "on" and not self._share_submodels:
+            raise ValueError(
+                "cohort_rounds='on' requires the sub-model-sharing fast "
+                "path (fast_path=True and no rng-bearing modules)"
+            )
+        self.cohort_mode = (
+            self._share_submodels and config.cohort_rounds != "off"
+        )
+        self.history_detail = config.history_detail
+        if self.history_detail == "auto":
+            self.history_detail = (
+                "member"
+                if len(devices) < FLConfig._HISTORY_DETAIL_AUTO_FLEET
+                else "cohort"
+            )
         self.hooks.attach(self)
         # the execution seam is built last: with the process executor the
         # pool forks here, after every RNG stream above has been derived
@@ -211,6 +253,26 @@ class Engine:
             rejoin_after=self.config.churn_rejoin_after,
             rng=self._churn_rng,
         )
+
+    def sample_clients(self, candidates: Sequence[int],
+                       round_index: int) -> List[int]:
+        """Sample ``clients_per_round`` workers from ``candidates``.
+
+        Draws from the dedicated sampling stream only when the config
+        actually subsamples, so runs without ``clients_per_round`` (and
+        rounds where everyone fits) consume no extra randomness.  The
+        sample is returned in ``candidates`` order, keeping downstream
+        iteration order deterministic.
+        """
+        candidates = list(candidates)
+        m = self.config.clients_per_round
+        if m is None or m >= len(candidates):
+            return candidates
+        picked = self._sampling_rng.choice(
+            len(candidates), size=m, replace=False
+        )
+        self.telemetry.metrics.counter("clients_sampled_total").inc(m)
+        return [candidates[index] for index in sorted(picked)]
 
     # ------------------------------------------------------------------
     # per-round building blocks
@@ -252,9 +314,128 @@ class Engine:
                 residual=residual, tau=tau, costs=costs,
                 dispatch_time=dispatch_time, download_params=num_params,
                 upload_params=upload_params, global_state=global_state,
+                num_samples=self.workers[worker_id].num_samples,
             )
             self.hooks.on_dispatch(round_index, dispatch)
         return dispatch
+
+    def dispatch_many(self, ratios: Dict[int, float], dispatch_time: float,
+                      round_index: int) -> Dict[int, Dispatch]:
+        """Dispatch a round's worth of workers, cohort-sharded when on.
+
+        On the cohort path, workers are bucketed by ``(ratio, cluster)``
+        in first-occurrence order -- which preserves the per-member
+        path's cache-miss order, hence its ``extract_rng`` consumption
+        -- and each bucket materialises one plan/template/state for all
+        its members.  Per-member work shrinks to pricing (round costs)
+        and a lightweight :class:`Dispatch` that points at the shared
+        :class:`~repro.fl.cohort.Cohort`.
+        """
+        if not self.cohort_mode:
+            return {
+                worker_id: self.dispatch(
+                    worker_id, ratios[worker_id], dispatch_time, round_index
+                )
+                for worker_id in ratios
+            }
+
+        buckets: Dict[Tuple[float, str], List[int]] = {}
+        for worker_id, ratio in ratios.items():
+            key = (float(ratio), self.workers[worker_id].device.cluster)
+            buckets.setdefault(key, []).append(worker_id)
+
+        metrics = self.telemetry.metrics
+        dispatches: Dict[int, Dispatch] = {}
+        for (ratio, cluster), member_ids in buckets.items():
+            with self.telemetry.span(
+                "dispatch_cohort", round=round_index, ratio=ratio,
+                cluster=cluster, members=len(member_ids),
+            ) as cohort_span:
+                with self.telemetry.span("prune", round=round_index,
+                                         ratio=ratio, cluster=cluster):
+                    plan, template, state, fresh = self._cohort_submodel(
+                        ratio
+                    )
+                num_params = template.num_parameters()
+                saved_clones = len(member_ids) - 1 if fresh else len(member_ids)
+                if saved_clones > 0:
+                    metrics.counter("dispatch_alloc_saved_params_total").inc(
+                        saved_clones * num_params
+                    )
+                global_state = (
+                    self._round_global_state()
+                    if self.aggregator.needs_residual else None
+                )
+                flops = self.task.count_flops(template)
+                cohort = Cohort(
+                    ratio=ratio, cluster=cluster, plan=plan,
+                    template=template, dispatched_state=state,
+                    member_ids=list(member_ids), num_params=num_params,
+                    supports_vectorised=supports_cohort_training(template),
+                    global_state=global_state,
+                )
+                cohort_span.set("download_params", num_params)
+                for worker_id in member_ids:
+                    with self.telemetry.span(
+                        "dispatch", round=round_index, worker=worker_id,
+                        ratio=ratio,
+                    ) as span:
+                        tau = self.strategy.local_iterations(worker_id)
+                        keep = self.strategy.upload_keep_fraction(worker_id)
+                        upload_params = max(1, int(round(num_params * keep)))
+                        costs = self.workers[worker_id].round_costs(
+                            flops, download_params=num_params,
+                            upload_params=upload_params,
+                            batch_size=self.config.batch_size, tau=tau,
+                        )
+                        span.set("download_params", num_params)
+                        span.set("upload_params", upload_params)
+                        span.set("tau", tau)
+                        span.set("completion_time_s", costs.total_s)
+                        dispatch = Dispatch(
+                            worker_id=worker_id, ratio=ratio, plan=plan,
+                            submodel=None, dispatched_state=state,
+                            residual=None, tau=tau, costs=costs,
+                            dispatch_time=dispatch_time,
+                            download_params=num_params,
+                            upload_params=upload_params,
+                            global_state=global_state,
+                            num_samples=self.workers[worker_id].num_samples,
+                            cohort=cohort,
+                        )
+                        dispatches[worker_id] = dispatch
+                        self.hooks.on_dispatch(round_index, dispatch)
+            metrics.counter("dispatch_cohorts_total").inc()
+            metrics.counter("dispatch_cohort_members_total").inc(
+                len(member_ids)
+            )
+        return {worker_id: dispatches[worker_id] for worker_id in ratios}
+
+    def _cohort_submodel(self, ratio: float):
+        """Like :meth:`_pruned_submodel`, but returns the shared cached
+        template itself (no per-call clone) plus whether it was freshly
+        extracted; cohort-mode callers never train the template."""
+        metrics = self.telemetry.metrics
+        key = float(ratio)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self.task.build_plan(self.model, ratio)
+            self._plan_cache[key] = plan
+            metrics.counter("dispatch_cache_misses_total", kind="plan").inc()
+        else:
+            metrics.counter("dispatch_cache_hits_total", kind="plan").inc()
+
+        cached = self._submodel_cache.get(key)
+        if cached is None:
+            submodel = self.task.extract(self.model, plan, self.extract_rng)
+            state = submodel.state_dict()
+            self._submodel_cache[key] = (submodel, state)
+            metrics.counter("dispatch_cache_misses_total",
+                            kind="submodel").inc()
+            return plan, submodel, state, True
+        template, state = cached
+        metrics.counter("dispatch_cache_hits_total", kind="submodel").inc()
+        return plan, template, state, False
 
     def _pruned_submodel(self, ratio: float):
         """Plan + extracted sub-model + its pristine state for ``ratio``,
@@ -330,31 +511,14 @@ class Engine:
         order in the parent -- so hook observations and every RNG-free
         reduction are independent of the execution backend.
         """
-        requests = [
-            TrainRequest(
-                worker_id=dispatch.worker_id, ratio=dispatch.ratio,
-                tau=dispatch.tau, plan=dispatch.plan,
-                submodel=dispatch.submodel,
-                dispatched_state=dispatch.dispatched_state,
-                hyper=TrainHyper(
-                    lr=self.config.lr, momentum=self.config.momentum,
-                    weight_decay=self.config.weight_decay,
-                    prox_mu=self.strategy.proximal_mu(),
-                    clip_norm=self.config.clip_norm,
-                ),
-                emulate_s=(
-                    dispatch.costs.total_s
-                    * self.config.emulate_device_factor
-                ),
-            )
-            for dispatch in dispatches
-        ]
-        results = self.executor.run(requests, round_index)
+        dispatches = list(dispatches)
+        results = self._run_training(dispatches, round_index)
 
         out: List[Tuple[Contribution, float]] = []
         for dispatch, result in zip(dispatches, results):
             sub_state = result.sub_state
             train_loss = result.train_loss
+            dispatch.trained_state = sub_state
             keep = self.strategy.upload_keep_fraction(dispatch.worker_id)
             if keep < 1.0:
                 sub_state = self._compress_upload(
@@ -364,13 +528,118 @@ class Engine:
             contribution = Contribution(
                 worker_id=dispatch.worker_id, sub_state=sub_state,
                 plan=dispatch.plan, residual=dispatch.residual,
-                num_samples=self.workers[dispatch.worker_id].num_samples,
+                num_samples=dispatch.num_samples,
                 global_state=dispatch.global_state,
             )
             self.hooks.on_contribution(round_index, dispatch, contribution,
                                        train_loss)
             out.append((contribution, train_loss))
         return out
+
+    def _run_training(self, dispatches: Sequence[Dispatch],
+                      round_index: int) -> List[object]:
+        """Route dispatches to the executor, cohort-grouped when on.
+
+        Returns :class:`~repro.runtime.executor.TrainResult` objects
+        aligned with ``dispatches`` whichever route each one took.
+        """
+        hyper = TrainHyper(
+            lr=self.config.lr, momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+            prox_mu=self.strategy.proximal_mu(),
+            clip_norm=self.config.clip_norm,
+        )
+        emulate = self.config.emulate_device_factor
+
+        def member_request(dispatch: Dispatch) -> TrainRequest:
+            return TrainRequest(
+                worker_id=dispatch.worker_id, ratio=dispatch.ratio,
+                tau=dispatch.tau, plan=dispatch.plan,
+                submodel=dispatch.submodel,
+                dispatched_state=dispatch.dispatched_state,
+                hyper=hyper,
+                emulate_s=dispatch.costs.total_s * emulate,
+            )
+
+        if not self.cohort_mode:
+            return self.executor.run(
+                [member_request(dispatch) for dispatch in dispatches],
+                round_index,
+            )
+
+        # group by owning cohort, preserving dispatch order within and
+        # across groups so result scatter-back is deterministic
+        groups: Dict[int, List[int]] = {}
+        for index, dispatch in enumerate(dispatches):
+            groups.setdefault(id(dispatch.cohort), []).append(index)
+
+        results: List[object] = [None] * len(dispatches)
+        for indices in groups.values():
+            cohort = dispatches[indices[0]].cohort
+            if cohort is None:
+                # dispatched via the per-member API (e.g. direct callers)
+                batch = self.executor.run(
+                    [member_request(dispatches[i]) for i in indices],
+                    round_index,
+                )
+            else:
+                request = CohortTrainRequest(
+                    cohort=cohort,
+                    worker_ids=[dispatches[i].worker_id for i in indices],
+                    taus=[dispatches[i].tau for i in indices],
+                    hyper=hyper,
+                    emulate_s=[
+                        dispatches[i].costs.total_s * emulate
+                        for i in indices
+                    ],
+                )
+                batch = self.executor.run_cohort(request, round_index)
+            for index, result in zip(indices, batch):
+                results[index] = result
+        return results
+
+    def round_detail(self, ratios: Dict[int, float],
+                     times: Dict[int, float],
+                     dispatches: Dict[int, Dispatch]):
+        """Round-record detail at the configured history granularity.
+
+        Returns ``(ratios, completion_times, cohorts)``: the member
+        dicts verbatim (and no cohort list) under ``member`` detail, or
+        empty dicts plus a per-cohort aggregate list under ``cohort``
+        detail so record size is O(cohorts), not O(fleet).
+        """
+        if self.history_detail == "member":
+            return dict(ratios), dict(times), None
+
+        buckets: Dict[Tuple[float, str], List[int]] = {}
+        for worker_id, ratio in ratios.items():
+            dispatch = dispatches.get(worker_id)
+            if dispatch is not None and dispatch.cohort is not None:
+                cluster = dispatch.cohort.cluster
+            else:
+                cluster = self.workers[worker_id].device.cluster
+            buckets.setdefault((float(ratio), cluster), []).append(worker_id)
+
+        cohorts = []
+        for (ratio, cluster), member_ids in buckets.items():
+            entry = {
+                "ratio": ratio, "cluster": cluster,
+                "members": len(member_ids),
+                "num_samples": int(sum(
+                    dispatches[w].num_samples if w in dispatches
+                    else self.workers[w].num_samples
+                    for w in member_ids
+                )),
+            }
+            member_times = [
+                times[w] for w in member_ids if w in times
+            ]
+            if member_times:
+                entry["time_min"] = min(member_times)
+                entry["time_mean"] = sum(member_times) / len(member_times)
+                entry["time_max"] = max(member_times)
+            cohorts.append(entry)
+        return {}, {}, cohorts
 
     def close(self) -> None:
         """Release the executor (worker processes, pipes).  Idempotent."""

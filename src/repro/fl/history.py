@@ -24,6 +24,12 @@ class RoundRecord:
     #: stragglers whose dispatches carried over to the next round
     #: (semi-synchronous scheduling only; empty otherwise)
     carried_over: List[int] = field(default_factory=list)
+    #: per-cohort aggregates (ratio/cluster/members/num_samples plus
+    #: completion-time min/mean/max) recorded instead of the O(fleet)
+    #: ``ratios``/``completion_times`` dicts when
+    #: ``FLConfig.history_detail`` resolves to ``"cohort"``; ``None``
+    #: under member-level detail
+    cohorts: Optional[List[Dict[str, Any]]] = None
     #: free-form per-round measurements published by round hooks.
     #: Values must be JSON-serialisable (numbers, strings, and nested
     #: lists/dicts thereof): scalars like ``wall_time_s`` sit next to

@@ -35,17 +35,25 @@ class AsynchronousScheduler(Scheduler):
     def run(self, engine: Engine) -> TrainingHistory:
         config = engine.config
         m = self.m
-        if m > len(engine.worker_ids):
+        # with client sampling only the bootstrap sample keeps cycling
+        # through dispatch -> arrival -> re-dispatch, so the first-m rule
+        # must fit inside the sample, not just the fleet
+        pool = engine.sample_clients(engine.worker_ids, 0)
+        if m > len(pool):
             raise ValueError(
-                f"async_m={m} exceeds the number of workers "
-                f"({len(engine.worker_ids)})"
+                f"async_m={m} exceeds the number of participating workers "
+                f"({len(pool)})"
             )
         outstanding = DispatchQueue()
         with engine.telemetry.span("decide", round=0, bootstrap=True,
-                                   workers=len(engine.worker_ids)):
-            initial_ratios = engine.strategy.select_ratios(0)
-        for wid, ratio in initial_ratios.items():
-            outstanding.add(engine.dispatch(wid, ratio, engine.clock.now, 0))
+                                   workers=len(pool)):
+            initial_ratios = engine.strategy.select_ratios(
+                0, worker_ids=pool
+            )
+        for dispatch in engine.dispatch_many(
+            initial_ratios, engine.clock.now, 0
+        ).values():
+            outstanding.add(dispatch)
 
         for round_index in range(config.max_rounds):
             with engine.telemetry.span("round", round=round_index,
@@ -82,26 +90,27 @@ class AsynchronousScheduler(Scheduler):
                     new_ratios = engine.strategy.select_ratios(
                         round_index + 1, worker_ids=arrived_ids
                     )
-                for wid, ratio in new_ratios.items():
-                    outstanding.add(
-                        engine.dispatch(wid, ratio, engine.clock.now,
-                                        round_index + 1)
-                    )
+                for dispatch in engine.dispatch_many(
+                    new_ratios, engine.clock.now, round_index + 1
+                ).values():
+                    outstanding.add(dispatch)
                 overhead_s = time.perf_counter() - overhead_start
 
                 is_last = round_index == config.max_rounds - 1
                 metric, eval_loss = engine.evaluate(round_index,
                                                     force=is_last)
+                ratios_rec, times_rec, cohorts_rec = engine.round_detail(
+                    {wid: arrival_ratios[wid] for wid in arrived_ids},
+                    {wid: cost.total_s for wid, cost in costs.items()},
+                    {d.worker_id: d for d in arrivals},
+                )
                 record = RoundRecord(
                     round_index=round_index, sim_time_s=engine.clock.now,
                     round_time_s=engine.clock.now - previous_now,
                     metric=metric, eval_loss=eval_loss,
                     train_loss=mean_train_loss,
-                    ratios={wid: arrival_ratios[wid] for wid in arrived_ids},
-                    completion_times={
-                        wid: cost.total_s for wid, cost in costs.items()
-                    },
-                    overhead_s=overhead_s,
+                    ratios=ratios_rec, completion_times=times_rec,
+                    overhead_s=overhead_s, cohorts=cohorts_rec,
                 )
                 engine.finish_round(record)
                 round_span.set("sim_time_s", engine.clock.now)

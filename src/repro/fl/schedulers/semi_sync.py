@@ -46,13 +46,16 @@ class SemiSynchronousScheduler(Scheduler):
         outstanding = DispatchQueue()
 
         present = engine.present_workers(0)
+        sampled = engine.sample_clients(present, 0)
         with engine.telemetry.span("decide", round=0, bootstrap=True,
-                                   workers=len(present)):
+                                   workers=len(sampled)):
             initial_ratios = engine.strategy.select_ratios(
-                0, worker_ids=present
+                0, worker_ids=sampled
             )
-        for wid, ratio in initial_ratios.items():
-            outstanding.add(engine.dispatch(wid, ratio, engine.clock.now, 0))
+        for dispatch in engine.dispatch_many(
+            initial_ratios, engine.clock.now, 0
+        ).values():
+            outstanding.add(dispatch)
 
         for round_index in range(config.max_rounds):
             with engine.telemetry.span("round", round=round_index,
@@ -100,6 +103,7 @@ class SemiSynchronousScheduler(Scheduler):
                     wid for wid in engine.worker_ids
                     if wid not in outstanding and wid in set(present)
                 ]
+                idle = engine.sample_clients(idle, round_index + 1)
                 if idle:
                     with engine.telemetry.span("decide",
                                                round=round_index + 1,
@@ -107,28 +111,29 @@ class SemiSynchronousScheduler(Scheduler):
                         new_ratios = engine.strategy.select_ratios(
                             round_index + 1, worker_ids=idle
                         )
-                    for wid, ratio in new_ratios.items():
-                        outstanding.add(
-                            engine.dispatch(wid, ratio, engine.clock.now,
-                                            round_index + 1)
-                        )
+                    for dispatch in engine.dispatch_many(
+                        new_ratios, engine.clock.now, round_index + 1
+                    ).values():
+                        outstanding.add(dispatch)
                 overhead_s = time.perf_counter() - overhead_start
 
                 is_last = round_index == config.max_rounds - 1
                 metric, eval_loss = engine.evaluate(round_index,
                                                     force=is_last)
                 arrived_ids = sorted(costs)
+                ratios_rec, times_rec, cohorts_rec = engine.round_detail(
+                    {wid: arrival_ratios[wid] for wid in arrived_ids},
+                    {wid: costs[wid].total_s for wid in arrived_ids},
+                    {d.worker_id: d for d in arrivals},
+                )
                 record = RoundRecord(
                     round_index=round_index, sim_time_s=engine.clock.now,
                     round_time_s=engine.clock.now - previous_now,
                     metric=metric, eval_loss=eval_loss,
                     train_loss=mean_train_loss,
-                    ratios={wid: arrival_ratios[wid] for wid in arrived_ids},
-                    completion_times={
-                        wid: costs[wid].total_s for wid in arrived_ids
-                    },
+                    ratios=ratios_rec, completion_times=times_rec,
                     carried_over=carried_over,
-                    overhead_s=overhead_s,
+                    overhead_s=overhead_s, cohorts=cohorts_rec,
                 )
                 engine.finish_round(record)
                 round_span.set("sim_time_s", engine.clock.now)

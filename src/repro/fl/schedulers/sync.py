@@ -32,17 +32,16 @@ class SynchronousScheduler(Scheduler):
             with engine.telemetry.span("round", round=round_index,
                                        scheduler=self.name) as round_span:
                 present = engine.present_workers(round_index)
+                sampled = engine.sample_clients(present, round_index)
                 overhead_start = time.perf_counter()
                 with engine.telemetry.span("decide", round=round_index,
-                                           workers=len(present)):
+                                           workers=len(sampled)):
                     ratios = engine.strategy.select_ratios(
-                        round_index, worker_ids=present
+                        round_index, worker_ids=sampled
                     )
-                dispatches = {
-                    wid: engine.dispatch(wid, ratio, engine.clock.now,
-                                         round_index)
-                    for wid, ratio in ratios.items()
-                }
+                dispatches = engine.dispatch_many(
+                    ratios, engine.clock.now, round_index
+                )
                 overhead_s = time.perf_counter() - overhead_start
 
                 times = {
@@ -81,12 +80,16 @@ class SynchronousScheduler(Scheduler):
                 is_last = round_index == config.max_rounds - 1
                 metric, eval_loss = engine.evaluate(round_index,
                                                     force=is_last)
+                ratios_rec, times_rec, cohorts_rec = engine.round_detail(
+                    ratios, times, dispatches
+                )
                 record = RoundRecord(
                     round_index=round_index, sim_time_s=engine.clock.now,
                     round_time_s=round_time, metric=metric,
                     eval_loss=eval_loss, train_loss=mean_train_loss,
-                    ratios=dict(ratios), completion_times=times,
+                    ratios=ratios_rec, completion_times=times_rec,
                     discarded=discarded, overhead_s=overhead_s,
+                    cohorts=cohorts_rec,
                 )
                 engine.finish_round(record)
                 round_span.set("sim_time_s", engine.clock.now)

@@ -33,14 +33,23 @@ STRATEGIES: Dict[str, Type[Strategy]] = {
 
 
 def make_strategy(name: str, worker_ids: List[int], config: FLConfig,
-                  rng: Optional[np.random.Generator] = None) -> Strategy:
-    """Instantiate a strategy by name."""
+                  rng: Optional[np.random.Generator] = None,
+                  devices=None) -> Strategy:
+    """Instantiate a strategy by name.
+
+    ``devices`` (the run's device profiles) is forwarded only to
+    strategies that declare ``accepts_devices = True`` (e.g. FedMP's
+    cluster-scoped agents), so existing strategy constructors keep
+    their signature.
+    """
     try:
         cls = STRATEGIES[name]
     except KeyError:
         raise KeyError(
             f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
         ) from None
+    if getattr(cls, "accepts_devices", False):
+        return cls(worker_ids, config, rng=rng, devices=devices)
     return cls(worker_ids, config, rng=rng)
 
 

@@ -22,10 +22,17 @@ class FedMPStrategy(Strategy):
     ``strategy_kwargs`` accepted: ``discount`` (lambda, default 0.95),
     ``theta`` (granularity, default 0.05), ``max_ratio`` (default 0.9),
     ``exploration`` and ``warmup_rounds`` (ratio 0 for the first rounds
-    so early rewards reflect the unpruned baseline).
+    so early rewards reflect the unpruned baseline), and ``scope``:
+    ``"worker"`` (the paper's setting, one agent per worker) or
+    ``"cluster"`` (one agent per device cluster -- the fleet-scale
+    setting, where the agent observes each cohort's mean reward with
+    member multiplicity; see ``repro.fl.cohort``).
     """
 
     name = "fedmp"
+    #: the factory passes the device profiles so cluster scope can map
+    #: workers to their device cluster
+    accepts_devices = True
     capabilities = Capabilities(
         efficient_computation=True,
         efficient_communication=True,
@@ -36,7 +43,8 @@ class FedMPStrategy(Strategy):
     )
 
     def __init__(self, worker_ids: List[int], config: FLConfig,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 devices=None) -> None:
         super().__init__(worker_ids, config, rng)
         kwargs = config.strategy_kwargs
         self.discount = kwargs.get("discount", 0.95)
@@ -51,15 +59,38 @@ class FedMPStrategy(Strategy):
         self.reward = kwargs.get("reward", "eq8")
         if self.reward not in ("eq8", "time"):
             raise ValueError(f"unknown reward shape {self.reward!r}")
-        self.agents: Dict[int, EUCBAgent] = {
-            wid: EUCBAgent(
+        self.scope = kwargs.get("scope", "worker")
+        if self.scope not in ("worker", "cluster"):
+            raise ValueError(f"unknown agent scope {self.scope!r}")
+        self._cluster_of: Optional[Dict[int, str]] = None
+        if self.scope == "cluster":
+            if devices is None:
+                raise ValueError(
+                    "scope='cluster' needs the device profiles to map "
+                    "workers to clusters"
+                )
+            self._cluster_of = {
+                device.device_id: device.cluster for device in devices
+            }
+            keys = sorted({
+                self._cluster_of[wid] for wid in self.worker_ids
+            })
+        else:
+            keys = self.worker_ids
+        self.agents: Dict[object, EUCBAgent] = {
+            key: EUCBAgent(
                 discount=self.discount, theta=self.theta,
                 max_ratio=self.max_ratio, exploration=self.exploration,
                 rng=np.random.default_rng(self.rng.integers(2 ** 31)),
             )
-            for wid in self.worker_ids
+            for key in keys
         }
         self._pending: Dict[int, float] = {}
+
+    def _agent_key(self, worker_id: int):
+        if self._cluster_of is not None:
+            return self._cluster_of[worker_id]
+        return worker_id
 
     def select_ratios(self, round_index: int,
                       worker_ids: Optional[List[int]] = None) -> Dict[int, float]:
@@ -68,12 +99,29 @@ class FedMPStrategy(Strategy):
             ratios = {}
             for wid in ids:
                 # play arm 0 explicitly so the agent still learns from it
-                agent = self.agents[wid]
+                agent = self.agents[self._agent_key(wid)]
                 agent._pending_arm = 0.0
                 ratios[wid] = 0.0
             self._pending = dict(ratios)
             return ratios
-        ratios = {wid: self.agents[wid].select_ratio() for wid in ids}
+        if self._cluster_of is None:
+            ratios = {wid: self.agents[wid].select_ratio() for wid in ids}
+            self._pending = dict(ratios)
+            return ratios
+        # cluster scope: one arm decision per cluster per round; workers
+        # whose cluster already has an in-flight play (async/semi-sync
+        # re-dispatch before the earlier wave was observed) join it
+        ratios = {}
+        arm_by_key: Dict[object, float] = {}
+        for wid in ids:
+            key = self._agent_key(wid)
+            if key not in arm_by_key:
+                agent = self.agents[key]
+                if agent._pending_arm is not None:
+                    arm_by_key[key] = agent._pending_arm
+                else:
+                    arm_by_key[key] = agent.select_ratio()
+            ratios[wid] = arm_by_key[key]
         self._pending = dict(ratios)
         return ratios
 
@@ -81,18 +129,41 @@ class FedMPStrategy(Strategy):
         times = {
             wid: costs.total_s for wid, costs in observation.costs.items()
         }
+        observed_keys = set()
         if times:
             mean_time = sum(times.values()) / len(times)
-            for wid, total in times.items():
+
+            def member_reward(total: float) -> float:
                 if self.reward == "eq8":
-                    reward = eucb_reward(
+                    return eucb_reward(
                         observation.delta_loss, total, mean_time
                     )
-                else:
-                    reward = observation.delta_loss / max(total, 1e-6)
-                self.agents[wid].observe(reward)
+                return observation.delta_loss / max(total, 1e-6)
+
+            if self._cluster_of is None:
+                for wid, total in times.items():
+                    self.agents[wid].observe(member_reward(total))
+            else:
+                by_key: Dict[object, List[float]] = {}
+                for wid, total in times.items():
+                    by_key.setdefault(self._agent_key(wid), []).append(total)
+                for key, member_times in by_key.items():
+                    agent = self.agents[key]
+                    if agent._pending_arm is None:
+                        # the play was already credited by an earlier
+                        # arrival wave of this cluster
+                        continue
+                    rewards = [member_reward(t) for t in member_times]
+                    agent.observe(sum(rewards) / len(rewards),
+                                  count=len(rewards))
+                    observed_keys.add(key)
         for wid in observation.discarded:
-            self.agents[wid].abandon()
+            key = self._agent_key(wid)
+            agent = self.agents[key]
+            if self._cluster_of is None:
+                agent.abandon()
+            elif key not in observed_keys and agent._pending_arm is not None:
+                agent.abandon()
         self._pending.clear()
 
     def snapshot(self) -> dict:
@@ -108,9 +179,10 @@ class FedMPStrategy(Strategy):
             "theta": self.theta,
             "exploration": self.exploration,
             "reward": self.reward,
+            "scope": self.scope,
             "agents": {
-                str(wid): agent.snapshot()
-                for wid, agent in self.agents.items()
+                str(key): agent.snapshot()
+                for key, agent in self.agents.items()
             },
         }
 

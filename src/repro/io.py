@@ -51,6 +51,13 @@ def save_history(history: TrainingHistory, path: PathLike) -> None:
                 "discarded": list(record.discarded),
                 "overhead_s": record.overhead_s,
                 "carried_over": list(record.carried_over),
+                # per-cohort aggregates under history_detail="cohort";
+                # omitted under member detail to keep old files byte-
+                # compatible
+                **(
+                    {"cohorts": to_jsonable(record.cohorts)}
+                    if record.cohorts is not None else {}
+                ),
                 # extras hold hook/telemetry payloads that may nest
                 # dicts/lists and carry numpy scalars
                 "extras": to_jsonable(record.extras),
@@ -85,6 +92,8 @@ def load_history(path: PathLike) -> TrainingHistory:
             overhead_s=entry["overhead_s"],
             # absent in histories written before the round engine
             carried_over=list(entry.get("carried_over", [])),
+            # absent before cohort-sharded rounds and under member detail
+            cohorts=entry.get("cohorts"),
             extras=dict(entry.get("extras", {})),
         ))
     return history

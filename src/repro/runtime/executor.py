@@ -20,6 +20,7 @@ back as exact ``float32`` payloads.
 
 from __future__ import annotations
 
+import copy
 import pickle
 import time
 from collections import deque
@@ -30,6 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.data.loader import BatchIterator
+from repro.nn.batched import train_cohort
 from repro.runtime.codec import (
     TrainHyper,
     decode_contribution,
@@ -49,6 +52,7 @@ from repro.telemetry.runtime import DISABLED_TELEMETRY, Telemetry
 __all__ = [
     "TrainRequest",
     "TrainResult",
+    "CohortTrainRequest",
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
@@ -82,6 +86,21 @@ class TrainResult:
     wall_time_s: float = 0.0
 
 
+@dataclass
+class CohortTrainRequest:
+    """One cohort's worth of local training (see ``repro.fl.cohort``).
+
+    The shared template/state/plan live on ``cohort``; per-member
+    scalars ride alongside, aligned with ``worker_ids``.
+    """
+
+    cohort: object
+    worker_ids: List[int]
+    taus: List[int]
+    hyper: TrainHyper
+    emulate_s: List[float] = field(default_factory=list)
+
+
 class Executor:
     """Runs batches of training requests; returns results in order."""
 
@@ -95,6 +114,38 @@ class Executor:
     def run(self, requests: Sequence[TrainRequest],
             round_index: int = 0) -> List[TrainResult]:
         raise NotImplementedError
+
+    def run_cohort(self, request: CohortTrainRequest,
+                   round_index: int = 0) -> List[TrainResult]:
+        """Train one cohort; results align with ``request.worker_ids``.
+
+        The base route decomposes the cohort into per-member
+        :class:`TrainRequest` records -- cloning the shared template
+        exactly the way per-member dispatch would have (deep-copy +
+        pristine-state reload, so results stay bitwise identical) --
+        and delegates to :meth:`run`.  Subclasses may override with a
+        genuinely cohort-level execution (see
+        :meth:`SerialExecutor.run_cohort`).
+        """
+        return self.run(self._decompose(request), round_index)
+
+    @staticmethod
+    def _decompose(request: CohortTrainRequest) -> List[TrainRequest]:
+        cohort = request.cohort
+        emulate = request.emulate_s or [0.0] * len(request.worker_ids)
+        requests = []
+        for worker_id, tau, emulate_s in zip(
+            request.worker_ids, request.taus, emulate
+        ):
+            clone = copy.deepcopy(cohort.template)
+            clone.load_state_dict(cohort.dispatched_state)
+            requests.append(TrainRequest(
+                worker_id=worker_id, ratio=cohort.ratio, tau=tau,
+                plan=cohort.plan, submodel=clone,
+                dispatched_state=cohort.dispatched_state,
+                hyper=request.hyper, emulate_s=emulate_s,
+            ))
+        return requests
 
     def close(self) -> None:
         """Release executor resources (no-op by default)."""
@@ -140,6 +191,77 @@ class SerialExecutor(Executor):
                 span.set("train_loss", float(result.train_loss))
             results.append(result)
         return results
+
+    def run_cohort(self, request: CohortTrainRequest,
+                   round_index: int = 0) -> List[TrainResult]:
+        """Train one cohort, stacked into a single batched pass when the
+        architecture and request allow it (one forward/backward per step
+        for the whole cohort instead of per member; bitwise-identical,
+        see :mod:`repro.nn.batched`).  Ineligible cohorts fall back to
+        the per-member decomposition.
+        """
+        if not self._vectorisable(request):
+            self.telemetry.metrics.counter(
+                "cohort_train_fallback_total",
+            ).inc(len(request.worker_ids))
+            return super().run_cohort(request, round_index)
+
+        cohort = request.cohort
+        hyper = request.hyper
+        tau = request.taus[0]
+        iterators = [
+            self.workers[worker_id].iterator
+            for worker_id in request.worker_ids
+        ]
+        with self.telemetry.span(
+            "cohort_train", round=round_index, ratio=cohort.ratio,
+            cluster=cohort.cluster, members=len(request.worker_ids),
+            tau=tau,
+        ) as span:
+            start = time.perf_counter()
+            states, losses = train_cohort(
+                cohort.template, cohort.dispatched_state, iterators, tau,
+                lr=hyper.lr, momentum=hyper.momentum,
+                weight_decay=hyper.weight_decay, prox_mu=hyper.prox_mu,
+                clip_norm=hyper.clip_norm,
+                anchor=cohort.dispatched_state,
+            )
+            elapsed = time.perf_counter() - start
+            span.set("mean_train_loss",
+                     float(sum(losses) / len(losses)))
+        self.telemetry.metrics.counter(
+            "cohort_train_vectorised_total",
+        ).inc(len(request.worker_ids))
+        per_member = elapsed / len(request.worker_ids)
+        return [
+            TrainResult(worker_id=worker_id, sub_state=state,
+                        train_loss=float(loss), wall_time_s=per_member)
+            for worker_id, state, loss in zip(
+                request.worker_ids, states, losses
+            )
+        ]
+
+    def _vectorisable(self, request: CohortTrainRequest) -> bool:
+        """The stacked path needs >=2 members, a supported architecture,
+        uniform tau, no device-latency emulation, no attached profiler
+        (it instruments per-member modules), and plain equal-batch
+        :class:`~repro.data.loader.BatchIterator` shards."""
+        cohort = request.cohort
+        if len(request.worker_ids) < 2 or not cohort.supports_vectorised:
+            return False
+        if len(set(request.taus)) != 1:
+            return False
+        if any(emulate_s > 0.0 for emulate_s in request.emulate_s):
+            return False
+        if self.telemetry.profiler is not None:
+            return False
+        iterators = [
+            self.workers[worker_id].iterator
+            for worker_id in request.worker_ids
+        ]
+        if any(type(it) is not BatchIterator for it in iterators):
+            return False
+        return len({it.batch_size for it in iterators}) == 1
 
     def _execute(self, request: TrainRequest) -> TrainResult:
         worker = self.workers[request.worker_id]

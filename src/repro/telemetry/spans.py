@@ -33,10 +33,12 @@ import numpy as np
 
 #: the span names the round engine, schedulers and the parallel
 #: runtime emit ("serialize" / "transfer" / "parallel_train" only
-#: appear with executor="process")
+#: appear with executor="process"; "dispatch_cohort" / "cohort_train"
+#: only with cohort-sharded rounds)
 SPAN_NAMES = frozenset(
-    {"round", "decide", "prune", "dispatch", "local_train", "aggregate",
-     "eval", "serialize", "transfer", "parallel_train"}
+    {"round", "decide", "prune", "dispatch", "dispatch_cohort",
+     "local_train", "cohort_train", "aggregate", "eval", "serialize",
+     "transfer", "parallel_train"}
 )
 
 #: every record kind a sink may receive

@@ -42,6 +42,7 @@ __all__ = [
     "compare_state_sequences",
     "differential_fast_vs_dense",
     "differential_sync_vs_semisync",
+    "differential_cohort_vs_member",
     "differential_serial_vs_process",
     "normalised_history_bytes",
 ]
@@ -274,6 +275,30 @@ def differential_sync_vs_semisync(task_factory: Callable[[], object],
     return compare_state_sequences(
         states_sync, states_semi, tolerance_ulps,
         label_a="sync", label_b="semi_sync_inf",
+    )
+
+
+def differential_cohort_vs_member(task_factory: Callable[[], object],
+                                  devices: Sequence, config: FLConfig,
+                                  tolerance_ulps: int = 0,
+                                  ) -> DifferentialReport:
+    """Cohort-sharded rounds vs the per-member path under one seed.
+
+    The cohort path (``cohort_rounds="on"``) buckets workers by
+    (pruning ratio, cluster), extracts one shared sub-model per
+    cohort, optionally trains members as one vectorised batch, and
+    aggregates per-cohort float64 partial sums before the global
+    merge.  All of this is *specified* to be bitwise identical to
+    dispatching, training and accumulating each member individually
+    (DESIGN.md section 3.6), so the default tolerance is zero ULPs.
+    """
+    cohort_config = replace(config, fast_path=True, cohort_rounds="on")
+    member_config = replace(config, cohort_rounds="off")
+    _, states_cohort = capture_run(task_factory(), devices, cohort_config)
+    _, states_member = capture_run(task_factory(), devices, member_config)
+    return compare_state_sequences(
+        states_cohort, states_member, tolerance_ulps,
+        label_a="cohort", label_b="member",
     )
 
 

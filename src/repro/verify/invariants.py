@@ -247,7 +247,11 @@ class InvariantHook(RoundHook):
 
         plan = contribution.plan
         planned = plan.param_names()
-        trained = dispatch.submodel.state_dict()
+        # cohort dispatches carry no per-member submodel; the engine
+        # records the trained state on the dispatch before this hook runs
+        trained = dispatch.trained_state
+        if trained is None:
+            trained = dispatch.submodel.state_dict()
         for key, uploaded in contribution.sub_state.items():
             new_mem = after.get(key)
             if new_mem is None:

@@ -8,8 +8,10 @@ bench preset:
    with every :class:`~repro.verify.invariants.InvariantHook` check in
    ``record`` mode.
 2. **Differential runs** -- fast path vs dense reference (must be
-   bitwise identical) and sync vs semi-sync with an unreachable
-   deadline (equal up to floating-point summation reordering).
+   bitwise identical), sync vs semi-sync with an unreachable
+   deadline (equal up to floating-point summation reordering), and
+   cohort-sharded rounds vs the per-member path (must be bitwise
+   identical).
 3. **Fault conformance** -- every fault kind in
    :data:`~repro.verify.faults.FAULT_KINDS` is injected into a short
    run and the engine's documented behaviour is asserted.
@@ -32,6 +34,7 @@ from repro.telemetry import MetricsRegistry, Telemetry, Tracer
 from repro.verify.differential import (
     DifferentialReport,
     StateCaptureHook,
+    differential_cohort_vs_member,
     differential_fast_vs_dense,
     differential_serial_vs_process,
     differential_sync_vs_semisync,
@@ -257,6 +260,13 @@ def run_verification(preset: str = "cnn", rounds: int = 5,
         lambda: differential_sync_vs_semisync(
             lambda: bench.make_task(0.0), devices, base,
             tolerance_ulps=semisync_tolerance_ulps,
+        ),
+    ))
+    report.results.append(_differential_stage(
+        "differential/cohort_vs_member",
+        lambda: differential_cohort_vs_member(
+            lambda: bench.make_task(0.0), devices, base,
+            tolerance_ulps=tolerance_ulps,
         ),
     ))
 

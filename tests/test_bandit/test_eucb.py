@@ -217,3 +217,50 @@ def test_snapshot_of_fresh_agent(rng):
     snapshot = EUCBAgent(rng=rng).snapshot()
     assert snapshot["rounds_played"] == 0
     assert all(arm["mean"] is None for arm in snapshot["arms"])
+
+
+def test_multiplicity_matches_repeated_plays_of_one_arm():
+    """``observe(reward, count=n)`` books one cohort play as ``n``
+    virtual single plays of the same arm: aging by ``discount**n`` and
+    a geometric play weight reproduce the statistics of ``n`` repeated
+    observations bit-for-bit (geometric-series identity, no rounding
+    headroom needed for these short sums)."""
+    grouped = EUCBAgent(rng=np.random.default_rng(8))
+    repeated = EUCBAgent(rng=np.random.default_rng(8))
+    # a warmup-style forced arm keeps both partitions untouched, so
+    # the only moving part is the discounted bookkeeping
+    reward, count = 0.37, 3
+    grouped._pending_arm = 0.0
+    grouped.observe(reward, count=count)
+    for _ in range(count):
+        repeated._pending_arm = 0.0
+        repeated.observe(reward)
+    assert grouped._total_steps == repeated._total_steps == count
+    bounds_a = grouped.upper_confidence_bounds()
+    bounds_b = repeated.upper_confidence_bounds()
+    assert set(bounds_a) == set(bounds_b)
+    for region in bounds_a:
+        assert np.isclose(bounds_a[region], bounds_b[region],
+                          rtol=0, atol=1e-12)
+    # the incremental stats still agree with the full-history replay
+    # oracle, which understands counts natively
+    assert grouped.consistency_report() == []
+    assert repeated.consistency_report() == []
+
+
+def test_multiplicity_count_one_is_bitwise_legacy():
+    a = EUCBAgent(rng=np.random.default_rng(9))
+    b = EUCBAgent(rng=np.random.default_rng(9))
+    arm_a = a.select_ratio()
+    arm_b = b.select_ratio()
+    assert arm_a == arm_b
+    a.observe(0.5)
+    b.observe(0.5, count=1)
+    assert a.upper_confidence_bounds() == b.upper_confidence_bounds()
+
+
+def test_multiplicity_validation():
+    agent = EUCBAgent(rng=np.random.default_rng(10))
+    agent.select_ratio()
+    with pytest.raises(ValueError):
+        agent.observe(0.5, count=0)

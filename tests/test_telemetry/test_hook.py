@@ -55,8 +55,18 @@ def test_spans_cover_every_engine_event(task, devices):
     assert len(sink.spans("round")) == rounds
     assert len(sink.spans("decide")) == rounds
     assert len(sink.spans("dispatch")) == n * rounds
-    assert len(sink.spans("prune")) == n * rounds
-    assert len(sink.spans("local_train")) == n * rounds
+    # cohort-sharded dispatch prunes once per (ratio, cluster) cohort,
+    # not once per member
+    cohorts = len(sink.spans("dispatch_cohort"))
+    assert rounds <= cohorts <= n * rounds
+    assert len(sink.spans("prune")) == cohorts
+    # training spans: one per member on the fallback path, one per
+    # cohort on the vectorised path -- together they cover everyone
+    trained = sum(
+        span["attrs"].get("members", 1)
+        for span in sink.spans("local_train") + sink.spans("cohort_train")
+    )
+    assert trained == n * rounds
     assert len(sink.spans("aggregate")) == rounds
     # every dispatch/train span names its worker and round
     for span in sink.spans("dispatch") + sink.spans("local_train"):
@@ -72,13 +82,16 @@ def test_spans_cover_every_engine_event(task, devices):
 def test_spans_nest_under_their_round(task, devices):
     _, sink, _ = _run(task, devices, _config(max_rounds=1))
     round_ids = {s["span_id"] for s in sink.spans("round")}
-    for name in ("decide", "dispatch", "local_train", "aggregate"):
+    for name in ("decide", "dispatch_cohort", "local_train",
+                 "cohort_train", "aggregate"):
         for span in sink.spans(name):
             assert span["parent_id"] in round_ids, name
-    # prune nests under dispatch, not directly under round
-    dispatch_ids = {s["span_id"] for s in sink.spans("dispatch")}
-    for span in sink.spans("prune"):
-        assert span["parent_id"] in dispatch_ids
+    # per-member dispatch and the per-cohort prune nest under their
+    # cohort span, not directly under the round
+    cohort_ids = {s["span_id"] for s in sink.spans("dispatch_cohort")}
+    for name in ("dispatch", "prune"):
+        for span in sink.spans(name):
+            assert span["parent_id"] in cohort_ids, name
 
 
 def test_metrics_reconcile_with_history(task, devices):

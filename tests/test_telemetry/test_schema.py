@@ -70,7 +70,14 @@ def test_trace_covers_every_round_event(artifacts):
     rounds, workers = 3, 4
     assert len(by_name["round"]) == rounds
     assert len(by_name["dispatch"]) == rounds * workers
-    assert len(by_name["local_train"]) == rounds * workers
+    # training spans: one per member on the fallback path, one per
+    # cohort (carrying a ``members`` attr) on the vectorised path
+    trained = sum(
+        span["attrs"].get("members", 1)
+        for span in by_name.get("local_train", [])
+        + by_name.get("cohort_train", [])
+    )
+    assert trained == rounds * workers
     assert len(by_name["aggregate"]) == rounds
     # worker ids and pruning ratios on every dispatch
     for span in by_name["dispatch"]:
