@@ -2,22 +2,10 @@
 
 Measures simulated-FL round throughput (rounds/s of host wall time)
 on synthetic fleets of 1k / 10k / 100k workers, comparing three
-operating points on the same seeded task:
-
-- ``member_full`` -- the pre-cohort engine: every worker is dispatched
-  its own sub-model clone and trained individually, every round (the
-  only operating point the per-member path supports at fleet scale);
-- ``member_sampled`` -- per-member dispatch/training, but only
-  ``clients_per_round`` sampled workers per round;
-- ``cohort_sampled`` -- the cohort-sharded path: sampled workers are
-  bucketed by (ratio, cluster), one shared sub-model per bucket, local
-  training vectorised across each cohort, per-cohort aggregation
-  partial sums.
-
-The workload is a deliberately small shared-shard MLP task so the
-benchmark stresses the per-round engine machinery (dispatch, pricing,
-training-loop overhead, aggregation) rather than raw model flops; all
-three points run bit-identical arithmetic per trained member.
+operating points on the same seeded task -- see
+:mod:`repro.experiments.fleet`, where the workload lives so the
+``repro bench check`` regression gate can re-run it from the
+installed package.
 
 Regenerate the committed baseline with::
 
@@ -31,136 +19,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from pathlib import Path
-from typing import List, Optional, Tuple
 
-import numpy as np
-
-from repro.data.synthetic import make_synthetic_mnist
-from repro.fl.config import FLConfig
-from repro.fl.engine import Engine
-from repro.fl.schedulers import make_scheduler
-from repro.fl.tasks import ClassificationTask
-from repro.nn.layers import Flatten, Linear, ReLU
-from repro.nn.module import Sequential
-from repro.simulation.cluster import make_scenario_devices
-
-CLIENTS_PER_ROUND = 256
-FLEETS = (1_000, 10_000, 100_000)
-
-MODES = {
-    "member_full": dict(cohort_rounds="off", clients_per_round=None),
-    "member_sampled": dict(cohort_rounds="off",
-                           clients_per_round=CLIENTS_PER_ROUND),
-    "cohort_sampled": dict(cohort_rounds="on",
-                           clients_per_round=CLIENTS_PER_ROUND),
-}
-
-
-def _build_mlp(num_classes=10, input_shape=(1, 28, 28), rng=None):
-    rng = rng if rng is not None else np.random.default_rng(0)
-    channels, height, width = input_shape
-    model = Sequential(
-        ("flatten", Flatten()),
-        ("fc1", Linear(channels * height * width, 64, rng=rng)),
-        ("relu1", ReLU()),
-        ("fc2", Linear(64, num_classes, rng=rng)),
-    )
-    model.input_shape = input_shape
-    model.num_classes = num_classes
-    model.name = "fleet_mlp"
-    return model
-
-
-class FleetTask(ClassificationTask):
-    """Shared-shard MLP task: every worker trains the same small shard,
-    so fleet size scales the *engine* work, not the dataset."""
-
-    def build_model(self, rng):
-        return _build_mlp(self.dataset.num_classes,
-                          self.dataset.input_shape, rng)
-
-    def partition(self, num_workers, rng):
-        shard = (self.dataset.train_x, self.dataset.train_y)
-        return [shard] * num_workers
-
-
-def make_task() -> FleetTask:
-    dataset = make_synthetic_mnist(train_per_class=8, test_per_class=2,
-                                   rng=np.random.default_rng(0))
-    return FleetTask(dataset, "cnn")
-
-
-def make_fleet(count: int):
-    half = count // 2
-    return make_scenario_devices({"A": count - half, "B": half},
-                                 np.random.default_rng(5))
-
-
-def _rounds_for(mode: str, fleet: int) -> int:
-    # the per-member full-fleet point trains O(fleet) workers per
-    # round; keep its wall time bounded at the big sizes
-    if mode == "member_full":
-        return 3 if fleet <= 1_000 else (2 if fleet <= 10_000 else 1)
-    return 3
-
-
-def measure(task: FleetTask, devices: List, mode: str,
-            rounds: int) -> dict:
-    config = FLConfig(strategy="fixed", strategy_kwargs={"ratio": 0.3},
-                      max_rounds=rounds, local_iterations=2,
-                      batch_size=8, eval_every=10_000, seed=7,
-                      **MODES[mode])
-    start = time.perf_counter()
-    engine = Engine(task, devices, config)
-    build_s = time.perf_counter() - start
-    start = time.perf_counter()
-    try:
-        history = make_scheduler(config).run(engine)
-    finally:
-        engine.close()
-    wall_s = time.perf_counter() - start
-    sampled = config.clients_per_round or len(devices)
-    return {
-        "rounds": len(history.rounds),
-        "members_trained_per_round": min(sampled, len(devices)),
-        "engine_build_s": round(build_s, 3),
-        "wall_s_total": round(wall_s, 4),
-        "rounds_per_s": round(len(history.rounds) / wall_s, 4),
-    }
-
-
-def sweep(fleets: Tuple[int, ...], smoke: bool) -> dict:
-    task = make_task()
-    entries = []
-    for fleet in fleets:
-        devices = make_fleet(fleet)
-        entry = {"fleet": fleet}
-        modes = ("cohort_sampled",) if smoke else tuple(MODES)
-        for mode in modes:
-            rounds = 1 if smoke else _rounds_for(mode, fleet)
-            entry[mode] = measure(task, devices, mode, rounds)
-            print(f"fleet={fleet:>7} {mode:<15} "
-                  f"{entry[mode]['rounds_per_s']:>9.4f} rounds/s "
-                  f"(build {entry[mode]['engine_build_s']:.2f}s)")
-        if not smoke:
-            entry["speedup_vs_member_full"] = round(
-                entry["cohort_sampled"]["rounds_per_s"]
-                / entry["member_full"]["rounds_per_s"], 2)
-            entry["speedup_vs_member_sampled"] = round(
-                entry["cohort_sampled"]["rounds_per_s"]
-                / entry["member_sampled"]["rounds_per_s"], 2)
-        entries.append(entry)
-    return {
-        "benchmark": "fleet_scale_rounds",
-        "model": "fleet_mlp (784-64-10, shared shard)",
-        "clients_per_round": CLIENTS_PER_ROUND,
-        "local_iterations": 2,
-        "batch_size": 8,
-        "smoke": smoke,
-        "fleets": entries,
-    }
+from repro.experiments.fleet import FLEETS, sweep
 
 
 def main() -> None:
@@ -177,7 +38,7 @@ def main() -> None:
     fleets = tuple(args.fleets) if args.fleets else (
         (100_000,) if args.smoke else FLEETS
     )
-    report = sweep(fleets, smoke=args.smoke)
+    report = sweep(fleets, smoke=args.smoke, progress=print)
     text = json.dumps(report, indent=2) + "\n"
     if args.out is not None:
         args.out.write_text(text)

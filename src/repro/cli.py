@@ -12,6 +12,15 @@ Run a federated-training experiment end-to-end from the shell::
 
     python -m repro.cli verify --preset cnn --rounds 5
 
+Inspect a run afterwards, or gate a change against the committed
+benchmark baselines::
+
+    python -m repro.cli trace summary trace.jsonl
+    python -m repro.cli trace diff before.jsonl after.jsonl
+    python -m repro.cli trace folded trace.jsonl --out stacks.folded
+
+    python -m repro.cli bench check --smoke
+
 ``--task`` names a bench-scale workload from
 :mod:`repro.experiments.setups` (cnn / alexnet / vgg19 / resnet50 /
 lstm); every knob of :class:`repro.fl.FLConfig` that matters for quick
@@ -21,6 +30,7 @@ experiments is exposed as a flag.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -112,6 +122,17 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write engine spans/events as JSONL to FILE")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="write the metrics registry as JSON to FILE")
+    parser.add_argument("--metrics-export", default=None, metavar="FILE",
+                        help="write the metrics registry in "
+                             "OpenMetrics/Prometheus text format to FILE")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live metrics at "
+                             "http://127.0.0.1:PORT/metrics during the run "
+                             "(0 picks an ephemeral port)")
+    parser.add_argument("--manifest", default=None, metavar="FILE",
+                        help="write a run-manifest JSON (artifacts, "
+                             "resolved flags, git SHA) to FILE")
     parser.add_argument("--profile-worker", type=int, default=None,
                         metavar="N",
                         help="profile worker N's per-layer forward/backward")
@@ -121,12 +142,18 @@ def _make_telemetry(args) -> Optional[Telemetry]:
     """Build the Telemetry bundle the run flags ask for (None if none)."""
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    metrics_export = getattr(args, "metrics_export", None)
+    metrics_port = getattr(args, "metrics_port", None)
     profile_worker = getattr(args, "profile_worker", None)
-    if trace_out is None and metrics_out is None and profile_worker is None:
+    wants_metrics = any(
+        value is not None
+        for value in (metrics_out, metrics_export, metrics_port)
+    )
+    if trace_out is None and profile_worker is None and not wants_metrics:
         return None
     tracer = Tracer(JsonlSink(trace_out)) if trace_out is not None \
         else Tracer()
-    metrics = MetricsRegistry(enabled=metrics_out is not None)
+    metrics = MetricsRegistry(enabled=wants_metrics)
     profiler = LayerProfiler(profile_worker) \
         if profile_worker is not None else None
     return Telemetry(tracer=tracer, metrics=metrics, profiler=profiler)
@@ -172,8 +199,20 @@ def _cmd_run(args) -> int:
     telemetry = _make_telemetry(args)
     if telemetry is not None:
         hooks.append(TelemetryHook(telemetry))
-    history = _build_history(args.task, args.strategy, args,
-                             hooks=hooks, telemetry=telemetry)
+    scrape_server = None
+    if telemetry is not None and args.metrics_port is not None:
+        from repro.telemetry import MetricsHTTPServer
+
+        scrape_server = MetricsHTTPServer(telemetry.metrics,
+                                          port=args.metrics_port)
+        print(f"serving metrics at {scrape_server.url}")
+    try:
+        history = _build_history(args.task, args.strategy, args,
+                                 hooks=hooks, telemetry=telemetry)
+    except BaseException:
+        if scrape_server is not None:
+            scrape_server.close()
+        raise
     label = METHOD_LABELS.get(args.strategy, args.strategy)
     print(f"{label} on {make_bench_task(args.task).label} "
           f"({args.scenario} scenario):")
@@ -195,14 +234,40 @@ def _cmd_run(args) -> int:
             print_profile_summary(telemetry.profiler)
         if telemetry.metrics.enabled:
             print_metrics_summary(telemetry.metrics)
-            telemetry.metrics.save(args.metrics_out)
-            print(f"metrics written to {args.metrics_out}")
+            if args.metrics_out is not None:
+                telemetry.metrics.save(args.metrics_out)
+                print(f"metrics written to {args.metrics_out}")
+            if args.metrics_export is not None:
+                telemetry.metrics.export_openmetrics(args.metrics_export)
+                print(f"openmetrics written to {args.metrics_export}")
+        if scrape_server is not None:
+            scrape_server.close()
         telemetry.close()
         if args.trace_out is not None:
             print(f"trace written to {args.trace_out}")
     if args.history:
         save_history(history, args.history)
         print(f"history written to {args.history}")
+    if args.manifest is not None:
+        from repro.telemetry import write_run_manifest
+
+        write_run_manifest(
+            args.manifest,
+            config={key: value for key, value in sorted(vars(args).items())
+                    if key != "func"},
+            artifacts={
+                "trace": args.trace_out,
+                "metrics": args.metrics_out,
+                "metrics_export": args.metrics_export,
+                "history": args.history,
+            },
+            extra={"result": {
+                "final_metric": history.final_metric(),
+                "rounds": len(history.rounds),
+                "sim_time_s": history.total_time_s,
+            }},
+        )
+        print(f"manifest written to {args.manifest}")
     return 0
 
 
@@ -249,6 +314,160 @@ def _cmd_verify(args) -> int:
     )
     print(report.describe())
     return 0 if report.passed else 1
+
+
+def _fmt_s(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def _cmd_trace_summary(args) -> int:
+    from repro.experiments.reporting import print_table
+    from repro.telemetry import (
+        build_tree,
+        load_trace,
+        phase_breakdown,
+        round_summaries,
+        round_trends,
+    )
+
+    roots = build_tree(load_trace(args.trace))
+    if not roots:
+        print(f"error: {args.trace} contains no spans", file=sys.stderr)
+        return 2
+
+    breakdown = phase_breakdown(roots, round_index=args.round)
+    scope = "all rounds" if args.round is None else f"round {args.round}"
+    print_table(
+        f"Phase breakdown ({scope}) -- {args.trace}",
+        ("phase", "count", "total_s", "self_s", "mean_s", "max_s"),
+        [(entry["phase"], entry["count"], _fmt_s(entry["total_s"]),
+          _fmt_s(entry["self_s"]), _fmt_s(entry["mean_s"]),
+          _fmt_s(entry["max_s"]))
+         for entry in breakdown],
+        note="self_s excludes child spans, so the column sums to wall "
+             "time without double-charging nested phases",
+    )
+
+    summaries = round_summaries(roots)
+    if summaries:
+        print_table(
+            "Per-round critical path",
+            ("round", "duration_s", "untracked_s", "critical path"),
+            [(summary["round"], _fmt_s(summary["duration_s"]),
+              _fmt_s(summary["untracked_s"]),
+              " > ".join(
+                  f"{step['name']}:{_fmt_s(step['duration_s'])}"
+                  for step in summary["critical_path"]))
+             for summary in summaries],
+            note="each step is the longest child at its level; shrink "
+                 "the leaf to shorten the round",
+        )
+
+        trends = round_trends(roots)
+        rows = [("round", trends["rounds"]["count"],
+                 _fmt_s(trends["rounds"]["p50_s"]),
+                 _fmt_s(trends["rounds"]["p95_s"]),
+                 _fmt_s(trends["rounds"]["p99_s"]),
+                 _fmt_s(trends["rounds"]["max_s"]))]
+        rows.extend(
+            (phase, stats["count"], _fmt_s(stats["p50_s"]),
+             _fmt_s(stats["p95_s"]), _fmt_s(stats["p99_s"]),
+             _fmt_s(stats["max_s"]))
+            for phase, stats in trends["phases"].items()
+        )
+        print_table("Round-time trends",
+                    ("series", "n", "p50_s", "p95_s", "p99_s", "max_s"),
+                    rows)
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.experiments.reporting import print_table
+    from repro.telemetry import diff_traces, load_trace
+
+    rows = diff_traces(load_trace(args.trace_a), load_trace(args.trace_b))
+    print_table(
+        f"Trace diff: A={args.trace_a}  B={args.trace_b}",
+        ("phase", "n A", "n B", "total A (s)", "total B (s)",
+         "delta (s)", "mean ratio"),
+        [(row["phase"], row["count_a"], row["count_b"],
+          _fmt_s(row["total_a_s"]), _fmt_s(row["total_b_s"]),
+          f"{row['delta_total_s']:+.4f}",
+          "--" if row["ratio"] is None else f"{row['ratio']:.2f}x")
+         for row in rows],
+        note="sorted by delta (B minus A): the top rows are where B "
+             "got slower",
+    )
+    slowest = rows[0] if rows else None
+    if slowest is not None and slowest["delta_total_s"] > 0:
+        print(f"\nbiggest slowdown: {slowest['phase']} "
+              f"(+{slowest['delta_total_s']:.4f}s total"
+              + (f", {slowest['ratio']:.2f}x mean)"
+                 if slowest["ratio"] else ")"))
+    return 0
+
+
+def _cmd_trace_folded(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry import build_tree, folded_stacks, load_trace
+
+    text = folded_stacks(build_tree(load_trace(args.trace)))
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"folded stacks written to {args.out} "
+              f"(feed to flamegraph.pl / speedscope / inferno)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_bench_check(args) -> int:
+    from repro.benchcheck import (
+        DEFAULT_TOLERANCE,
+        compare,
+        load_report,
+        run_fleet_smoke,
+        write_report,
+    )
+
+    tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
+                 else args.tolerance)
+    baseline = load_report(args.baseline)
+    if args.candidate is not None:
+        candidate = load_report(args.candidate)
+        source = args.candidate
+    else:
+        print(f"running fleet smoke benchmark "
+              f"(fleet={args.smoke_fleet}) ...")
+        candidate = run_fleet_smoke(fleet=args.smoke_fleet, progress=print)
+        source = "<fresh smoke run>"
+    report = compare(baseline, candidate,
+                     baseline_path=str(args.baseline),
+                     default_tolerance=tolerance)
+
+    from repro.experiments.reporting import print_table
+
+    print_table(
+        f"Benchmark check: {args.baseline} vs {source}",
+        ("metric", "baseline", "candidate", "ratio", "floor", "status"),
+        [(result.metric, f"{result.baseline:.4g}",
+          f"{result.candidate:.4g}",
+          f"{result.ratio:.3f}", f"{1.0 - result.tolerance:.2f}",
+          "ok" if result.ok else "REGRESSED")
+         for result in report.results],
+        note=(f"skipped (not measured by candidate): "
+              f"{', '.join(report.skipped)}" if report.skipped else ""),
+    )
+    if args.report is not None:
+        write_report(args.report, report)
+        print(f"comparison report written to {args.report}")
+    if not report.ok:
+        failed = [r.metric for r in report.results if not r.ok]
+        print(f"\nREGRESSION: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("\nall benchmark metrics within tolerance")
+    return 0
 
 
 def _cmd_devices(args) -> int:
@@ -323,13 +542,76 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="N",
                                help="pool size for the process stage")
     verify_parser.set_defaults(func=_cmd_verify)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="offline analytics over a span-trace JSONL file")
+    trace_subparsers = trace_parser.add_subparsers(
+        dest="trace_command", required=True)
+
+    trace_summary = trace_subparsers.add_parser(
+        "summary",
+        help="phase breakdown, per-round critical paths, p50/p95/p99 "
+             "round-time trends")
+    trace_summary.add_argument("trace", help="span JSONL file "
+                                             "(from --trace-out)")
+    trace_summary.add_argument("--round", type=int, default=None,
+                               help="restrict the phase breakdown to one "
+                                    "round index")
+    trace_summary.set_defaults(func=_cmd_trace_summary)
+
+    trace_diff = trace_subparsers.add_parser(
+        "diff", help="compare two traces phase-by-phase (B minus A)")
+    trace_diff.add_argument("trace_a", help="baseline trace JSONL")
+    trace_diff.add_argument("trace_b", help="candidate trace JSONL")
+    trace_diff.set_defaults(func=_cmd_trace_diff)
+
+    trace_folded = trace_subparsers.add_parser(
+        "folded",
+        help="emit folded stacks (self-time in microseconds) for "
+             "flamegraph tools")
+    trace_folded.add_argument("trace", help="span JSONL file")
+    trace_folded.add_argument("--out", default=None,
+                              help="write to this file instead of stdout")
+    trace_folded.set_defaults(func=_cmd_trace_folded)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark baseline utilities")
+    bench_subparsers = bench_parser.add_subparsers(
+        dest="bench_command", required=True)
+    bench_check = bench_subparsers.add_parser(
+        "check",
+        help="gate a candidate benchmark report against a committed "
+             "baseline; exits 1 on regression")
+    bench_check.add_argument("--baseline", default="BENCH_fleet.json",
+                             help="committed baseline report "
+                                  "(default: BENCH_fleet.json)")
+    bench_check.add_argument("--candidate", default=None,
+                             help="candidate report file; omit to run a "
+                                  "fresh fleet smoke benchmark")
+    bench_check.add_argument("--smoke-fleet", type=int, default=100_000,
+                             metavar="N",
+                             help="fleet size for the fresh smoke run "
+                                  "(default: 100000)")
+    bench_check.add_argument("--tolerance", type=float, default=None,
+                             help="override the default fractional "
+                                  "regression tolerance")
+    bench_check.add_argument("--report", default=None,
+                             help="write the comparison report JSON here")
+    bench_check.set_defaults(func=_cmd_bench_check)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly with
+        # the conventional SIGPIPE status instead of a traceback
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -1,0 +1,177 @@
+"""Fleet-scale round-throughput workload (shared with the benchmark).
+
+The synthetic fleet workload behind ``benchmarks/bench_fleet.py`` and
+``repro bench check --smoke``: a deliberately small shared-shard MLP
+task whose fleet size scales the *engine* work (dispatch, pricing,
+training-loop overhead, aggregation) rather than raw model flops.
+Living inside the package -- ``benchmarks/`` is not importable -- lets
+the CLI's regression gate re-run the exact committed workload.
+
+Three operating points on the same seeded task:
+
+- ``member_full`` -- the pre-cohort engine: every worker is dispatched
+  its own sub-model clone and trained individually, every round;
+- ``member_sampled`` -- per-member dispatch/training, but only
+  ``clients_per_round`` sampled workers per round;
+- ``cohort_sampled`` -- the cohort-sharded path: sampled workers are
+  bucketed by (ratio, cluster), one shared sub-model per bucket, local
+  training vectorised across each cohort, per-cohort aggregation
+  partial sums.
+
+All three points run bit-identical arithmetic per trained member.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.engine import Engine
+from repro.fl.schedulers import make_scheduler
+from repro.fl.tasks import ClassificationTask
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.nn.module import Sequential
+from repro.simulation.cluster import make_scenario_devices
+
+__all__ = [
+    "CLIENTS_PER_ROUND",
+    "FLEETS",
+    "MODES",
+    "FleetTask",
+    "make_task",
+    "make_fleet",
+    "measure",
+    "rounds_for",
+]
+
+CLIENTS_PER_ROUND = 256
+FLEETS = (1_000, 10_000, 100_000)
+
+MODES = {
+    "member_full": dict(cohort_rounds="off", clients_per_round=None),
+    "member_sampled": dict(cohort_rounds="off",
+                           clients_per_round=CLIENTS_PER_ROUND),
+    "cohort_sampled": dict(cohort_rounds="on",
+                           clients_per_round=CLIENTS_PER_ROUND),
+}
+
+
+def _build_mlp(num_classes=10, input_shape=(1, 28, 28), rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    channels, height, width = input_shape
+    model = Sequential(
+        ("flatten", Flatten()),
+        ("fc1", Linear(channels * height * width, 64, rng=rng)),
+        ("relu1", ReLU()),
+        ("fc2", Linear(64, num_classes, rng=rng)),
+    )
+    model.input_shape = input_shape
+    model.num_classes = num_classes
+    model.name = "fleet_mlp"
+    return model
+
+
+class FleetTask(ClassificationTask):
+    """Shared-shard MLP task: every worker trains the same small shard,
+    so fleet size scales the *engine* work, not the dataset."""
+
+    def build_model(self, rng):
+        return _build_mlp(self.dataset.num_classes,
+                          self.dataset.input_shape, rng)
+
+    def partition(self, num_workers, rng):
+        shard = (self.dataset.train_x, self.dataset.train_y)
+        return [shard] * num_workers
+
+
+def make_task() -> FleetTask:
+    dataset = make_synthetic_mnist(train_per_class=8, test_per_class=2,
+                                   rng=np.random.default_rng(0))
+    return FleetTask(dataset, "cnn")
+
+
+def make_fleet(count: int):
+    half = count // 2
+    return make_scenario_devices({"A": count - half, "B": half},
+                                 np.random.default_rng(5))
+
+
+def rounds_for(mode: str, fleet: int) -> int:
+    """Round count keeping per-member full-fleet wall time bounded."""
+    if mode == "member_full":
+        return 3 if fleet <= 1_000 else (2 if fleet <= 10_000 else 1)
+    return 3
+
+
+def measure(task: FleetTask, devices: List, mode: str, rounds: int,
+            telemetry=None) -> dict:
+    """Run ``rounds`` rounds of ``mode`` and report throughput.
+
+    ``telemetry`` is threaded into the engine when given (the overhead
+    benchmark measures enabled-vs-disabled on this exact workload).
+    """
+    config = FLConfig(strategy="fixed", strategy_kwargs={"ratio": 0.3},
+                      max_rounds=rounds, local_iterations=2,
+                      batch_size=8, eval_every=10_000, seed=7,
+                      **MODES[mode])
+    start = time.perf_counter()
+    engine = Engine(task, devices, config, telemetry=telemetry)
+    build_s = time.perf_counter() - start
+    start = time.perf_counter()
+    try:
+        history = make_scheduler(config).run(engine)
+    finally:
+        engine.close()
+    wall_s = time.perf_counter() - start
+    sampled = config.clients_per_round or len(devices)
+    return {
+        "rounds": len(history.rounds),
+        "members_trained_per_round": min(sampled, len(devices)),
+        "engine_build_s": round(build_s, 3),
+        "wall_s_total": round(wall_s, 4),
+        "rounds_per_s": round(len(history.rounds) / wall_s, 4),
+    }
+
+
+def sweep(fleets: Tuple[int, ...], smoke: bool,
+          progress: Optional[callable] = None) -> dict:
+    """The full benchmark sweep (``smoke`` = one cohort-sampled point).
+
+    ``progress`` receives one formatted line per measurement.
+    """
+    task = make_task()
+    entries = []
+    for fleet in fleets:
+        devices = make_fleet(fleet)
+        entry = {"fleet": fleet}
+        modes = ("cohort_sampled",) if smoke else tuple(MODES)
+        for mode in modes:
+            rounds = 1 if smoke else rounds_for(mode, fleet)
+            entry[mode] = measure(task, devices, mode, rounds)
+            if progress is not None:
+                progress(
+                    f"fleet={fleet:>7} {mode:<15} "
+                    f"{entry[mode]['rounds_per_s']:>9.4f} rounds/s "
+                    f"(build {entry[mode]['engine_build_s']:.2f}s)"
+                )
+        if not smoke:
+            entry["speedup_vs_member_full"] = round(
+                entry["cohort_sampled"]["rounds_per_s"]
+                / entry["member_full"]["rounds_per_s"], 2)
+            entry["speedup_vs_member_sampled"] = round(
+                entry["cohort_sampled"]["rounds_per_s"]
+                / entry["member_sampled"]["rounds_per_s"], 2)
+        entries.append(entry)
+    return {
+        "benchmark": "fleet_scale_rounds",
+        "model": "fleet_mlp (784-64-10, shared shard)",
+        "clients_per_round": CLIENTS_PER_ROUND,
+        "local_iterations": 2,
+        "batch_size": 8,
+        "smoke": smoke,
+        "fleets": entries,
+    }

@@ -37,6 +37,7 @@ to one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
 
@@ -269,6 +270,8 @@ class Aggregator:
         first, _ = members[0]
         plan = first.plan
         planned = plan.param_names()
+        scatter_start = time.perf_counter() if self.metrics is not None \
+            else 0.0
 
         partial: Dict[str, np.ndarray] = {}
         for contribution, _weight in members:
@@ -306,6 +309,9 @@ class Aggregator:
             self.metrics.counter(
                 "aggregate_cohort_partial_sums_total",
             ).inc()
+            self.metrics.histogram("aggregate_scatter_add_s").observe(
+                time.perf_counter() - scatter_start
+            )
 
     def _accumulate_dense(self, accumulator: Dict[str, np.ndarray],
                           contribution: Contribution, weight: float,

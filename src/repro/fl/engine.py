@@ -18,6 +18,7 @@ devices are bitwise identical, whichever scheduler drives them.
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.fl.strategies import Strategy, make_strategy
 from repro.fl.worker import Worker
 from repro.nn.batched import supports_cohort_training
 from repro.pruning.masks import residual_state_dict
+from repro.pruning.plan import plan_signature_digest
 from repro.runtime.codec import TrainHyper
 from repro.runtime.executor import (
     CohortTrainRequest,
@@ -266,12 +268,16 @@ class Engine:
         """
         candidates = list(candidates)
         m = self.config.clients_per_round
+        metrics = self.telemetry.metrics
         if m is None or m >= len(candidates):
+            if candidates:
+                metrics.gauge("fleet_sampled_fraction").set(1.0)
             return candidates
         picked = self._sampling_rng.choice(
             len(candidates), size=m, replace=False
         )
-        self.telemetry.metrics.counter("clients_sampled_total").inc(m)
+        metrics.counter("clients_sampled_total").inc(m)
+        metrics.gauge("fleet_sampled_fraction").set(m / len(candidates))
         return [candidates[index] for index in sorted(picked)]
 
     # ------------------------------------------------------------------
@@ -375,6 +381,11 @@ class Engine:
                     global_state=global_state,
                 )
                 cohort_span.set("download_params", num_params)
+                if self.telemetry.tracer.enabled:
+                    cohort_span.set("plan_sig",
+                                    plan_signature_digest(plan))
+                metrics.gauge("cohort_members", ratio=ratio,
+                              cluster=cluster).set(len(member_ids))
                 for worker_id in member_ids:
                     with self.telemetry.span(
                         "dispatch", round=round_index, worker=worker_id,
@@ -674,13 +685,22 @@ class Engine:
         first (the sanctioned interception point fault injectors use);
         every observer hook then sees the set that was aggregated.
         """
+        # the span records the contribution *count*, not the id list: a
+        # sampled fleet round can carry thousands of members and the
+        # trace must stay O(cohorts) per round
         with self.telemetry.span(
             "aggregate", round=round_index,
-            workers=[c.worker_id for c in contributions],
-        ):
+            contributions=len(contributions),
+        ) as span:
             contributions = self.hooks.before_aggregate(round_index,
                                                         contributions)
+            apply_start = time.perf_counter()
             new_state = self.server.apply(contributions)
+            apply_s = time.perf_counter() - apply_start
+            span.set("apply_s", apply_s)
+            self.telemetry.metrics.histogram(
+                "aggregate_apply_s",
+            ).observe(apply_s)
             if self.fast_path and not self.aggregator.dense:
                 saved = len(contributions) * len(self.server.template)
                 if self.aggregator.needs_residual:

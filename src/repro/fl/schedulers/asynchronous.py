@@ -59,6 +59,8 @@ class AsynchronousScheduler(Scheduler):
             with engine.telemetry.span("round", round=round_index,
                                        scheduler=self.name) as round_span:
                 arrivals = outstanding.pop_first(m)
+                round_span.set("arrivals", len(arrivals))
+                round_span.set("outstanding", len(outstanding))
                 now = arrivals[-1].finish_time
                 previous_now = engine.clock.now
                 engine.clock.advance_to(max(now, previous_now))

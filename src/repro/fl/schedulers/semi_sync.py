@@ -104,6 +104,10 @@ class SemiSynchronousScheduler(Scheduler):
                     if wid not in outstanding and wid in set(present)
                 ]
                 idle = engine.sample_clients(idle, round_index + 1)
+                round_span.set("present", len(present))
+                round_span.set("sampled", len(idle))
+                round_span.set("arrivals", len(arrivals))
+                round_span.set("carried_over", len(carried_over))
                 if idle:
                     with engine.telemetry.span("decide",
                                                round=round_index + 1,

@@ -33,6 +33,8 @@ class SynchronousScheduler(Scheduler):
                                        scheduler=self.name) as round_span:
                 present = engine.present_workers(round_index)
                 sampled = engine.sample_clients(present, round_index)
+                round_span.set("present", len(present))
+                round_span.set("sampled", len(sampled))
                 overhead_start = time.perf_counter()
                 with engine.telemetry.span("decide", round=round_index,
                                            workers=len(sampled)):

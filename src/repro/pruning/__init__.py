@@ -20,7 +20,12 @@ This subpackage implements Section III-B/C of the paper:
   convergence analysis.
 """
 
-from repro.pruning.plan import LayerPrune, PruningPlan
+from repro.pruning.plan import (
+    LayerPrune,
+    PruningPlan,
+    plan_signature,
+    plan_signature_digest,
+)
 from repro.pruning.importance import (
     conv_filter_scores,
     linear_neuron_scores,
@@ -56,5 +61,7 @@ __all__ = [
     "residual_state_dict",
     "build_iss_plan",
     "extract_iss_submodel",
+    "plan_signature",
+    "plan_signature_digest",
     "pruning_error",
 ]

@@ -134,6 +134,35 @@ class PruningPlan:
         return all(entry.keeps_everything() for entry in self.layers.values())
 
 
+def plan_signature(plan: PruningPlan) -> Tuple:
+    """Architecture signature of a plan: the kept sizes per layer.
+
+    Two plans with the same signature produce structurally identical
+    sub-models, so callers may share templates, cohort buckets and
+    child-side caches across them.  Pure index bookkeeping -- never
+    depends on model values.
+    """
+    return tuple(
+        (name, entry.kind, int(entry.out_full), int(entry.kept_out.size),
+         -1 if entry.in_full is None else int(entry.in_full),
+         -1 if entry.kept_in is None else int(entry.kept_in.size))
+        for name, entry in plan.items()
+    )
+
+
+def plan_signature_digest(plan: PruningPlan) -> str:
+    """Short stable hex digest of :func:`plan_signature`.
+
+    The tuple form is exact but unwieldy as a metric label or span
+    attribute; the digest is the observability-friendly spelling (12
+    hex chars of SHA-1 over the signature's repr).
+    """
+    import hashlib
+
+    raw = repr(plan_signature(plan)).encode("utf-8")
+    return hashlib.sha1(raw).hexdigest()[:12]
+
+
 def keep_count(full: int, ratio: float) -> int:
     """Units kept in a layer of size ``full`` at pruning ratio ``ratio``.
 

@@ -27,12 +27,13 @@ from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_for_connections
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.loader import BatchIterator
 from repro.nn.batched import train_cohort
+from repro.pruning.plan import plan_signature, plan_signature_digest
 from repro.runtime.codec import (
     TrainHyper,
     decode_contribution,
@@ -201,10 +202,16 @@ class SerialExecutor(Executor):
         the per-member decomposition.
         """
         if not self._vectorisable(request):
-            self.telemetry.metrics.counter(
+            metrics = self.telemetry.metrics
+            metrics.counter(
                 "cohort_train_fallback_total",
             ).inc(len(request.worker_ids))
-            return super().run_cohort(request, round_index)
+            start = time.perf_counter()
+            results = super().run_cohort(request, round_index)
+            metrics.histogram("cohort_train_s", path="fallback").observe(
+                time.perf_counter() - start
+            )
+            return results
 
         cohort = request.cohort
         hyper = request.hyper
@@ -218,6 +225,9 @@ class SerialExecutor(Executor):
             cluster=cohort.cluster, members=len(request.worker_ids),
             tau=tau,
         ) as span:
+            if self.telemetry.tracer.enabled:
+                span.set("path", "vectorised")
+                span.set("plan_sig", plan_signature_digest(cohort.plan))
             start = time.perf_counter()
             states, losses = train_cohort(
                 cohort.template, cohort.dispatched_state, iterators, tau,
@@ -232,6 +242,9 @@ class SerialExecutor(Executor):
         self.telemetry.metrics.counter(
             "cohort_train_vectorised_total",
         ).inc(len(request.worker_ids))
+        self.telemetry.metrics.histogram(
+            "cohort_train_s", path="vectorised",
+        ).observe(elapsed)
         per_member = elapsed / len(request.worker_ids)
         return [
             TrainResult(worker_id=worker_id, sub_state=state,
@@ -283,19 +296,11 @@ class SerialExecutor(Executor):
         )
 
 
-def _plan_signature(plan) -> Tuple:
-    """Architecture signature of a plan: the kept sizes per layer.
-
-    Two plans with the same signature produce structurally identical
-    sub-models, so a child may clone a cached template instead of
-    unpickling a fresh module graph.
-    """
-    return tuple(
-        (name, entry.kind, int(entry.out_full), int(entry.kept_out.size),
-         -1 if entry.in_full is None else int(entry.in_full),
-         -1 if entry.kept_in is None else int(entry.kept_in.size))
-        for name, entry in plan.items()
-    )
+#: template-cache key: two plans with the same signature produce
+#: structurally identical sub-models, so a child may clone a cached
+#: template instead of unpickling a fresh module graph (now shared
+#: with cohort bucketing via :mod:`repro.pruning.plan`)
+_plan_signature = plan_signature
 
 
 @dataclass

@@ -17,9 +17,42 @@ sink or registry is attached:
 :class:`~repro.telemetry.runtime.Telemetry` bundles the instruments;
 pass it to :func:`repro.fl.runner.run_federated_training` (or use the
 CLI flags ``--trace-out`` / ``--metrics-out`` / ``--profile-worker``).
+
+On top of the core sit the observability exits and analytics:
+
+- :mod:`repro.telemetry.openmetrics` -- Prometheus/OpenMetrics text
+  rendering (``MetricsRegistry.to_openmetrics()``) and a strict
+  round-trip parser;
+- :mod:`repro.telemetry.export` -- run-manifest JSON (trace + metrics
+  + config + git SHA) and the opt-in ``/metrics`` HTTP scrape
+  endpoint;
+- :mod:`repro.telemetry.analysis` -- offline trace analytics behind
+  ``repro trace`` (critical paths, phase breakdowns, trends, diffs,
+  folded stacks).
 """
 
+from repro.telemetry.analysis import (
+    SpanNode,
+    build_tree,
+    critical_path,
+    diff_traces,
+    folded_stacks,
+    load_trace,
+    phase_breakdown,
+    round_summaries,
+    round_trends,
+)
+from repro.telemetry.export import (
+    MetricsHTTPServer,
+    git_revision,
+    write_run_manifest,
+)
 from repro.telemetry.hook import TelemetryHook
+from repro.telemetry.openmetrics import (
+    OpenMetricsParseError,
+    parse_openmetrics,
+    render_openmetrics,
+)
 from repro.telemetry.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -51,12 +84,27 @@ __all__ = [
     "LayerProfiler",
     "LayerRecord",
     "ListSink",
+    "MetricsHTTPServer",
     "MetricsRegistry",
+    "OpenMetricsParseError",
     "RECORD_KINDS",
     "SPAN_NAMES",
+    "SpanNode",
     "Telemetry",
     "TelemetryHook",
     "Tracer",
+    "build_tree",
+    "critical_path",
+    "diff_traces",
+    "folded_stacks",
     "format_instrument",
+    "git_revision",
+    "load_trace",
+    "parse_openmetrics",
+    "phase_breakdown",
+    "render_openmetrics",
+    "round_summaries",
+    "round_trends",
     "to_jsonable",
+    "write_run_manifest",
 ]

@@ -1,0 +1,314 @@
+"""Offline analytics over span-trace JSONL files.
+
+The tracer writes one JSON object per *closed* span (children before
+parents, ``parent_id`` linking the tree).  This module reads those
+files back and answers the questions an operator actually asks of a
+fleet-scale run:
+
+- :func:`load_trace` -- parse a JSONL trace, tolerating a truncated
+  final line (crash-safe sinks flush per line, so at most the last
+  record can be torn);
+- :func:`build_tree` -- reconstruct the span forest;
+- :func:`phase_breakdown` -- per-phase totals/self-time across the
+  whole run or one round;
+- :func:`round_summaries` + :func:`round_trends` -- per-round wall
+  time and phase attribution, with p50/p95/p99 trends;
+- :func:`critical_path` -- the longest child chain through a round,
+  i.e. what to optimise to make the round faster;
+- :func:`diff_traces` -- phase-by-phase comparison of two traces,
+  ranked by absolute slowdown, for "what regressed between A and B";
+- :func:`folded_stacks` -- ``stack;path;names <self-µs>`` lines
+  consumable by standard flamegraph tooling
+  (``flamegraph.pl``, speedscope, inferno).
+
+Everything here is pure: files in, dicts/strings out.  The CLI's
+``repro trace`` subcommand is a thin presentation layer over it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "SpanNode",
+    "load_trace",
+    "build_tree",
+    "phase_breakdown",
+    "round_summaries",
+    "round_trends",
+    "critical_path",
+    "diff_traces",
+    "folded_stacks",
+]
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a span-trace JSONL file into a list of records.
+
+    A torn final line (process killed mid-write) is silently dropped;
+    a malformed line anywhere else raises, because that means the file
+    is not one of ours.
+    """
+    records: List[Dict[str, Any]] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail from a crash; everything before is good
+            raise ValueError(
+                f"{path}: malformed trace record on line {index + 1}"
+            )
+    return records
+
+
+@dataclass
+class SpanNode:
+    """One span plus its children, reconstructed from the flat stream."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_s: float
+    duration_s: float
+    attrs: Dict[str, Any]
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by child spans (clipped at zero)."""
+        return max(0.0, self.duration_s -
+                   sum(child.duration_s for child in self.children))
+
+    def walk(self):
+        """Yield this node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_tree(records: Sequence[Dict[str, Any]]) -> List[SpanNode]:
+    """Reconstruct the span forest; roots in start order.
+
+    Spans whose parent never closed (aborted runs) become roots, so a
+    partial trace still yields a usable tree.
+    """
+    nodes: Dict[int, SpanNode] = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        node = SpanNode(
+            name=record["name"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            start_s=record["start_s"],
+            duration_s=record["duration_s"],
+            attrs=record.get("attrs", {}) or {},
+        )
+        nodes[node.span_id] = node
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.parent_id) if node.parent_id else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.start_s)
+    roots.sort(key=lambda node: node.start_s)
+    return roots
+
+
+def _round_roots(roots: Sequence[SpanNode]) -> List[SpanNode]:
+    rounds = [node for root in roots for node in root.walk()
+              if node.name == "round"]
+    rounds.sort(key=lambda node: (node.attrs.get("round", -1),
+                                  node.start_s))
+    return rounds
+
+
+def phase_breakdown(
+    roots: Sequence[SpanNode],
+    round_index: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Aggregate span time by phase (span name), descending by total.
+
+    ``total_s`` is wall time inside spans of that name; ``self_s``
+    subtracts child spans, so the column sums to actual wall time
+    instead of double-charging nested phases.  Restrict to one round
+    with ``round_index``.
+    """
+    scope: List[SpanNode] = []
+    if round_index is None:
+        for root in roots:
+            scope.extend(root.walk())
+    else:
+        for round_node in _round_roots(roots):
+            if round_node.attrs.get("round") == round_index:
+                scope.extend(round_node.walk())
+    phases: Dict[str, Dict[str, Any]] = {}
+    for node in scope:
+        entry = phases.setdefault(node.name, {
+            "phase": node.name, "count": 0, "total_s": 0.0,
+            "self_s": 0.0, "max_s": 0.0,
+        })
+        entry["count"] += 1
+        entry["total_s"] += node.duration_s
+        entry["self_s"] += node.self_s
+        entry["max_s"] = max(entry["max_s"], node.duration_s)
+    for entry in phases.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return sorted(phases.values(),
+                  key=lambda entry: entry["total_s"], reverse=True)
+
+
+def critical_path(round_node: SpanNode) -> List[Dict[str, Any]]:
+    """The longest-child chain through one round span.
+
+    At every level, descend into the child with the largest duration;
+    each step reports the span, its duration, its self time, and its
+    share of the round.  This is the chain whose spans must shrink for
+    the round to finish sooner.
+    """
+    path: List[Dict[str, Any]] = []
+    node: Optional[SpanNode] = round_node
+    total = round_node.duration_s or 1e-12
+    while node is not None:
+        path.append({
+            "name": node.name,
+            "duration_s": node.duration_s,
+            "self_s": node.self_s,
+            "share": node.duration_s / total,
+            "attrs": {key: node.attrs[key]
+                      for key in ("round", "worker", "cohort", "ratio",
+                                  "cluster", "members", "path",
+                                  "plan_sig")
+                      if key in node.attrs},
+        })
+        node = max(node.children, default=None,
+                   key=lambda child: child.duration_s)
+    return path
+
+
+def round_summaries(roots: Sequence[SpanNode]) -> List[Dict[str, Any]]:
+    """Per-round wall time plus top-level phase attribution."""
+    summaries: List[Dict[str, Any]] = []
+    for round_node in _round_roots(roots):
+        phases: Dict[str, float] = {}
+        for child in round_node.children:
+            phases[child.name] = phases.get(child.name, 0.0) \
+                + child.duration_s
+        path = critical_path(round_node)
+        summaries.append({
+            "round": round_node.attrs.get("round"),
+            "duration_s": round_node.duration_s,
+            "phases": phases,
+            "untracked_s": round_node.self_s,
+            "critical_path": path,
+            "critical_leaf": path[-1]["name"] if path else None,
+        })
+    return summaries
+
+
+def _percentile(values: Sequence[float], p: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+def round_trends(roots: Sequence[SpanNode]) -> Dict[str, Any]:
+    """p50/p95/p99 of round wall time and of each top-level phase."""
+    summaries = round_summaries(roots)
+    durations = [summary["duration_s"] for summary in summaries]
+    phase_series: Dict[str, List[float]] = {}
+    for summary in summaries:
+        for phase, seconds in summary["phases"].items():
+            phase_series.setdefault(phase, []).append(seconds)
+    def stats(values: Sequence[float]) -> Dict[str, float]:
+        return {
+            "count": len(values),
+            "total_s": sum(values),
+            "p50_s": _percentile(values, 50.0),
+            "p95_s": _percentile(values, 95.0),
+            "p99_s": _percentile(values, 99.0),
+            "max_s": max(values) if values else 0.0,
+        }
+    return {
+        "rounds": stats(durations),
+        "phases": {phase: stats(values)
+                   for phase, values in sorted(phase_series.items())},
+    }
+
+
+def diff_traces(
+    records_a: Sequence[Dict[str, Any]],
+    records_b: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Phase-by-phase comparison of two traces, worst slowdown first.
+
+    ``delta_total_s`` is B minus A (positive = B slower); ``ratio`` is
+    B's mean over A's mean.  Phases present in only one trace appear
+    with the other side zeroed, so added/removed phases surface too.
+    """
+    breakdown_a = {entry["phase"]: entry
+                   for entry in phase_breakdown(build_tree(records_a))}
+    breakdown_b = {entry["phase"]: entry
+                   for entry in phase_breakdown(build_tree(records_b))}
+    rows: List[Dict[str, Any]] = []
+    for phase in sorted(set(breakdown_a) | set(breakdown_b)):
+        entry_a = breakdown_a.get(phase)
+        entry_b = breakdown_b.get(phase)
+        total_a = entry_a["total_s"] if entry_a else 0.0
+        total_b = entry_b["total_s"] if entry_b else 0.0
+        mean_a = entry_a["mean_s"] if entry_a else 0.0
+        mean_b = entry_b["mean_s"] if entry_b else 0.0
+        rows.append({
+            "phase": phase,
+            "count_a": entry_a["count"] if entry_a else 0,
+            "count_b": entry_b["count"] if entry_b else 0,
+            "total_a_s": total_a,
+            "total_b_s": total_b,
+            "delta_total_s": total_b - total_a,
+            "mean_a_s": mean_a,
+            "mean_b_s": mean_b,
+            "ratio": (mean_b / mean_a) if mean_a > 0 else None,
+        })
+    rows.sort(key=lambda row: row["delta_total_s"], reverse=True)
+    return rows
+
+
+def folded_stacks(roots: Sequence[SpanNode]) -> str:
+    """Render the forest as folded stacks for flamegraph tooling.
+
+    One line per distinct root-to-span path, ``;``-joined names then a
+    space and the path's aggregate *self* time in integer microseconds
+    (flamegraph counts must be integers; µs keeps sub-ms phases
+    visible).  Zero-self-µs paths are dropped.
+    """
+    totals: Dict[str, int] = {}
+
+    def visit(node: SpanNode, prefix: Tuple[str, ...]) -> None:
+        stack = prefix + (node.name,)
+        micros = int(round(node.self_s * 1e6))
+        if micros > 0:
+            key = ";".join(stack)
+            totals[key] = totals.get(key, 0) + micros
+        for child in node.children:
+            visit(child, stack)
+
+    for root in roots:
+        visit(root, ())
+    return "\n".join(f"{stack} {count}"
+                     for stack, count in sorted(totals.items())) + "\n"

@@ -1,0 +1,167 @@
+"""Exporters: run manifests and an HTTP metrics scrape endpoint.
+
+Two ways observability data leaves the process:
+
+- :func:`write_run_manifest` -- one JSON file tying a run's artifacts
+  together (trace path, metrics path, history path, resolved config,
+  git SHA, package version, CLI argv), so a benchmark number or trace
+  found on disk six months later is attributable to the exact code and
+  configuration that produced it;
+- :class:`MetricsHTTPServer` -- an opt-in, stdlib-only HTTP endpoint
+  serving the live :class:`MetricsRegistry` in OpenMetrics text format
+  at ``/metrics`` (the format Prometheus scrapes).  It runs on a
+  daemon thread and renders on demand, so it costs nothing between
+  scrapes; this is the ROADMAP's service-mode beachhead.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.telemetry.spans import to_jsonable
+
+__all__ = [
+    "git_revision",
+    "write_run_manifest",
+    "MetricsHTTPServer",
+]
+
+#: media type Prometheus expects from an OpenMetrics endpoint
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current git commit SHA (plus ``-dirty``), or ``None``.
+
+    Never raises: runs outside a checkout, or without git installed,
+    simply have no revision to record.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        if sha.returncode != 0:
+            return None
+        revision = sha.stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        if status.returncode == 0 and status.stdout.strip():
+            revision += "-dirty"
+        return revision
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+
+
+def write_run_manifest(
+    path: Union[str, Path],
+    *,
+    config: Optional[Dict[str, Any]] = None,
+    artifacts: Optional[Dict[str, Optional[str]]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the run manifest JSON and return the manifest dict.
+
+    ``artifacts`` maps artifact kind (``trace`` / ``metrics`` /
+    ``history`` / ...) to the path it was written to (``None`` entries
+    are dropped).  ``config`` is the resolved run configuration;
+    ``extra`` is for caller-specific fields (result summaries, bench
+    modes).  The git SHA and package version are recorded
+    automatically.
+    """
+    try:
+        from repro import __version__ as package_version
+    except ImportError:  # pragma: no cover - package always importable
+        package_version = None
+    manifest: Dict[str, Any] = {
+        "kind": "repro-run-manifest",
+        "schema_version": 1,
+        "git_sha": git_revision(),
+        "package_version": package_version,
+        "python": sys.version.split()[0],
+        "argv": list(sys.argv),
+        "artifacts": {
+            kind: str(artifact)
+            for kind, artifact in (artifacts or {}).items()
+            if artifact is not None
+        },
+        "config": to_jsonable(config or {}),
+    }
+    if extra:
+        manifest.update(to_jsonable(extra))
+    Path(path).write_text(json.dumps(manifest, indent=2) + "\n",
+                          encoding="utf-8")
+    return manifest
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` from the registry the server carries."""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?")[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = self.server.registry.to_openmetrics().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", OPENMETRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging."""
+
+
+class MetricsHTTPServer:
+    """Opt-in OpenMetrics scrape endpoint over a live registry.
+
+    ``port=0`` (the default) binds an ephemeral port; read it back
+    from :attr:`port` / :attr:`url`.  The server thread is a daemon,
+    so a crashed run never hangs on it, but call :meth:`close` (or use
+    the instance as a context manager) for an orderly shutdown.
+    Rendering happens per request in the scraper's thread; the GIL
+    makes the registry's dict reads safe against the training thread's
+    writes.
+    """
+
+    def __init__(self, registry, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._server.registry = registry
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -6,7 +6,11 @@ protocol (structurally -- this package stays import-free of
 
 - **metrics**: per-worker counters for dispatches/contributions and
   parameters moved, a gauge for each worker's current pruning ratio,
-  and histograms over completion times, train losses and round times;
+  histograms over completion times, train losses and round times, and
+  fleet-health gauges (per-round drop/carryover/straggler/retry/fault
+  rates derived from this round's counter deltas, plus the engine's
+  ``fleet_sampled_fraction``) so a 100k-worker round is diagnosable
+  from a handful of scalars;
 - **trace events**: one ``round_record`` event per round summarising
   the :class:`~repro.fl.history.RoundRecord`, plus one
   ``eucb_snapshot`` event when the strategy exposes ``snapshot()``
@@ -41,11 +45,22 @@ LOSS_BUCKETS = (
 class TelemetryHook:
     """Publish every observable round event into ``telemetry``."""
 
+    #: counters whose per-round deltas become ``fleet_<name>_rate``
+    #: gauges (rate = this round's increment / this round's
+    #: participants)
+    FLEET_RATE_COUNTERS = (
+        ("straggler", "stragglers_total"),
+        ("retry", "retries_total"),
+        ("fault_drop", "faults_injected_total", ("kind", "drop")),
+        ("fault_stale", "faults_injected_total", ("kind", "stale")),
+    )
+
     def __init__(self, telemetry: Telemetry,
                  snapshot_bandit: bool = True) -> None:
         self.telemetry = telemetry
         self.snapshot_bandit = snapshot_bandit
         self._engine = None
+        self._counter_marks: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # RoundHook protocol
@@ -95,6 +110,8 @@ class TelemetryHook:
         if isinstance(wall, (int, float)):
             metrics.histogram("wall_time_s").observe(wall)
 
+        self._fleet_health(record)
+
         snapshot = self._bandit_snapshot()
         if snapshot is not None:
             record.extras["eucb"] = snapshot
@@ -113,6 +130,60 @@ class TelemetryHook:
             discarded=list(record.discarded),
             carried_over=list(record.carried_over),
         )
+
+    # ------------------------------------------------------------------
+    # fleet health
+    # ------------------------------------------------------------------
+    def _round_participants(self, record) -> int:
+        """Members this round at either history granularity."""
+        cohorts = getattr(record, "cohorts", None)
+        if cohorts:
+            return sum(int(entry.get("members", 0)) for entry in cohorts)
+        return len(record.ratios)
+
+    def _counter_total(self, name: str,
+                       label: Optional[tuple] = None) -> float:
+        """Sum of every live instance of counter ``name`` (optionally
+        restricted to one label value), without creating instruments."""
+        total = 0.0
+        for counter in self.telemetry.metrics.counters:
+            if counter.name != name:
+                continue
+            if label is not None and \
+                    str(counter.labels.get(label[0])) != label[1]:
+                continue
+            total += counter.value
+        return total
+
+    def _fleet_health(self, record) -> None:
+        """Publish per-round health rates as ``fleet_*`` gauges.
+
+        Drop/carryover rates come from the round record itself;
+        straggler/retry/fault rates from this round's increment of the
+        runtime counters (the hook remembers the previous totals, so
+        the gauges read as rates even though the counters are
+        cumulative).  All rates are per participating member.
+        """
+        metrics = self.telemetry.metrics
+        if not metrics.enabled:
+            return
+        participants = max(1, self._round_participants(record))
+        metrics.gauge("fleet_round_participants").set(
+            self._round_participants(record)
+        )
+        metrics.gauge("fleet_drop_rate").set(
+            len(record.discarded) / participants
+        )
+        metrics.gauge("fleet_carryover_rate").set(
+            len(record.carried_over) / participants
+        )
+        for spec in self.FLEET_RATE_COUNTERS:
+            key, name = spec[0], spec[1]
+            label = spec[2] if len(spec) > 2 else None
+            total = self._counter_total(name, label)
+            delta = total - self._counter_marks.get(key, 0.0)
+            self._counter_marks[key] = total
+            metrics.gauge(f"fleet_{key}_rate").set(delta / participants)
 
     # ------------------------------------------------------------------
     # bandit introspection

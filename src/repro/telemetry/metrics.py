@@ -85,7 +85,11 @@ class Histogram:
     estimated by linear interpolation inside the winning bucket (the
     overflow bucket reports the observed maximum), which is exact
     enough for the p50/p95/p99 round-time summaries the benchmarks
-    report.
+    report -- but only while few observations overflow, so any
+    percentile that lands in the overflow bucket is clipped to the
+    max.  :attr:`overflow_count` is therefore reported
+    explicitly: a non-zero overflow share means the bucket layout
+    needs widening (see ``MetricsRegistry(bucket_overrides=...)``).
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
@@ -140,10 +144,22 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
 
+    @property
+    def overflow_count(self) -> int:
+        """Observations above the last configured bucket bound.
+
+        These land in the implicit overflow bucket, where percentile
+        interpolation degrades to the observed max -- a non-zero count
+        is the signal that the bucket layout clips the tail and should
+        be widened per-histogram via ``bucket_overrides``.
+        """
+        return self.bucket_counts[-1]
+
     def summary(self) -> Dict[str, Optional[float]]:
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "mean": None, "min": None,
-                    "max": None, "p50": None, "p95": None, "p99": None}
+                    "max": None, "p50": None, "p95": None, "p99": None,
+                    "overflow": 0}
         return {
             "count": self.count,
             "sum": self.sum,
@@ -153,6 +169,7 @@ class Histogram:
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),
+            "overflow": self.overflow_count,
         }
 
 
@@ -183,10 +200,23 @@ _NULL_HISTOGRAM = _NullHistogram()
 
 
 class MetricsRegistry:
-    """Get-or-create registry of instruments keyed by name + labels."""
+    """Get-or-create registry of instruments keyed by name + labels.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``bucket_overrides`` maps a histogram *name* to the bucket bounds
+    every histogram of that name should use when its call site does not
+    pass explicit ``buckets`` -- the way to widen e.g. ``round_time_s``
+    for fleet-scale runs without touching the instrumented code.  An
+    explicit ``buckets=`` argument at the call site still wins.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 bucket_overrides: Optional[
+                     Dict[str, Sequence[float]]] = None) -> None:
         self.enabled = enabled
+        self.bucket_overrides: Dict[str, Tuple[float, ...]] = {
+            name: tuple(float(b) for b in bounds)
+            for name, bounds in (bucket_overrides or {}).items()
+        }
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
@@ -220,9 +250,11 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         histogram = self._histograms.get(key)
         if histogram is None:
+            if buckets is None:
+                buckets = self.bucket_overrides.get(name,
+                                                    DEFAULT_TIME_BUCKETS)
             histogram = self._histograms[key] = Histogram(
-                name, labels, buckets if buckets is not None
-                else DEFAULT_TIME_BUCKETS,
+                name, labels, buckets,
             )
         return histogram
 
@@ -264,3 +296,21 @@ class MetricsRegistry:
     def save(self, path: Union[str, Path]) -> None:
         """Write :meth:`to_dict` as an indented JSON file."""
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    def to_openmetrics(self) -> str:
+        """Render every instrument in the OpenMetrics text format.
+
+        The output is Prometheus-scrapable (counters gain the
+        ``_total`` sample suffix, histograms expand to cumulative
+        ``_bucket{le=...}`` series plus ``_sum``/``_count``) and ends
+        with the ``# EOF`` terminator.  See
+        :mod:`repro.telemetry.openmetrics` for the grammar and the
+        round-trip parser the tests validate against.
+        """
+        from repro.telemetry.openmetrics import render_openmetrics
+
+        return render_openmetrics(self)
+
+    def export_openmetrics(self, path: Union[str, Path]) -> None:
+        """Write :meth:`to_openmetrics` to a text file."""
+        Path(path).write_text(self.to_openmetrics(), encoding="utf-8")

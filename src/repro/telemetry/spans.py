@@ -24,6 +24,7 @@ tracing off costs one attribute check per instrumentation point.
 
 from __future__ import annotations
 
+import atexit
 import json
 import time
 from pathlib import Path
@@ -65,13 +66,23 @@ def to_jsonable(value: Any) -> Any:
 
 
 class JsonlSink:
-    """Appends one compact JSON line per record to a file."""
+    """Appends one compact JSON line per record to a file.
+
+    The file is line-buffered (``buffering=1``): every record hits the
+    OS as soon as its newline is written, so a crash or
+    ``KeyboardInterrupt`` mid-run can lose at most the record being
+    serialised -- never leave a half-written earlier line.  Together
+    with the tracer's atexit hook this is what makes partial traces
+    parseable.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
-        self._file = self.path.open("w", encoding="utf-8")
+        self._file = self.path.open("w", encoding="utf-8", buffering=1)
 
     def emit(self, record: Dict[str, Any]) -> None:
+        if self._file.closed:
+            return  # late emit after an atexit close: drop, don't crash
         self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
 
     def close(self) -> None:
@@ -149,7 +160,11 @@ class ActiveSpan:
         self._tracer._enter(self)
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # an exception unwinding through the span means its work did
+        # not finish: mark it so partial traces are self-describing
+        if exc_type is not None:
+            self.attrs.setdefault("aborted", True)
         self._tracer._exit(self)
         return False
 
@@ -159,6 +174,13 @@ class Tracer:
 
     Spans nest via an explicit stack (the engine is single-threaded);
     the innermost open span is the parent of new spans and events.
+
+    A tracer with a sink registers an :mod:`atexit` hook so the trace
+    survives crashes and ``KeyboardInterrupt``: at interpreter exit any
+    still-open spans are force-closed (marked ``aborted=true``) and the
+    sink is flushed.  :meth:`close` is idempotent and unregisters the
+    hook; the tracer is also a context manager (``with Tracer(sink):``)
+    closing on exit.
     """
 
     def __init__(self, sink=None) -> None:
@@ -166,6 +188,16 @@ class Tracer:
         self._stack: List[ActiveSpan] = []
         self._origin = time.perf_counter()
         self._next_id = 1
+        self._closed = False
+        if sink is not None:
+            atexit.register(self.close)
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     @property
     def enabled(self) -> bool:
@@ -217,8 +249,22 @@ class Tracer:
         })
 
     def close(self) -> None:
-        """Close the sink (flushes JSONL files)."""
+        """Force-close open spans, then close the sink (idempotent).
+
+        Spans still open when the tracer closes -- a crash or interrupt
+        unwound past their ``with`` blocks -- are emitted with
+        ``aborted: true`` so the trace stays a parseable record of how
+        far the run got.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._sink is not None:
+            while self._stack:
+                span = self._stack[-1]
+                span.set("aborted", True)
+                self._exit(span)
             close = getattr(self._sink, "close", None)
             if close is not None:
                 close()
+            atexit.unregister(self.close)

@@ -102,3 +102,116 @@ def test_verify_parser_accepts_executor_flags():
     assert args.num_procs == 2
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "--executor", "threads"])
+
+
+def test_run_exporters_and_manifest(tmp_path, capsys):
+    """One run feeds every observability exit: trace JSONL that the
+    analytics can read, an OpenMetrics file that round-trips through
+    the parser, and a manifest tying the artifacts together."""
+    from repro.telemetry import build_tree, load_trace, parse_openmetrics
+
+    trace = tmp_path / "trace.jsonl"
+    om = tmp_path / "metrics.om"
+    manifest = tmp_path / "manifest.json"
+    code = main([
+        "run", "--task", "cnn", "--strategy", "synfl",
+        "--rounds", "2", "--seed", "1",
+        "--trace-out", str(trace),
+        "--metrics-export", str(om),
+        "--manifest", str(manifest),
+    ])
+    assert code == 0
+    capsys.readouterr()
+
+    roots = build_tree(load_trace(trace))
+    assert [n.name for n in roots] == ["round", "round"]
+
+    families = parse_openmetrics(om.read_text())
+    assert families["aggregations"].sample_value("aggregations_total") == 2
+    assert "round_time_s" in families
+
+    payload = json.loads(manifest.read_text())
+    assert payload["kind"] == "repro-run-manifest"
+    assert payload["config"]["task"] == "cnn"
+    assert payload["artifacts"]["trace"] == str(trace)
+    assert payload["artifacts"]["metrics_export"] == str(om)
+    assert "metrics" not in payload["artifacts"]  # --metrics-out unset
+    assert payload["result"]["rounds"] == 2
+
+
+def test_run_metrics_port_serves_scrapes(tmp_path, capsys):
+    import re
+    import urllib.request
+
+    from repro.telemetry import parse_openmetrics
+
+    code = main([
+        "run", "--task", "cnn", "--strategy", "synfl",
+        "--rounds", "1", "--seed", "1", "--metrics-port", "0",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    match = re.search(r"serving metrics at (http://\S+)", out)
+    assert match, f"no scrape URL announced in: {out!r}"
+    # the server is closed once the run finishes
+    with pytest.raises(OSError):
+        urllib.request.urlopen(match.group(1), timeout=1)
+
+
+def test_trace_subcommands(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["run", "--task", "cnn", "--strategy", "synfl",
+                 "--rounds", "2", "--seed", "1",
+                 "--trace-out", str(trace)]) == 0
+    capsys.readouterr()
+
+    assert main(["trace", "summary", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "Phase breakdown" in out
+    assert "critical path" in out
+    assert "round" in out
+
+    assert main(["trace", "summary", str(trace), "--round", "1"]) == 0
+    assert "round 1" in capsys.readouterr().out
+
+    assert main(["trace", "diff", str(trace), str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "1.00x" in out
+
+    folded = tmp_path / "folded.txt"
+    assert main(["trace", "folded", str(trace),
+                 "--out", str(folded)]) == 0
+    capsys.readouterr()
+    lines = folded.read_text().strip().splitlines()
+    assert lines
+    for line in lines:
+        stack, count = line.rsplit(" ", 1)
+        assert stack.split(";")[0] == "round"
+        assert int(count) > 0
+
+
+def test_exporters_keep_history_bitwise_pinned(tmp_path, capsys):
+    """Turning every exporter on (trace, OpenMetrics, scrape endpoint,
+    manifest) must not perturb training: the history is identical to a
+    bare run's, modulo host-time fields."""
+    bare_path = tmp_path / "bare.json"
+    instrumented_path = tmp_path / "instrumented.json"
+    base = ["run", "--task", "cnn", "--strategy", "fedmp",
+            "--rounds", "2", "--seed", "11"]
+    assert main(base + ["--history", str(bare_path)]) == 0
+    assert main(base + [
+        "--history", str(instrumented_path),
+        "--trace-out", str(tmp_path / "t.jsonl"),
+        "--metrics-export", str(tmp_path / "m.om"),
+        "--metrics-port", "0",
+        "--manifest", str(tmp_path / "manifest.json"),
+    ]) == 0
+    capsys.readouterr()
+    bare = json.loads(bare_path.read_text())
+    instrumented = json.loads(instrumented_path.read_text())
+    for entry in bare["rounds"] + instrumented["rounds"]:
+        entry["overhead_s"] = 0.0  # host time, not behaviour
+        extras = entry.get("extras") or {}
+        extras.pop("wall_time_s", None)  # host time
+        extras.pop("eucb", None)  # observability payload, not training
+    assert bare == instrumented

@@ -286,3 +286,126 @@ def test_timing_attribution_is_disjoint_and_total(rounds):
     t0 = first_dispatch_time if first_dispatch_time is not None \
         else first_end_time
     assert sum(walls) == pytest.approx(clock.now - t0)
+
+
+# ----------------------------------------------------------------------
+# attribution under PR-6 cohort-sharded rounds + client sampling
+# ----------------------------------------------------------------------
+_COHORT_SCHEDULERS = {
+    "sync": {},
+    "async": {"async_m": 3},
+    "semi_sync": {"semi_sync_deadline_s": 6.0},
+}
+
+
+@pytest.mark.parametrize("scheduler", sorted(_COHORT_SCHEDULERS))
+def test_timing_hook_cohort_sampled_totals_reconcile(
+        task, devices, scheduler):
+    """Cohort-sharded dispatch and client sampling change *which*
+    on_dispatch calls the hook sees (one per sampled member, batched
+    per cohort, possibly for future rounds via the DispatchQueue), but
+    the disjoint-attribution invariant must survive unchanged."""
+    timing = TimingHook()
+    history = run_federated_training(
+        task, devices,
+        _config(max_rounds=3, cohort_rounds="on", clients_per_round=4,
+                **_COHORT_SCHEDULERS[scheduler]),
+        hooks=[timing],
+    )
+    walls = [r.extras["wall_time_s"] for r in history.rounds]
+    assert len(walls) == 3
+    assert all(w >= 0.0 for w in walls)
+    assert timing.total_wall_time_s == pytest.approx(sum(walls))
+
+
+@pytest.mark.parametrize("scheduler", sorted(_COHORT_SCHEDULERS))
+def test_comm_volume_cohort_sampled_reconciles(task, devices, scheduler):
+    comm = CommVolumeHook()
+    history = run_federated_training(
+        task, devices,
+        _config(max_rounds=3, cohort_rounds="on", clients_per_round=4,
+                **_COHORT_SCHEDULERS[scheduler]),
+        hooks=[comm],
+    )
+    downloads = sum(r.extras["download_params"] for r in history.rounds)
+    uploads = sum(r.extras["upload_params"] for r in history.rounds)
+    assert comm.total_download_params == pytest.approx(
+        downloads + comm.pending_download_params
+    )
+    assert comm.pending_upload_params == 0.0
+    assert comm.total_upload_params == pytest.approx(uploads)
+    assert comm.total_download_params >= comm.total_upload_params
+
+
+def test_cohort_sampling_does_not_inflate_comm_volume(task, devices):
+    """Sampling 4 of the fleet per round must move ~4 workers' bytes,
+    not the full fleet's (the pre-PR-6 per-member accounting would)."""
+    sampled, full = CommVolumeHook(), CommVolumeHook()
+    run_federated_training(
+        task, devices,
+        _config(cohort_rounds="on", clients_per_round=4),
+        hooks=[sampled],
+    )
+    run_federated_training(task, devices, _config(cohort_rounds="on"),
+                           hooks=[full])
+    assert sampled.total_download_params == pytest.approx(
+        full.total_download_params * 4 / len(devices)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0,
+                      allow_nan=False, allow_infinity=False),
+            # current-round dispatches (0 = a round with no sampled
+            # members contributing)
+            st.integers(min_value=0, max_value=3),
+            # dispatches the event-driven DispatchQueue issues for
+            # FUTURE rounds before this round closes (async/semi-sync
+            # carry-over re-dispatch)
+            st.integers(min_value=0, max_value=2),
+        ),
+        min_size=1, max_size=12,
+    )
+)
+def test_timing_attribution_disjoint_under_future_dispatches(rounds):
+    """The PR-6 DispatchQueue can hand the hook dispatches labelled
+    round k+1 while round k is still open; attribution must charge
+    that host time to the round that *closes* over it, exactly once,
+    so the tiling invariant holds for cohort-sampled event-driven
+    runs too."""
+    clock = _FakeClock()
+    hook = TimingHook()
+    original_time = hooks_module.time
+    hooks_module.time = clock
+    try:
+        records = []
+        first_activity = None
+        for index, (duration, dispatches, future) in enumerate(rounds):
+            slots = dispatches + future + 1
+            for _ in range(dispatches):
+                if first_activity is None:
+                    first_activity = clock.now
+                hook.on_dispatch(index, _dispatch_stub())
+                clock.advance(duration / slots)
+            for _ in range(future):
+                if first_activity is None:
+                    first_activity = clock.now
+                hook.on_dispatch(index + 1, _dispatch_stub())
+                clock.advance(duration / slots)
+            clock.advance(duration / slots)
+            record = _fake_record(index)
+            hook.on_round_end(record)
+            if first_activity is None:
+                first_activity = clock.now
+            records.append(record)
+    finally:
+        hooks_module.time = original_time
+
+    walls = [r.extras["wall_time_s"] for r in records]
+    assert all(w >= 0.0 for w in walls)
+    assert hook.total_wall_time_s == pytest.approx(sum(walls))
+    # the charged intervals tile [first activity, last round end]
+    assert sum(walls) == pytest.approx(clock.now - first_activity)

@@ -1,0 +1,177 @@
+"""Trace analytics: tree building, breakdowns, critical paths, diffs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    build_tree,
+    critical_path,
+    diff_traces,
+    folded_stacks,
+    load_trace,
+    phase_breakdown,
+    round_summaries,
+    round_trends,
+)
+
+_NEXT_ID = iter(range(1, 10_000))
+
+
+def span(name, start, duration, parent=None, **attrs):
+    """A trace record shaped exactly like JsonlSink output."""
+    return {
+        "kind": "span",
+        "name": name,
+        "span_id": next(_NEXT_ID),
+        "parent_id": parent["span_id"] if parent else None,
+        "start_s": start,
+        "duration_s": duration,
+        "attrs": attrs,
+    }
+
+
+def make_round(index, start, *, train_s, agg_s, eval_s):
+    """One round span with dispatch/train/aggregate/eval children."""
+    round_span = span("round", start, train_s + agg_s + eval_s + 0.02,
+                      round=index)
+    children = [
+        span("dispatch_cohort", start, 0.01, parent=round_span,
+             ratio=0.3, cluster="A", members=64),
+        span("cohort_train", start + 0.01, train_s, parent=round_span,
+             path="vectorised", plan_sig="abc123def456"),
+        span("aggregate", start + 0.01 + train_s, agg_s,
+             parent=round_span),
+        span("eval", start + 0.01 + train_s + agg_s, eval_s,
+             parent=round_span, round=index),
+    ]
+    return [round_span] + children
+
+
+def make_trace(train_s=0.5, agg_s=0.1, eval_s=0.2, rounds=3):
+    records = []
+    start = 0.0
+    for index in range(rounds):
+        batch = make_round(index, start,
+                           train_s=train_s, agg_s=agg_s, eval_s=eval_s)
+        records.extend(batch)
+        start = batch[0]["start_s"] + batch[0]["duration_s"]
+    # children before parents, as the emit-on-close sink writes them
+    return sorted(records, key=lambda r: r["parent_id"] is None)
+
+
+def test_build_tree_reconstructs_forest():
+    roots = build_tree(make_trace())
+    assert [node.name for node in roots] == ["round"] * 3
+    assert [child.name for child in roots[0].children] == [
+        "dispatch_cohort", "cohort_train", "aggregate", "eval"]
+    assert roots[0].attrs["round"] == 0
+
+
+def test_orphaned_spans_become_roots():
+    records = make_trace()
+    # drop round 0's parent span: its children must still surface
+    dropped = next(r for r in records
+                   if r["name"] == "round" and r["attrs"]["round"] == 0)
+    records = [r for r in records if r is not dropped]
+    roots = build_tree(records)
+    names = sorted(node.name for node in roots)
+    assert names.count("round") == 2
+    assert "cohort_train" in names and "eval" in names
+
+
+def test_phase_breakdown_self_time_excludes_children():
+    roots = build_tree(make_trace(train_s=0.5, agg_s=0.1, eval_s=0.2))
+    breakdown = {entry["phase"]: entry for entry in phase_breakdown(roots)}
+    assert breakdown["cohort_train"]["count"] == 3
+    assert breakdown["cohort_train"]["total_s"] == pytest.approx(1.5)
+    # round self time is the untracked gap (0.02s minus the 0.01s
+    # dispatch child), not the full duration
+    assert breakdown["round"]["self_s"] == pytest.approx(0.03)
+    assert breakdown["round"]["total_s"] == pytest.approx(3 * 0.82)
+    # ordering: descending total
+    totals = [entry["total_s"] for entry in phase_breakdown(roots)]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_phase_breakdown_single_round_scope():
+    roots = build_tree(make_trace())
+    scoped = {entry["phase"]: entry
+              for entry in phase_breakdown(roots, round_index=1)}
+    assert scoped["cohort_train"]["count"] == 1
+    assert scoped["round"]["count"] == 1
+
+
+def test_critical_path_follows_longest_child():
+    roots = build_tree(make_trace(train_s=0.5, agg_s=0.1, eval_s=0.2))
+    path = critical_path(roots[0])
+    assert [step["name"] for step in path] == ["round", "cohort_train"]
+    assert path[0]["share"] == pytest.approx(1.0)
+    assert path[1]["share"] == pytest.approx(0.5 / 0.82)
+    # cohort labels ride along for attribution
+    assert path[1]["attrs"]["path"] == "vectorised"
+    assert path[1]["attrs"]["plan_sig"] == "abc123def456"
+
+
+def test_round_summaries_and_trends():
+    roots = build_tree(make_trace(rounds=4))
+    summaries = round_summaries(roots)
+    assert [summary["round"] for summary in summaries] == [0, 1, 2, 3]
+    assert all(summary["critical_leaf"] == "cohort_train"
+               for summary in summaries)
+    assert summaries[0]["untracked_s"] == pytest.approx(0.01)
+    trends = round_trends(roots)
+    assert trends["rounds"]["count"] == 4
+    assert trends["rounds"]["p50_s"] == pytest.approx(0.82)
+    assert trends["phases"]["eval"]["p99_s"] == pytest.approx(0.2)
+
+
+def test_diff_ranks_injected_slowdown_first():
+    baseline = make_trace(train_s=0.5, agg_s=0.1, eval_s=0.2)
+    slowed = make_trace(train_s=0.5, agg_s=0.9, eval_s=0.2)
+    rows = diff_traces(baseline, slowed)
+    # the parent round span absorbs the same slowdown, so both lead
+    assert {rows[0]["phase"], rows[1]["phase"]} == {"aggregate", "round"}
+    leaf_rows = [row for row in rows if row["phase"] != "round"]
+    assert leaf_rows[0]["phase"] == "aggregate"
+    assert leaf_rows[0]["delta_total_s"] == pytest.approx(3 * 0.8)
+    assert leaf_rows[0]["ratio"] == pytest.approx(9.0)
+    # untouched phases report ~1x
+    eval_row = next(row for row in rows if row["phase"] == "eval")
+    assert eval_row["ratio"] == pytest.approx(1.0)
+
+
+def test_diff_surfaces_added_and_removed_phases():
+    baseline = make_trace()
+    candidate = [r for r in make_trace() if r["name"] != "aggregate"]
+    rows = diff_traces(baseline, candidate)
+    removed = next(row for row in rows if row["phase"] == "aggregate")
+    assert removed["count_b"] == 0 and removed["delta_total_s"] < 0
+    assert removed["ratio"] == 0.0
+
+
+def test_folded_stacks_integer_microseconds():
+    roots = build_tree(make_trace(rounds=2))
+    lines = folded_stacks(roots).strip().splitlines()
+    folded = dict(line.rsplit(" ", 1) for line in lines)
+    assert folded["round;cohort_train"] == str(2 * 500_000)
+    assert folded["round"] == str(2 * 10_000)  # self time only
+    assert all(int(count) > 0 for count in folded.values())
+
+
+def test_load_trace_tolerates_torn_tail_only(tmp_path):
+    records = make_trace()
+    path = tmp_path / "trace.jsonl"
+    payload = "\n".join(json.dumps(r) for r in records)
+    path.write_text(payload + '\n{"kind": "span", "name": "to', )
+    loaded = load_trace(path)
+    assert len(loaded) == len(records)
+
+    corrupt = tmp_path / "corrupt.jsonl"
+    lines = payload.splitlines()
+    lines[2] = lines[2][:10]
+    corrupt.write_text("\n".join(lines))
+    with pytest.raises(ValueError, match="line 3"):
+        load_trace(corrupt)

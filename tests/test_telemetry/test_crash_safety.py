@@ -1,0 +1,101 @@
+"""Crash-safe tracing: a killed run still leaves a parseable trace.
+
+The JSONL sink is line-buffered and the tracer registers an atexit
+drain, so a run interrupted mid-round (Ctrl-C, uncaught exception)
+must leave a trace in which every record parses and the spans that
+were open at the moment of death are emitted with ``aborted: true``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.telemetry import JsonlSink, Tracer, build_tree, load_trace
+
+# runs a tiny FL experiment with tracing on and raises KeyboardInterrupt
+# from a hook once round 1 is underway -- mid-round, spans open
+_CRASH_SCRIPT = """
+import numpy as np
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.hooks import RoundHook
+from repro.fl.runner import run_federated_training
+from repro.fl.tasks import ClassificationTask
+from repro.simulation.cluster import make_scenario_devices
+from repro.telemetry import JsonlSink, MetricsRegistry, Telemetry, Tracer
+
+class Interrupt(RoundHook):
+    def on_dispatch(self, round_index, dispatch):
+        if round_index == 1:
+            raise KeyboardInterrupt
+
+dataset = make_synthetic_mnist(train_per_class=4, test_per_class=2,
+                               rng=np.random.default_rng(0))
+task = ClassificationTask(dataset, "cnn")
+devices = make_scenario_devices({"A": 2, "B": 2},
+                                np.random.default_rng(5))
+config = FLConfig(strategy="fixed", strategy_kwargs={"ratio": 0.3},
+                  max_rounds=4, local_iterations=1, batch_size=4,
+                  eval_every=10_000, seed=7)
+telemetry = Telemetry(tracer=Tracer(JsonlSink(TRACE_PATH)),
+                      metrics=MetricsRegistry())
+run_federated_training(task, devices, config, hooks=[Interrupt()],
+                       telemetry=telemetry)
+"""
+
+
+def test_interrupted_run_leaves_parseable_trace(tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    script = f"TRACE_PATH = {str(trace_path)!r}\n" + _CRASH_SCRIPT
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, timeout=120,
+    )
+    # the interrupt must escape (no swallowing), yet the trace survives
+    assert result.returncode != 0
+    assert "KeyboardInterrupt" in result.stderr
+
+    records = load_trace(trace_path)
+    assert records, "crash left an empty trace"
+    spans = [r for r in records if r.get("kind") == "span"]
+
+    # round 0 completed normally before the crash
+    finished = [s for s in spans if s["name"] == "round"
+                and not s["attrs"].get("aborted")]
+    assert any(s["attrs"].get("round") == 0 for s in finished)
+
+    # the spans open at the moment of death were drained with the
+    # aborted marker (at least the in-flight round 1)
+    aborted = [s for s in spans if s["attrs"].get("aborted")]
+    assert any(s["name"] == "round" and s["attrs"].get("round") == 1
+               for s in aborted)
+
+    # and the file reconstructs into a usable forest
+    assert build_tree(records)
+
+
+def test_tracer_close_drains_open_spans(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    outer = tracer.span("round", round=0).__enter__()
+    tracer.span("cohort_train").__enter__()
+    tracer.close()
+    spans = [r for r in load_trace(path) if r["kind"] == "span"]
+    assert [s["name"] for s in spans] == ["cohort_train", "round"]
+    assert all(s["attrs"]["aborted"] for s in spans)
+    # idempotent: double close and post-close use must not raise
+    tracer.close()
+    outer.set("late", 1)
+
+
+def test_tracer_context_manager_closes_sink(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(JsonlSink(path)) as tracer:
+        with tracer.span("round", round=0):
+            pass
+    records = load_trace(path)
+    assert [r["name"] for r in records] == ["round"]
+    assert "aborted" not in records[0]["attrs"]
