@@ -97,6 +97,20 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-procs", type=int, default=None, metavar="N",
                         help="process-pool size (default: one per CPU, "
                              "clamped to the fleet size)")
+    parser.add_argument("--wire-profile", default="exact",
+                        choices=("exact", "sparse", "sparse+quantized"),
+                        help="contribution wire profile for "
+                             "--executor process: dense float32 (bitwise "
+                             "parity), top-k exact values, or top-k "
+                             "quantized deltas")
+    parser.add_argument("--wire-keep-fraction", type=float, default=0.25,
+                        metavar="F",
+                        help="top-k keep fraction for the sparse wire "
+                             "profiles")
+    parser.add_argument("--wire-quantize-bits", type=int, default=8,
+                        metavar="B",
+                        help="delta code width for "
+                             "--wire-profile sparse+quantized")
     parser.add_argument("--nan-policy", default="raise",
                         choices=("raise", "skip", "off"),
                         help="poisoned-upload handling: reject the round, "
@@ -172,6 +186,9 @@ def _build_history(task_key: str, strategy: str, args,
         seed=args.seed,
         executor=getattr(args, "executor", "serial"),
         num_procs=getattr(args, "num_procs", None),
+        wire_profile=getattr(args, "wire_profile", "exact"),
+        wire_keep_fraction=getattr(args, "wire_keep_fraction", 0.25),
+        wire_quantize_bits=getattr(args, "wire_quantize_bits", 8),
         nan_policy=getattr(args, "nan_policy", "raise"),
         fast_path=not getattr(args, "no_fast_path", False),
         clients_per_round=getattr(args, "clients_per_round", None),

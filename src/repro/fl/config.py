@@ -62,6 +62,19 @@ class FLConfig:
     #: benchmarks to surface parallel speedup on latency-dominated
     #: workloads; never affects simulated time or training results.
     emulate_device_factor: float = 0.0
+    #: contribution wire profile for executor="process": "exact" ships
+    #: dense float32 states (bitwise parity with serial), "sparse"
+    #: ships top-k moved positions with exact values, "sparse+quantized"
+    #: additionally quantizes the shipped deltas (Section III-C).
+    #: Ignored by the serial executor (nothing crosses a wire there).
+    wire_profile: str = "exact"
+    #: top-k keep fraction for the sparse wire profiles
+    wire_keep_fraction: float = 0.25
+    #: delta code width (bits) for wire_profile="sparse+quantized"
+    wire_quantize_bits: int = 8
+    #: bound on the executor's shared-memory template store (plan
+    #: signatures retained); evictions propagate to child caches
+    template_cache_limit: int = 8
 
     # bookkeeping
     eval_every: int = 1
@@ -111,6 +124,7 @@ class FLConfig:
     _SCHEDULERS = ("auto", "sync", "async", "semi_sync")
     _NAN_POLICIES = ("raise", "skip", "off")
     _EXECUTORS = ("serial", "process")
+    _WIRE_PROFILES = ("exact", "sparse", "sparse+quantized")
     _COHORT_MODES = ("auto", "on", "off")
     _HISTORY_DETAILS = ("auto", "member", "cohort")
     #: fleet size at which history_detail="auto" switches to cohort
@@ -128,6 +142,26 @@ class FLConfig:
             raise ValueError("num_procs must be positive when set")
         if self.emulate_device_factor < 0:
             raise ValueError("emulate_device_factor must be >= 0")
+        if self.wire_profile not in self._WIRE_PROFILES:
+            raise ValueError(
+                f"wire_profile must be one of {self._WIRE_PROFILES}, "
+                f"got {self.wire_profile!r}"
+            )
+        if not 0.0 < self.wire_keep_fraction <= 1.0:
+            raise ValueError(
+                f"wire_keep_fraction must be in (0, 1], "
+                f"got {self.wire_keep_fraction}"
+            )
+        if not 2 <= self.wire_quantize_bits <= 16:
+            raise ValueError(
+                f"wire_quantize_bits must be in [2, 16], "
+                f"got {self.wire_quantize_bits}"
+            )
+        if self.template_cache_limit < 1:
+            raise ValueError(
+                f"template_cache_limit must be >= 1, "
+                f"got {self.template_cache_limit}"
+            )
         if self.nan_policy not in self._NAN_POLICIES:
             raise ValueError(
                 f"nan_policy must be one of {self._NAN_POLICIES}, "

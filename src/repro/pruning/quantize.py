@@ -46,25 +46,50 @@ class QuantizedState:
         return payload + scale_overhead
 
 
+def quantize_array(values: np.ndarray, bits: int) -> Tuple[np.ndarray, float]:
+    """Symmetric uniform quantization of one array to ``bits`` bits.
+
+    Returns ``(codes, scale)`` with ``codes`` as ``int16`` and a scale
+    that is always finite and strictly positive: an all-zero array gets
+    the neutral scale 1.0, and a subnormal peak -- whose naive
+    ``peak / levels`` underflows float64 to 0.0 and would turn the
+    ``value / scale`` division into inf/NaN garbage codes -- is clamped
+    to the smallest positive float64 instead.  Non-finite inputs are
+    rejected: quantizing NaN/Inf cannot round-trip meaningfully.
+    """
+    if not 2 <= bits <= 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    values = np.asarray(values)
+    levels = 2 ** (bits - 1) - 1
+    peak = float(np.abs(values).max()) if values.size else 0.0
+    if not np.isfinite(peak):
+        raise ValueError(
+            f"cannot quantize non-finite values (peak magnitude {peak})"
+        )
+    scale = peak / levels if peak > 0 else 1.0
+    if scale <= 0.0:
+        # peak is subnormal: peak / levels underflowed to exactly 0.0
+        scale = float(np.finfo(np.float64).tiny)
+    codes = np.clip(
+        np.round(values / scale), -levels, levels
+    ).astype(np.int16)
+    return codes, scale
+
+
 def quantize_state_dict(state: Dict[str, np.ndarray],
                         bits: int = 8) -> QuantizedState:
     """Symmetric uniform quantization of every tensor in ``state``.
 
     Each tensor gets a scale ``max|x| / (2**(bits-1) - 1)``; zero maps
     to code 0 exactly (residuals are mostly zeros and stay zeros).
+    Degenerate scales are guarded per :func:`quantize_array`.
     """
     if not 2 <= bits <= 16:
         raise ValueError(f"bits must be in [2, 16], got {bits}")
-    levels = 2 ** (bits - 1) - 1
     codes: Dict[str, np.ndarray] = {}
     scales: Dict[str, float] = {}
     for key, value in state.items():
-        peak = float(np.abs(value).max())
-        scale = peak / levels if peak > 0 else 1.0
-        codes[key] = np.clip(
-            np.round(value / scale), -levels, levels
-        ).astype(np.int16)
-        scales[key] = scale
+        codes[key], scales[key] = quantize_array(value, bits)
     return QuantizedState(bits=bits, codes=codes, scales=scales)
 
 

@@ -5,52 +5,76 @@ Every frame is little-endian and self-delimiting::
     magic b"FMPW" | version u16 | kind u8 | flags u8 | body | crc32 u32
 
 ``kind`` distinguishes the two frame types (PS -> worker dispatch,
-worker -> PS contribution); ``flags`` bit 0 marks a quantized tensor
-payload.  The CRC32 (:func:`zlib.crc32`) covers everything before the
-trailer, so a flipped bit anywhere in the frame is caught before any
-payload is interpreted.
+worker -> PS contribution).  ``flags`` describe the tensor payload and
+carry the negotiated wire profile:
+
+- bit 0 (``FLAG_QUANTIZED``): tensor payloads are quantized ``int16``
+  codes plus a ``float64`` scale per tensor;
+- bit 1 (``FLAG_SPARSE``): tensor payloads are sparse deltas at kept
+  indices (contribution frames only -- a sparse dispatch is rejected);
+- bits 2-3: on a dispatch, the **negotiated reply profile** the worker
+  must use for its contribution (0 = ``exact``, 1 = ``sparse``,
+  2 = ``sparse+quantized``); always 0 on contributions.
+
+The CRC32 (:func:`zlib.crc32`) covers everything before the trailer,
+so a flipped bit anywhere in the frame is caught before any payload is
+interpreted.  Unknown flag bits are rejected, never ignored.
 
 A **dispatch** body carries the worker id, the local-iteration budget,
 the training hyper-parameters, the :class:`~repro.pruning.plan.
 PruningPlan` (kept indices packed as ``uint32`` per layer) and the
 dispatched sub-model state (per-tensor records with contiguous
-``float32`` payloads).  A **contribution** body carries the worker id,
-its sample count, the training loss, the child-side wall time and the
-trained state.
+``float32`` payloads).  When a non-exact reply profile is negotiated
+the body additionally carries the top-k keep fraction and (for
+``sparse+quantized``) the code width in bits.  A **contribution** body
+carries the worker id, its sample count, the training loss, the
+child-side wall time and the trained state -- dense, or as a sparse
+block when ``FLAG_SPARSE`` is set.
 
-The optional quantized payload mode reuses
-:mod:`repro.pruning.quantize`: each tensor is shipped as ``int16``
-codes plus one ``float64`` scale (the paper's Section III-C residual
-trick).  Quantization is lossy, so the engine's 0-ULP parity path never
-enables it; the codec round-trips the *codes* exactly.
+A sparse block ships, per tensor, the flat C-order indices (packed
+``uint32``, strictly increasing) where the trained state moved most
+(top-k of ``|trained - dispatched|`` via the same selection rule as
+:func:`repro.fl.compression.top_k_sparsify`) plus either the exact
+trained values at those positions (``sparse``) or quantized *delta*
+codes (``sparse+quantized``, reusing :mod:`repro.pruning.quantize`,
+the paper's Section III-C trick).  The receiver materialises a dense
+state by overlaying the block onto the dispatched base state it
+already holds; positions not shipped keep their dispatched values.
+Both sparse profiles are lossy, so the engine's 0-ULP parity path
+never negotiates them; the codec round-trips indices/codes exactly.
 
 Decoding validates strictly: truncated frames, bad magic, unsupported
-versions, CRC mismatches, unknown layer kinds or dtype codes, kept
-indices out of range and trailing garbage all raise the typed
-:class:`WireFormatError` -- never a silent wrong decode.
+versions, CRC mismatches, unknown flag bits, unknown layer kinds or
+dtype codes, kept indices out of range, non-increasing sparse indices,
+out-of-range quantization scales or codes and trailing garbage all
+raise the typed :class:`WireFormatError` -- never a silent wrong
+decode.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.pruning.plan import LAYER_KINDS, LayerPrune, PruningPlan
-from repro.pruning.quantize import quantize_state_dict
+from repro.pruning.quantize import quantize_array, quantize_state_dict
 
 __all__ = [
     "WIRE_VERSION",
     "KIND_DISPATCH",
     "KIND_CONTRIBUTION",
     "FLAG_QUANTIZED",
+    "FLAG_SPARSE",
+    "WIRE_PROFILES",
     "WireFormatError",
     "TrainHyper",
     "DispatchPayload",
     "ContributionPayload",
+    "SparseTensor",
     "encode_dispatch",
     "decode_dispatch",
     "encode_contribution",
@@ -65,6 +89,14 @@ KIND_DISPATCH = 1
 KIND_CONTRIBUTION = 2
 
 FLAG_QUANTIZED = 0x01
+FLAG_SPARSE = 0x02
+
+#: negotiated wire profiles, in ascending-compression order
+WIRE_PROFILES = ("exact", "sparse", "sparse+quantized")
+_PROFILE_CODES = {name: code for code, name in enumerate(WIRE_PROFILES)}
+_PROFILE_SHIFT = 2
+_PROFILE_MASK = 0x0C
+_KNOWN_FLAGS = FLAG_QUANTIZED | FLAG_SPARSE | _PROFILE_MASK
 
 #: wire dtype code -> numpy little-endian dtype string
 _DTYPE_CODES: Dict[int, str] = {0: "<f4", 1: "<f8"}
@@ -100,17 +132,95 @@ class DispatchPayload:
     hyper: TrainHyper
     plan: PruningPlan
     state: Dict[str, np.ndarray]
+    #: profile the contribution reply must be encoded with
+    reply_profile: str = "exact"
+    #: top-k keep fraction for sparse replies (None when exact)
+    reply_keep_fraction: Optional[float] = None
+    #: quantization code width for sparse+quantized replies
+    reply_quantize_bits: Optional[int] = None
+
+
+@dataclass
+class SparseTensor:
+    """One tensor of a sparse contribution block.
+
+    ``indices`` are flat C-order positions into the tensor.  Exactly
+    one of ``values`` (exact trained values, ``sparse`` profile) and
+    ``codes``/``scale`` (quantized deltas, ``sparse+quantized``) is
+    populated.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    indices: np.ndarray
+    values: Optional[np.ndarray] = None
+    codes: Optional[np.ndarray] = None
+    scale: Optional[float] = None
+
+    def overlay(self, base: np.ndarray) -> np.ndarray:
+        """Dense tensor: ``base`` with this block applied on top."""
+        base = np.asarray(base)
+        if tuple(base.shape) != tuple(self.shape):
+            raise WireFormatError(
+                f"sparse overlay base shape {tuple(base.shape)} does not "
+                f"match wire shape {tuple(self.shape)}"
+            )
+        out = base.astype(self.dtype, copy=True)
+        flat = out.reshape(-1)
+        if self.values is not None:
+            flat[self.indices] = self.values
+        else:
+            flat[self.indices] = (
+                flat[self.indices].astype(np.float64)
+                + self.codes.astype(np.float64) * self.scale
+            ).astype(self.dtype)
+        return out
 
 
 @dataclass
 class ContributionPayload:
-    """A decoded contribution frame."""
+    """A decoded contribution frame.
+
+    Dense frames populate ``state`` directly.  Sparse frames populate
+    ``sparse`` instead; call :meth:`materialise` with the dispatched
+    base state to obtain the dense trained state.
+    """
 
     worker_id: int
     num_samples: int
     train_loss: float
     wall_time_s: float
-    state: Dict[str, np.ndarray]
+    state: Optional[Dict[str, np.ndarray]] = None
+    sparse: Optional[Dict[str, SparseTensor]] = field(
+        default=None, repr=False)
+    profile: str = "exact"
+
+    def materialise(
+        self, base: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Dense trained state; sparse frames need the dispatched base.
+
+        The base is never mutated -- every tensor is copied before the
+        sparse block is overlaid (callers routinely share one base dict
+        across a whole cohort).
+        """
+        if self.sparse is None:
+            return self.state
+        if base is None:
+            raise WireFormatError(
+                f"a {self.profile!r} contribution needs the dispatched "
+                f"base state to materialise"
+            )
+        missing = [key for key in self.sparse if key not in base]
+        if missing:
+            raise WireFormatError(
+                f"sparse contribution references tensors absent from the "
+                f"base state: {missing[:3]}"
+            )
+        return {
+            key: entry.overlay(base[key])
+            for key, entry in self.sparse.items()
+        }
 
 
 # ----------------------------------------------------------------------
@@ -276,6 +386,34 @@ def _write_state(writer: _Writer, state: Dict[str, np.ndarray],
             writer.array(quantized.codes[key], "<i2")
 
 
+def _check_quant_params(key: str, bits: int, scale: float) -> int:
+    """Validate a quantized record's parameters; returns the level cap.
+
+    Scales are produced by :func:`repro.pruning.quantize.quantize_array`
+    and are finite and strictly positive by construction -- anything
+    else on the wire is corruption and must not silently dequantize to
+    NaN/Inf garbage.
+    """
+    if not 2 <= bits <= 16:
+        raise WireFormatError(
+            f"tensor {key!r}: quantization bits {bits} out of range"
+        )
+    if not (np.isfinite(scale) and scale > 0.0):
+        raise WireFormatError(
+            f"tensor {key!r}: quantization scale {scale!r} out of range "
+            f"(must be finite and > 0)"
+        )
+    return 2 ** (bits - 1) - 1
+
+
+def _check_codes(key: str, codes: np.ndarray, levels: int) -> None:
+    if codes.size and int(np.abs(codes).max()) > levels:
+        raise WireFormatError(
+            f"tensor {key!r}: quantization code "
+            f"{int(np.abs(codes).max())} exceeds the {levels}-level cap"
+        )
+
+
 def _read_state(reader: _Reader,
                 quantized: bool) -> Dict[str, np.ndarray]:
     (num_tensors,) = reader.unpack("I")
@@ -295,11 +433,9 @@ def _read_state(reader: _Reader,
             count *= dim
         if quantized:
             bits, scale = reader.unpack("Bd")
-            if not 2 <= bits <= 16:
-                raise WireFormatError(
-                    f"tensor {key!r}: quantization bits {bits} out of range"
-                )
+            levels = _check_quant_params(key, bits, scale)
             codes = reader.array("<i2", count)
+            _check_codes(key, codes, levels)
             value = (codes.astype(np.float64) * scale).astype(
                 _DTYPE_CODES[code]
             )
@@ -307,6 +443,131 @@ def _read_state(reader: _Reader,
             value = reader.array(_DTYPE_CODES[code], count)
         state[key] = value.reshape(shape)
     return state
+
+
+# ----------------------------------------------------------------------
+# sparse delta block (contribution frames)
+# ----------------------------------------------------------------------
+def _sparse_select(state: Dict[str, np.ndarray],
+                   base: Dict[str, np.ndarray],
+                   keep_fraction: float) -> Dict[str, np.ndarray]:
+    """Flat C-order indices of the top-k moved positions, per tensor.
+
+    Reuses the FlexCom top-k selection (global magnitude threshold over
+    the concatenated delta, deterministic positional tie-break) so the
+    wire's kept count agrees with the engine's upload pricing.
+    """
+    # function-level import: repro.fl pulls in the engine, which imports
+    # this module -- a top-level import would be a cycle
+    from repro.fl.compression import top_k_sparsify
+
+    if set(state) != set(base):
+        raise WireFormatError(
+            f"sparse encode: trained and base states carry different "
+            f"tensors ({sorted(set(state) ^ set(base))[:3]})"
+        )
+    delta = {}
+    for key, value in state.items():
+        value = np.asarray(value)
+        anchor = np.asarray(base[key])
+        if value.shape != anchor.shape:
+            raise WireFormatError(
+                f"sparse encode: tensor {key!r} shape {value.shape} does "
+                f"not match its base {anchor.shape}"
+            )
+        delta[key] = value.astype(np.float64) - anchor.astype(np.float64)
+    sparsified, _ = top_k_sparsify(delta, keep_fraction)
+    return {
+        key: np.flatnonzero(sparsified[key].reshape(-1))
+        for key in state
+    }
+
+
+def _write_sparse_state(writer: _Writer, state: Dict[str, np.ndarray],
+                        base: Dict[str, np.ndarray], *,
+                        keep_fraction: float,
+                        quantize_bits: Optional[int]) -> None:
+    if not 0.0 < keep_fraction <= 1.0:
+        raise WireFormatError(
+            f"keep_fraction must be in (0, 1], got {keep_fraction}"
+        )
+    kept = _sparse_select(state, base, keep_fraction)
+    writer.pack("I", len(state))
+    for key, value in state.items():
+        value = np.asarray(value)
+        code = _DTYPE_TO_CODE.get(value.dtype)
+        if code is None:
+            raise WireFormatError(
+                f"tensor {key!r}: unsupported wire dtype {value.dtype}"
+            )
+        indices = kept[key]
+        writer.string(key)
+        writer.pack("BB", code, value.ndim)
+        writer.pack("I" * value.ndim, *value.shape)
+        writer.pack("I", int(indices.size))
+        writer.array(indices, "<u4")
+        if quantize_bits is None:
+            writer.array(value.reshape(-1)[indices], _DTYPE_CODES[code])
+        else:
+            deltas = (
+                value.reshape(-1)[indices].astype(np.float64)
+                - np.asarray(base[key]).reshape(-1)[indices]
+                .astype(np.float64)
+            )
+            codes, scale = quantize_array(deltas, quantize_bits)
+            writer.pack("Bd", quantize_bits, scale)
+            writer.array(codes, "<i2")
+
+
+def _read_sparse_state(reader: _Reader,
+                       quantized: bool) -> Dict[str, SparseTensor]:
+    (num_tensors,) = reader.unpack("I")
+    out: Dict[str, SparseTensor] = {}
+    for _ in range(num_tensors):
+        key = reader.string()
+        if key in out:
+            raise WireFormatError(f"duplicate tensor {key!r}")
+        code, ndim = reader.unpack("BB")
+        if code not in _DTYPE_CODES:
+            raise WireFormatError(
+                f"tensor {key!r}: unknown dtype code {code}"
+            )
+        shape = reader.unpack("I" * ndim) if ndim else ()
+        count = 1
+        for dim in shape:
+            count *= dim
+        (kept,) = reader.unpack("I")
+        if kept > count:
+            raise WireFormatError(
+                f"tensor {key!r}: {kept} sparse indices exceed the "
+                f"tensor's {count} element(s)"
+            )
+        indices = reader.array("<u4", kept).astype(np.intp)
+        if kept:
+            if int(indices[-1]) >= count:
+                raise WireFormatError(
+                    f"tensor {key!r}: sparse index {int(indices[-1])} out "
+                    f"of range for {count} element(s)"
+                )
+            if kept > 1 and not np.all(np.diff(indices) > 0):
+                raise WireFormatError(
+                    f"tensor {key!r}: sparse indices are not strictly "
+                    f"increasing"
+                )
+        entry = SparseTensor(
+            shape=tuple(int(dim) for dim in shape),
+            dtype=np.dtype(_DTYPE_CODES[code]), indices=indices,
+        )
+        if quantized:
+            bits, scale = reader.unpack("Bd")
+            levels = _check_quant_params(key, bits, scale)
+            entry.codes = reader.array("<i2", kept)
+            _check_codes(key, entry.codes, levels)
+            entry.scale = float(scale)
+        else:
+            entry.values = reader.array(_DTYPE_CODES[code], kept)
+        out[key] = entry
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -323,15 +584,42 @@ def _clip_from_wire(value: float) -> Optional[float]:
 def encode_dispatch(worker_id: int, plan: PruningPlan,
                     state: Dict[str, np.ndarray], *, tau: int,
                     hyper: TrainHyper, emulate_s: float = 0.0,
-                    quantize_bits: Optional[int] = None) -> bytes:
-    """Encode one PS -> worker dispatch frame."""
+                    quantize_bits: Optional[int] = None,
+                    reply_profile: str = "exact",
+                    reply_keep_fraction: Optional[float] = None,
+                    reply_quantize_bits: Optional[int] = None) -> bytes:
+    """Encode one PS -> worker dispatch frame.
+
+    ``reply_profile`` negotiates how the worker must encode its
+    contribution; non-exact profiles additionally ship the top-k keep
+    fraction and (for ``sparse+quantized``) the code width.  An exact
+    dispatch is byte-identical to a pre-negotiation frame.
+    """
+    if reply_profile not in _PROFILE_CODES:
+        raise WireFormatError(
+            f"unknown wire profile {reply_profile!r} "
+            f"(expected one of {WIRE_PROFILES})"
+        )
     writer = _Writer()
     flags = FLAG_QUANTIZED if quantize_bits is not None else 0
+    flags |= _PROFILE_CODES[reply_profile] << _PROFILE_SHIFT
     writer.header(KIND_DISPATCH, flags)
     writer.pack("II", worker_id, tau)
     writer.pack("d", float(emulate_s))
     writer.pack("ddddd", hyper.lr, hyper.momentum, hyper.weight_decay,
                 hyper.prox_mu, _clip_to_wire(hyper.clip_norm))
+    if reply_profile != "exact":
+        keep = 0.25 if reply_keep_fraction is None else reply_keep_fraction
+        if not 0.0 < keep <= 1.0:
+            raise WireFormatError(
+                f"reply_keep_fraction must be in (0, 1], got {keep}"
+            )
+        bits = 8 if reply_quantize_bits is None else reply_quantize_bits
+        if not 2 <= bits <= 16:
+            raise WireFormatError(
+                f"reply_quantize_bits must be in [2, 16], got {bits}"
+            )
+        writer.pack("dB", float(keep), bits)
     writer.pack("d", float(plan.ratio))
     _write_plan(writer, plan)
     _write_state(writer, state, quantize_bits)
@@ -341,14 +629,48 @@ def encode_dispatch(worker_id: int, plan: PruningPlan,
 def encode_contribution(worker_id: int, state: Dict[str, np.ndarray], *,
                         train_loss: float, wall_time_s: float,
                         num_samples: int = 1,
-                        quantize_bits: Optional[int] = None) -> bytes:
-    """Encode one worker -> PS contribution frame."""
+                        quantize_bits: Optional[int] = None,
+                        profile: str = "exact",
+                        base: Optional[Dict[str, np.ndarray]] = None,
+                        keep_fraction: float = 0.25) -> bytes:
+    """Encode one worker -> PS contribution frame.
+
+    Sparse profiles need ``base`` -- the dispatched state the receiver
+    also holds -- to pick the top-k moved positions (and, for
+    ``sparse+quantized``, to form the delta codes).  ``quantize_bits``
+    selects dense quantization under ``exact`` and the delta code
+    width under ``sparse+quantized``.
+    """
+    if profile not in _PROFILE_CODES:
+        raise WireFormatError(
+            f"unknown wire profile {profile!r} "
+            f"(expected one of {WIRE_PROFILES})"
+        )
     writer = _Writer()
-    flags = FLAG_QUANTIZED if quantize_bits is not None else 0
+    if profile == "exact":
+        flags = FLAG_QUANTIZED if quantize_bits is not None else 0
+    else:
+        if base is None:
+            raise WireFormatError(
+                f"a {profile!r} contribution needs the dispatched base "
+                f"state to encode"
+            )
+        flags = FLAG_SPARSE
+        if profile == "sparse+quantized":
+            flags |= FLAG_QUANTIZED
     writer.header(KIND_CONTRIBUTION, flags)
     writer.pack("II", worker_id, num_samples)
     writer.pack("dd", float(train_loss), float(wall_time_s))
-    _write_state(writer, state, quantize_bits)
+    if profile == "exact":
+        _write_state(writer, state, quantize_bits)
+    else:
+        _write_sparse_state(
+            writer, state, base, keep_fraction=keep_fraction,
+            quantize_bits=(
+                (8 if quantize_bits is None else quantize_bits)
+                if profile == "sparse+quantized" else None
+            ),
+        )
     return writer.finish()
 
 
@@ -377,6 +699,11 @@ def _open_frame(frame: bytes, expected_kind: int) -> Tuple[_Reader, int]:
         raise WireFormatError(
             f"wrong frame kind {kind} (expected {expected_kind})"
         )
+    if flags & ~_KNOWN_FLAGS:
+        raise WireFormatError(
+            f"unknown flag bits {flags & ~_KNOWN_FLAGS:#04x} set "
+            f"(flags {flags:#04x})"
+        )
     body = memoryview(frame)[_HEADER.size:-_CRC.size]
     return _Reader(body), flags
 
@@ -397,9 +724,33 @@ def frame_kind(frame: bytes) -> int:
 def decode_dispatch(frame: bytes) -> DispatchPayload:
     """Decode and validate one dispatch frame."""
     reader, flags = _open_frame(frame, KIND_DISPATCH)
+    if flags & FLAG_SPARSE:
+        raise WireFormatError(
+            "dispatch frames cannot be sparse (FLAG_SPARSE set)"
+        )
+    profile_code = (flags & _PROFILE_MASK) >> _PROFILE_SHIFT
+    if profile_code >= len(WIRE_PROFILES):
+        raise WireFormatError(
+            f"unknown reply-profile code {profile_code}"
+        )
+    reply_profile = WIRE_PROFILES[profile_code]
     worker_id, tau = reader.unpack("II")
     (emulate_s,) = reader.unpack("d")
     lr, momentum, weight_decay, prox_mu, clip = reader.unpack("ddddd")
+    reply_keep_fraction = None
+    reply_quantize_bits = None
+    if reply_profile != "exact":
+        keep, bits = reader.unpack("dB")
+        if not 0.0 < keep <= 1.0:
+            raise WireFormatError(
+                f"reply keep fraction {keep!r} out of range (0, 1]"
+            )
+        if not 2 <= bits <= 16:
+            raise WireFormatError(
+                f"reply quantization bits {bits} out of range [2, 16]"
+            )
+        reply_keep_fraction = float(keep)
+        reply_quantize_bits = int(bits)
     (ratio,) = reader.unpack("d")
     plan = _read_plan(reader, ratio)
     state = _read_state(reader, bool(flags & FLAG_QUANTIZED))
@@ -409,18 +760,52 @@ def decode_dispatch(frame: bytes) -> DispatchPayload:
         hyper=TrainHyper(lr=lr, momentum=momentum,
                          weight_decay=weight_decay, prox_mu=prox_mu,
                          clip_norm=_clip_from_wire(clip)),
-        plan=plan, state=state,
+        plan=plan, state=state, reply_profile=reply_profile,
+        reply_keep_fraction=reply_keep_fraction,
+        reply_quantize_bits=reply_quantize_bits,
     )
 
 
-def decode_contribution(frame: bytes) -> ContributionPayload:
-    """Decode and validate one contribution frame."""
+def decode_contribution(frame: bytes,
+                        expect_profile: Optional[str] = None,
+                        ) -> ContributionPayload:
+    """Decode and validate one contribution frame.
+
+    ``expect_profile`` enforces the negotiated reply profile: a frame
+    whose flags disagree is rejected rather than trusted.  (A dense
+    quantized frame -- ``FLAG_QUANTIZED`` without ``FLAG_SPARSE`` --
+    still counts as the ``exact`` profile family for negotiation
+    purposes, since no profile negotiates it.)
+    """
     reader, flags = _open_frame(frame, KIND_CONTRIBUTION)
+    if flags & _PROFILE_MASK:
+        raise WireFormatError(
+            "contribution frames must not carry reply-profile bits"
+        )
+    if flags & FLAG_SPARSE:
+        profile = (
+            "sparse+quantized" if flags & FLAG_QUANTIZED else "sparse"
+        )
+    else:
+        profile = "exact"
+    if expect_profile is not None and profile != expect_profile:
+        raise WireFormatError(
+            f"profile mismatch: frame is {profile!r}, negotiated "
+            f"{expect_profile!r}"
+        )
     worker_id, num_samples = reader.unpack("II")
     train_loss, wall_time_s = reader.unpack("dd")
-    state = _read_state(reader, bool(flags & FLAG_QUANTIZED))
+    if profile == "exact":
+        state = _read_state(reader, bool(flags & FLAG_QUANTIZED))
+        sparse = None
+    else:
+        state = None
+        sparse = _read_sparse_state(
+            reader, bool(flags & FLAG_QUANTIZED)
+        )
     reader.expect_exhausted()
     return ContributionPayload(
         worker_id=worker_id, num_samples=num_samples,
         train_loss=train_loss, wall_time_s=wall_time_s, state=state,
+        sparse=sparse, profile=profile,
     )

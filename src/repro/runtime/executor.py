@@ -23,18 +23,20 @@ from __future__ import annotations
 import copy
 import pickle
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_for_connections
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.loader import BatchIterator
 from repro.nn.batched import train_cohort
 from repro.pruning.plan import plan_signature, plan_signature_digest
+from repro.runtime import shm
 from repro.runtime.codec import (
+    WIRE_PROFILES,
     TrainHyper,
     decode_contribution,
     encode_dispatch,
@@ -321,6 +323,24 @@ class ProcessExecutor(Executor):
     (e.g. ``Dropout``): their per-module generators are consumed
     during the forward pass, so a child-side template clone would not
     carry the same generator state as the parent's extraction.
+
+    Templates otherwise travel through shared memory: one segment per
+    plan signature (see :mod:`repro.runtime.shm`), attached by every
+    child that needs it, so template wire bytes are paid once per
+    signature instead of once per pool member.  The segment store is
+    an LRU bounded by ``template_cache_limit`` -- adaptive ratios mint
+    fresh signatures every round, and an unbounded store (the pre-fix
+    ``_cached_templates`` behaviour) leaks for the whole run.
+    Evictions unlink the segment after the round's gather (no train
+    message is in flight then, so no child can race the unlink) and
+    piggyback drop notices onto each member's next train message so
+    child-side caches shrink too.
+
+    ``wire_profile`` selects how children encode contributions:
+    ``exact`` (dense float32, bitwise parity), ``sparse`` (top-k moved
+    positions, exact at shipped positions) or ``sparse+quantized``
+    (top-k quantized deltas).  The profile rides in the dispatch frame
+    flags and replies are validated against it.
     """
 
     name = "process"
@@ -332,14 +352,32 @@ class ProcessExecutor(Executor):
                  retry: Optional[RetryPolicy] = None,
                  straggler_quorum: float = 0.85,
                  straggler_multiplier: float = 1.5,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 wire_profile: str = "exact",
+                 wire_keep_fraction: float = 0.25,
+                 wire_quantize_bits: int = 8,
+                 template_cache_limit: int = 8) -> None:
         super().__init__()
         from repro.runtime.transport import StragglerDetector
 
+        if wire_profile not in WIRE_PROFILES:
+            raise ValueError(
+                f"wire_profile must be one of {WIRE_PROFILES}, "
+                f"got {wire_profile!r}"
+            )
+        if template_cache_limit < 1:
+            raise ValueError(
+                f"template_cache_limit must be >= 1, "
+                f"got {template_cache_limit}"
+            )
         self.telemetry = (
             telemetry if telemetry is not None else DISABLED_TELEMETRY
         )
         self.pickle_submodels = pickle_submodels
+        self.wire_profile = wire_profile
+        self.wire_keep_fraction = wire_keep_fraction
+        self.wire_quantize_bits = wire_quantize_bits
+        self.template_cache_limit = template_cache_limit
         self.retry = retry if retry is not None else RetryPolicy()
         self.pool = ProcessPool(list(specs), num_procs=num_procs,
                                 start_method=start_method)
@@ -355,6 +393,14 @@ class ProcessExecutor(Executor):
         self._cached_templates: Dict[int, set] = {
             member.index: set() for member in self.pool.members
         }
+        #: plan signature -> (segment name, payload size), LRU order
+        self._template_segments: "OrderedDict[object, Tuple[str, int]]" = (
+            OrderedDict()
+        )
+        #: evicted segment names awaiting a safe (post-gather) unlink
+        self._retired_segments: List[str] = []
+        #: member index -> template keys to drop on its next message
+        self._pending_drops: Dict[int, set] = {}
         # handshake: surface a child that died during start-up as a
         # typed transport error instead of a hung first round
         for member in self.pool.members:
@@ -370,6 +416,36 @@ class ProcessExecutor(Executor):
         self._seq += 1
         return self._seq
 
+    def _template_segment(self, key: object,
+                          submodel: object) -> Tuple[str, int]:
+        """Segment ``(name, size)`` for a plan signature, creating (and
+        LRU-evicting) as needed.  Template wire bytes are charged here,
+        once per created segment -- never per member."""
+        segments = self._template_segments
+        if key in segments:
+            segments.move_to_end(key)
+            return segments[key]
+        name, size = shm.create_segment(submodel)
+        segments[key] = (name, size)
+        metrics = self.telemetry.metrics
+        metrics.counter("wire_bytes_total", kind="template").inc(size)
+        while len(segments) > self.template_cache_limit:
+            old_key, (old_name, _) = segments.popitem(last=False)
+            self._retired_segments.append(old_name)
+            metrics.counter("dispatch_cache_evictions_total").inc()
+            for index, seen in self._cached_templates.items():
+                if old_key in seen:
+                    seen.discard(old_key)
+                    self._pending_drops.setdefault(
+                        index, set()
+                    ).add(old_key)
+        return name, size
+
+    def _unlink_retired(self) -> None:
+        for name in self._retired_segments:
+            shm.unlink_segment(name)
+        self._retired_segments.clear()
+
     def run(self, requests: Sequence[TrainRequest],
             round_index: int = 0) -> List[TrainResult]:
         if not requests:
@@ -383,6 +459,7 @@ class ProcessExecutor(Executor):
             # -- serialize ----------------------------------------------
             pending: Dict[int, _InFlight] = {}
             queues: Dict[int, deque] = {}
+            profile = self.wire_profile
             with telemetry.span("serialize", round=round_index,
                                 requests=len(requests)):
                 for request in requests:
@@ -391,27 +468,40 @@ class ProcessExecutor(Executor):
                         request.worker_id, request.plan,
                         request.dispatched_state, tau=request.tau,
                         hyper=request.hyper, emulate_s=request.emulate_s,
+                        reply_profile=profile,
+                        reply_keep_fraction=(
+                            self.wire_keep_fraction
+                            if profile != "exact" else None
+                        ),
+                        reply_quantize_bits=(
+                            self.wire_quantize_bits
+                            if profile != "exact" else None
+                        ),
                     )
                     key = _plan_signature(request.plan)
-                    cacheable = not self.pickle_submodels
-                    seen = self._cached_templates[member.index]
-                    if self.pickle_submodels or key not in seen:
+                    if self.pickle_submodels:
                         blob = pickle.dumps(
                             request.submodel,
                             protocol=pickle.HIGHEST_PROTOCOL,
                         )
-                        if cacheable:
-                            seen.add(key)
+                        metrics.counter("wire_bytes_total",
+                                        kind="template").inc(len(blob))
+                        template = ("blob", blob)
+                    elif key in self._cached_templates[member.index]:
+                        template = ("cached", key)
                     else:
-                        blob = None
+                        name, size = self._template_segment(
+                            key, request.submodel
+                        )
+                        self._cached_templates[member.index].add(key)
+                        template = ("shm", key, name, size)
+                    drops = self._pending_drops.pop(member.index, None)
                     seq = self._next_seq()
                     metrics.counter("wire_bytes_total",
                                     kind="dispatch").inc(len(frame))
-                    if blob is not None:
-                        metrics.counter("wire_bytes_total",
-                                        kind="template").inc(len(blob))
                     queues.setdefault(member.index, deque()).append(
-                        (seq, ("train", seq, frame, blob, key, cacheable))
+                        (seq, ("train", seq, frame, template,
+                               tuple(drops) if drops else ()))
                     )
                     pending[seq] = _InFlight(request=request,
                                              member_index=member.index)
@@ -427,12 +517,16 @@ class ProcessExecutor(Executor):
                 metrics.counter("wire_bytes_total",
                                 kind="contribution").inc(reply_bytes)
                 transfer_span.set("reply_bytes", reply_bytes)
+            # the gather is complete: every child has attached whatever
+            # segments this round referenced, so retired ones can go
+            self._unlink_retired()
 
             # -- decode + per-request spans -----------------------------
             results = []
             for seq, flight in pending.items():
                 request = flight.request
-                payload = decode_contribution(flight.frame)
+                payload = decode_contribution(flight.frame,
+                                              expect_profile=profile)
                 if payload.worker_id != request.worker_id:
                     raise TransportError(
                         f"reply {seq} carries worker "
@@ -447,7 +541,9 @@ class ProcessExecutor(Executor):
                     span.set("worker_wall_s", float(payload.wall_time_s))
                 results.append(TrainResult(
                     worker_id=payload.worker_id,
-                    sub_state=payload.state,
+                    sub_state=payload.materialise(
+                        request.dispatched_state
+                    ),
                     train_loss=float(payload.train_loss),
                     wall_time_s=float(payload.wall_time_s),
                 ))
@@ -556,7 +652,19 @@ class ProcessExecutor(Executor):
         return completion
 
     def close(self) -> None:
-        self.pool.close()
+        """Shut the pool down and unlink every live template segment.
+
+        Idempotent, and the segment unlink runs even when the pool
+        shutdown is dirty (killed children), so a crashed run cannot
+        strand ``/dev/shm`` entries past ``close``.
+        """
+        try:
+            self.pool.close()
+        finally:
+            self._unlink_retired()
+            for name, _ in self._template_segments.values():
+                shm.unlink_segment(name)
+            self._template_segments.clear()
 
 
 def make_executor(config, *, workers: Dict[int, object],
@@ -584,5 +692,11 @@ def make_executor(config, *, workers: Dict[int, object],
             telemetry=telemetry, pickle_submodels=pickle_submodels,
             straggler_quorum=quorum,
             straggler_multiplier=getattr(config, "deadline_multiplier", 1.5),
+            wire_profile=getattr(config, "wire_profile", "exact"),
+            wire_keep_fraction=getattr(config, "wire_keep_fraction", 0.25),
+            wire_quantize_bits=getattr(config, "wire_quantize_bits", 8),
+            template_cache_limit=getattr(
+                config, "template_cache_limit", 8
+            ),
         )
     raise ValueError(f"unknown executor {kind!r}")

@@ -24,10 +24,15 @@ batch stream.
 Each pool child owns a *group* of workers (round-robin over sorted
 worker ids, so the assignment is a pure function of the fleet) and
 serves ``train`` requests off one duplex pipe: decode the dispatch
-frame, materialise the sub-model, run ``local_train``, reply with an
-encoded contribution frame.  Sub-model architectures are cached per
-plan signature so steady-state dispatches ship only the codec frame,
-not a pickled module graph.
+frame, materialise the sub-model, run ``local_train``, reply with a
+contribution frame encoded under the dispatch's negotiated wire
+profile.  Sub-model templates arrive out-of-band through shared
+memory (see :mod:`repro.runtime.shm`) and are cached per plan
+signature, so steady-state dispatches ship only the codec frame --
+the pipe never carries a module graph except on the explicit
+``pickle_submodels`` path.  The parent bounds its template store and
+piggybacks eviction notices on train messages so child caches track
+the parent's.
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +51,7 @@ from repro.runtime.codec import (
     decode_dispatch,
     encode_contribution,
 )
+from repro.runtime.shm import read_segment
 from repro.simulation.device import DeviceProfile
 
 if TYPE_CHECKING:  # cycle guard: repro.fl.engine imports this package
@@ -113,20 +119,30 @@ class WorkerSpec:
 # child side
 # ----------------------------------------------------------------------
 def _handle_train(workers: Dict[int, Worker], templates: Dict[object, object],
-                  frame: bytes, module_blob: Optional[bytes],
-                  template_key: object, cacheable: bool) -> bytes:
+                  frame: bytes, template: Tuple,
+                  drops: Tuple) -> bytes:
+    for key in drops:
+        templates.pop(key, None)
     payload = decode_dispatch(frame)
-    if module_blob is not None:
-        submodel = pickle.loads(module_blob)
-        if cacheable:
-            templates[template_key] = copy.deepcopy(submodel)
-    else:
-        template = templates.get(template_key)
-        if template is None:
+    mode = template[0]
+    if mode == "blob":
+        submodel = pickle.loads(template[1])
+    elif mode == "shm":
+        _, key, name, size = template
+        cached = read_segment(name, size)
+        templates[key] = cached
+        submodel = copy.deepcopy(cached)
+    elif mode == "cached":
+        cached = templates.get(template[1])
+        if cached is None:
             raise RuntimeError(
-                f"no cached sub-model template for key {template_key!r}"
+                f"no cached sub-model template for key {template[1]!r}"
             )
-        submodel = copy.deepcopy(template)
+        submodel = copy.deepcopy(cached)
+    else:
+        raise RuntimeError(f"unknown template reference {mode!r}")
+    # load_state_dict copies every array, so payload.state stays the
+    # pristine dispatched base the sparse reply encoder diffs against
     submodel.load_state_dict(payload.state)
     worker = workers[payload.worker_id]
     hyper = payload.hyper
@@ -141,10 +157,20 @@ def _handle_train(workers: Dict[int, Worker], templates: Dict[object, object],
         clip_norm=hyper.clip_norm, anchor=payload.state,
     )
     wall_s = time.perf_counter() - start
+    profile = payload.reply_profile
     return encode_contribution(
         payload.worker_id, submodel.state_dict(),
         train_loss=float(train_loss), wall_time_s=wall_s,
-        num_samples=worker.num_samples,
+        num_samples=worker.num_samples, profile=profile,
+        base=payload.state if profile != "exact" else None,
+        keep_fraction=(
+            0.25 if payload.reply_keep_fraction is None
+            else payload.reply_keep_fraction
+        ),
+        quantize_bits=(
+            payload.reply_quantize_bits
+            if profile == "sparse+quantized" else None
+        ),
     )
 
 
@@ -155,9 +181,14 @@ def _child_main(conn, specs_blob: bytes) -> None:
 
     - ``("ping", seq, delay_s)`` -> ``("pong", seq)`` after sleeping
       ``delay_s`` (the delay exists so tests can provoke timeouts);
-    - ``("train", seq, frame, module_blob, template_key, cacheable)``
+    - ``("train", seq, frame, template, drops)``
       -> ``("ok", seq, contribution_frame)`` or
-      ``("err", seq, traceback_text)``;
+      ``("err", seq, traceback_text)``, where ``template`` references
+      the sub-model graph as ``("cached", key)`` (clone the child's
+      cache), ``("shm", key, name, size)`` (attach the named
+      shared-memory segment, cache under ``key``, clone) or
+      ``("blob", pickle_bytes)`` (one-shot module, never cached), and
+      ``drops`` lists template keys to evict before handling;
     - ``("shutdown",)`` -> exit.
     """
     specs: List[WorkerSpec] = pickle.loads(specs_blob)
@@ -178,11 +209,10 @@ def _child_main(conn, specs_blob: bytes) -> None:
                     time.sleep(delay_s)
                 conn.send(("pong", seq))
             elif op == "train":
-                _, seq, frame, module_blob, template_key, cacheable = message
+                _, seq, frame, template, drops = message
                 try:
                     reply = _handle_train(workers, templates, frame,
-                                          module_blob, template_key,
-                                          cacheable)
+                                          template, drops)
                 except Exception:
                     conn.send(("err", seq, traceback.format_exc()))
                 else:

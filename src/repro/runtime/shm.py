@@ -1,0 +1,135 @@
+"""Shared-memory template segments for the process executor.
+
+The pool path ships each pruned sub-model template to every child
+exactly once per plan signature.  Pickling the template into the pipe
+per member made templates the dominant wire cost (BENCH_parallel
+recorded ~88 MB of template frames against ~65 MB of dispatches), so
+templates now travel out-of-band: the parent pickles the template once
+into a :class:`multiprocessing.shared_memory.SharedMemory` segment and
+sends only ``(name, size)`` down the pipe; children attach, unpickle
+and detach.  The pipe never carries template bytes again for that
+signature, and N members attach the same physical pages.
+
+Lifecycle
+---------
+- **create**: parent calls :func:`create_segment`; the segment is
+  recorded in a module-level registry so it can always be found again.
+- **attach/read**: children call :func:`read_segment`, which attaches,
+  unpickles and closes in one scope.  Attaching from a child must not
+  hand the segment to that child's ``resource_tracker`` -- on 3.12 and
+  earlier the tracker registers on *attach* as well as create, and
+  would unlink the segment when the first child exits.  ``track=False``
+  exists only from 3.13, so :func:`read_segment` falls back to
+  unregistering by hand.
+- **unlink**: only the parent unlinks, via :func:`unlink_segment` /
+  :func:`unlink_all` -- after the round's gather completes (no train
+  message is then in flight, so no child can race an attach against the
+  unlink) or from ``ProcessExecutor.close``.  An ``atexit`` hook covers
+  interpreter teardown paths that skip ``close`` (crashed workers,
+  test errors), so a killed child never strands ``/dev/shm`` entries.
+
+:func:`leaked_segments` scans ``/dev/shm`` for this module's name
+prefix so tests can assert the no-leak guarantee directly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "create_segment",
+    "read_segment",
+    "unlink_segment",
+    "unlink_all",
+    "leaked_segments",
+]
+
+#: every segment this module creates is named ``<prefix><random hex>``
+SEGMENT_PREFIX = "repro-wire-"
+
+#: live segments created by this process, keyed by segment name
+_LIVE: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def create_segment(payload: object) -> Tuple[str, int]:
+    """Pickle ``payload`` into a fresh segment; returns ``(name, size)``.
+
+    ``size`` is the pickle's logical length -- the kernel rounds the
+    segment itself up to a page, so readers must slice to ``size``.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    name = SEGMENT_PREFIX + secrets.token_hex(8)
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, len(blob))
+    )
+    segment.buf[: len(blob)] = blob
+    _LIVE[segment.name] = segment
+    return segment.name, len(blob)
+
+
+def read_segment(name: str, size: int) -> object:
+    """Attach to a segment, unpickle its payload and detach.
+
+    Safe to call from pool children: the attach is scrubbed from the
+    resource tracker so child exit never unlinks a segment the parent
+    still owns.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= keyword
+        # suppress the attach-time register entirely: registering and
+        # then unregistering would race other attachers of the same
+        # name (the tracker's cache is a set, so the second unregister
+        # logs a KeyError traceback)
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    try:
+        payload = pickle.loads(bytes(segment.buf[:size]))
+    finally:
+        segment.close()
+    return payload
+
+
+def unlink_segment(name: str) -> None:
+    """Close and unlink one of this process's segments (idempotent)."""
+    segment = _LIVE.pop(name, None)
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except Exception:
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def unlink_all() -> None:
+    """Close and unlink every live segment this process created."""
+    for name in list(_LIVE):
+        unlink_segment(name)
+
+
+def leaked_segments() -> List[str]:
+    """Names of this module's segments still present in ``/dev/shm``."""
+    try:
+        entries = os.listdir("/dev/shm")
+    except FileNotFoundError:  # non-Linux: nothing we can scan
+        return []
+    return sorted(
+        entry for entry in entries if entry.startswith(SEGMENT_PREFIX)
+    )
+
+
+atexit.register(unlink_all)

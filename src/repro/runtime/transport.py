@@ -166,6 +166,14 @@ class ProcessTransport(Transport):
             if self.poll(interval):
                 reply = self.receive()
                 if len(reply) >= 2 and reply[1] == seq:
+                    if reply[0] == "err":
+                        # the child answered with a traceback; returning
+                        # it as if it were the reply would let callers
+                        # treat the failure as success
+                        raise TransportError(
+                            f"pool member {self.member.index} raised "
+                            f"while handling {message[0]!r}:\n{reply[2]}"
+                        )
                     return reply
                 continue  # stale duplicate from an earlier resend
             if not self.alive():

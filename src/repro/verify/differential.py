@@ -343,9 +343,13 @@ def differential_serial_vs_process(task_factory: Callable[[], object],
     report plus whether the two runs' normalised history JSON bytes
     were identical.
     """
-    serial_config = replace(config, executor="serial")
+    # the lossless escape hatch: whatever wire profile the incoming
+    # config carries, the parity comparison runs over the exact wire --
+    # the sparse profiles are lossy by design and cannot be 0-ULP
+    serial_config = replace(config, executor="serial",
+                            wire_profile="exact")
     process_config = replace(config, executor="process",
-                             num_procs=num_procs)
+                             num_procs=num_procs, wire_profile="exact")
     history_serial, states_serial = capture_run(
         task_factory(), devices, serial_config
     )

@@ -1,0 +1,258 @@
+"""Shared-memory template transport and wire-profile executor tests.
+
+Covers the transport-economics guarantees: templates ship through one
+shared-memory segment per plan signature (charged once, bounded by an
+LRU with child-cache drop propagation), segments never leak past
+``close`` -- normal exit or killed-worker crash -- and the negotiated
+sparse profiles run end-to-end through the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.engine import Engine
+from repro.fl.schedulers import make_scheduler
+from repro.fl.tasks import ClassificationTask
+from repro.runtime import shm
+from repro.runtime.codec import TrainHyper
+from repro.runtime.executor import ProcessExecutor, TrainRequest
+from repro.runtime.pool import ProcessPool, WorkerSpec
+from repro.runtime.transport import (
+    ProcessTransport,
+    TransportError,
+    WorkerCrashError,
+)
+from repro.simulation.cluster import make_scenario_devices
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import Telemetry
+
+
+@pytest.fixture(scope="module")
+def mnist():
+    return make_synthetic_mnist(train_per_class=12, test_per_class=4,
+                                rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return make_scenario_devices({"A": 2, "B": 2}, np.random.default_rng(7))
+
+
+def _config(**overrides) -> FLConfig:
+    base = dict(strategy="fixed", strategy_kwargs={"ratio": 0.3},
+                max_rounds=2, local_iterations=1, batch_size=8, lr=0.05,
+                eval_every=10_000, seed=11)
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+def _counter_sum(metrics: MetricsRegistry, name: str, **labels) -> float:
+    return sum(
+        counter.value for counter in metrics.counters
+        if counter.name == name and all(
+            str(counter.labels.get(key)) == str(value)
+            for key, value in labels.items()
+        )
+    )
+
+
+def _requests(engine, config, ratio):
+    dispatches = [engine.dispatch(worker_id, ratio, 0.0, round_index=0)
+                  for worker_id in engine.worker_ids]
+    hyper = TrainHyper(lr=config.lr, momentum=config.momentum,
+                       weight_decay=config.weight_decay,
+                       prox_mu=0.0, clip_norm=config.clip_norm)
+    return [
+        TrainRequest(worker_id=d.worker_id, ratio=d.ratio, tau=d.tau,
+                     plan=d.plan, submodel=d.submodel,
+                     dispatched_state=d.dispatched_state, hyper=hyper)
+        for d in dispatches
+    ]
+
+
+# ----------------------------------------------------------------------
+# shared-memory template lifecycle
+# ----------------------------------------------------------------------
+def test_template_bytes_charged_once_per_signature(mnist, devices):
+    """Two pool members training the same fixed-ratio plan must cost
+    ONE template segment on the wire, not one pickled blob each."""
+    telemetry = Telemetry(metrics=MetricsRegistry())
+    task = ClassificationTask(mnist, "cnn")
+    config = _config(executor="process", num_procs=2)
+    engine = Engine(task, devices, config, telemetry=telemetry)
+    try:
+        make_scheduler(config).run(engine)
+        executor = engine.executor
+        assert len(executor.pool.members) == 2
+        # fixed ratio + stable kept sets => a single plan signature,
+        # cached by both members from the same segment
+        assert len(executor._template_segments) == 1
+        ((_, size),) = executor._template_segments.values()
+        assert _counter_sum(telemetry.metrics, "wire_bytes_total",
+                            kind="template") == size
+        for cached in executor._cached_templates.values():
+            assert len(cached) == 1
+        assert shm.leaked_segments()  # live while the executor is open
+    finally:
+        engine.close()
+    # normal exit: every segment unlinked
+    assert shm.leaked_segments() == []
+
+
+def test_template_store_evicts_and_propagates_drops(mnist, devices):
+    """template_cache_limit=1 with two plan signatures forces an
+    eviction: counted, segment store bounded, child caches notified."""
+    telemetry = Telemetry(metrics=MetricsRegistry())
+    task = ClassificationTask(mnist, "cnn")
+    config = _config()
+    engine = Engine(task, devices, config)
+    executor = ProcessExecutor(engine.worker_specs, num_procs=2,
+                               telemetry=telemetry,
+                               template_cache_limit=1)
+    try:
+        executor.run(_requests(engine, config, 0.3), round_index=0)
+        assert _counter_sum(telemetry.metrics,
+                            "dispatch_cache_evictions_total") == 0
+        executor.run(_requests(engine, config, 0.6), round_index=1)
+        assert _counter_sum(telemetry.metrics,
+                            "dispatch_cache_evictions_total") == 1
+        # the store stays at its bound and the evicted segment is gone
+        assert len(executor._template_segments) == 1
+        assert executor._retired_segments == []
+        assert len(shm.leaked_segments()) == 1
+        # parent-side member caches dropped the evicted key; the drop
+        # notices were piggybacked (all members saw round-1 traffic)
+        for cached in executor._cached_templates.values():
+            assert len(cached) == 1
+        assert executor._pending_drops == {}
+        # the evicted signature still trains fine: it is re-shipped
+        results = executor.run(_requests(engine, config, 0.3),
+                               round_index=2)
+        assert len(results) == len(engine.worker_ids)
+        assert _counter_sum(telemetry.metrics,
+                            "dispatch_cache_evictions_total") == 2
+    finally:
+        executor.close()
+        engine.close()
+    assert shm.leaked_segments() == []
+
+
+def test_segments_unlinked_after_worker_crash(mnist, devices):
+    """A killed child surfaces as WorkerCrashError and close() still
+    unlinks every segment -- no stranded /dev/shm entries."""
+    task = ClassificationTask(mnist, "cnn")
+    config = _config()
+    engine = Engine(task, devices, config)
+    executor = ProcessExecutor(engine.worker_specs, num_procs=2)
+    try:
+        executor.run(_requests(engine, config, 0.3), round_index=0)
+        assert shm.leaked_segments()
+        for member in executor.pool.members:
+            member.proc.kill()
+            member.proc.join(timeout=5.0)
+        with pytest.raises(WorkerCrashError):
+            executor.run(_requests(engine, config, 0.3), round_index=1)
+    finally:
+        executor.close()
+        engine.close()
+    assert shm.leaked_segments() == []
+
+
+def test_template_cache_limit_validation(mnist, devices):
+    engine = Engine(ClassificationTask(mnist, "cnn"), devices, _config())
+    try:
+        with pytest.raises(ValueError, match="template_cache_limit"):
+            ProcessExecutor(engine.worker_specs, num_procs=1,
+                            template_cache_limit=0)
+        with pytest.raises(ValueError, match="wire_profile"):
+            ProcessExecutor(engine.worker_specs, num_procs=1,
+                            wire_profile="dense")
+    finally:
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# negotiated wire profiles end-to-end
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("profile", ["sparse", "sparse+quantized"])
+def test_sparse_profiles_run_through_the_engine(mnist, devices, profile):
+    telemetry = Telemetry(metrics=MetricsRegistry())
+    task = ClassificationTask(mnist, "cnn")
+    config = _config(executor="process", num_procs=2,
+                     wire_profile=profile, wire_keep_fraction=0.25)
+    engine = Engine(task, devices, config, telemetry=telemetry)
+    try:
+        assert engine.executor.wire_profile == profile
+        history = make_scheduler(config).run(engine)
+        assert len(history.rounds) == config.max_rounds
+        assert all(np.isfinite(record.train_loss)
+                   for record in history.rounds)
+        # the contribution leg must genuinely shrink: dispatches ship
+        # the same states dense, so sparse replies (keep 0.25) must
+        # come in well under the dispatch volume
+        contribution = _counter_sum(telemetry.metrics,
+                                    "wire_bytes_total",
+                                    kind="contribution")
+        dispatch = _counter_sum(telemetry.metrics, "wire_bytes_total",
+                                kind="dispatch")
+        assert 0 < contribution < 0.75 * dispatch
+    finally:
+        engine.close()
+    assert shm.leaked_segments() == []
+
+
+def test_sparse_profile_matches_serial_at_full_keep(mnist, devices):
+    """keep_fraction=1.0 sparse ships every moved position exactly, so
+    the run must stay bitwise identical to the serial executor."""
+    task_factory = lambda: ClassificationTask(mnist, "cnn")  # noqa: E731
+
+    def run(executor, profile):
+        config = _config(executor=executor, num_procs=2,
+                         wire_profile=profile, wire_keep_fraction=1.0)
+        engine = Engine(task_factory(), devices, config)
+        try:
+            history = make_scheduler(config).run(engine)
+            return [record.train_loss for record in history.rounds], {
+                key: value.copy()
+                for key, value in engine.model.state_dict().items()
+            }
+        finally:
+            engine.close()
+
+    serial_losses, serial_state = run("serial", "exact")
+    sparse_losses, sparse_state = run("process", "sparse")
+    assert sparse_losses == serial_losses
+    for key in serial_state:
+        np.testing.assert_array_equal(sparse_state[key],
+                                      serial_state[key])
+
+
+# ----------------------------------------------------------------------
+# transport bug sweep: error replies must raise, not return
+# ----------------------------------------------------------------------
+def test_transport_request_raises_on_err_reply():
+    rng = np.random.default_rng(0)
+    device = make_scenario_devices({"A": 1}, np.random.default_rng(3))[0]
+    spec = WorkerSpec(
+        worker_id=0, seed=11,
+        shard_inputs=rng.normal(size=(8, 1, 4, 4)).astype(np.float32),
+        shard_targets=rng.integers(0, 2, size=8).astype(np.int64),
+        batch_size=4, device=device, jitter_sigma=0.05, num_samples=8,
+    )
+    pool = ProcessPool([spec], num_procs=1)
+    try:
+        transport = ProcessTransport(pool.members[0])
+        # a garbage frame makes the child reply ("err", seq, traceback);
+        # the pre-fix transport returned that tuple as a success
+        with pytest.raises(TransportError, match="raised"):
+            transport.request(
+                ("train", 1, b"garbage", ("cached", None), ())
+            )
+        # the channel survives the failed call
+        assert transport.request(("ping", 2, 0.0)) == ("pong", 2)
+    finally:
+        pool.close(join_timeout_s=1.0)

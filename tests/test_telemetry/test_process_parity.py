@@ -47,14 +47,15 @@ def devices():
                                  np.random.default_rng(5))
 
 
-def _run(task, devices, executor):
+def _run(task, devices, executor, wire_profile="exact"):
     # cohort_rounds="off" keeps both executors on the per-member path
     # (the process pool is per-member), so span sets are comparable
     config = FLConfig(strategy="fixed", strategy_kwargs={"ratio": 0.3},
                       max_rounds=ROUNDS, local_iterations=1,
                       batch_size=4, eval_every=10_000, seed=7,
                       cohort_rounds="off", executor=executor,
-                      num_procs=2 if executor == "process" else None)
+                      num_procs=2 if executor == "process" else None,
+                      wire_profile=wire_profile)
     sink = ListSink()
     telemetry = Telemetry(tracer=Tracer(sink), metrics=MetricsRegistry())
     comm = CommVolumeHook()
@@ -72,6 +73,12 @@ def serial_run(task, devices):
 @pytest.fixture(scope="module")
 def process_run(task, devices):
     return _run(task, devices, "process")
+
+
+@pytest.fixture(scope="module")
+def sparse_run(task, devices):
+    return _run(task, devices, "process",
+                wire_profile="sparse+quantized")
 
 
 def _counter_total(metrics, name):
@@ -141,3 +148,37 @@ def test_wire_bytes_reconcile_with_comm_volume(process_run):
     # template blobs are charged separately and only on cache misses
     if "template" in by_kind:
         assert by_kind["template"] > 0
+
+
+def test_sparse_profile_wire_bytes_stay_honest(process_run, sparse_run):
+    """Under the sparse+quantized profile the contribution leg must
+    genuinely shrink (the accounting is not allowed to keep reporting
+    dense volumes), dispatches stay dense and bracketed, and the
+    contribution side prices below the 4 bytes/param dense floor."""
+    _, _, exact_metrics, _ = process_run
+    _, _, metrics, comm = sparse_run
+    by_kind = {c.labels["kind"]: c.value for c in metrics.counters
+               if c.name == "wire_bytes_total"}
+    exact_by_kind = {c.labels["kind"]: c.value
+                     for c in exact_metrics.counters
+                     if c.name == "wire_bytes_total"}
+
+    # dispatch leg is dense in every profile: same bracketing as exact
+    dispatch_payload = comm.total_download_params * _BYTES_PER_PARAM
+    dispatches = _counter_total(metrics, "dispatches_total")
+    assert by_kind["dispatch"] >= dispatch_payload
+    assert by_kind["dispatch"] <= dispatch_payload \
+        + dispatches * _FRAME_OVERHEAD
+
+    # contribution leg: strictly below the dense pricing, and below
+    # what the exact run actually shipped
+    upload_payload = comm.total_upload_params * _BYTES_PER_PARAM
+    assert 0 < by_kind["contribution"] < upload_payload
+    assert by_kind["contribution"] < exact_by_kind["contribution"]
+    bytes_per_param = by_kind["contribution"] / comm.total_upload_params
+    assert bytes_per_param < 4.0
+
+    # templates ride shared memory: charged once per plan signature
+    # (one fixed-ratio signature here), never once per pool member
+    assert 0 < by_kind["template"] < _FRAME_OVERHEAD \
+        + comm.total_download_params // dispatches * _BYTES_PER_PARAM * 2
