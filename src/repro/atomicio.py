@@ -1,0 +1,47 @@
+"""Atomic file-write primitives.
+
+Dependency-free on purpose: these are imported by low-level modules
+(:mod:`repro.fl.checkpoint`, the telemetry exporters) as well as the
+high-level persistence facade :mod:`repro.io`, so nothing here may
+import from the rest of the package.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically.
+
+    The bytes land in a same-directory temp file first, are flushed and
+    fsynced, then renamed over the destination with ``os.replace`` --
+    readers (and a process killed mid-write) only ever see the old
+    complete file or the new complete file, never a truncated one.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Atomically write UTF-8 text (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode("utf-8"))

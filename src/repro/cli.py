@@ -175,9 +175,27 @@ def _make_telemetry(args) -> Optional[Telemetry]:
 
 def _build_history(task_key: str, strategy: str, args,
                    hooks=None, telemetry=None) -> "TrainingHistory":
+    resume = getattr(args, "resume", None)
+    if resume is not None:
+        from repro.fl.checkpoint import load_checkpoint, resolve_checkpoint
+
+        checkpoint = load_checkpoint(resolve_checkpoint(resume))
+        # the checkpoint's meta pins the workload it was taken from;
+        # CLI workload flags only fill gaps (e.g. pre-meta checkpoints)
+        meta = checkpoint.meta or {}
+        bench_task = make_bench_task(meta.get("task", task_key))
+        devices = make_devices(meta.get("scenario", args.scenario),
+                               count=meta.get("workers", args.workers))
+        task = bench_task.make_task(meta.get("non_iid", args.non_iid))
+        return run_federated_training(
+            task, devices, None, hooks=hooks, telemetry=telemetry,
+            resume_from=checkpoint, checkpoint_meta=checkpoint.meta,
+        )
     bench_task = make_bench_task(task_key)
     devices = make_devices(args.scenario, count=args.workers)
     overrides = dict(
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
         sync_scheme=args.sync_scheme,
         scheduler=args.scheduler,
         async_m=args.async_m,
@@ -199,8 +217,16 @@ def _build_history(task_key: str, strategy: str, args,
         overrides["max_rounds"] = args.rounds
     config = bench_task.make_config(strategy, **overrides)
     task = bench_task.make_task(args.non_iid)
+    checkpoint_meta = None
+    if config.checkpoint_dir is not None:
+        # recorded in every checkpoint so `repro run --resume` can
+        # rebuild the same task and device fleet without extra flags
+        checkpoint_meta = {"task": task_key, "scenario": args.scenario,
+                           "workers": args.workers,
+                           "non_iid": args.non_iid}
     return run_federated_training(task, devices, config, hooks=hooks,
-                                  telemetry=telemetry)
+                                  telemetry=telemetry,
+                                  checkpoint_meta=checkpoint_meta)
 
 
 def _cmd_run(args) -> int:
@@ -508,6 +534,19 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=sorted(STRATEGIES))
     run_parser.add_argument("--history", default=None,
                             help="write the round history to this JSON file")
+    run_parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                            help="write atomic resume checkpoints "
+                                 "(ckpt-NNNNNN.ckpt) into DIR")
+    run_parser.add_argument("--checkpoint-every", type=int, default=1,
+                            metavar="N",
+                            help="checkpoint cadence in rounds "
+                                 "(default: every round)")
+    run_parser.add_argument("--resume", default=None, metavar="PATH",
+                            help="resume from a checkpoint file or "
+                                 "directory (latest checkpoint wins); "
+                                 "workload flags are taken from the "
+                                 "checkpoint, and the finished run is "
+                                 "byte-identical to an uninterrupted one")
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = subparsers.add_parser(
@@ -529,7 +568,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser = subparsers.add_parser(
         "verify",
         help="run the verification battery (invariants, differential "
-             "fast-vs-dense / sync-vs-semisync, fault conformance)")
+             "fast-vs-dense / sync-vs-semisync, fault conformance, "
+             "kill-and-resume)")
     verify_parser.add_argument("--preset", default="cnn",
                                choices=sorted(BENCH_TASKS),
                                help="bench-scale workload to verify on")

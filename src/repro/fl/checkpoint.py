@@ -1,0 +1,296 @@
+"""Checkpoint/resume: byte-identical continuation of a federated run.
+
+A checkpoint snapshots everything a round depends on -- the engine's
+RNG streams (``master_rng`` / ``extract_rng`` / churn / sampling, via
+``bit_generator.state``), every worker's runtime state (shared
+iterator/worker generator position, timing-jitter generator, epoch
+permutation and cursor), the strategy object wholesale (for FedMP that
+is each E-UCB agent's partition tree, ``_RegionStats`` and pending
+play), the per-worker error-feedback memories, the global model state
+together with any rng-bearing module generators, the simulated clock,
+the training history, and the scheduler's outstanding
+:class:`~repro.fl.schedulers.base.DispatchQueue` (in-flight completion
+events).  Everything is serialised in ONE pickle so shared-object
+identity survives: a cached sub-model template, the cohort that points
+at it, and the queued dispatches that point at the cohort come back as
+the same graph, not as divergent copies.
+
+The on-disk format is versioned: ``MAGIC + little-endian uint32
+format version + pickle payload``, written atomically (same-directory
+temp file + flush + fsync + ``os.replace``) so a kill mid-write can
+never leave a truncated checkpoint behind.  The loader validates the
+header before unpickling and rejects unknown versions with a typed
+:class:`CheckpointVersionError`.
+
+What is deliberately NOT captured: telemetry (traces, metric
+counters) restarts empty in the resumed process, and wall-clock hook
+measurements (``extras["wall_time_s"]``) are host time -- both are
+exactly the fields :func:`repro.verify.differential.
+normalised_history_bytes` masks out, so a resumed run's normalised
+history is still byte-identical to the uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.atomicio import atomic_write_bytes
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointVersionError",
+    "Checkpoint",
+    "capture_engine_state",
+    "encode_checkpoint",
+    "decode_checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "resolve_checkpoint",
+    "CheckpointManager",
+]
+
+#: file magic; the trailing byte versions the *container*, the struct
+#: field below versions the *payload schema*
+MAGIC = b"FEDMPCKPT\x00"
+#: current payload schema version; bump on any incompatible change
+FORMAT_VERSION = 1
+
+_VERSION_STRUCT = struct.Struct("<I")
+_HEADER_LEN = len(MAGIC) + _VERSION_STRUCT.size
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or applied."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The checkpoint's format version is not supported by this code."""
+
+
+@dataclass
+class Checkpoint:
+    """One decoded checkpoint: schema version plus the state payload."""
+
+    version: int
+    payload: Dict[str, object]
+    path: Optional[Path] = None
+
+    @property
+    def config(self):
+        return self.payload["config"]
+
+    @property
+    def scheduler(self) -> str:
+        return self.payload["scheduler"]
+
+    @property
+    def next_round(self) -> int:
+        return int(self.payload["next_round"])
+
+    @property
+    def meta(self) -> Optional[dict]:
+        return self.payload.get("meta")
+
+
+def _generator_state(rng) -> dict:
+    return rng.bit_generator.state
+
+
+def capture_engine_state(engine, scheduler: str, next_round: int,
+                         queue=None) -> Dict[str, object]:
+    """Snapshot an engine (and its scheduler's outstanding queue) at a
+    round boundary.
+
+    ``next_round`` is the first round the resumed run will execute;
+    ``queue`` carries the in-flight dispatches of the event-driven
+    schedulers (None under the synchronous barrier, whose rounds never
+    span a boundary).  The returned dict is self-contained and pickled
+    as one object by :func:`encode_checkpoint`.
+    """
+    hook_states = []
+    for hook in engine.hooks.hooks:
+        capture = getattr(hook, "checkpoint_state", None)
+        state = capture() if capture is not None else None
+        if state is not None:
+            hook_states.append((type(hook).__name__, state))
+    module_rngs = {
+        name: _generator_state(module.rng)
+        for name, module in engine.model.named_modules()
+        if getattr(module, "rng", None) is not None
+    }
+    return {
+        "format_version": FORMAT_VERSION,
+        "meta": engine.checkpoint_meta,
+        "config": engine.config,
+        "scheduler": scheduler,
+        "next_round": int(next_round),
+        "rng": {
+            "master": _generator_state(engine.master_rng),
+            "extract": _generator_state(engine.extract_rng),
+            "churn": _generator_state(engine._churn_rng),
+            "sampling": _generator_state(engine._sampling_rng),
+        },
+        "model_state": engine.model.state_dict(),
+        "module_rngs": module_rngs,
+        "workers": engine.worker_runtime_states(),
+        "strategy": engine.strategy,
+        "error_feedback": engine.error_feedback,
+        "clock": engine.clock,
+        "history": engine.history,
+        "prev_train_loss": engine._prev_train_loss,
+        "plan_cache": engine._plan_cache,
+        "submodel_cache": engine._submodel_cache,
+        "round_state": engine._round_state,
+        "hooks": hook_states,
+        "queue": queue,
+    }
+
+
+def encode_checkpoint(payload: Dict[str, object]) -> bytes:
+    """Serialise a payload into the versioned container format."""
+    try:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint payload is not picklable: {exc}"
+        ) from exc
+    return MAGIC + _VERSION_STRUCT.pack(FORMAT_VERSION) + blob
+
+
+def decode_checkpoint(data: bytes, source: str = "<bytes>") -> Checkpoint:
+    """Validate the container header, then unpickle the payload.
+
+    Header validation happens *before* any unpickling so a wrong file
+    (or a future format) fails with a typed error, never with an
+    arbitrary pickle exception -- and never executes a foreign pickle.
+    """
+    if len(data) < _HEADER_LEN or not data.startswith(MAGIC):
+        raise CheckpointError(
+            f"{source} is not a FedMP checkpoint (bad magic)"
+        )
+    (version,) = _VERSION_STRUCT.unpack_from(data, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise CheckpointVersionError(
+            f"{source} has checkpoint format version {version}; this "
+            f"build supports only version {FORMAT_VERSION}"
+        )
+    try:
+        payload = pickle.loads(data[_HEADER_LEN:])
+    except Exception as exc:
+        raise CheckpointError(
+            f"{source} is truncated or corrupt: {exc}"
+        ) from exc
+    return Checkpoint(version=version, payload=payload)
+
+
+def save_checkpoint(path: Union[str, Path],
+                    payload: Dict[str, object]) -> int:
+    """Atomically write a checkpoint file; returns the bytes written."""
+    data = encode_checkpoint(payload)
+    atomic_write_bytes(path, data)
+    return len(data)
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Read and decode one checkpoint file."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}"
+        ) from exc
+    checkpoint = decode_checkpoint(data, source=str(path))
+    checkpoint.path = path
+    return checkpoint
+
+
+def latest_checkpoint(directory: Union[str, Path]) -> Optional[Path]:
+    """The highest-round ``ckpt-*.ckpt`` in a directory, or None."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    best: Optional[Path] = None
+    best_round = -1
+    for candidate in directory.glob("ckpt-*.ckpt"):
+        stem = candidate.name[len("ckpt-"):-len(".ckpt")]
+        try:
+            round_index = int(stem)
+        except ValueError:
+            continue
+        if round_index > best_round:
+            best_round = round_index
+            best = candidate
+    return best
+
+
+def resolve_checkpoint(path: Union[str, Path]) -> Path:
+    """A checkpoint file from a file-or-directory argument.
+
+    Given a directory, picks its latest checkpoint; given a file,
+    returns it.  Raises :class:`CheckpointError` when nothing usable
+    exists.
+    """
+    path = Path(path)
+    if path.is_dir():
+        found = latest_checkpoint(path)
+        if found is None:
+            raise CheckpointError(
+                f"no ckpt-*.ckpt files found in directory {path}"
+            )
+        return found
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    return path
+
+
+class CheckpointManager:
+    """Cadenced, telemetered checkpoint writes for one engine.
+
+    Owned by the engine when ``FLConfig.checkpoint_dir`` is set; the
+    scheduler reports each completed round and the manager writes
+    ``ckpt-<next_round>.ckpt`` whenever the cadence
+    (``FLConfig.checkpoint_every``) is due or the run is finishing.
+    Emits ``checkpoint_write_s`` (histogram), ``checkpoint_bytes``
+    (gauge, last size) and ``checkpoints_written_total`` /
+    ``checkpoint_bytes_total`` (counters).
+    """
+
+    def __init__(self, directory: Union[str, Path], every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"checkpoint cadence must be >= 1, got {every}")
+        self.directory = Path(directory)
+        self.every = int(every)
+        self.last_path: Optional[Path] = None
+
+    def maybe_save(self, engine, scheduler: str, next_round: int,
+                   queue=None, final: bool = False) -> Optional[Path]:
+        """Write a checkpoint if the cadence is due (or ``final``)."""
+        if not final and next_round % self.every != 0:
+            return None
+        return self.save(engine, scheduler, next_round, queue=queue)
+
+    def save(self, engine, scheduler: str, next_round: int,
+             queue=None) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"ckpt-{next_round:06d}.ckpt"
+        start = time.perf_counter()
+        payload = capture_engine_state(engine, scheduler, next_round,
+                                       queue=queue)
+        size = save_checkpoint(path, payload)
+        elapsed = time.perf_counter() - start
+        metrics = engine.telemetry.metrics
+        metrics.histogram("checkpoint_write_s").observe(elapsed)
+        metrics.gauge("checkpoint_bytes").set(float(size))
+        metrics.counter("checkpoints_written_total").inc()
+        metrics.counter("checkpoint_bytes_total").inc(size)
+        self.last_path = path
+        return path

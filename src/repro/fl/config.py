@@ -76,6 +76,14 @@ class FLConfig:
     #: signatures retained); evictions propagate to child caches
     template_cache_limit: int = 8
 
+    # checkpoint/resume: when checkpoint_dir is set, the engine writes a
+    # versioned, atomic checkpoint every checkpoint_every completed
+    # rounds (and always at the end of the run), from which
+    # Engine/run_federated_training can resume with byte-identical
+    # continuation; None disables checkpointing
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+
     # bookkeeping
     eval_every: int = 1
     eval_max_samples: Optional[int] = None
@@ -194,6 +202,10 @@ class FLConfig:
         if self.async_m is not None and self.semi_sync_deadline_s is not None:
             raise ValueError(
                 "async_m and semi_sync_deadline_s are mutually exclusive"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )
         if self.clients_per_round is not None and self.clients_per_round <= 0:
             raise ValueError("clients_per_round must be positive when set")

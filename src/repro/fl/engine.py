@@ -25,6 +25,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.fl.aggregation import Aggregator, Contribution, make_aggregator
+from repro.fl.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointManager,
+)
 from repro.fl.cohort import Cohort
 from repro.fl.compression import ErrorFeedback, top_k_sparsify
 from repro.fl.config import FLConfig
@@ -115,9 +120,17 @@ class Engine:
                  aggregator: Optional[Aggregator] = None,
                  hooks: Optional[Iterable[RoundHook]] = None,
                  telemetry: Optional[Telemetry] = None,
-                 executor: Optional[Executor] = None) -> None:
+                 executor: Optional[Executor] = None,
+                 restore: Optional[Checkpoint] = None,
+                 checkpoint_meta: Optional[dict] = None) -> None:
         self.task = task
         self.config = config
+        #: caller-supplied context stored in every checkpoint (e.g. how
+        #: to rebuild the task/devices for a fresh-process resume)
+        self.checkpoint_meta = checkpoint_meta
+        #: pending resume target set by :meth:`_apply_restore`, consumed
+        #: once by the scheduler via :meth:`take_resume`
+        self._resume: Optional[Dict[str, object]] = None
         self.telemetry = (
             telemetry if telemetry is not None else DISABLED_TELEMETRY
         )
@@ -230,6 +243,18 @@ class Engine:
                 if len(devices) < FLConfig._HISTORY_DETAIL_AUTO_FLEET
                 else "cohort"
             )
+        self.checkpointer: Optional[CheckpointManager] = (
+            CheckpointManager(config.checkpoint_dir,
+                              every=config.checkpoint_every)
+            if config.checkpoint_dir is not None else None
+        )
+        # a restore is applied after all normal construction (so every
+        # stream exists to be overwritten) but BEFORE hooks attach and
+        # the executor forks: attach must see the restored strategy, and
+        # pool children must spawn from specs carrying restored runtime
+        # state
+        if restore is not None:
+            self._apply_restore(restore)
         self.hooks.attach(self)
         # the execution seam is built last: with the process executor the
         # pool forks here, after every RNG stream above has been derived
@@ -240,6 +265,151 @@ class Engine:
                 telemetry=self.telemetry,
                 pickle_submodels=self._has_rng_modules,
             )
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(cls, task, devices: Sequence[DeviceProfile],
+                checkpoint: Checkpoint, **kwargs) -> "Engine":
+        """Build an engine resumed from ``checkpoint``.
+
+        ``task`` and ``devices`` must be reconstructed the same way as
+        for the original run (the checkpoint's ``meta`` records how);
+        the checkpoint supplies the config and every piece of mutable
+        state.  The scheduler then picks the run up at
+        ``checkpoint.next_round`` via :meth:`take_resume`.
+        """
+        return cls(task, devices, checkpoint.config, restore=checkpoint,
+                   **kwargs)
+
+    def _apply_restore(self, checkpoint: Checkpoint) -> None:
+        payload = checkpoint.payload
+        if payload["config"] != self.config:
+            raise CheckpointError(
+                "checkpoint config does not match the engine config; "
+                "resume with the checkpoint's own config "
+                "(Engine.restore passes it through automatically)"
+            )
+        saved_workers: Dict[int, Dict[str, object]] = payload["workers"]
+        if set(saved_workers) != set(self.worker_ids):
+            raise CheckpointError(
+                f"checkpoint covers workers {sorted(saved_workers)} but "
+                f"the rebuilt fleet has {self.worker_ids}"
+            )
+
+        self.master_rng.bit_generator.state = payload["rng"]["master"]
+        self.extract_rng.bit_generator.state = payload["rng"]["extract"]
+        self._churn_rng.bit_generator.state = payload["rng"]["churn"]
+        self._sampling_rng.bit_generator.state = payload["rng"]["sampling"]
+
+        self.model.load_state_dict(payload["model_state"])
+        modules = dict(self.model.named_modules())
+        for name, rng_state in payload["module_rngs"].items():
+            module = modules.get(name)
+            if module is None or getattr(module, "rng", None) is None:
+                raise CheckpointError(
+                    f"checkpoint carries an RNG state for module "
+                    f"{name!r} that the rebuilt model does not have"
+                )
+            module.rng.bit_generator.state = rng_state
+
+        specs_by_id = {spec.worker_id: spec for spec in self.worker_specs}
+        for worker_id, state in saved_workers.items():
+            self.workers[worker_id].restore_runtime_state(state)
+            # the spec carries the state too, so a process pool spawned
+            # below respawns children at the captured stream position
+            specs_by_id[worker_id].runtime_state = state
+
+        self.strategy = payload["strategy"]
+        self.error_feedback = payload["error_feedback"]
+        self.clock = payload["clock"]
+        self.history = payload["history"]
+        self._prev_train_loss = payload["prev_train_loss"]
+        self._plan_cache = payload["plan_cache"]
+        self._submodel_cache = payload["submodel_cache"]
+        self._round_state = payload["round_state"]
+
+        # hook states match by class name, in order: the resumed run
+        # must attach the same hook stack as the original (extra saved
+        # states for hooks not re-attached are an error -- silently
+        # dropping one would desynchronise the resumed extras)
+        unclaimed = list(self.hooks.hooks)
+        for class_name, state in payload["hooks"]:
+            for position, hook in enumerate(unclaimed):
+                if type(hook).__name__ == class_name:
+                    hook.restore_state(state)
+                    del unclaimed[position]
+                    break
+            else:
+                raise CheckpointError(
+                    f"checkpoint carries state for hook {class_name!r} "
+                    f"but no unmatched attached hook has that type"
+                )
+
+        self._resume = {
+            "scheduler": payload["scheduler"],
+            "next_round": int(payload["next_round"]),
+            "queue": payload["queue"],
+        }
+
+    def take_resume(self, scheduler_name: str) -> Optional[Dict[str, object]]:
+        """Hand the pending resume target to the scheduler (once).
+
+        Returns ``None`` for a fresh run.  Raises if the engine was
+        restored for a different scheduler: replaying an async
+        checkpoint under the barrier would silently diverge.
+        """
+        resume = self._resume
+        if resume is None:
+            return None
+        self._resume = None
+        if resume["scheduler"] != scheduler_name:
+            raise CheckpointError(
+                f"checkpoint was written by the {resume['scheduler']!r} "
+                f"scheduler but this run uses {scheduler_name!r}"
+            )
+        return resume
+
+    def worker_runtime_states(self) -> Dict[int, Dict[str, object]]:
+        """Per-worker runtime state for checkpointing, executor-aware.
+
+        Parent-side captures cover the timing stream (always consumed
+        in the parent at dispatch pricing); in process mode the data /
+        worker generator and iterator position advance in the pool
+        children, so the executor's view overlays them -- keeping the
+        parent's timing state -- and a resumed run replays every stream
+        from the same position under either executor.
+        """
+        states = {
+            worker_id: worker.capture_runtime_state()
+            for worker_id, worker in self.workers.items()
+        }
+        for worker_id, child_state in \
+                self.executor.capture_worker_states().items():
+            merged = dict(child_state)
+            merged["timing_rng"] = states[worker_id]["timing_rng"]
+            states[worker_id] = merged
+        return states
+
+    def maybe_checkpoint(self, scheduler_name: str, next_round: int,
+                         queue=None, stop: bool = False) -> None:
+        """Scheduler notification: a round just finished.
+
+        Writes a checkpoint when a manager is configured and the
+        cadence is due (always at the end of the run).  When the
+        scheduler is about to stop early, the recorded ``next_round``
+        is pinned to ``max_rounds`` so resuming the checkpoint is a
+        no-op instead of running rounds the original run never ran.
+        """
+        if self.checkpointer is None:
+            return
+        final = stop or next_round >= self.config.max_rounds
+        recorded_next = self.config.max_rounds if stop else next_round
+        self.checkpointer.maybe_save(
+            self, scheduler_name, recorded_next,
+            queue=queue, final=final,
         )
 
     # ------------------------------------------------------------------

@@ -68,6 +68,20 @@ class RoundHook:
     def on_round_end(self, record: RoundRecord) -> None:
         """The round's record is complete; ``record.extras`` is open."""
 
+    def checkpoint_state(self) -> Optional[dict]:
+        """Picklable cross-round state for checkpoint/resume.
+
+        Return ``None`` (the default) for stateless hooks.  Stateful
+        hooks whose accumulators feed ``record.extras`` in later rounds
+        must return them here and apply them in :meth:`restore_state`,
+        otherwise a resumed run's extras diverge from the uninterrupted
+        run's.
+        """
+        return None
+
+    def restore_state(self, state: dict) -> None:
+        """Apply a :meth:`checkpoint_state` snapshot (default: no-op)."""
+
 
 class HookList(RoundHook):
     """Composite hook: forwards every callback to its children in order."""
@@ -158,6 +172,17 @@ class TimingHook(RoundHook):
         self.total_wall_time_s += wall
         self._last_end = end
 
+    def checkpoint_state(self) -> dict:
+        # _origin/_last_end are perf_counter readings -- meaningless in
+        # another process -- so only the accumulated total survives; the
+        # resumed process restarts its own disjoint intervals.
+        return {"total_wall_time_s": self.total_wall_time_s}
+
+    def restore_state(self, state: dict) -> None:
+        self.total_wall_time_s = float(state["total_wall_time_s"])
+        self._origin = None
+        self._last_end = None
+
 
 class CommVolumeHook(RoundHook):
     """Communication volume per round, in transmitted parameters.
@@ -197,6 +222,26 @@ class CommVolumeHook(RoundHook):
         record.extras["upload_params"] = self._upload.pop(
             record.round_index, 0.0
         )
+
+    def checkpoint_state(self) -> dict:
+        # the pending dicts are load-bearing for resume byte-identity:
+        # async/semi-sync label re-dispatch volume with round k+1 while
+        # round k is closing, so a resumed run must inherit them to
+        # reproduce round k+1's extras exactly
+        return {
+            "download": dict(self._download),
+            "upload": dict(self._upload),
+            "total_download_params": self.total_download_params,
+            "total_upload_params": self.total_upload_params,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._download = {int(k): float(v)
+                          for k, v in state["download"].items()}
+        self._upload = {int(k): float(v)
+                        for k, v in state["upload"].items()}
+        self.total_download_params = float(state["total_download_params"])
+        self.total_upload_params = float(state["total_upload_params"])
 
     @property
     def total_params(self) -> float:

@@ -19,8 +19,15 @@ pre-engine runner for every pre-engine configuration.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
+from repro.fl.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    resolve_checkpoint,
+)
 from repro.fl.config import FLConfig
 from repro.fl.engine import Dispatch, Engine
 from repro.fl.history import TrainingHistory
@@ -33,9 +40,13 @@ __all__ = ["Dispatch", "Engine", "run_federated_training"]
 
 
 def run_federated_training(
-        task, devices: Sequence[DeviceProfile], config: FLConfig,
+        task, devices: Sequence[DeviceProfile],
+        config: Optional[FLConfig],
         hooks: Optional[Iterable[RoundHook]] = None,
-        telemetry: Optional[Telemetry] = None) -> TrainingHistory:
+        telemetry: Optional[Telemetry] = None,
+        checkpoint_meta: Optional[dict] = None,
+        resume_from: Optional[Union[str, Path, Checkpoint]] = None,
+        ) -> TrainingHistory:
     """Run one federated-training experiment and return its history.
 
     ``task`` is a :mod:`repro.fl.tasks` adapter; ``devices`` defines the
@@ -46,9 +57,33 @@ def run_federated_training(
     Telemetry` bundle the engine and scheduler emit spans/metrics into
     (pair it with :class:`~repro.telemetry.TelemetryHook` in ``hooks``
     for the per-round metrics and E-UCB snapshots).
+
+    ``resume_from`` continues a checkpointed run: a checkpoint file, a
+    checkpoint directory (its latest checkpoint is used) or an already
+    loaded :class:`~repro.fl.checkpoint.Checkpoint`.  ``config`` may
+    then be ``None`` (the checkpoint's config is used) or must equal
+    the checkpoint's exactly.  The resumed run re-attaches the same
+    hook stack and finishes with a history byte-identical (after
+    wall-time normalisation) to the uninterrupted run's.
     """
+    if resume_from is not None:
+        if isinstance(resume_from, Checkpoint):
+            checkpoint = resume_from
+        else:
+            checkpoint = load_checkpoint(resolve_checkpoint(resume_from))
+        if config is not None and config != checkpoint.config:
+            raise CheckpointError(
+                "explicit config differs from the checkpoint's; pass "
+                "config=None to resume with the checkpointed config"
+            )
+        config = checkpoint.config
+    else:
+        checkpoint = None
+        if config is None:
+            raise ValueError("config is required unless resume_from is set")
     engine = Engine(task, devices, config, hooks=hooks,
-                    telemetry=telemetry)
+                    telemetry=telemetry, restore=checkpoint,
+                    checkpoint_meta=checkpoint_meta)
     scheduler = make_scheduler(config)
     try:
         return scheduler.run(engine)

@@ -15,6 +15,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.fl.checkpoint import CheckpointError
 from repro.fl.engine import Engine
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.schedulers.base import DispatchQueue, Scheduler
@@ -35,27 +36,40 @@ class AsynchronousScheduler(Scheduler):
     def run(self, engine: Engine) -> TrainingHistory:
         config = engine.config
         m = self.m
-        # with client sampling only the bootstrap sample keeps cycling
-        # through dispatch -> arrival -> re-dispatch, so the first-m rule
-        # must fit inside the sample, not just the fleet
-        pool = engine.sample_clients(engine.worker_ids, 0)
-        if m > len(pool):
-            raise ValueError(
-                f"async_m={m} exceeds the number of participating workers "
-                f"({len(pool)})"
-            )
-        outstanding = DispatchQueue()
-        with engine.telemetry.span("decide", round=0, bootstrap=True,
-                                   workers=len(pool)):
-            initial_ratios = engine.strategy.select_ratios(
-                0, worker_ids=pool
-            )
-        for dispatch in engine.dispatch_many(
-            initial_ratios, engine.clock.now, 0
-        ).values():
-            outstanding.add(dispatch)
+        resume = engine.take_resume(self.name)
+        if resume is not None:
+            # the bootstrap already ran in the original process: the
+            # checkpoint carries its in-flight dispatches and every RNG
+            # stream at its post-bootstrap position
+            outstanding = resume["queue"]
+            if outstanding is None:
+                raise CheckpointError(
+                    "async checkpoint is missing its dispatch queue"
+                )
+            start_round = resume["next_round"]
+        else:
+            start_round = 0
+            # with client sampling only the bootstrap sample keeps
+            # cycling through dispatch -> arrival -> re-dispatch, so the
+            # first-m rule must fit inside the sample, not just the fleet
+            pool = engine.sample_clients(engine.worker_ids, 0)
+            if m > len(pool):
+                raise ValueError(
+                    f"async_m={m} exceeds the number of participating "
+                    f"workers ({len(pool)})"
+                )
+            outstanding = DispatchQueue()
+            with engine.telemetry.span("decide", round=0, bootstrap=True,
+                                       workers=len(pool)):
+                initial_ratios = engine.strategy.select_ratios(
+                    0, worker_ids=pool
+                )
+            for dispatch in engine.dispatch_many(
+                initial_ratios, engine.clock.now, 0
+            ).values():
+                outstanding.add(dispatch)
 
-        for round_index in range(config.max_rounds):
+        for round_index in range(start_round, config.max_rounds):
             with engine.telemetry.span("round", round=round_index,
                                        scheduler=self.name) as round_span:
                 arrivals = outstanding.pop_first(m)
@@ -117,6 +131,9 @@ class AsynchronousScheduler(Scheduler):
                 engine.finish_round(record)
                 round_span.set("sim_time_s", engine.clock.now)
                 round_span.set("round_time_s", record.round_time_s)
-            if engine.should_stop(record):
+            stop = engine.should_stop(record)
+            engine.maybe_checkpoint(self.name, round_index + 1,
+                                    queue=outstanding, stop=stop)
+            if stop:
                 break
         return engine.history

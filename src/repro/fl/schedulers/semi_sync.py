@@ -22,6 +22,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.fl.checkpoint import CheckpointError
 from repro.fl.engine import Engine
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.schedulers.base import DispatchQueue, Scheduler
@@ -43,21 +44,33 @@ class SemiSynchronousScheduler(Scheduler):
 
     def run(self, engine: Engine) -> TrainingHistory:
         config = engine.config
-        outstanding = DispatchQueue()
+        resume = engine.take_resume(self.name)
+        if resume is not None:
+            # bootstrap already ran originally; the checkpoint carries
+            # the in-flight dispatches (including carried-over
+            # stragglers) and post-bootstrap RNG positions
+            outstanding = resume["queue"]
+            if outstanding is None:
+                raise CheckpointError(
+                    "semi-sync checkpoint is missing its dispatch queue"
+                )
+            start_round = resume["next_round"]
+        else:
+            start_round = 0
+            outstanding = DispatchQueue()
+            present = engine.present_workers(0)
+            sampled = engine.sample_clients(present, 0)
+            with engine.telemetry.span("decide", round=0, bootstrap=True,
+                                       workers=len(sampled)):
+                initial_ratios = engine.strategy.select_ratios(
+                    0, worker_ids=sampled
+                )
+            for dispatch in engine.dispatch_many(
+                initial_ratios, engine.clock.now, 0
+            ).values():
+                outstanding.add(dispatch)
 
-        present = engine.present_workers(0)
-        sampled = engine.sample_clients(present, 0)
-        with engine.telemetry.span("decide", round=0, bootstrap=True,
-                                   workers=len(sampled)):
-            initial_ratios = engine.strategy.select_ratios(
-                0, worker_ids=sampled
-            )
-        for dispatch in engine.dispatch_many(
-            initial_ratios, engine.clock.now, 0
-        ).values():
-            outstanding.add(dispatch)
-
-        for round_index in range(config.max_rounds):
+        for round_index in range(start_round, config.max_rounds):
             with engine.telemetry.span("round", round=round_index,
                                        scheduler=self.name) as round_span:
                 previous_now = engine.clock.now
@@ -142,6 +155,9 @@ class SemiSynchronousScheduler(Scheduler):
                 engine.finish_round(record)
                 round_span.set("sim_time_s", engine.clock.now)
                 round_span.set("round_time_s", record.round_time_s)
-            if engine.should_stop(record):
+            stop = engine.should_stop(record)
+            engine.maybe_checkpoint(self.name, round_index + 1,
+                                    queue=outstanding, stop=stop)
+            if stop:
                 break
         return engine.history

@@ -28,7 +28,9 @@ class SynchronousScheduler(Scheduler):
 
     def run(self, engine: Engine) -> TrainingHistory:
         config = engine.config
-        for round_index in range(config.max_rounds):
+        resume = engine.take_resume(self.name)
+        start_round = resume["next_round"] if resume is not None else 0
+        for round_index in range(start_round, config.max_rounds):
             with engine.telemetry.span("round", round=round_index,
                                        scheduler=self.name) as round_span:
                 present = engine.present_workers(round_index)
@@ -96,6 +98,8 @@ class SynchronousScheduler(Scheduler):
                 engine.finish_round(record)
                 round_span.set("sim_time_s", engine.clock.now)
                 round_span.set("round_time_s", round_time)
-            if engine.should_stop(record):
+            stop = engine.should_stop(record)
+            engine.maybe_checkpoint(self.name, round_index + 1, stop=stop)
+            if stop:
                 break
         return engine.history

@@ -49,6 +49,39 @@ class Worker:
         )
         self.criterion = CrossEntropyLoss()
 
+    def capture_runtime_state(self) -> Dict[str, object]:
+        """Snapshot this worker's replayable runtime state.
+
+        Covers the shared worker/iterator generator, the timing-jitter
+        generator (shared with the device's
+        :class:`~repro.simulation.wireless.WirelessLink`, so one state
+        covers both), and -- for shuffling iterators -- the current
+        epoch permutation and cursor.  Restoring the snapshot via
+        :meth:`restore_runtime_state` resumes every stream at the exact
+        position it was captured, which is what makes a resumed run
+        bitwise-identical to the uninterrupted one.
+        """
+        state: Dict[str, object] = {
+            "rng": self.rng.bit_generator.state,
+            "timing_rng": self.timing.rng.bit_generator.state,
+        }
+        order = getattr(self.iterator, "_order", None)
+        if order is not None:
+            state["iterator"] = {
+                "order": np.array(order, copy=True),
+                "cursor": int(self.iterator._cursor),
+            }
+        return state
+
+    def restore_runtime_state(self, state: Dict[str, object]) -> None:
+        """Apply a :meth:`capture_runtime_state` snapshot."""
+        self.rng.bit_generator.state = state["rng"]
+        self.timing.rng.bit_generator.state = state["timing_rng"]
+        iterator_state = state.get("iterator")
+        if iterator_state is not None:
+            self.iterator._order = np.array(iterator_state["order"], copy=True)
+            self.iterator._cursor = int(iterator_state["cursor"])
+
     def local_train(self, model: Module, tau: int, lr: float,
                     momentum: float = 0.0, weight_decay: float = 0.0,
                     prox_mu: float = 0.0, clip_norm: Optional[float] = None,

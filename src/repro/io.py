@@ -7,21 +7,42 @@ round-trip exactly (up to float32 storage for checkpoints).
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import Dict, Union
 
 import numpy as np
 
+from repro.atomicio import atomic_write_bytes, atomic_write_text
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.telemetry.spans import to_jsonable
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "save_state_dict",
+    "load_state_dict",
+    "save_history",
+    "load_history",
+]
 
 PathLike = Union[str, Path]
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> None:
-    """Save a state dict to a compressed ``.npz`` checkpoint."""
-    np.savez_compressed(Path(path), **state)
+    """Save a state dict to a compressed ``.npz`` checkpoint.
+
+    Matches ``np.savez_compressed`` naming (a ``.npz`` suffix is
+    appended when missing) but writes atomically so a kill mid-write
+    cannot leave a torn archive.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **state)
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
@@ -65,7 +86,7 @@ def save_history(history: TrainingHistory, path: PathLike) -> None:
             for record in history.rounds
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_history(path: PathLike) -> TrainingHistory:

@@ -150,6 +150,16 @@ class Executor:
             ))
         return requests
 
+    def capture_worker_states(self) -> Dict[int, Dict[str, object]]:
+        """Worker runtime states that live on THIS executor's side.
+
+        Serial execution trains on the engine's own workers, so there
+        is nothing extra to report (the engine captures them
+        directly); the process executor overrides this to pull each
+        child's advanced RNG/iterator streams for checkpointing.
+        """
+        return {}
+
     def close(self) -> None:
         """Release executor resources (no-op by default)."""
 
@@ -650,6 +660,23 @@ class ProcessExecutor(Executor):
                         del outstanding[index]
                         break
         return completion
+
+    def capture_worker_states(self) -> Dict[int, Dict[str, object]]:
+        """Pull every child's worker runtime states over the pipe.
+
+        In process mode the data/worker RNG streams advance in the
+        children, so a checkpoint must read them from there.  Uses the
+        idempotent control-plane ``("capture", seq)`` round trip per
+        member (safe to resend -- capturing does not consume any
+        stream).
+        """
+        states: Dict[int, Dict[str, object]] = {}
+        for member in self.pool.members:
+            reply = self.transports[member.index].request(
+                ("capture", self._next_seq())
+            )
+            states.update(pickle.loads(reply[2]))
+        return states
 
     def close(self) -> None:
         """Shut the pool down and unlink every live template segment.

@@ -82,6 +82,13 @@ class WorkerSpec:
     num_samples: int
     iterator_kind: str = "batch"
     task_name: str = ""
+    #: restored runtime state from a checkpoint (see
+    #: :meth:`repro.fl.worker.Worker.capture_runtime_state`); when set,
+    #: :meth:`build` fast-forwards the freshly constructed worker's RNG
+    #: streams and iterator position to the captured point, so a
+    #: resumed pool replays the exact stream position rather than the
+    #: construction-time seed's round-0 position
+    runtime_state: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.iterator_kind not in ITERATOR_KINDS:
@@ -110,9 +117,12 @@ class WorkerSpec:
         else:
             iterator = _SequenceBatchIterator(self.shard_inputs,
                                               self.shard_targets, rng)
-        return Worker(self.worker_id, iterator, self.device,
-                      jitter_sigma=self.jitter_sigma, rng=rng,
-                      num_samples=self.num_samples)
+        worker = Worker(self.worker_id, iterator, self.device,
+                        jitter_sigma=self.jitter_sigma, rng=rng,
+                        num_samples=self.num_samples)
+        if self.runtime_state is not None:
+            worker.restore_runtime_state(self.runtime_state)
+        return worker
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +199,10 @@ def _child_main(conn, specs_blob: bytes) -> None:
       shared-memory segment, cache under ``key``, clone) or
       ``("blob", pickle_bytes)`` (one-shot module, never cached), and
       ``drops`` lists template keys to evict before handling;
+    - ``("capture", seq)`` -> ``("state", seq, blob)`` where ``blob``
+      pickles ``{worker_id: capture_runtime_state()}`` for this child's
+      workers (the checkpoint subsystem merges these into the parent's
+      view, since in process mode the data/RNG streams advance here);
     - ``("shutdown",)`` -> exit.
     """
     specs: List[WorkerSpec] = pickle.loads(specs_blob)
@@ -217,6 +231,17 @@ def _child_main(conn, specs_blob: bytes) -> None:
                     conn.send(("err", seq, traceback.format_exc()))
                 else:
                     conn.send(("ok", seq, reply))
+            elif op == "capture":
+                _, seq = message
+                try:
+                    states = {
+                        worker_id: worker.capture_runtime_state()
+                        for worker_id, worker in workers.items()
+                    }
+                except Exception:
+                    conn.send(("err", seq, traceback.format_exc()))
+                else:
+                    conn.send(("state", seq, pickle.dumps(states)))
             # unknown ops are dropped silently: the parent's sequence
             # numbers make lost requests visible as timeouts
     except KeyboardInterrupt:

@@ -24,6 +24,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.atomicio import atomic_write_text
 from repro.telemetry.spans import to_jsonable
 
 __all__ = [
@@ -99,8 +100,7 @@ def write_run_manifest(
     }
     if extra:
         manifest.update(to_jsonable(extra))
-    Path(path).write_text(json.dumps(manifest, indent=2) + "\n",
-                          encoding="utf-8")
+    atomic_write_text(path, json.dumps(manifest, indent=2) + "\n")
     return manifest
 
 

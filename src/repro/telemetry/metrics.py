@@ -23,6 +23,7 @@ import math
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.atomicio import atomic_write_text
 from repro.telemetry.spans import to_jsonable
 
 #: default bucket upper bounds, sized for host seconds (sub-ms .. minutes)
@@ -294,8 +295,8 @@ class MetricsRegistry:
         })
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write :meth:`to_dict` as an indented JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        """Write :meth:`to_dict` as an indented JSON file (atomically)."""
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
 
     def to_openmetrics(self) -> str:
         """Render every instrument in the OpenMetrics text format.
@@ -312,5 +313,5 @@ class MetricsRegistry:
         return render_openmetrics(self)
 
     def export_openmetrics(self, path: Union[str, Path]) -> None:
-        """Write :meth:`to_openmetrics` to a text file."""
-        Path(path).write_text(self.to_openmetrics(), encoding="utf-8")
+        """Write :meth:`to_openmetrics` to a text file (atomically)."""
+        atomic_write_text(path, self.to_openmetrics())

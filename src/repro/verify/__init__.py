@@ -15,8 +15,14 @@ it claims (see DESIGN.md section 3.4):
   duplicated, poisoned, stale and zero-sample contributions, with the
   engine's response pinned per fault kind.
 
+- :mod:`repro.verify.resume` -- the kill-and-resume differential: a
+  subprocess run is SIGKILLed mid-round, resumed from its latest
+  checkpoint in a fresh process, and must finish byte-identical to
+  the uninterrupted reference (not imported here: it doubles as the
+  ``python -m repro.verify.resume`` crash/resume harness).
+
 :func:`repro.verify.run.run_verification` (CLI: ``repro verify``)
-composes all three into one pass/fail battery.  Property-test
+composes them into one pass/fail battery.  Property-test
 generators live in :mod:`repro.verify.strategies`; they are not
 imported here so ``repro.verify`` works without ``hypothesis``.
 """

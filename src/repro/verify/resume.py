@@ -1,0 +1,430 @@
+"""Kill-and-resume differential: crash a run, resume it, prove equality.
+
+The checkpoint subsystem (:mod:`repro.fl.checkpoint`) promises that a
+resumed run is *byte-identical* to the uninterrupted run -- same
+normalised history JSON, same final weights at 0 ULP -- under every
+scheduler and executor.  This module proves it the hard way:
+
+1. run the reference uninterrupted in-process and keep its normalised
+   history bytes and final global state;
+2. launch the same run in a subprocess with ``checkpoint_every=1`` and
+   a hook that ``SIGKILL``\\ s the process in ``before_aggregate`` of
+   round ``kill_at`` -- a real, unflushed, mid-round death, after the
+   round's dispatch pricing has already consumed RNG but before any
+   history write;
+3. launch a *fresh* subprocess that resumes from the latest surviving
+   checkpoint and runs to completion;
+4. compare the resumed run's normalised history bytes byte-for-byte
+   and its final weights at 0 ULP against the reference.
+
+The subcommands (``python -m repro.verify.resume crash|resume|
+reference|battery``) are what the differential drives; ``battery`` is
+also the CI ``resume-smoke`` entrypoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.setups import make_bench_task, make_devices
+from repro.fl.checkpoint import (
+    latest_checkpoint,
+    load_checkpoint,
+    resolve_checkpoint,
+)
+from repro.fl.hooks import CommVolumeHook, RoundHook, TimingHook
+from repro.fl.runner import run_federated_training
+from repro.io import atomic_write_bytes, load_state_dict, save_state_dict
+from repro.verify.differential import (
+    StateCaptureHook,
+    normalised_history_bytes,
+    ulp_distance,
+)
+
+__all__ = [
+    "SCHEDULERS",
+    "ResumeCheck",
+    "differential_kill_and_resume",
+    "main",
+]
+
+SCHEDULERS = ("sync", "async", "semi_sync")
+
+#: a semi-sync deadline short enough to exercise carry-over on the
+#: bench device fleets, long enough that every round makes progress
+_SEMI_SYNC_DEADLINE_S = 20.0
+
+
+class _SigkillHook(RoundHook):
+    """Kill the process dead in ``before_aggregate`` of ``kill_at``.
+
+    ``SIGKILL`` cannot be caught: no ``finally`` blocks, no atexit, no
+    history flush -- exactly the crash the checkpoint discipline must
+    survive.
+    """
+
+    def __init__(self, kill_at: int) -> None:
+        if kill_at < 1:
+            raise ValueError(
+                f"kill_at must be >= 1 (a checkpoint must exist to "
+                f"resume from), got {kill_at}"
+            )
+        self.kill_at = kill_at
+
+    def before_aggregate(self, round_index, contributions):
+        if round_index >= self.kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return None
+
+
+def _scheduler_overrides(scheduler: str, fleet: int) -> Dict[str, object]:
+    if scheduler == "sync":
+        return {}
+    if scheduler == "async":
+        return {"async_m": max(1, fleet // 2)}
+    if scheduler == "semi_sync":
+        return {"semi_sync_deadline_s": _SEMI_SYNC_DEADLINE_S}
+    raise ValueError(f"unknown scheduler {scheduler!r}")
+
+
+def _build_setup(meta: Dict[str, object]):
+    """(bench, task, devices) from a checkpoint/CLI meta dict."""
+    bench = make_bench_task(str(meta["preset"]))
+    task = bench.make_task(bool(meta.get("non_iid", False)))
+    devices = make_devices(str(meta["scenario"]),
+                           count=int(meta["workers"]))
+    return bench, task, devices
+
+
+def _make_config(bench, meta: Dict[str, object], scheduler: str,
+                 rounds: int, seed: int, executor: str,
+                 num_procs: Optional[int],
+                 checkpoint_dir: Optional[str] = None):
+    return bench.make_config(
+        "fedmp", max_rounds=rounds, seed=seed, executor=executor,
+        num_procs=num_procs, checkpoint_dir=checkpoint_dir,
+        checkpoint_every=1,
+        **_scheduler_overrides(scheduler, int(meta["workers"])),
+    )
+
+
+def _subprocess_env() -> Dict[str, str]:
+    """Inherited environment with this repro package importable."""
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    return env
+
+
+@dataclass
+class ResumeCheck:
+    """Outcome of one scheduler's kill-and-resume differential."""
+
+    scheduler: str
+    crashed: bool
+    resumed: bool
+    history_identical: bool
+    max_ulps: int
+    detail: str
+
+    @property
+    def passed(self) -> bool:
+        return (self.crashed and self.resumed and self.history_identical
+                and self.max_ulps == 0)
+
+
+def _final_state_ulps(reference: Dict[str, np.ndarray],
+                      candidate: Dict[str, np.ndarray]) -> int:
+    if reference.keys() != candidate.keys():
+        raise ValueError(
+            f"final states disagree on keys: "
+            f"{sorted(reference.keys() ^ candidate.keys())}"
+        )
+    worst = 0
+    for key in sorted(reference):
+        ulps = ulp_distance(reference[key], candidate[key])
+        if ulps.size:
+            worst = max(worst, int(ulps.max()))
+    return worst
+
+
+def differential_kill_and_resume(
+        preset: str = "cnn", scenario: str = "medium", workers: int = 6,
+        rounds: int = 5, kill_at: Optional[int] = None, seed: int = 17,
+        executor: str = "serial", num_procs: Optional[int] = None,
+        non_iid: bool = False,
+        schedulers: Sequence[str] = SCHEDULERS,
+        artifact_dir: Optional[str] = None,
+        timeout_s: float = 540.0) -> List[ResumeCheck]:
+    """Run the kill-and-resume differential for each scheduler.
+
+    Per scheduler: an in-process uninterrupted reference, a
+    subprocess run SIGKILLed mid-round ``kill_at``, and a fresh
+    subprocess resumed from the last surviving checkpoint; the resumed
+    run must match the reference byte-for-byte (normalised history)
+    and at 0 ULP (final weights).  On failure the scheduler's
+    checkpoint directory is preserved under ``artifact_dir`` when one
+    is given.
+    """
+    if kill_at is None:
+        kill_at = max(1, rounds // 2)
+    meta = {"preset": preset, "scenario": scenario, "workers": workers,
+            "non_iid": non_iid}
+    checks: List[ResumeCheck] = []
+    for scheduler in schedulers:
+        bench, task, devices = _build_setup(meta)
+        capture = StateCaptureHook()
+        reference = run_federated_training(
+            task, devices,
+            _make_config(bench, meta, scheduler, rounds, seed,
+                         executor, num_procs),
+            hooks=[TimingHook(), CommVolumeHook(), capture],
+        )
+        ref_bytes = normalised_history_bytes(reference)
+        ref_final = capture.states[-1]
+
+        with tempfile.TemporaryDirectory() as tmp:
+            ckpt_dir = Path(tmp) / "ckpt"
+            base_args = [
+                sys.executable, "-m", "repro.verify.resume",
+            ]
+            run_args = [
+                "--preset", preset, "--scenario", scenario,
+                "--workers", str(workers), "--scheduler", scheduler,
+                "--rounds", str(rounds), "--seed", str(seed),
+                "--executor", executor,
+            ]
+            if num_procs is not None:
+                run_args += ["--num-procs", str(num_procs)]
+            if non_iid:
+                run_args += ["--non-iid"]
+            env = _subprocess_env()
+
+            # child output goes to a file, not a pipe: the run's own
+            # worker-pool processes inherit the child's stdio, and an
+            # inherited pipe would keep subprocess.run blocked after
+            # the SIGKILL until the orphaned pool noticed the EOF
+            crash_log = Path(tmp) / "crash.log"
+            with open(crash_log, "wb") as log:
+                crash = subprocess.run(
+                    base_args + ["crash", "--kill-at", str(kill_at),
+                                 "--checkpoint-dir", str(ckpt_dir)]
+                    + run_args,
+                    env=env, stdout=log, stderr=subprocess.STDOUT,
+                    timeout=timeout_s,
+                )
+            crashed = crash.returncode == -signal.SIGKILL
+            if not crashed:
+                tail = crash_log.read_text(errors="replace")[-500:]
+                checks.append(ResumeCheck(
+                    scheduler=scheduler, crashed=False, resumed=False,
+                    history_identical=False, max_ulps=-1,
+                    detail=(f"{scheduler}: crash child exited "
+                            f"{crash.returncode} instead of dying on "
+                            f"SIGKILL; output: {tail}"),
+                ))
+                _preserve(ckpt_dir, artifact_dir, scheduler)
+                continue
+
+            source = latest_checkpoint(ckpt_dir)
+            history_out = Path(tmp) / "resumed-history.bin"
+            weights_out = Path(tmp) / "resumed-weights.npz"
+            resume_log = Path(tmp) / "resume.log"
+            with open(resume_log, "wb") as log:
+                resume = subprocess.run(
+                    base_args + ["resume", "--checkpoint", str(ckpt_dir),
+                                 "--history-out", str(history_out),
+                                 "--weights-out", str(weights_out)],
+                    env=env, stdout=log, stderr=subprocess.STDOUT,
+                    timeout=timeout_s,
+                )
+            if resume.returncode != 0:
+                tail = resume_log.read_text(errors="replace")[-500:]
+                checks.append(ResumeCheck(
+                    scheduler=scheduler, crashed=True, resumed=False,
+                    history_identical=False, max_ulps=-1,
+                    detail=(f"{scheduler}: resume child exited "
+                            f"{resume.returncode}; output: {tail}"),
+                ))
+                _preserve(ckpt_dir, artifact_dir, scheduler)
+                continue
+
+            history_identical = history_out.read_bytes() == ref_bytes
+            max_ulps = _final_state_ulps(
+                ref_final, load_state_dict(weights_out)
+            )
+            check = ResumeCheck(
+                scheduler=scheduler, crashed=True, resumed=True,
+                history_identical=history_identical, max_ulps=max_ulps,
+                detail=(f"{scheduler}: killed at round {kill_at}, "
+                        f"resumed from {source.name}, history "
+                        f"{'identical' if history_identical else 'DIFFERS'}"
+                        f", final weights at {max_ulps} ULPs"),
+            )
+            checks.append(check)
+            if not check.passed:
+                _preserve(ckpt_dir, artifact_dir, scheduler)
+    return checks
+
+
+def _preserve(ckpt_dir: Path, artifact_dir: Optional[str],
+              scheduler: str) -> None:
+    if artifact_dir is None or not ckpt_dir.is_dir():
+        return
+    target = Path(artifact_dir) / scheduler
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copytree(ckpt_dir, target, dirs_exist_ok=True)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_crash(args: argparse.Namespace) -> int:
+    meta = {"preset": args.preset, "scenario": args.scenario,
+            "workers": args.workers, "non_iid": args.non_iid}
+    bench, task, devices = _build_setup(meta)
+    config = _make_config(bench, meta, args.scheduler, args.rounds,
+                          args.seed, args.executor, args.num_procs,
+                          checkpoint_dir=args.checkpoint_dir)
+    run_federated_training(
+        task, devices, config,
+        hooks=[TimingHook(), CommVolumeHook(),
+               _SigkillHook(args.kill_at)],
+        checkpoint_meta={**meta, "scheduler": args.scheduler},
+    )
+    # unreachable when the hook fires; reaching here means the kill
+    # never happened and the battery must fail loudly
+    print("crash run survived to completion", file=sys.stderr)
+    return 3
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    checkpoint = load_checkpoint(resolve_checkpoint(args.checkpoint))
+    meta = checkpoint.meta
+    if not meta:
+        print("checkpoint carries no rebuild meta", file=sys.stderr)
+        return 4
+    _, task, devices = _build_setup(meta)
+    capture = StateCaptureHook()
+    history = run_federated_training(
+        task, devices, None,
+        hooks=[TimingHook(), CommVolumeHook(), capture],
+        resume_from=checkpoint,
+    )
+    atomic_write_bytes(args.history_out, normalised_history_bytes(history))
+    save_state_dict(capture.states[-1], args.weights_out)
+    return 0
+
+
+def _cmd_reference(args: argparse.Namespace) -> int:
+    meta = {"preset": args.preset, "scenario": args.scenario,
+            "workers": args.workers, "non_iid": args.non_iid}
+    bench, task, devices = _build_setup(meta)
+    config = _make_config(bench, meta, args.scheduler, args.rounds,
+                          args.seed, args.executor, args.num_procs)
+    capture = StateCaptureHook()
+    history = run_federated_training(
+        task, devices, config,
+        hooks=[TimingHook(), CommVolumeHook(), capture],
+    )
+    atomic_write_bytes(args.history_out, normalised_history_bytes(history))
+    save_state_dict(capture.states[-1], args.weights_out)
+    return 0
+
+
+def _cmd_battery(args: argparse.Namespace) -> int:
+    checks = differential_kill_and_resume(
+        preset=args.preset, scenario=args.scenario, workers=args.workers,
+        rounds=args.rounds, kill_at=args.kill_at, seed=args.seed,
+        executor=args.executor, num_procs=args.num_procs,
+        non_iid=args.non_iid, artifact_dir=args.artifact_dir,
+    )
+    failed = False
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        print(f"[{status}] {check.detail}")
+        failed = failed or not check.passed
+    return 1 if failed else 0
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", default="cnn")
+    parser.add_argument("--scenario", default="medium")
+    parser.add_argument("--workers", type=int, default=6)
+    parser.add_argument("--scheduler", default="sync",
+                        choices=list(SCHEDULERS))
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--executor", default="serial",
+                        choices=["serial", "process"])
+    parser.add_argument("--num-procs", type=int, default=None)
+    parser.add_argument("--non-iid", action="store_true")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.resume",
+        description="kill-and-resume differential harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    crash = sub.add_parser(
+        "crash", help="run with checkpoints and SIGKILL mid-round",
+    )
+    _add_run_options(crash)
+    crash.add_argument("--kill-at", type=int, required=True)
+    crash.add_argument("--checkpoint-dir", required=True)
+    crash.set_defaults(func=_cmd_crash)
+
+    resume = sub.add_parser(
+        "resume", help="resume from a checkpoint, dump history/weights",
+    )
+    resume.add_argument("--checkpoint", required=True,
+                        help="checkpoint file or directory (latest wins)")
+    resume.add_argument("--history-out", required=True)
+    resume.add_argument("--weights-out", required=True)
+    resume.set_defaults(func=_cmd_resume)
+
+    reference = sub.add_parser(
+        "reference", help="uninterrupted run, dump history/weights",
+    )
+    _add_run_options(reference)
+    reference.add_argument("--history-out", required=True)
+    reference.add_argument("--weights-out", required=True)
+    reference.set_defaults(func=_cmd_reference)
+
+    battery = sub.add_parser(
+        "battery",
+        help="full differential across all three schedulers",
+    )
+    _add_run_options(battery)
+    battery.add_argument("--kill-at", type=int, default=None)
+    battery.add_argument("--artifact-dir", default=None,
+                         help="preserve failing checkpoint dirs here")
+    battery.set_defaults(func=_cmd_battery)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,11 @@ bench preset:
 3. **Fault conformance** -- every fault kind in
    :data:`~repro.verify.faults.FAULT_KINDS` is injected into a short
    run and the engine's documented behaviour is asserted.
+4. **Kill-and-resume** -- for each scheduler, a subprocess run is
+   SIGKILLed mid-round, resumed from its latest checkpoint in a fresh
+   process, and compared against the uninterrupted reference:
+   normalised history byte-for-byte, final weights at 0 ULP (see
+   :mod:`repro.verify.resume`).
 
 ``run_verification`` returns a :class:`VerificationReport`; the CLI
 renders it and exits non-zero when any check failed.
@@ -329,7 +334,26 @@ def run_verification(preset: str = "cnn", rounds: int = 5,
                    "(the weighted aggregator skips it internally)",
     ))
 
-    # --- stage 4: parallel-runtime parity (opt-in) ------------------------
+    # --- stage 4: checkpoint / kill-and-resume ----------------------------
+    # SIGKILL a subprocess run mid-round, resume it in a fresh process,
+    # and demand byte-identical normalised history plus 0-ULP final
+    # weights against the uninterrupted reference -- per scheduler.
+    # Imported lazily so `python -m repro.verify.resume` does not see
+    # the module pre-imported through the package (runpy warning).
+    from repro.verify.resume import differential_kill_and_resume
+
+    resume_checks = differential_kill_and_resume(
+        preset=preset, scenario=scenario, workers=len(worker_ids),
+        rounds=rounds, kill_at=max(1, rounds // 2), seed=seed,
+        executor=executor, num_procs=num_procs,
+    )
+    report.results.append(CheckResult(
+        "checkpoint/kill_and_resume",
+        all(check.passed for check in resume_checks),
+        "; ".join(check.detail for check in resume_checks),
+    ))
+
+    # --- stage 5: parallel-runtime parity (opt-in) ------------------------
     if executor == "process":
         diff_report, histories_match = differential_serial_vs_process(
             lambda: bench.make_task(0.0), devices, base,

@@ -1,0 +1,31 @@
+"""Crash conformance: SIGKILL mid-round, resume, byte-identical finish.
+
+The in-process resume tests in ``test_checkpoint.py`` prove restore
+fidelity under clean interruption.  This file proves the crash case:
+a subprocess run is SIGKILLed *between* ``before_aggregate`` and the
+history flush -- no teardown, no atexit, torn temp files allowed --
+then a fresh process resumes from the last surviving checkpoint and
+must finish with the exact bytes the uninterrupted run produces.
+
+Each case shells out through ``python -m repro.verify.resume`` (the
+same harness ``repro verify`` drives), so it also covers checkpoint
+loading across process boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.resume import SCHEDULERS, differential_kill_and_resume
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_sigkill_resume_is_byte_identical(scheduler):
+    (check,) = differential_kill_and_resume(
+        rounds=3, kill_at=1, workers=4, schedulers=[scheduler],
+    )
+    assert check.crashed, check.detail
+    assert check.resumed, check.detail
+    assert check.history_identical, check.detail
+    assert check.max_ulps == 0, check.detail
+    assert check.passed

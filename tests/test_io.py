@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.fl.history import RoundRecord, TrainingHistory
-from repro.io import load_history, load_state_dict, save_history, save_state_dict
+from repro.io import (
+    atomic_write_bytes,
+    atomic_write_text,
+    load_history,
+    load_state_dict,
+    save_history,
+    save_state_dict,
+)
 from repro.models import build_cnn
 
 
@@ -31,6 +38,83 @@ def test_loaded_checkpoint_restores_model(tmp_path, rng):
     model.eval()
     other.eval()
     assert np.allclose(model.forward(x), other.forward(x), atol=1e-6)
+
+
+def test_atomic_write_bytes_creates_and_overwrites(tmp_path):
+    path = tmp_path / "blob.bin"
+    atomic_write_bytes(path, b"first")
+    assert path.read_bytes() == b"first"
+    atomic_write_bytes(path, b"second")
+    assert path.read_bytes() == b"second"
+    # no temp-file droppings on the success path
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["blob.bin"]
+
+
+def test_atomic_write_text_utf8(tmp_path):
+    path = tmp_path / "note.txt"
+    atomic_write_text(path, "résumé")
+    assert path.read_text(encoding="utf-8") == "résumé"
+
+
+def test_atomic_write_cleans_up_on_failure(tmp_path):
+    path = tmp_path / "blob.bin"
+    path.write_bytes(b"original")
+
+    import unittest.mock as mock
+
+    with mock.patch("os.replace", side_effect=OSError("disk gone")):
+        with pytest.raises(OSError, match="disk gone"):
+            atomic_write_bytes(path, b"new content")
+    assert path.read_bytes() == b"original"
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["blob.bin"]
+
+
+def test_atomic_write_survives_sigkill_mid_write(tmp_path):
+    """Regression (torn-file fix): a writer SIGKILLed at an arbitrary
+    point must never tear the target -- the reader sees the complete
+    old content or the complete new content, nothing in between."""
+    import signal
+    import subprocess
+    import sys
+    import time
+    from pathlib import Path
+
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    target = tmp_path / "state.bin"
+    old = b"O" * 65536
+    new = b"N" * 65536
+    target.write_bytes(old)
+    script = (
+        "import sys\n"
+        f"sys.path.insert(0, {src!r})\n"
+        "from repro.io import atomic_write_bytes\n"
+        "print('ready', flush=True)\n"
+        "while True:\n"
+        f"    atomic_write_bytes({str(target)!r}, b'N' * 65536)\n"
+    )
+    proc = subprocess.Popen([sys.executable, "-c", script],
+                            stdout=subprocess.PIPE)
+    try:
+        assert proc.stdout.readline().strip() == b"ready"
+        time.sleep(0.05)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        proc.stdout.close()
+    content = target.read_bytes()
+    assert content in (old, new), \
+        f"target torn: {len(content)} bytes, head {content[:8]!r}"
+
+
+def test_save_state_dict_appends_npz_suffix(tmp_path, rng):
+    """The atomic rewrite keeps np.savez's suffix behaviour."""
+    model = build_cnn(rng=rng)
+    save_state_dict(model.state_dict(), tmp_path / "weights")
+    assert (tmp_path / "weights.npz").exists()
+    loaded = load_state_dict(tmp_path / "weights.npz")
+    assert set(loaded) == set(model.state_dict())
 
 
 def test_history_roundtrip(tmp_path):
