@@ -1,0 +1,178 @@
+"""Loopback-socket service throughput vs the in-process engine.
+
+Runs the bench CNN workload twice per fleet size:
+
+- **serial** -- the plain in-process ``Engine`` + scheduler, the same
+  path ``repro run`` takes.  This is the throughput ceiling: no
+  sockets, no framing, no roster bookkeeping.
+- **served** -- a ``FedMPService`` bound to a loopback socket with one
+  ``ServiceClient`` thread per worker slot.  Training maths is
+  identical (the exact wire profile is byte-transparent), so the gap
+  between the two walls is the price of the service plane: framing,
+  request dispatch, roster/heartbeat bookkeeping and the pull-based
+  round trip per dispatch.
+
+Clients run as threads, so local training serialises on the GIL in
+both modes and the comparison isolates protocol overhead rather than
+parallel speedup (that is ``bench_parallel.py``'s job).  Reported per
+fleet:
+
+- ``rounds_per_s`` of the served run (higher is better),
+- ``relative_throughput`` = serial wall / served wall (1.0 means the
+  service plane is free; the gate requires it above 0.4 -- loose
+  enough for a loaded host, while ``repro bench check`` gates drift
+  against the committed baseline), and
+- wire bytes per round from the ``wire_bytes_total`` counters.
+
+Regenerate the committed baseline with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.experiments.setups import make_bench_task, make_devices
+from repro.fl.engine import Engine
+from repro.fl.schedulers import make_scheduler
+from repro.serve import FedMPService, ServiceClient
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import Telemetry
+
+ROUNDS = 3
+FLEETS = (4, 16)
+#: hard floor for serial wall / served wall; drift against the
+#: committed baseline is gated separately by ``repro bench check``
+RELATIVE_THROUGHPUT_BAR = 0.4
+
+
+def _counter_sum(metrics: MetricsRegistry, name: str, **labels) -> float:
+    return sum(
+        counter.value for counter in metrics.counters
+        if counter.name == name and all(
+            str(counter.labels.get(key)) == str(value)
+            for key, value in labels.items()
+        )
+    )
+
+
+def _make_config(bench, fleet: int):
+    return bench.make_config(
+        "fedmp", max_rounds=ROUNDS, eval_every=ROUNDS, seed=17,
+        target_metric=None,
+    )
+
+
+def measure_serial(bench, fleet: int) -> dict:
+    task = bench.make_task(0.0)
+    devices = make_devices("medium", count=fleet)
+    engine = Engine(task, devices, _make_config(bench, fleet))
+    start = time.perf_counter()
+    try:
+        make_scheduler(engine.config).run(engine)
+    finally:
+        engine.close()
+    wall_s = time.perf_counter() - start
+    return {"wall_s": round(wall_s, 3),
+            "rounds_per_s": round(ROUNDS / wall_s, 3)}
+
+
+def measure_served(bench, fleet: int) -> dict:
+    task = bench.make_task(0.0)
+    devices = make_devices("medium", count=fleet)
+    telemetry = Telemetry(metrics=MetricsRegistry())
+    service = FedMPService(task, devices, _make_config(bench, fleet),
+                           telemetry=telemetry, min_workers=fleet)
+    box: dict = {}
+
+    def serve():
+        try:
+            box["history"] = service.run()
+        except BaseException as exc:
+            box["error"] = exc
+
+    clients = [ServiceClient(service.address) for _ in range(fleet)]
+    threads = [threading.Thread(target=serve, daemon=True)]
+    threads += [threading.Thread(target=client.run, daemon=True)
+                for client in clients]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=1800)
+    wall_s = time.perf_counter() - start
+    if any(thread.is_alive() for thread in threads):
+        service.shutdown()
+        raise SystemExit(f"served fleet of {fleet} hung")
+    if "error" in box:
+        raise box["error"]
+
+    metrics = telemetry.metrics
+    wire = {
+        kind: _counter_sum(metrics, "wire_bytes_total", kind=kind)
+        for kind in ("dispatch", "template", "contribution")
+    }
+    return {
+        "wall_s": round(wall_s, 3),
+        "rounds_per_s": round(ROUNDS / wall_s, 3),
+        "wire_bytes_per_round": {
+            kind: round(value / ROUNDS, 1) for kind, value in wire.items()
+        },
+        "fleet_counters": dict(service.counters),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON payload to this path")
+    args = parser.parse_args()
+
+    bench = make_bench_task("cnn")
+    fleets = []
+    for fleet in FLEETS:
+        serial = measure_serial(bench, fleet)
+        served = measure_served(bench, fleet)
+        fleets.append({
+            "fleet": fleet,
+            "serial": serial,
+            "served": served,
+            "rounds_per_s": served["rounds_per_s"],
+            "relative_throughput": round(
+                serial["wall_s"] / served["wall_s"], 3),
+        })
+
+    payload = {
+        "benchmark": "serve_loopback",
+        "workload": ("bench CNN/MNIST task, fedmp/r2sp, "
+                     f"{ROUNDS} rounds, loopback-socket service with "
+                     "one client thread per worker"),
+        "fleets": fleets,
+        "notes": (
+            "relative_throughput = serial wall / served wall on the "
+            "same workload; client threads share the GIL with the "
+            "service, so this prices the protocol plane (framing, "
+            "pull round-trips, roster bookkeeping), not parallelism."
+        ),
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+
+    for entry in fleets:
+        if entry["relative_throughput"] < RELATIVE_THROUGHPUT_BAR:
+            raise SystemExit(
+                f"fleet {entry['fleet']}: served run reached only "
+                f"{entry['relative_throughput']}x of serial throughput "
+                f"(bar: {RELATIVE_THROUGHPUT_BAR}x)"
+            )
+
+
+if __name__ == "__main__":
+    main()

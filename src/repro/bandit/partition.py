@@ -75,6 +75,25 @@ class Partition:
                 return region
         raise ValueError(f"arm {arm} outside partition bounds")
 
+    def merge(self, left: Region, right: Region) -> Region:
+        """Merge two *adjacent* leaves back into one region.
+
+        The inverse of :meth:`split`: the partition stays a contiguous
+        tiling.  Returns the merged region; the partition is updated in
+        place.
+        """
+        if left not in self._regions:
+            raise ValueError(f"region {left} is not a leaf of this partition")
+        index = self._regions.index(left)
+        if (index + 1 >= len(self._regions)
+                or self._regions[index + 1] != right):
+            raise ValueError(
+                f"regions {left} and {right} are not adjacent leaves"
+            )
+        merged = Region(left.low, right.high)
+        self._regions[index:index + 2] = [merged]
+        return merged
+
     def split(self, region: Region, at: float,
               min_width: float = 1e-4) -> Tuple[Region, Region]:
         """Split ``region`` at ``at``, falling back to the midpoint when

@@ -51,6 +51,7 @@ METRIC_TOLERANCES: Tuple[Tuple[str, float], ...] = (
     ("hotpath.speedup_wall", 0.3),
     ("hotpath.peak_alloc_ratio", 0.3),
     ("parallel.", 0.5),
+    ("serve.", 0.5),
 )
 
 
@@ -111,12 +112,21 @@ def _parallel_metrics(report: Dict[str, Any]) -> Iterator[Tuple[str, float]]:
                 yield f"parallel.{mode}.{key}", float(stats[key])
 
 
+def _serve_metrics(report: Dict[str, Any]) -> Iterator[Tuple[str, float]]:
+    for entry in report.get("fleets", []):
+        fleet = entry.get("fleet")
+        for key in ("rounds_per_s", "relative_throughput"):
+            if key in entry:
+                yield f"serve.fleet[{fleet}].{key}", float(entry[key])
+
+
 #: benchmark kind -> metric extractor; every extracted metric is
 #: higher-is-better (lower-better raw numbers are committed as ratios)
 _EXTRACTORS = {
     "fleet_scale_rounds": _fleet_metrics,
     "dispatch_aggregate_hotpath": _hotpath_metrics,
     "parallel": _parallel_metrics,
+    "serve_loopback": _serve_metrics,
 }
 
 

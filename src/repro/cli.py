@@ -12,6 +12,13 @@ Run a federated-training experiment end-to-end from the shell::
 
     python -m repro.cli verify --preset cnn --rounds 5
 
+Run the parameter server as a long-lived service, with live workers
+connecting over TCP (see DESIGN.md section 3.8)::
+
+    python -m repro.cli serve --task cnn --rounds 5 --port 5641 \
+        --min-workers 4
+    python -m repro.cli client --connect 127.0.0.1:5641   # x4 terminals
+
 Inspect a run afterwards, or gate a change against the committed
 benchmark baselines::
 
@@ -177,9 +184,26 @@ def _build_history(task_key: str, strategy: str, args,
                    hooks=None, telemetry=None) -> "TrainingHistory":
     resume = getattr(args, "resume", None)
     if resume is not None:
-        from repro.fl.checkpoint import load_checkpoint, resolve_checkpoint
+        from repro.fl.checkpoint import (
+            apply_resume_overrides,
+            load_checkpoint,
+            resolve_checkpoint,
+        )
 
         checkpoint = load_checkpoint(resolve_checkpoint(resume))
+        # explicit run-shape flags override the checkpointed config
+        # (with a ResumeOverrideWarning naming what changed) instead of
+        # being silently ignored; byte-identity holds only when they
+        # match the checkpoint
+        overrides = {}
+        if getattr(args, "clients_per_round", None) is not None:
+            overrides["clients_per_round"] = args.clients_per_round
+        if getattr(args, "rounds", None) is not None:
+            overrides["max_rounds"] = args.rounds
+        if getattr(args, "target", None) is not None:
+            overrides["target_metric"] = args.target
+        if overrides:
+            apply_resume_overrides(checkpoint, **overrides)
         # the checkpoint's meta pins the workload it was taken from;
         # CLI workload flags only fill gaps (e.g. pre-meta checkpoints)
         meta = checkpoint.meta or {}
@@ -354,9 +378,163 @@ def _cmd_verify(args) -> int:
         semisync_tolerance_ulps=semisync,
         scenario=args.scenario, workers=args.workers, seed=args.seed,
         executor=args.executor, num_procs=args.num_procs,
+        service=not args.no_service,
     )
     print(report.describe())
     return 0 if report.passed else 1
+
+
+def _parse_roster_script(text: Optional[str]):
+    """``--roster-script``: inline JSON or a path to a JSON file."""
+    if text is None:
+        return None
+    import json
+    from pathlib import Path
+
+    path = Path(text)
+    raw = path.read_text(encoding="utf-8") if path.exists() else text
+    script = json.loads(raw)
+    return {int(round_index): [int(w) for w in workers]
+            for round_index, workers in script.items()}
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import FedMPService
+
+    if args.executor != "serial":
+        print("error: `repro serve` always trains through the socket "
+              "executor; drop --executor", file=sys.stderr)
+        return 2
+    if args.profile_worker is not None:
+        print("error: --profile-worker requires an in-process worker; "
+              "serve workers train in remote client processes",
+              file=sys.stderr)
+        return 2
+    timing = TimingHook()
+    comm = CommVolumeHook()
+    hooks = [timing, comm]
+    telemetry = _make_telemetry(args)
+    if telemetry is not None:
+        hooks.append(TelemetryHook(telemetry))
+
+    resume = getattr(args, "resume", None)
+    if resume is not None:
+        from repro.fl.checkpoint import load_checkpoint, resolve_checkpoint
+
+        checkpoint = load_checkpoint(resolve_checkpoint(resume))
+        meta = checkpoint.meta or {}
+        bench_task = make_bench_task(meta.get("task", args.task))
+        devices = make_devices(meta.get("scenario", args.scenario),
+                               count=meta.get("workers", args.workers))
+        task = bench_task.make_task(meta.get("non_iid", args.non_iid))
+        config = None
+        checkpoint_meta = checkpoint.meta
+        resume_from = checkpoint
+    else:
+        bench_task = make_bench_task(args.task)
+        devices = make_devices(args.scenario, count=args.workers)
+        overrides = dict(
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            sync_scheme=args.sync_scheme,
+            scheduler=args.scheduler,
+            async_m=args.async_m,
+            semi_sync_deadline_s=args.deadline_s,
+            target_metric=args.target,
+            seed=args.seed,
+            # the socket executor is injected through the engine's
+            # executor seam; the stored config stays "serial" so the
+            # checkpoint also resumes under plain `repro run --resume`
+            executor="serial",
+            wire_profile=args.wire_profile,
+            wire_keep_fraction=args.wire_keep_fraction,
+            wire_quantize_bits=args.wire_quantize_bits,
+            nan_policy=args.nan_policy,
+            fast_path=not args.no_fast_path,
+            clients_per_round=args.clients_per_round,
+            cohort_rounds=args.cohort_rounds,
+            history_detail=args.history_detail,
+        )
+        if args.rounds is not None:
+            overrides["max_rounds"] = args.rounds
+        config = bench_task.make_config(args.strategy, **overrides)
+        task = bench_task.make_task(args.non_iid)
+        checkpoint_meta = None
+        if config.checkpoint_dir is not None:
+            checkpoint_meta = {"task": args.task,
+                               "scenario": args.scenario,
+                               "workers": args.workers,
+                               "non_iid": args.non_iid}
+        resume_from = None
+
+    service = FedMPService(
+        task, devices, config,
+        host=args.host, port=args.port,
+        telemetry=telemetry, hooks=hooks,
+        checkpoint_meta=checkpoint_meta, resume_from=resume_from,
+        min_workers=args.min_workers,
+        roster_script=_parse_roster_script(args.roster_script),
+        drain_timeout_s=args.drain_timeout_s,
+        registration_timeout_s=args.registration_timeout_s,
+    )
+    host, port = service.address
+    print(f"serving on {host}:{port} "
+          f"({len(service.roster)} worker slot(s), "
+          f"min_workers={service.min_workers})")
+    if args.port_file is not None:
+        from pathlib import Path
+
+        Path(args.port_file).write_text(f"{port}\n", encoding="utf-8")
+    sys.stdout.flush()
+    history = service.run()
+    rounds = len(history.rounds)
+    if rounds:
+        print(f"final metric: {history.final_metric():.4f} "
+              f"after {rounds} round(s) "
+              f"({history.total_time_s:.1f} simulated seconds)")
+    else:
+        print("no rounds completed")
+    print("fleet: " + "  ".join(
+        f"{kind}={count}" for kind, count in sorted(
+            service.counters.items())
+    ))
+    if telemetry is not None:
+        if telemetry.metrics.enabled:
+            print_metrics_summary(telemetry.metrics)
+            if args.metrics_out is not None:
+                telemetry.metrics.save(args.metrics_out)
+                print(f"metrics written to {args.metrics_out}")
+            if args.metrics_export is not None:
+                telemetry.metrics.export_openmetrics(args.metrics_export)
+                print(f"openmetrics written to {args.metrics_export}")
+        telemetry.close()
+        if args.trace_out is not None:
+            print(f"trace written to {args.trace_out}")
+    if args.history:
+        save_history(history, args.history)
+        print(f"history written to {args.history}")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from repro.serve import ServiceClient
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print("error: --connect expects HOST:PORT", file=sys.stderr)
+        return 2
+    client = ServiceClient(
+        (host, int(port_text)),
+        worker_id=args.worker_id,
+        heartbeat_s=args.heartbeat_s,
+        reconnect=args.reconnect,
+        reconnect_timeout_s=args.reconnect_timeout,
+        leave_after=args.leave_after,
+    )
+    completed = client.run()
+    print(f"worker {client.worker_id}: {completed} dispatch(es) "
+          f"completed")
+    return 0
 
 
 def _fmt_s(value: float) -> str:
@@ -558,6 +736,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_parser.set_defaults(func=_cmd_compare)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the parameter server as a long-lived TCP service "
+             "(workers connect with `repro client`)")
+    _add_run_arguments(serve_parser)
+    serve_parser.add_argument("--strategy", default="fedmp",
+                              choices=sorted(STRATEGIES))
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="listen address (default loopback)")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="listen port (0 picks an ephemeral "
+                                   "port; see --port-file)")
+    serve_parser.add_argument("--port-file", default=None, metavar="FILE",
+                              help="write the bound port to FILE once "
+                                   "listening (lets scripts wait on an "
+                                   "ephemeral port)")
+    serve_parser.add_argument("--min-workers", type=int, default=1,
+                              metavar="N",
+                              help="hold round 0 until N workers have "
+                                   "registered")
+    serve_parser.add_argument("--roster-script", default=None,
+                              metavar="JSON",
+                              help="pin membership per round for "
+                                   "differential runs: {round: [worker "
+                                   "ids]} as inline JSON or a JSON file "
+                                   "path (largest key <= round applies)")
+    serve_parser.add_argument("--drain-timeout-s", type=float,
+                              default=10.0, metavar="S",
+                              help="grace window for clients to observe "
+                                   "the drain at shutdown")
+    serve_parser.add_argument("--registration-timeout-s", type=float,
+                              default=120.0, metavar="S",
+                              help="give up waiting for the roster to "
+                                   "fill after S seconds")
+    serve_parser.add_argument("--history", default=None,
+                              help="write the round history to this "
+                                   "JSON file")
+    serve_parser.add_argument("--checkpoint-dir", default=None,
+                              metavar="DIR",
+                              help="write atomic resume checkpoints "
+                                   "(ckpt-NNNNNN.ckpt) into DIR")
+    serve_parser.add_argument("--checkpoint-every", type=int, default=1,
+                              metavar="N",
+                              help="checkpoint cadence in rounds")
+    serve_parser.add_argument("--resume", default=None, metavar="PATH",
+                              help="resume a killed service from a "
+                                   "checkpoint file or directory; the "
+                                   "fleet roster and every stream resume "
+                                   "mid-position, so the finished run is "
+                                   "byte-identical to an uninterrupted "
+                                   "one")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    client_parser = subparsers.add_parser(
+        "client",
+        help="run one worker process against a `repro serve` endpoint")
+    client_parser.add_argument("--connect", required=True,
+                               metavar="HOST:PORT",
+                               help="service address to dial")
+    client_parser.add_argument("--worker-id", type=int, default=None,
+                               help="claim a specific worker slot "
+                                    "(default: first free slot)")
+    client_parser.add_argument("--heartbeat-s", type=float, default=2.0,
+                               metavar="S",
+                               help="heartbeat cadence while idle")
+    client_parser.add_argument("--reconnect", action="store_true",
+                               help="redial (keeping the worker id) if "
+                                    "the connection drops -- e.g. while "
+                                    "a SIGKILLed service resumes")
+    client_parser.add_argument("--reconnect-timeout", type=float,
+                               default=60.0, metavar="S",
+                               help="give up redialling after S seconds "
+                                    "of consecutive failures")
+    client_parser.add_argument("--leave-after", type=int, default=None,
+                               metavar="N",
+                               help="leave gracefully after N completed "
+                                    "dispatches (churn testing)")
+    client_parser.set_defaults(func=_cmd_client)
+
     devices_parser = subparsers.add_parser(
         "devices", help="print a scenario's simulated device fleet")
     devices_parser.add_argument("--scenario", default="medium",
@@ -569,7 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="run the verification battery (invariants, differential "
              "fast-vs-dense / sync-vs-semisync, fault conformance, "
-             "kill-and-resume)")
+             "kill-and-resume, loopback-socket service mode)")
     verify_parser.add_argument("--preset", default="cnn",
                                choices=sorted(BENCH_TASKS),
                                help="bench-scale workload to verify on")
@@ -598,6 +855,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--num-procs", type=int, default=None,
                                metavar="N",
                                help="pool size for the process stage")
+    verify_parser.add_argument("--no-service", action="store_true",
+                               help="skip the loopback-socket service "
+                                    "differentials (subprocess fleets; "
+                                    "the slowest stage)")
     verify_parser.set_defaults(func=_cmd_verify)
 
     trace_parser = subparsers.add_parser(

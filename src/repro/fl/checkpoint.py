@@ -46,8 +46,10 @@ __all__ = [
     "FORMAT_VERSION",
     "CheckpointError",
     "CheckpointVersionError",
+    "ResumeOverrideWarning",
     "Checkpoint",
     "capture_engine_state",
+    "apply_resume_overrides",
     "encode_checkpoint",
     "decode_checkpoint",
     "save_checkpoint",
@@ -73,6 +75,12 @@ class CheckpointError(RuntimeError):
 
 class CheckpointVersionError(CheckpointError):
     """The checkpoint's format version is not supported by this code."""
+
+
+class ResumeOverrideWarning(UserWarning):
+    """A resumed run is overriding checkpointed config fields from the
+    command line; the continuation is no longer byte-identical to the
+    uninterrupted original."""
 
 
 @dataclass
@@ -126,6 +134,10 @@ def capture_engine_state(engine, scheduler: str, next_round: int,
         for name, module in engine.model.named_modules()
         if getattr(module, "rng", None) is not None
     }
+    # service-mode extras (fleet roster, registration counters): only
+    # present when a FedMPService installed a provider on the engine
+    extra_provider = getattr(engine, "checkpoint_extra_provider", None)
+    service_state = extra_provider() if extra_provider is not None else None
     return {
         "format_version": FORMAT_VERSION,
         "meta": engine.checkpoint_meta,
@@ -151,7 +163,47 @@ def capture_engine_state(engine, scheduler: str, next_round: int,
         "round_state": engine._round_state,
         "hooks": hook_states,
         "queue": queue,
+        "service": service_state,
     }
+
+
+def apply_resume_overrides(checkpoint: Checkpoint, **overrides) -> list:
+    """Override checkpointed config fields for a resumed run.
+
+    ``repro run --resume`` used to silently ignore explicit CLI flags
+    like ``--clients-per-round`` (the checkpoint's config always won).
+    This applies the given field overrides to the checkpoint's config
+    *in the payload itself* -- so :class:`~repro.fl.engine.Engine`'s
+    restore-time config equality check sees one consistent config --
+    and emits a :class:`ResumeOverrideWarning` naming every field whose
+    value actually changed.  Returns the list of changed field names
+    (empty when every override already matched, in which case no
+    warning is emitted and the continuation stays byte-identical).
+    """
+    import dataclasses
+    import warnings
+
+    config = checkpoint.payload["config"]
+    changed = [
+        name for name in sorted(overrides)
+        if getattr(config, name) != overrides[name]
+    ]
+    if not changed:
+        return []
+    checkpoint.payload["config"] = dataclasses.replace(
+        config, **{name: overrides[name] for name in changed}
+    )
+    details = ", ".join(
+        f"{name}: {getattr(config, name)!r} -> {overrides[name]!r}"
+        for name in changed
+    )
+    warnings.warn(
+        f"resume overrides checkpointed config field(s) {details}; "
+        f"the continuation will diverge from the original run",
+        ResumeOverrideWarning,
+        stacklevel=2,
+    )
+    return changed
 
 
 def encode_checkpoint(payload: Dict[str, object]) -> bytes:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import copy
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -131,6 +131,21 @@ class Engine:
         #: pending resume target set by :meth:`_apply_restore`, consumed
         #: once by the scheduler via :meth:`take_resume`
         self._resume: Optional[Dict[str, object]] = None
+        #: service-mode seam: when set, :meth:`present_workers` asks
+        #: this callable (round_index -> worker ids) instead of the
+        #: churn simulation; consumes no engine RNG either way
+        self.membership_provider: Optional[
+            Callable[[int], List[int]]] = None
+        #: service-mode seam: extra state stored under the checkpoint's
+        #: ``service`` key (fleet roster, protocol counters)
+        self.checkpoint_extra_provider: Optional[Callable[[], dict]] = None
+        #: the restored checkpoint's ``service`` payload, if any; the
+        #: service rebuilds its roster from it after ``Engine.restore``
+        self.restored_service_state: Optional[dict] = None
+        #: cooperative-stop flag (SIGTERM drain): schedulers finish the
+        #: round in flight, checkpoint with the true next round (NOT
+        #: the early-stop pin), and return
+        self._interrupt = False
         self.telemetry = (
             telemetry if telemetry is not None else DISABLED_TELEMETRY
         )
@@ -348,6 +363,10 @@ class Engine:
                     f"but no unmatched attached hook has that type"
                 )
 
+        # optional service-mode extras (fleet roster, protocol
+        # counters); absent in checkpoints from batch runs
+        self.restored_service_state = payload.get("service")
+
         self._resume = {
             "scheduler": payload["scheduler"],
             "next_round": int(payload["next_round"]),
@@ -407,16 +426,46 @@ class Engine:
             return
         final = stop or next_round >= self.config.max_rounds
         recorded_next = self.config.max_rounds if stop else next_round
+        if self._interrupt and not final:
+            # a drain was requested: the run is pausing, not finishing,
+            # so force a checkpoint at the true next round regardless
+            # of the cadence -- resuming must pick up exactly here
+            self.checkpointer.save(self, scheduler_name, recorded_next,
+                                   queue=queue)
+            return
         self.checkpointer.maybe_save(
             self, scheduler_name, recorded_next,
             queue=queue, final=final,
         )
 
+    def request_interrupt(self) -> None:
+        """Ask the scheduler to pause after the round in flight.
+
+        Used by the service's SIGTERM drain: unlike early *stopping*
+        (:meth:`should_stop`), an interrupt checkpoint records the true
+        next round so a resumed run continues instead of no-opping.
+        """
+        self._interrupt = True
+
+    @property
+    def interrupt_requested(self) -> bool:
+        return self._interrupt
+
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
     def present_workers(self, round_index: int) -> List[int]:
-        """Workers participating this round under the churn model."""
+        """Workers participating this round.
+
+        With a :attr:`membership_provider` installed (service mode) the
+        live roster decides; otherwise the churn model simulates
+        presence.  The provider path consumes no engine RNG, exactly
+        like the churn-disabled path, so a serial reference run driven
+        by a scripted provider stays bit-identical to a service run
+        whose roster follows the same script.
+        """
+        if self.membership_provider is not None:
+            return sorted(self.membership_provider(round_index))
         if self.config.churn_leave_prob <= 0:
             return list(self.worker_ids)
         return simulate_membership_churn(

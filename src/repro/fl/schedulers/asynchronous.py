@@ -15,6 +15,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.fl.aggregation import EmptyRoundError
 from repro.fl.checkpoint import CheckpointError
 from repro.fl.engine import Engine
 from repro.fl.history import RoundRecord, TrainingHistory
@@ -52,7 +53,14 @@ class AsynchronousScheduler(Scheduler):
             # with client sampling only the bootstrap sample keeps
             # cycling through dispatch -> arrival -> re-dispatch, so the
             # first-m rule must fit inside the sample, not just the fleet
-            pool = engine.sample_clients(engine.worker_ids, 0)
+            # (under a live roster, only workers actually present at
+            # round 0 can be dispatched to)
+            candidates = (
+                engine.present_workers(0)
+                if engine.membership_provider is not None
+                else engine.worker_ids
+            )
+            pool = engine.sample_clients(candidates, 0)
             if m > len(pool):
                 raise ValueError(
                     f"async_m={m} exceeds the number of participating "
@@ -73,6 +81,13 @@ class AsynchronousScheduler(Scheduler):
             with engine.telemetry.span("round", round=round_index,
                                        scheduler=self.name) as round_span:
                 arrivals = outstanding.pop_first(m)
+                if not arrivals:
+                    # every in-flight dispatch was discarded by live
+                    # leaves: nothing can ever arrive again
+                    raise EmptyRoundError(
+                        f"round {round_index}: the dispatch queue is "
+                        f"empty -- all in-flight workers left"
+                    )
                 round_span.set("arrivals", len(arrivals))
                 round_span.set("outstanding", len(outstanding))
                 now = arrivals[-1].finish_time
@@ -101,10 +116,23 @@ class AsynchronousScheduler(Scheduler):
 
                 arrived_ids = sorted(costs)
                 overhead_start = time.perf_counter()
+                if engine.membership_provider is not None:
+                    # live roster: arrived workers that left are not
+                    # re-dispatched; joiners (present, nothing in
+                    # flight) enter the cycle here
+                    present = set(
+                        engine.present_workers(round_index + 1)
+                    )
+                    redispatch_ids = sorted(
+                        wid for wid in engine.worker_ids
+                        if wid in present and wid not in outstanding
+                    )
+                else:
+                    redispatch_ids = arrived_ids
                 with engine.telemetry.span("decide", round=round_index + 1,
-                                           workers=len(arrived_ids)):
+                                           workers=len(redispatch_ids)):
                     new_ratios = engine.strategy.select_ratios(
-                        round_index + 1, worker_ids=arrived_ids
+                        round_index + 1, worker_ids=redispatch_ids
                     )
                 for dispatch in engine.dispatch_many(
                     new_ratios, engine.clock.now, round_index + 1
@@ -134,6 +162,6 @@ class AsynchronousScheduler(Scheduler):
             stop = engine.should_stop(record)
             engine.maybe_checkpoint(self.name, round_index + 1,
                                     queue=outstanding, stop=stop)
-            if stop:
+            if stop or engine.interrupt_requested:
                 break
         return engine.history

@@ -22,6 +22,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.fl.aggregation import EmptyRoundError
 from repro.fl.checkpoint import CheckpointError
 from repro.fl.engine import Engine
 from repro.fl.history import RoundRecord, TrainingHistory
@@ -84,6 +85,11 @@ class SemiSynchronousScheduler(Scheduler):
                         round_end = max(d.finish_time for d in arrivals)
                 else:
                     # nobody made the deadline; stretch to the next arrival
+                    if len(outstanding) == 0:
+                        raise EmptyRoundError(
+                            f"round {round_index}: the dispatch queue "
+                            f"is empty -- all in-flight workers left"
+                        )
                     arrivals = outstanding.pop_first(1)
                     round_end = arrivals[-1].finish_time
                 engine.clock.advance_to(max(round_end, previous_now))
@@ -158,6 +164,6 @@ class SemiSynchronousScheduler(Scheduler):
             stop = engine.should_stop(record)
             engine.maybe_checkpoint(self.name, round_index + 1,
                                     queue=outstanding, stop=stop)
-            if stop:
+            if stop or engine.interrupt_requested:
                 break
         return engine.history

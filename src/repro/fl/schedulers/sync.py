@@ -15,6 +15,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.fl.aggregation import EmptyRoundError
 from repro.fl.engine import Engine
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.schedulers.base import Scheduler
@@ -34,6 +35,10 @@ class SynchronousScheduler(Scheduler):
             with engine.telemetry.span("round", round=round_index,
                                        scheduler=self.name) as round_span:
                 present = engine.present_workers(round_index)
+                if not present:
+                    raise EmptyRoundError(
+                        f"round {round_index}: no workers are present"
+                    )
                 sampled = engine.sample_clients(present, round_index)
                 round_span.set("present", len(present))
                 round_span.set("sampled", len(sampled))
@@ -100,6 +105,6 @@ class SynchronousScheduler(Scheduler):
                 round_span.set("round_time_s", round_time)
             stop = engine.should_stop(record)
             engine.maybe_checkpoint(self.name, round_index + 1, stop=stop)
-            if stop:
+            if stop or engine.interrupt_requested:
                 break
         return engine.history

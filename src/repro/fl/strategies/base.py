@@ -91,6 +91,26 @@ class Strategy:
     def observe_round(self, observation: RoundObservation) -> None:
         """Digest the round's outcome (completion times, loss change)."""
 
+    # ------------------------------------------------------------------
+    # live fleet membership (service mode)
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: int, device=None) -> None:
+        """A worker joined mid-run.  The default just tracks the id;
+        stateful strategies override to create per-worker state.  Note
+        that a worker known since construction re-registering (service
+        reconnect) must be a no-op -- per-worker state, including any
+        RNG draws made to create it, survives across reconnects."""
+        if worker_id not in self.worker_ids:
+            self.worker_ids.append(worker_id)
+            self.worker_ids.sort()
+
+    def retire_worker(self, worker_id: int) -> None:
+        """A worker left mid-run.  The default just drops the id;
+        stateful strategies override to park (not delete) per-worker
+        state so a rejoining worker resumes where it left off."""
+        if worker_id in self.worker_ids:
+            self.worker_ids.remove(worker_id)
+
     def overhead_note(self) -> str:
         """Free-form description for reporting."""
         return ""

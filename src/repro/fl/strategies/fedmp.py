@@ -166,6 +166,55 @@ class FedMPStrategy(Strategy):
                 agent.abandon()
         self._pending.clear()
 
+    # ------------------------------------------------------------------
+    # live fleet membership (service mode)
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: int, device=None) -> None:
+        """Create (or reuse) the agent behind a mid-run registration.
+
+        A worker known since construction -- a service reconnect, or a
+        slot the fleet was provisioned with -- keeps its existing agent
+        untouched, so re-registering consumes no RNG and the run stays
+        deterministic.  A genuinely new worker gets a fresh agent
+        seeded from the strategy RNG *at registration time* (the
+        construction-order seed contract extends append-only).
+        """
+        super().register_worker(worker_id, device=device)
+        if self._cluster_of is not None:
+            if worker_id not in self._cluster_of:
+                if device is None:
+                    raise ValueError(
+                        "scope='cluster' needs the device profile to "
+                        "map a new worker to its cluster"
+                    )
+                self._cluster_of[worker_id] = device.cluster
+        key = self._agent_key(worker_id)
+        if key not in self.agents:
+            self.agents[key] = EUCBAgent(
+                discount=self.discount, theta=self.theta,
+                max_ratio=self.max_ratio, exploration=self.exploration,
+                rng=np.random.default_rng(self.rng.integers(2 ** 31)),
+            )
+
+    def retire_worker(self, worker_id: int) -> None:
+        """Park a leaving worker's agent without deleting it.
+
+        Any pending play is abandoned (the deferred-split rule keeps
+        the partition untouched), unless the agent is cluster-scoped
+        and other members of the cluster are still present -- their
+        in-flight play must stay observable.  The agent itself is kept
+        so a rejoining worker resumes with its learned statistics.
+        """
+        key = self._agent_key(worker_id)
+        super().retire_worker(worker_id)
+        agent = self.agents.get(key)
+        if agent is None:
+            return
+        if self._cluster_of is not None and any(
+                self._agent_key(wid) == key for wid in self.worker_ids):
+            return
+        agent.abandon()
+
     def snapshot(self) -> dict:
         """JSON-ready E-UCB introspection across every worker's agent.
 

@@ -600,24 +600,21 @@ class ProcessExecutor(Executor):
             self.transports[index].send(message)
             outstanding[index] = seq
         completion: Dict[int, float] = {}
-        misses = 0
+        clock = self.retry.clock(start=started)
         while outstanding:
             conns = {
                 self.pool.members[index].conn: index
                 for index in outstanding
             }
-            elapsed = time.perf_counter() - started
-            if elapsed >= self.retry.timeout_s:
+            if clock.remaining() <= 0.0:
                 raise TransportTimeoutError(
                     f"{len(outstanding)} training repl(y/ies) still "
-                    f"missing after {elapsed:.1f}s "
-                    f"(budget {self.retry.timeout_s:.1f}s)"
+                    f"missing after {clock.elapsed():.1f}s "
+                    f"(budget {clock.budget_s:.1f}s)"
                 )
-            interval = min(self.retry.backoff(misses),
-                           self.retry.timeout_s - elapsed)
-            ready = _wait_for_connections(list(conns), timeout=interval)
+            ready = _wait_for_connections(list(conns),
+                                          timeout=clock.interval())
             if not ready:
-                misses += 1
                 metrics.counter("retries_total",
                                 transport="process").inc()
                 for index in outstanding:
@@ -627,14 +624,14 @@ class ProcessExecutor(Executor):
                             f"{len(outstanding)} training request(s) "
                             f"outstanding"
                         )
-                if misses > self.retry.max_retries:
+                if not clock.tick():
                     raise TransportTimeoutError(
                         f"no training reply after "
-                        f"{self.retry.max_retries} backoff interval(s) "
-                        f"({time.perf_counter() - started:.1f}s elapsed)"
+                        f"{clock.attempts} backoff interval(s) "
+                        f"({clock.elapsed():.1f}s elapsed)"
                     )
                 continue
-            misses = 0
+            clock.reset()
             for conn in ready:
                 index = conns[conn]
                 transport = self.transports[index]

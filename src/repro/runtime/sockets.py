@@ -1,0 +1,306 @@
+"""Length-prefixed socket framing and the client-side socket transport.
+
+The service protocol reuses the pipe grammar's shape -- pickled
+``(op, seq, *args)`` tuples -- but crosses host boundaries, so each
+message is framed as a 4-byte big-endian length prefix followed by the
+pickled payload.  Binary training payloads stay in the CRC-checked
+:mod:`repro.runtime.codec` frames and ride inside the pickled tuple as
+``bytes``, exactly as they do over the pipe transport; the socket layer
+adds framing only, never re-encodes, so the wire profiles (exact /
+sparse / sparse+quantized) and their parity guarantees carry over
+unchanged.
+
+Two consumption styles:
+
+- :func:`send_message` / :func:`recv_message` -- blocking helpers for
+  the client side and for tests;
+- :class:`FrameBuffer` -- an incremental decoder for the service's
+  non-blocking ``selectors`` loop: feed it whatever ``recv`` returned,
+  pop every complete message.
+
+:class:`SocketTransport` is the worker-side
+:class:`~repro.runtime.transport.Transport`: one TCP connection to the
+service, request/response with the shared
+:class:`~repro.runtime.transport.RetryPolicy` backoff accounting.
+Unlike the pipe transport it never *resends* (TCP does not drop
+messages mid-connection); each empty poll interval counts in
+``retries_total{transport="socket"}`` and the call escalates to
+:class:`~repro.runtime.transport.TransportTimeoutError` /
+:class:`~repro.runtime.transport.WorkerCrashError` on the same
+schedule.
+"""
+
+from __future__ import annotations
+
+import pickle
+import select
+import socket
+import struct
+import time
+from typing import Iterator, List, Optional, Tuple
+
+from repro.runtime.transport import (
+    RetryPolicy,
+    Transport,
+    TransportError,
+    TransportTimeoutError,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "SocketClosedError",
+    "FrameBuffer",
+    "encode_message",
+    "send_message",
+    "recv_message",
+    "SocketTransport",
+]
+
+_LENGTH = struct.Struct("!I")
+
+#: hard sanity cap on one framed message (a corrupt or misaligned
+#: length prefix must fail loudly, not allocate gigabytes)
+MAX_MESSAGE_BYTES = 1 << 30
+
+
+class SocketClosedError(TransportError):
+    """The peer closed the connection mid-conversation."""
+
+
+def encode_message(message) -> bytes:
+    """Frame one message for the wire (length prefix + pickle)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise TransportError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame cap"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def send_message(sock: socket.socket, message) -> None:
+    """Frame and send one message (blocking)."""
+    try:
+        sock.sendall(encode_message(message))
+    except (BrokenPipeError, ConnectionError, OSError) as exc:
+        raise SocketClosedError(f"peer went away mid-send: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except (ConnectionError, OSError) as exc:
+            raise SocketClosedError(
+                f"peer went away mid-receive: {exc}"
+            ) from exc
+        if not chunk:
+            raise SocketClosedError(
+                f"connection closed with {remaining} of {count} "
+                f"byte(s) unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket):
+    """Receive one framed message (blocking)."""
+    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    if length > MAX_MESSAGE_BYTES:
+        raise TransportError(
+            f"frame announces {length} bytes, over the "
+            f"{MAX_MESSAGE_BYTES}-byte cap -- stream corrupt?"
+        )
+    return pickle.loads(_recv_exact(sock, length))
+
+
+class FrameBuffer:
+    """Incremental frame decoder for non-blocking reads.
+
+    ``feed`` whatever bytes ``recv`` produced (possibly a partial
+    frame, possibly several frames), then drain ``pop_messages``.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def pop_messages(self) -> Iterator[object]:
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return
+            (length,) = _LENGTH.unpack(self._buffer[:_LENGTH.size])
+            if length > MAX_MESSAGE_BYTES:
+                raise TransportError(
+                    f"frame announces {length} bytes, over the "
+                    f"{MAX_MESSAGE_BYTES}-byte cap -- stream corrupt?"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            yield pickle.loads(payload)
+
+
+class SocketTransport(Transport):
+    """One TCP request/response channel to the parameter-server service.
+
+    The message grammar mirrors the pipe transport: pickled
+    ``(op, seq, *args)`` tuples, replies carrying the same ``seq``,
+    ``("err", seq, traceback)`` raising :class:`TransportError`.
+    Replies whose sequence number does not match the outstanding
+    request are discarded (they can only be late replies to an earlier
+    abandoned call).
+    """
+
+    name = "socket"
+
+    def __init__(self, address: Tuple[str, int],
+                 retry: Optional[RetryPolicy] = None,
+                 metrics=None,
+                 connect_timeout_s: float = 10.0) -> None:
+        self.address = address
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.metrics = metrics
+        self._sock: Optional[socket.socket] = None
+        self._frames = FrameBuffer()
+        self._connect_timeout_s = connect_timeout_s
+
+    # -- connection lifecycle ------------------------------------------
+    def connect(self) -> "SocketTransport":
+        sock = socket.create_connection(
+            self.address, timeout=self._connect_timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        self._sock = sock
+        return self
+
+    def alive(self) -> bool:
+        return self._sock is not None
+
+    def send(self, message) -> None:
+        if self._sock is None:
+            raise WorkerCrashError("socket transport is not connected")
+        try:
+            send_message(self._sock, message)
+        except SocketClosedError:
+            self.close()
+            raise
+
+    # -- idempotent round trip -----------------------------------------
+    def request(self, message, timeout_s: Optional[float] = None):
+        """Send one control message and await its reply.
+
+        TCP never drops messages mid-connection, so nothing is resent;
+        each empty poll interval counts as one retry in
+        ``retries_total`` and exhausting the
+        :class:`~repro.runtime.transport.RetryPolicy` budget raises
+        :class:`~repro.runtime.transport.TransportTimeoutError`.  A
+        connection that closes with the request outstanding raises
+        :class:`~repro.runtime.transport.WorkerCrashError`.
+        """
+        seq = message[1]
+        clock = self.retry.clock(timeout_s)
+        self.send(message)
+        while True:
+            for reply in self._frames.pop_messages():
+                if len(reply) >= 2 and reply[1] == seq:
+                    if reply[0] == "err":
+                        raise TransportError(
+                            f"service raised while handling "
+                            f"{message[0]!r}:\n{reply[2]}"
+                        )
+                    return reply
+                # stale reply to an earlier abandoned call: discard
+            if self._sock is None:
+                raise WorkerCrashError(
+                    f"connection to {self.address} lost while a "
+                    f"{message[0]!r} request was outstanding"
+                )
+            ready, _, _ = select.select(
+                [self._sock], [], [], clock.interval()
+            )
+            if ready:
+                try:
+                    chunk = self._sock.recv(1 << 20)
+                except (ConnectionError, OSError) as exc:
+                    self.close()
+                    raise WorkerCrashError(
+                        f"connection to {self.address} broke while a "
+                        f"{message[0]!r} request was outstanding: {exc}"
+                    ) from exc
+                if not chunk:
+                    self.close()
+                    raise WorkerCrashError(
+                        f"service at {self.address} closed the "
+                        f"connection while a {message[0]!r} request "
+                        f"was outstanding"
+                    )
+                self._frames.feed(chunk)
+                clock.reset()
+                continue
+            self._count_retry()
+            if not clock.tick():
+                raise TransportTimeoutError(
+                    f"no reply to {message[0]!r} from {self.address} "
+                    f"after {clock.attempts} attempt(s) "
+                    f"({clock.budget_s:.1f}s budget)"
+                )
+
+    def next_message(self, timeout_s: Optional[float] = None):
+        """The next inbound message in arrival order (None on timeout).
+
+        Unlike :meth:`request` this never discards anything -- it is the
+        read primitive for serve-style loops that must see *every*
+        message, whatever its sequence number.
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            for message in self._frames.pop_messages():
+                return message
+            if self._sock is None:
+                raise SocketClosedError(
+                    f"connection to {self.address} is closed"
+                )
+            if deadline is None:
+                wait = None
+            else:
+                wait = deadline - time.monotonic()
+                if wait <= 0:
+                    return None
+            ready, _, _ = select.select([self._sock], [], [], wait)
+            if not ready:
+                return None
+            try:
+                chunk = self._sock.recv(1 << 20)
+            except (ConnectionError, OSError) as exc:
+                self.close()
+                raise SocketClosedError(
+                    f"connection to {self.address} broke: {exc}"
+                ) from exc
+            if not chunk:
+                self.close()
+                raise SocketClosedError(
+                    f"service at {self.address} closed the connection"
+                )
+            self._frames.feed(chunk)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None

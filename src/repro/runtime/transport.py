@@ -41,6 +41,7 @@ __all__ = [
     "TransportTimeoutError",
     "WorkerCrashError",
     "RetryPolicy",
+    "RetryClock",
     "Transport",
     "LocalTransport",
     "ProcessTransport",
@@ -79,14 +80,70 @@ class RetryPolicy:
     def backoff(self, attempt: int) -> float:
         return self.backoff_s * self.backoff_factor ** attempt
 
+    def clock(self, timeout_s: Optional[float] = None,
+              start: Optional[float] = None) -> "RetryClock":
+        """Start one call's retry accounting under this policy."""
+        return RetryClock(self, timeout_s, start=start)
+
+
+class RetryClock:
+    """One call's worth of retry/backoff accounting.
+
+    Every retrying call site -- :meth:`ProcessTransport.request`, the
+    executor's gather loop, :class:`~repro.runtime.sockets.
+    SocketTransport` -- used to inline the same four lines of budget
+    arithmetic; this hoists them behind two methods:
+
+    - :meth:`interval` -- the poll/resend interval for the current
+      attempt, clamped so the call never sleeps past its budget;
+    - :meth:`tick` -- record one empty interval; returns ``False`` once
+      the attempt count or the wall-clock budget is exhausted, at which
+      point the caller raises :class:`TransportTimeoutError`.
+    """
+
+    def __init__(self, policy: RetryPolicy,
+                 timeout_s: Optional[float] = None,
+                 start: Optional[float] = None) -> None:
+        self.policy = policy
+        self.budget_s = timeout_s if timeout_s is not None \
+            else policy.timeout_s
+        self.attempts = 0
+        self._start = start if start is not None else time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def reset(self) -> None:
+        """A reply arrived: consecutive-empty-interval count restarts."""
+        self.attempts = 0
+
+    def remaining(self) -> float:
+        return self.budget_s - self.elapsed()
+
+    def interval(self) -> float:
+        return min(self.policy.backoff(self.attempts),
+                   max(self.remaining(), 0.0))
+
+    def tick(self) -> bool:
+        self.attempts += 1
+        if self.attempts > self.policy.max_retries:
+            return False
+        return self.elapsed() < self.budget_s
+
 
 class Transport:
     """One request/response channel to a training endpoint."""
 
     name = "base"
+    metrics = None
 
     def request(self, message, timeout_s: Optional[float] = None):
         raise NotImplementedError
+
+    def _count_retry(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("retries_total",
+                                 transport=self.name).inc()
 
     def close(self) -> None:
         """Release channel resources (no-op by default)."""
@@ -140,11 +197,6 @@ class ProcessTransport(Transport):
                 f"mid-conversation"
             ) from exc
 
-    def _count_retry(self) -> None:
-        if self.metrics is not None:
-            self.metrics.counter("retries_total",
-                                 transport=self.name).inc()
-
     # -- idempotent round trip -----------------------------------------
     def request(self, message, timeout_s: Optional[float] = None):
         """Send an **idempotent** control message and await its reply.
@@ -156,14 +208,10 @@ class ProcessTransport(Transport):
         one would double-consume the child's RNG streams.
         """
         seq = message[1]
-        budget = timeout_s if timeout_s is not None else self.retry.timeout_s
-        start = time.perf_counter()
-        attempt = 0
+        clock = self.retry.clock(timeout_s)
         self.send(message)
         while True:
-            remaining = budget - (time.perf_counter() - start)
-            interval = min(self.retry.backoff(attempt), max(remaining, 0.0))
-            if self.poll(interval):
+            if self.poll(clock.interval()):
                 reply = self.receive()
                 if len(reply) >= 2 and reply[1] == seq:
                     if reply[0] == "err":
@@ -181,14 +229,12 @@ class ProcessTransport(Transport):
                     f"pool member {self.member.index} died while a "
                     f"{message[0]!r} request was outstanding"
                 )
-            attempt += 1
             self._count_retry()
-            if (attempt > self.retry.max_retries
-                    or time.perf_counter() - start >= budget):
+            if not clock.tick():
                 raise TransportTimeoutError(
                     f"no reply to {message[0]!r} from pool member "
-                    f"{self.member.index} after {attempt} attempt(s) "
-                    f"({budget:.1f}s budget)"
+                    f"{self.member.index} after {clock.attempts} "
+                    f"attempt(s) ({clock.budget_s:.1f}s budget)"
                 )
             self.send(message)
 

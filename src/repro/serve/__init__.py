@@ -1,0 +1,35 @@
+"""Parameter-server service mode: live workers over sockets.
+
+See :mod:`repro.serve.protocol` for the request grammar,
+:mod:`repro.serve.service` for the daemon and its socket-backed
+executor, and :mod:`repro.serve.client` for the worker process.
+"""
+
+from repro.serve.client import ClientError, ServiceClient
+from repro.serve.protocol import (
+    ACTIVE,
+    DRAINING,
+    GONE,
+    PROTOCOL_VERSION,
+    RosterEntry,
+)
+from repro.serve.service import (
+    FedMPService,
+    ServiceDrained,
+    ServiceError,
+    SocketExecutor,
+)
+
+__all__ = [
+    "ACTIVE",
+    "DRAINING",
+    "GONE",
+    "PROTOCOL_VERSION",
+    "RosterEntry",
+    "ClientError",
+    "ServiceClient",
+    "FedMPService",
+    "ServiceDrained",
+    "ServiceError",
+    "SocketExecutor",
+]

@@ -1,0 +1,208 @@
+"""The worker-side client of the parameter-server service.
+
+:class:`ServiceClient` dials a :class:`~repro.serve.service.
+FedMPService`, registers (taking any free slot, or a specific
+``worker_id``), rebuilds its worker from the spec the service ships
+back, and then serves the pull loop: poll ``pull_dispatch``, run the
+exact :func:`repro.runtime.pool._handle_train` body every pool child
+runs, push the contribution frame back.  Because both the worker
+construction (``WorkerSpec.build``) and the training body are shared
+verbatim with the process executor, socket-run training is bitwise
+identical to pipe-run training by construction.
+
+Churn knobs:
+
+- ``leave_after=N`` leaves gracefully after N completed dispatches,
+  shipping the worker's captured runtime state so a later rejoin (or
+  a resumed run) continues its streams mid-position;
+- ``reconnect=True`` redials the same address (keeping the assigned
+  worker id) when the connection drops -- the client of a SIGKILLed
+  service simply waits for the resumed service to come back up.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.runtime import pool
+from repro.runtime.sockets import SocketClosedError, SocketTransport
+from repro.runtime.transport import (
+    RetryPolicy,
+    TransportError,
+    TransportTimeoutError,
+    WorkerCrashError,
+)
+from repro.serve.protocol import PROTOCOL_VERSION
+
+__all__ = ["ClientError", "ServiceClient"]
+
+
+class ClientError(RuntimeError):
+    """The client could not register with or follow the service."""
+
+
+class ServiceClient:
+    """One worker process behind the socket protocol."""
+
+    def __init__(self, address: Tuple[str, int], *,
+                 worker_id: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 heartbeat_s: float = 2.0,
+                 reconnect: bool = False,
+                 reconnect_timeout_s: float = 60.0,
+                 leave_after: Optional[int] = None,
+                 metrics=None) -> None:
+        self.address = (str(address[0]), int(address[1]))
+        self.worker_id = worker_id
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.heartbeat_s = float(heartbeat_s)
+        self.reconnect = bool(reconnect)
+        self.reconnect_timeout_s = float(reconnect_timeout_s)
+        self.leave_after = leave_after
+        self.metrics = metrics
+        #: dispatches completed across the client's whole life,
+        #: reconnections included
+        self.completed = 0
+        self._seq = 0
+        self.transport: Optional[SocketTransport] = None
+        self.workers: Dict[int, object] = {}
+        self.templates: Dict[object, object] = {}
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self) -> int:
+        """Serve until the service drains (or ``leave_after`` fires).
+
+        Returns the total number of completed dispatches.  Connection
+        loss raises unless ``reconnect`` is set, in which case the
+        client redials (keeping its worker id) until
+        ``reconnect_timeout_s`` of consecutive failures have passed.
+        """
+        deadline = None
+        while True:
+            try:
+                self._connect_and_register()
+                deadline = None
+                self._serve()
+                return self.completed
+            except (SocketClosedError, WorkerCrashError,
+                    TransportTimeoutError, ConnectionError,
+                    OSError) as exc:
+                self._close()
+                if not self.reconnect:
+                    raise
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + self.reconnect_timeout_s
+                if now > deadline:
+                    raise ClientError(
+                        f"could not re-reach the service at "
+                        f"{self.address} within "
+                        f"{self.reconnect_timeout_s:.0f}s: {exc}"
+                    ) from exc
+                time.sleep(0.2)
+
+    def _connect_and_register(self) -> None:
+        self._close()
+        transport = SocketTransport(self.address, retry=self.retry,
+                                    metrics=self.metrics)
+        transport.connect()
+        reply = transport.request(("register", self._next_seq(), {
+            "protocol": PROTOCOL_VERSION,
+            "worker_id": self.worker_id,
+        }))
+        payload = reply[2]
+        if payload.get("protocol") != PROTOCOL_VERSION:
+            transport.close()
+            raise ClientError(
+                f"service speaks protocol {payload.get('protocol')!r}, "
+                f"client speaks {PROTOCOL_VERSION}"
+            )
+        self.worker_id = int(payload["worker_id"])
+        spec = pickle.loads(payload["spec"])
+        # a fresh registration always rebuilds the worker from the
+        # shipped spec: its runtime_state puts every stream (data RNG,
+        # iterator cursor, jitter) at the service's recorded position
+        self.workers = {self.worker_id: spec.build()}
+        self.templates = {}
+        self.transport = transport
+
+    def _serve(self) -> None:
+        last_beat = time.monotonic()
+        while True:
+            reply = self.transport.request(
+                ("pull_dispatch", self._next_seq(), self.worker_id)
+            )
+            op = reply[0]
+            if op == "dispatch":
+                _, _, tseq, frame, template, drops = reply
+                self._train_and_push(tseq, frame, template, drops)
+                self.completed += 1
+                if (self.leave_after is not None
+                        and self.completed >= self.leave_after):
+                    self._leave()
+                    return
+            elif op == "idle":
+                hint = float(reply[2])
+                now = time.monotonic()
+                if now - last_beat >= self.heartbeat_s:
+                    self.transport.request(
+                        ("heartbeat", self._next_seq(), self.worker_id,
+                         time.time())
+                    )
+                    last_beat = now
+                time.sleep(hint)
+            elif op == "capture":
+                cseq = reply[2]
+                blob = pickle.dumps(
+                    self.workers[self.worker_id].capture_runtime_state(),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                self.transport.request(
+                    ("push_state", self._next_seq(), self.worker_id,
+                     cseq, blob)
+                )
+            elif op == "drain":
+                self._leave()
+                return
+            else:
+                raise TransportError(
+                    f"unexpected pull_dispatch reply op {op!r}"
+                )
+
+    def _train_and_push(self, tseq: int, frame: bytes, template,
+                        drops) -> None:
+        # a ("tblob", ...) materialises into the local template cache
+        # first, then trains through the "cached" branch -- the byte-
+        # for-byte path every pool child takes after an shm attach
+        if template[0] == "tblob":
+            _, key, blob = template
+            self.templates[key] = pickle.loads(blob)
+            template = ("cached", key)
+        out = pool._handle_train(self.workers, self.templates, frame,
+                                 template, tuple(drops))
+        self.transport.request(
+            ("push_contribution", self._next_seq(), self.worker_id,
+             tseq, out)
+        )
+
+    def _leave(self) -> None:
+        try:
+            state = self.workers[self.worker_id].capture_runtime_state()
+            blob = pickle.dumps(state,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            self.transport.request(
+                ("leave", self._next_seq(), self.worker_id, blob)
+            )
+        finally:
+            self._close()
+
+    def _close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None

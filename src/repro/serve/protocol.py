@@ -1,0 +1,101 @@
+"""The parameter-server service protocol: ops, versioning, lifecycle.
+
+Every message is a pickled ``(op, seq, *args)`` tuple inside a
+length-prefixed frame (see :mod:`repro.runtime.sockets`).  All requests
+are **client-initiated**: the service never pushes, so a worker's
+single TCP connection is a clean request/response channel and
+:class:`~repro.runtime.sockets.SocketTransport` drives the whole
+client side.  Training payloads stay in the CRC-checked
+:mod:`repro.runtime.codec` frames and ride as ``bytes`` arguments.
+
+Request grammar (replies echo the request ``seq``; any handler error
+comes back as ``("err", seq, traceback_text)``):
+
+===========================================  =================================
+request                                      replies
+===========================================  =================================
+``("register", seq, info)``                  ``("registered", seq, payload)``
+``("leave", seq, wid, state_blob)``          ``("bye", seq)``
+``("pull_dispatch", seq, wid)``              ``("dispatch", seq, tseq, frame,
+                                             template, drops)`` /
+                                             ``("idle", seq, hint_s)`` /
+                                             ``("capture", seq, cseq)`` /
+                                             ``("drain", seq)``
+``("push_contribution", seq, wid, tseq,      ``("accepted", seq)``
+frame)``
+``("push_state", seq, wid, cseq, blob)``     ``("accepted", seq)``
+``("heartbeat", seq, wid, sent_at)``         ``("pong", seq)``
+``("status", seq)``                          ``("status_ok", seq, report)``
+===========================================  =================================
+
+``info`` carries ``{"protocol": PROTOCOL_VERSION, "worker_id": id or
+None}``; the ``registered`` payload returns the assigned worker id and
+a pickled :class:`~repro.runtime.pool.WorkerSpec` from which the client
+rebuilds the worker with bitwise-identical RNG streams (including any
+checkpoint- or leave-captured runtime state, so rejoining workers
+resume their streams mid-position).  ``template`` references the
+sub-model graph as ``("blob", bytes)`` (one-shot, never cached),
+``("tblob", key, bytes)`` (cache under ``key``, then clone) or
+``("cached", key)``; ``drops`` lists template keys to evict first --
+the socket analogue of the pipe transport's shm/cached modes.
+
+Worker lifecycle::
+
+    register --> ACTIVE --(service drains)--> DRAINING --leave--> GONE
+                   ^                                               |
+                   +--------------- re-register -------------------+
+
+A graceful ``leave`` ships the worker's captured runtime state so a
+later re-registration (same run or a resumed one) continues the exact
+data/jitter streams; a dropped connection transitions to GONE without
+a capture, and a re-registering worker then restarts from the last
+checkpointed position instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ACTIVE",
+    "DRAINING",
+    "GONE",
+    "WORKER_STATES",
+    "RosterEntry",
+]
+
+#: bumped on any incompatible change to the request grammar above;
+#: ``register`` is refused when client and service disagree
+PROTOCOL_VERSION = 1
+
+#: lifecycle states of a roster entry
+ACTIVE = "active"
+DRAINING = "draining"
+GONE = "gone"
+WORKER_STATES = (ACTIVE, DRAINING, GONE)
+
+
+@dataclass
+class RosterEntry:
+    """One worker slot's registration record on the service."""
+
+    worker_id: int
+    state: str = GONE
+    #: how many times this slot has registered (1 = first join)
+    registrations: int = 0
+    #: host wall-clock of the last heartbeat or request
+    last_seen: Optional[float] = None
+    #: runtime state captured at the last graceful leave; handed back
+    #: in the spec on re-registration so the worker's RNG/iterator
+    #: streams continue mid-position
+    runtime_state: Optional[dict] = field(default=None, repr=False)
+
+    def summary(self) -> dict:
+        """Checkpoint/status form (no runtime state: the checkpoint's
+        ``workers`` payload is the authoritative stream capture)."""
+        return {
+            "state": self.state,
+            "registrations": self.registrations,
+        }

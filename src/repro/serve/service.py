@@ -1,0 +1,1110 @@
+"""The parameter-server service: a long-running daemon owning the engine.
+
+:class:`FedMPService` binds a loopback/LAN listener, accepts live
+worker registrations, and drives the ordinary round
+:class:`~repro.fl.engine.Engine` + scheduler over them.  Training
+itself runs in the *clients* (see :mod:`repro.serve.client`):
+:class:`SocketExecutor` is the engine's execution seam, queueing
+encoded dispatches per worker and collecting contribution frames as
+clients pull and push them through the request protocol of
+:mod:`repro.serve.protocol`.
+
+Determinism carries over from the process executor by construction:
+the service encodes dispatches with the exact
+:func:`~repro.runtime.codec.encode_dispatch` arguments the process
+executor uses, clients run the exact
+:func:`repro.runtime.pool._handle_train` body on workers rebuilt from
+their :class:`~repro.runtime.pool.WorkerSpec`, and decode/aggregate
+order in the parent is submission order -- so a loopback-socket run is
+bitwise identical to a serial run over the same membership script
+(pinned by ``repro verify``'s service stage).
+
+The service is single-threaded: one ``selectors`` pump serves every
+connection, driven from three places -- the executor's gather loop,
+the membership provider's wait, and checkpoint-time worker-state
+capture.  There are no locks and no cross-thread hand-offs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import selectors
+import signal
+import socket
+import time
+import traceback
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fl.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    resolve_checkpoint,
+)
+from repro.fl.engine import Engine
+from repro.fl.schedulers import make_scheduler
+from repro.pruning.plan import plan_signature
+from repro.runtime.codec import (
+    WIRE_PROFILES,
+    decode_contribution,
+    encode_dispatch,
+)
+from repro.runtime.executor import Executor, TrainResult
+from repro.runtime.sockets import FrameBuffer, encode_message
+from repro.runtime.transport import (
+    RetryPolicy,
+    TransportError,
+    TransportTimeoutError,
+    WorkerCrashError,
+)
+from repro.serve.protocol import (
+    ACTIVE,
+    DRAINING,
+    GONE,
+    PROTOCOL_VERSION,
+    RosterEntry,
+)
+from repro.telemetry.runtime import DISABLED_TELEMETRY, Telemetry
+
+__all__ = [
+    "ServiceError",
+    "ServiceDrained",
+    "SocketExecutor",
+    "FedMPService",
+]
+
+
+class ServiceError(RuntimeError):
+    """A service-side protocol or lifecycle failure."""
+
+
+class ServiceDrained(ServiceError):
+    """The service was asked to drain before the run could proceed."""
+
+
+@dataclass
+class _Outstanding:
+    """One dispatched training request awaiting its contribution."""
+
+    request: object
+    #: the exact outbox message, kept so a reconnecting worker can have
+    #: its lost dispatch re-issued (with a rebuilt template reference)
+    message: Tuple = ()
+    handed: bool = False
+    frame: Optional[bytes] = field(default=None, repr=False)
+
+
+@dataclass
+class _Connection:
+    """Per-socket read state on the service side."""
+
+    sock: socket.socket
+    frames: FrameBuffer = field(default_factory=FrameBuffer)
+    worker_id: Optional[int] = None
+
+
+class SocketExecutor(Executor):
+    """Engine execution seam that trains on remote socket clients.
+
+    Mirrors :class:`~repro.runtime.executor.ProcessExecutor`'s round
+    shape exactly -- same ``serialize`` / ``transfer`` /
+    ``parallel_train`` spans, same ``encode_dispatch`` arguments, same
+    ``wire_bytes_total`` kinds, same decode/validate/materialise and
+    straggler flagging -- but instead of writing to pool pipes it
+    queues ``(seq, frame, template, drops)`` per worker and lets
+    clients pull them through the service's request loop.
+
+    Templates travel as ``("blob", ...)`` when sub-models must be
+    pickled per dispatch (rng-bearing modules), else once per plan
+    signature per worker as ``("tblob", key, ...)`` which the client
+    caches and the service thereafter references as ``("cached",
+    key)`` -- the socket analogue of the process executor's shared-
+    memory segments, LRU-bounded by ``template_cache_limit`` with
+    evictions piggybacked as drop notices.
+    """
+
+    name = "socket"
+
+    def __init__(self, telemetry: Optional[Telemetry] = None,
+                 pickle_submodels: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 straggler_quorum: float = 0.85,
+                 straggler_multiplier: float = 1.5,
+                 wire_profile: str = "exact",
+                 wire_keep_fraction: float = 0.25,
+                 wire_quantize_bits: int = 8,
+                 template_cache_limit: int = 8) -> None:
+        super().__init__()
+        from repro.runtime.transport import StragglerDetector
+
+        if wire_profile not in WIRE_PROFILES:
+            raise ValueError(
+                f"wire_profile must be one of {WIRE_PROFILES}, "
+                f"got {wire_profile!r}"
+            )
+        if template_cache_limit < 1:
+            raise ValueError(
+                f"template_cache_limit must be >= 1, "
+                f"got {template_cache_limit}"
+            )
+        self.telemetry = (
+            telemetry if telemetry is not None else DISABLED_TELEMETRY
+        )
+        self.pickle_submodels = pickle_submodels
+        self.wire_profile = wire_profile
+        self.wire_keep_fraction = wire_keep_fraction
+        self.wire_quantize_bits = wire_quantize_bits
+        self.template_cache_limit = template_cache_limit
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.detector = StragglerDetector(straggler_quorum,
+                                          straggler_multiplier)
+        #: owning service, installed by :class:`FedMPService`
+        self.service: Optional["FedMPService"] = None
+        self._seq = 0
+        self._capture_seq = 0
+        #: worker id -> queued outbound items, drained by pull_dispatch
+        self._outbox: Dict[int, deque] = {}
+        #: the current round's in-flight table (None between rounds)
+        self._pending: Optional[Dict[int, _Outstanding]] = None
+        #: worker id -> plan-signature keys its client process holds
+        self._client_templates: Dict[int, "OrderedDict[object, bool]"] = {}
+        self._pending_drops: Dict[int, set] = {}
+        #: capture seq -> collected runtime-state blob (None = waiting)
+        self._captures: Dict[int, Optional[bytes]] = {}
+        self._capture_owner: Dict[int, int] = {}
+
+    # -- plumbing ------------------------------------------------------
+    def _service(self) -> "FedMPService":
+        if self.service is None:
+            raise ServiceError(
+                "SocketExecutor is not attached to a FedMPService"
+            )
+        return self.service
+
+    @property
+    def parallelism(self) -> int:
+        if self.service is None:
+            return 0
+        return sum(
+            1 for entry in self.service.roster.values()
+            if entry.state == ACTIVE
+        )
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _next_capture_seq(self) -> int:
+        self._capture_seq += 1
+        return self._capture_seq
+
+    def _template_for(self, worker_id: int, request) -> Tuple:
+        """Template reference for one dispatch, charging template wire
+        bytes exactly when a module graph actually travels."""
+        metrics = self.telemetry.metrics
+        if self.pickle_submodels:
+            blob = pickle.dumps(request.submodel,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            metrics.counter("wire_bytes_total",
+                            kind="template").inc(len(blob))
+            return ("blob", blob)
+        key = plan_signature(request.plan)
+        cache = self._client_templates.setdefault(worker_id, OrderedDict())
+        if key in cache:
+            cache.move_to_end(key)
+            return ("cached", key)
+        blob = pickle.dumps(request.submodel,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        metrics.counter("wire_bytes_total", kind="template").inc(len(blob))
+        cache[key] = True
+        while len(cache) > self.template_cache_limit:
+            old_key, _ = cache.popitem(last=False)
+            metrics.counter("dispatch_cache_evictions_total").inc()
+            self._pending_drops.setdefault(worker_id, set()).add(old_key)
+        return ("tblob", key, blob)
+
+    # -- the round -----------------------------------------------------
+    def run(self, requests, round_index: int = 0) -> List[TrainResult]:
+        if not requests:
+            return []
+        telemetry = self.telemetry
+        metrics = telemetry.metrics
+        self.last_stragglers = []
+        with telemetry.span("parallel_train", round=round_index,
+                            requests=len(requests),
+                            procs=self.parallelism) as batch_span:
+            # -- serialize ----------------------------------------------
+            pending: Dict[int, _Outstanding] = {}
+            profile = self.wire_profile
+            with telemetry.span("serialize", round=round_index,
+                                requests=len(requests)):
+                for request in requests:
+                    frame = encode_dispatch(
+                        request.worker_id, request.plan,
+                        request.dispatched_state, tau=request.tau,
+                        hyper=request.hyper, emulate_s=request.emulate_s,
+                        reply_profile=profile,
+                        reply_keep_fraction=(
+                            self.wire_keep_fraction
+                            if profile != "exact" else None
+                        ),
+                        reply_quantize_bits=(
+                            self.wire_quantize_bits
+                            if profile != "exact" else None
+                        ),
+                    )
+                    worker_id = request.worker_id
+                    template = self._template_for(worker_id, request)
+                    drops = self._pending_drops.pop(worker_id, None)
+                    seq = self._next_seq()
+                    metrics.counter("wire_bytes_total",
+                                    kind="dispatch").inc(len(frame))
+                    message = ("dispatch", seq, frame, template,
+                               tuple(drops) if drops else ())
+                    self._outbox.setdefault(worker_id, deque()).append(
+                        message
+                    )
+                    pending[seq] = _Outstanding(request=request,
+                                                message=message)
+            self._pending = pending
+
+            # -- transfer + gather --------------------------------------
+            started = time.perf_counter()
+            try:
+                with telemetry.span("transfer", round=round_index,
+                                    requests=len(requests)
+                                    ) as transfer_span:
+                    completion_s = self._gather(pending, started)
+                    reply_bytes = sum(
+                        len(flight.frame) for flight in pending.values()
+                    )
+                    metrics.counter("wire_bytes_total",
+                                    kind="contribution").inc(reply_bytes)
+                    transfer_span.set("reply_bytes", reply_bytes)
+            finally:
+                self._pending = None
+
+            # -- decode + per-request spans -----------------------------
+            results = []
+            for seq, flight in pending.items():
+                request = flight.request
+                payload = decode_contribution(flight.frame,
+                                              expect_profile=profile)
+                if payload.worker_id != request.worker_id:
+                    raise TransportError(
+                        f"reply {seq} carries worker "
+                        f"{payload.worker_id}, expected "
+                        f"{request.worker_id}"
+                    )
+                with telemetry.span("local_train", round=round_index,
+                                    worker=request.worker_id,
+                                    tau=request.tau,
+                                    ratio=request.ratio) as span:
+                    span.set("train_loss", float(payload.train_loss))
+                    span.set("worker_wall_s", float(payload.wall_time_s))
+                results.append(TrainResult(
+                    worker_id=payload.worker_id,
+                    sub_state=payload.materialise(
+                        request.dispatched_state
+                    ),
+                    train_loss=float(payload.train_loss),
+                    wall_time_s=float(payload.wall_time_s),
+                ))
+
+            # -- straggler heartbeat ------------------------------------
+            flagged = self.detector.flag(completion_s)
+            if flagged:
+                self.last_stragglers = sorted(flagged)
+                metrics.counter("stragglers_total",
+                                executor=self.name).inc(len(flagged))
+                telemetry.event("straggler_detected", round=round_index,
+                                workers=sorted(flagged))
+                batch_span.set("stragglers", sorted(flagged))
+        return results
+
+    def _gather(self, pending: Dict[int, _Outstanding],
+                started: float) -> Dict[int, float]:
+        """Pump the service until every contribution frame is in.
+
+        Dispatches are never re-encoded mid-round (a replay with fresh
+        streams would double-consume client RNG), but a worker that
+        reconnects gets its lost messages re-queued verbatim by
+        :meth:`forget_worker`.  A worker that *gracefully leaves* with
+        work outstanding can never finish it -- that fails fast as
+        :class:`~repro.runtime.transport.WorkerCrashError`; a lost
+        connection waits out the retry budget (the client may redial).
+        """
+        service = self._service()
+        metrics = self.telemetry.metrics
+        completion: Dict[int, float] = {}
+        clock = self.retry.clock(start=started)
+        while True:
+            remaining = [
+                seq for seq, flight in pending.items()
+                if flight.frame is None
+            ]
+            if not remaining:
+                return completion
+            if clock.remaining() <= 0.0:
+                raise TransportTimeoutError(
+                    f"{len(remaining)} contribution(s) still missing "
+                    f"after {clock.elapsed():.1f}s "
+                    f"(budget {clock.budget_s:.1f}s)"
+                )
+            handled = service.pump(clock.interval())
+            arrived = [
+                seq for seq in remaining
+                if pending[seq].frame is not None
+            ]
+            if arrived:
+                now = time.perf_counter() - started
+                for seq in arrived:
+                    completion[pending[seq].request.worker_id] = now
+            if handled:
+                # any inbound traffic counts as liveness (idle polls,
+                # heartbeats): the attempt budget is for a *silent*
+                # fleet, the wall-clock budget bounds a wedged one --
+                # mirroring the process gather, where any readable pipe
+                # resets the attempt clock
+                clock.reset()
+                continue
+            metrics.counter("retries_total", transport="socket").inc()
+            left = sorted({
+                pending[seq].request.worker_id for seq in remaining
+                if service.gone_reason(
+                    pending[seq].request.worker_id
+                ) == "leave"
+            })
+            if left:
+                raise WorkerCrashError(
+                    f"worker(s) {left} left the service with training "
+                    f"request(s) outstanding"
+                )
+            if not clock.tick():
+                raise TransportTimeoutError(
+                    f"no contribution after {clock.attempts} backoff "
+                    f"interval(s) ({clock.elapsed():.1f}s elapsed)"
+                )
+
+    # -- service-facing surface ----------------------------------------
+    def next_for(self, worker_id: int) -> Optional[Tuple]:
+        """The next queued outbox item for a polling worker, if any."""
+        queue = self._outbox.get(worker_id)
+        if not queue:
+            return None
+        item = queue.popleft()
+        if item[0] == "dispatch" and self._pending is not None:
+            flight = self._pending.get(item[1])
+            if flight is not None:
+                flight.handed = True
+        return item
+
+    def deliver(self, tseq: int, worker_id: int, frame: bytes) -> None:
+        """Accept one pushed contribution frame (first delivery wins)."""
+        pending = self._pending or {}
+        flight = pending.get(tseq)
+        if flight is None or flight.request.worker_id != worker_id:
+            raise ServiceError(
+                f"unexpected contribution seq {tseq} from worker "
+                f"{worker_id}"
+            )
+        if flight.frame is None:
+            flight.frame = frame
+
+    def deliver_state(self, cseq: int, worker_id: int,
+                      blob: bytes) -> None:
+        """Accept one pushed runtime-state capture."""
+        owner = self._capture_owner.get(cseq)
+        if owner != worker_id:
+            raise ServiceError(
+                f"unexpected state capture seq {cseq} from worker "
+                f"{worker_id}"
+            )
+        self._captures[cseq] = blob
+
+    def forget_worker(self, worker_id: int) -> None:
+        """Reset all per-client-process assumptions for a worker.
+
+        Called on every (re-)registration: a fresh client process has
+        an empty template cache, and anything handed to (or queued
+        for) the previous connection is gone -- so cached-template
+        bookkeeping is dropped and the worker's unanswered dispatches
+        and capture markers are re-queued, templates rebuilt.
+        """
+        self._client_templates.pop(worker_id, None)
+        self._pending_drops.pop(worker_id, None)
+        queue = self._outbox.get(worker_id)
+        if queue is not None:
+            queue.clear()
+        if self._pending:
+            for seq in sorted(self._pending):
+                flight = self._pending[seq]
+                if (flight.request.worker_id != worker_id
+                        or flight.frame is not None):
+                    continue
+                frame = flight.message[2]
+                template = self._template_for(worker_id, flight.request)
+                drops = self._pending_drops.pop(worker_id, None)
+                message = ("dispatch", seq, frame, template,
+                           tuple(drops) if drops else ())
+                flight.message = message
+                flight.handed = False
+                self._outbox.setdefault(worker_id, deque()).append(
+                    message
+                )
+        for cseq, owner in sorted(self._capture_owner.items()):
+            if owner == worker_id and self._captures.get(cseq) is None:
+                self._outbox.setdefault(worker_id, deque()).append(
+                    ("capture", cseq)
+                )
+
+    # -- checkpoint support --------------------------------------------
+    def capture_worker_states(self) -> Dict[int, Dict[str, object]]:
+        """Pull runtime state from every live client, roster for the rest.
+
+        Active workers answer a queued ``capture`` marker on their next
+        poll; workers gone after a graceful leave contribute the state
+        captured at that leave.  Workers lost without a capture are
+        omitted -- the engine then keeps its parent-side snapshot for
+        them (best effort; their true stream position died with the
+        client process).
+        """
+        service = self._service()
+        states: Dict[int, Dict[str, object]] = {}
+        waiting: Dict[int, int] = {}
+        for worker_id in sorted(service.roster):
+            entry = service.roster[worker_id]
+            if entry.state in (ACTIVE, DRAINING):
+                cseq = self._next_capture_seq()
+                self._captures[cseq] = None
+                self._capture_owner[cseq] = worker_id
+                self._outbox.setdefault(worker_id, deque()).append(
+                    ("capture", cseq)
+                )
+                waiting[cseq] = worker_id
+            elif entry.runtime_state is not None:
+                states[worker_id] = entry.runtime_state
+        clock = self.retry.clock()
+        while waiting:
+            progressed = bool(service.pump(clock.interval()))
+            for cseq in sorted(waiting):
+                worker_id = waiting[cseq]
+                blob = self._captures.get(cseq)
+                if blob is not None:
+                    states[worker_id] = pickle.loads(blob)
+                elif service.roster[worker_id].state == GONE:
+                    # left (or was lost) while the marker was queued;
+                    # fall back to its leave capture when there is one
+                    entry = service.roster[worker_id]
+                    if entry.runtime_state is not None:
+                        states[worker_id] = entry.runtime_state
+                else:
+                    continue
+                del waiting[cseq]
+                self._captures.pop(cseq, None)
+                self._capture_owner.pop(cseq, None)
+                progressed = True
+            if progressed:
+                clock.reset()
+            elif not clock.tick():
+                raise TransportTimeoutError(
+                    f"worker(s) {sorted(set(waiting.values()))} never "
+                    f"answered the checkpoint state capture"
+                )
+        return states
+
+    def close(self) -> None:
+        if self.service is not None:
+            self.service.shutdown()
+
+
+class FedMPService:
+    """A long-running FedMP parameter server on a TCP listener.
+
+    Owns the engine, the scheduler, and the fleet roster.  Workers are
+    remote :class:`~repro.serve.client.ServiceClient` processes that
+    register over the socket protocol; the membership provider feeds
+    the live (or scripted) roster into
+    :meth:`~repro.fl.engine.Engine.present_workers`, so the ordinary
+    schedulers drive rounds over whoever is actually connected.
+
+    ``roster_script`` pins membership for differential verification: a
+    ``{round: [worker ids]}`` dict (largest key <= round applies).
+    The provider then *waits* until every scripted worker is
+    registered and returns exactly the scripted list -- making the
+    round sequence independent of client arrival timing, hence
+    bit-comparable with a serial reference run driven by the same
+    script.  Without a script, round 0 waits for ``min_workers`` and
+    later rounds for at least one active worker.
+
+    SIGTERM/SIGINT request a cooperative drain: the round in flight
+    finishes, an interrupt checkpoint is written with the true next
+    round, connected clients are told to drain, and :meth:`run`
+    returns the partial history.  Resuming that checkpoint (with
+    ``resume_from``) continues byte-identically -- the checkpoint's
+    ``service`` payload restores the roster's registration ledger, and
+    re-registering clients get specs carrying their checkpointed
+    stream positions.
+    """
+
+    def __init__(self, task, devices, config=None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 telemetry: Optional[Telemetry] = None,
+                 hooks=None,
+                 checkpoint_meta: Optional[dict] = None,
+                 resume_from=None,
+                 min_workers: int = 1,
+                 roster_script: Optional[Dict[int, List[int]]] = None,
+                 idle_hint_s: float = 0.02,
+                 drain_timeout_s: float = 10.0,
+                 registration_timeout_s: float = 120.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        if resume_from is not None:
+            if isinstance(resume_from, Checkpoint):
+                checkpoint = resume_from
+            else:
+                checkpoint = load_checkpoint(
+                    resolve_checkpoint(resume_from)
+                )
+            if config is not None and config != checkpoint.config:
+                raise ServiceError(
+                    "explicit config differs from the checkpoint's; "
+                    "pass config=None to resume with the checkpointed "
+                    "config"
+                )
+            config = checkpoint.config
+        else:
+            checkpoint = None
+            if config is None:
+                raise ValueError(
+                    "config is required unless resume_from is set"
+                )
+
+        self.telemetry = (
+            telemetry if telemetry is not None else DISABLED_TELEMETRY
+        )
+        self.min_workers = int(min_workers)
+        self.roster_script = (
+            {int(round_index): [int(w) for w in workers]
+             for round_index, workers in roster_script.items()}
+            if roster_script is not None else None
+        )
+        self.idle_hint_s = float(idle_hint_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.registration_timeout_s = float(registration_timeout_s)
+        self.draining = False
+        self._closed = False
+
+        # listener first: the address is known (and publishable) before
+        # the engine's model build does any heavy lifting
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, int(port)))
+        listener.listen(128)
+        listener.setblocking(False)
+        self._listener = listener
+        self.address: Tuple[str, int] = listener.getsockname()
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, None)
+        self._conn_by_worker: Dict[int, _Connection] = {}
+
+        quorum = (
+            config.deadline_quorum
+            if getattr(config, "deadline_quorum", None) is not None
+            else 0.85
+        )
+        executor = SocketExecutor(
+            telemetry=self.telemetry,
+            retry=retry,
+            straggler_quorum=quorum,
+            straggler_multiplier=getattr(
+                config, "deadline_multiplier", 1.5
+            ),
+            wire_profile=getattr(config, "wire_profile", "exact"),
+            wire_keep_fraction=getattr(
+                config, "wire_keep_fraction", 0.25
+            ),
+            wire_quantize_bits=getattr(config, "wire_quantize_bits", 8),
+            template_cache_limit=getattr(
+                config, "template_cache_limit", 8
+            ),
+        )
+        executor.service = self
+        self.executor = executor
+        # note: config.executor stays "serial" -- the socket executor is
+        # injected through the engine's executor seam, so the stored
+        # config equals a plain serial run's and a service checkpoint
+        # resumes under either `repro serve --resume` or `repro run
+        # --resume` without a config-equality mismatch
+        self.engine = Engine(
+            task, devices, config, hooks=hooks, telemetry=self.telemetry,
+            executor=executor, restore=checkpoint,
+            checkpoint_meta=checkpoint_meta,
+        )
+        executor.pickle_submodels = self.engine._has_rng_modules
+        self.engine.membership_provider = self._membership
+        self.engine.checkpoint_extra_provider = (
+            self._service_checkpoint_state
+        )
+        self._scheduler = make_scheduler(config)
+
+        self.roster: Dict[int, RosterEntry] = {
+            worker_id: RosterEntry(worker_id=worker_id)
+            for worker_id in self.engine.worker_ids
+        }
+        self.counters: Dict[str, int] = {
+            "register": 0, "reconnect": 0, "leave": 0, "lost": 0,
+        }
+        self._gone_reason: Dict[int, str] = {}
+        self._specs_by_id = {
+            spec.worker_id: spec for spec in self.engine.worker_specs
+        }
+        restored = self.engine.restored_service_state
+        if restored:
+            for worker_id, summary in restored.get("roster", {}).items():
+                entry = self.roster.get(int(worker_id))
+                if entry is not None:
+                    # every slot restarts GONE: clients must re-register
+                    # against the resumed service, whatever state the
+                    # killed process last saw
+                    entry.registrations = int(
+                        summary.get("registrations", 0)
+                    )
+            for kind, count in restored.get("counters", {}).items():
+                if kind in self.counters:
+                    self.counters[kind] = int(count)
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self):
+        """Serve the whole run; returns the training history.
+
+        Blocks until the scheduler finishes (or a drain interrupts it),
+        then drains connected clients and closes the listener.
+        """
+        self._install_signal_handlers()
+        self.telemetry.event("service_started", host=self.address[0],
+                             port=self.address[1],
+                             workers=len(self.roster))
+        try:
+            try:
+                return self._scheduler.run(self.engine)
+            except ServiceDrained:
+                return self.engine.history
+        finally:
+            self.shutdown()
+            self.engine.close()
+
+    def _install_signal_handlers(self) -> None:
+        def _request_drain(signum, frame):
+            self.engine.request_interrupt()
+
+        # signal handlers only install on the main thread; tests drive
+        # the service from a worker thread and rely on shutdown()
+        try:
+            signal.signal(signal.SIGTERM, _request_drain)
+            signal.signal(signal.SIGINT, _request_drain)
+        except ValueError:
+            pass
+
+    def shutdown(self, drain_timeout_s: Optional[float] = None) -> None:
+        """Drain connected clients and close the listener.  Idempotent."""
+        if self._closed:
+            return
+        self.draining = True
+        for entry in self.roster.values():
+            if entry.state == ACTIVE:
+                entry.state = DRAINING
+        timeout = (
+            drain_timeout_s if drain_timeout_s is not None
+            else self.drain_timeout_s
+        )
+        deadline = time.monotonic() + timeout
+        while any(
+            entry.state in (ACTIVE, DRAINING)
+            for entry in self.roster.values()
+        ):
+            if time.monotonic() > deadline:
+                break
+            self.pump(0.05)
+        self._closed = True
+        for connection in list(self._conn_by_worker.values()):
+            self._drop_connection(connection)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for key in list(self._selector.get_map().values()):
+            if isinstance(key.data, _Connection):
+                self._drop_connection(key.data)
+        self._selector.close()
+        self.telemetry.event("service_stopped",
+                             counters=dict(self.counters))
+
+    # -- the pump ------------------------------------------------------
+    def pump(self, timeout_s: float = 0.0) -> int:
+        """Serve pending socket events; returns messages handled."""
+        if self._closed:
+            return 0
+        handled = 0
+        for key, _ in self._selector.select(timeout_s):
+            if key.data is None:
+                self._accept()
+            else:
+                handled += self._read(key.data)
+        return handled
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setblocking(False)
+            self._selector.register(
+                sock, selectors.EVENT_READ, _Connection(sock=sock)
+            )
+
+    def _read(self, connection: _Connection) -> int:
+        alive = True
+        while True:
+            try:
+                chunk = connection.sock.recv(1 << 20)
+            except BlockingIOError:
+                break
+            except (ConnectionError, OSError):
+                alive = False
+                break
+            if not chunk:
+                alive = False
+                break
+            connection.frames.feed(chunk)
+        handled = 0
+        for message in connection.frames.pop_messages():
+            self._handle(connection, message)
+            handled += 1
+        if not alive:
+            self._disconnect(connection)
+        return handled
+
+    def _send(self, connection: _Connection, message) -> None:
+        data = memoryview(encode_message(message))
+        sock = connection.sock
+        while data:
+            try:
+                sent = sock.send(data)
+            except BlockingIOError:
+                # the client's receive buffer is full mid-frame: wait
+                # for writability (bounded; a stuck peer is dropped)
+                import select as _select
+                _, writable, _ = _select.select([], [sock], [], 5.0)
+                if not writable:
+                    self._disconnect(connection)
+                    return
+                continue
+            except (ConnectionError, OSError):
+                self._disconnect(connection)
+                return
+            data = data[sent:]
+
+    def _disconnect(self, connection: _Connection) -> None:
+        worker_id = connection.worker_id
+        self._drop_connection(connection)
+        if worker_id is None:
+            return
+        if self._conn_by_worker.get(worker_id) is connection:
+            del self._conn_by_worker[worker_id]
+        entry = self.roster.get(worker_id)
+        if entry is not None and entry.state in (ACTIVE, DRAINING):
+            entry.state = GONE
+            self._gone_reason[worker_id] = "lost"
+            self.counters["lost"] += 1
+            metrics = self.telemetry.metrics
+            metrics.counter("worker_departures_total", kind="lost").inc()
+            metrics.gauge("connected_workers").set(
+                float(self._active_count())
+            )
+            self.telemetry.event("worker_lost", worker=worker_id)
+
+    def _drop_connection(self, connection: _Connection) -> None:
+        try:
+            self._selector.unregister(connection.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            connection.sock.close()
+        except OSError:
+            pass
+
+    def _active_count(self) -> int:
+        return sum(
+            1 for entry in self.roster.values() if entry.state == ACTIVE
+        )
+
+    def gone_reason(self, worker_id: int) -> Optional[str]:
+        """How a worker last went GONE (``"leave"``/``"lost"``), or
+        None while it is registered."""
+        entry = self.roster.get(worker_id)
+        if entry is None or entry.state != GONE:
+            return None
+        return self._gone_reason.get(worker_id)
+
+    # -- request handling ----------------------------------------------
+    def _handle(self, connection: _Connection, message) -> None:
+        try:
+            op, seq = message[0], message[1]
+        except (TypeError, IndexError):
+            return  # not even (op, seq, ...): drop silently
+        handler = self._HANDLERS.get(op)
+        try:
+            if handler is None:
+                raise ServiceError(f"unknown request op {op!r}")
+            reply = handler(self, connection, message)
+        except ServiceError as exc:
+            reply = ("err", seq, str(exc))
+        except Exception:
+            reply = ("err", seq, traceback.format_exc())
+        if reply is not None:
+            self._send(connection, reply)
+
+    def _op_register(self, connection: _Connection, message):
+        _, seq, info = message
+        client_protocol = info.get("protocol")
+        if client_protocol != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"protocol mismatch: client speaks "
+                f"{client_protocol!r}, service speaks "
+                f"{PROTOCOL_VERSION}"
+            )
+        worker_id = info.get("worker_id")
+        if worker_id is None:
+            for candidate in self.engine.worker_ids:
+                if self.roster[candidate].state != ACTIVE:
+                    worker_id = candidate
+                    break
+            else:
+                raise ServiceError(
+                    f"all {len(self.roster)} worker slots are active"
+                )
+        else:
+            worker_id = int(worker_id)
+            if worker_id not in self.roster:
+                raise ServiceError(
+                    f"unknown worker id {worker_id}; the fleet has "
+                    f"slots {self.engine.worker_ids}"
+                )
+            if self.roster[worker_id].state == ACTIVE:
+                raise ServiceError(
+                    f"worker {worker_id} is already registered"
+                )
+        entry = self.roster[worker_id]
+        first = entry.registrations == 0
+        entry.registrations += 1
+        entry.state = DRAINING if self.draining else ACTIVE
+        entry.last_seen = time.time()
+        self._gone_reason.pop(worker_id, None)
+        stale = self._conn_by_worker.get(worker_id)
+        if stale is not None and stale is not connection:
+            self._drop_connection(stale)
+        connection.worker_id = worker_id
+        self._conn_by_worker[worker_id] = connection
+        self.executor.forget_worker(worker_id)
+        # a no-op for fleet-provisioned slots (the agent already
+        # exists, no RNG is drawn), so parity with a serial reference
+        # run survives any number of reconnects; a genuinely new
+        # worker gets its E-UCB agent minted here
+        self.engine.strategy.register_worker(
+            worker_id, device=self.engine.workers[worker_id].device
+        )
+        kind = "register" if first else "reconnect"
+        self.counters[kind] += 1
+        metrics = self.telemetry.metrics
+        metrics.counter("registrations_total", kind=kind).inc()
+        metrics.gauge("connected_workers").set(
+            float(self._active_count())
+        )
+        self.telemetry.event("worker_registered", worker=worker_id,
+                             kind=kind)
+        spec = self._specs_by_id[worker_id]
+        runtime_state = (
+            entry.runtime_state if entry.runtime_state is not None
+            else spec.runtime_state
+        )
+        shipped = dataclasses.replace(spec, runtime_state=runtime_state)
+        return ("registered", seq, {
+            "protocol": PROTOCOL_VERSION,
+            "worker_id": worker_id,
+            "spec": pickle.dumps(shipped,
+                                 protocol=pickle.HIGHEST_PROTOCOL),
+        })
+
+    def _registered_entry(self, connection: _Connection,
+                          worker_id: int) -> RosterEntry:
+        if connection.worker_id != worker_id:
+            raise ServiceError(
+                f"connection is registered as worker "
+                f"{connection.worker_id}, not {worker_id}"
+            )
+        return self.roster[worker_id]
+
+    def _op_leave(self, connection: _Connection, message):
+        _, seq, worker_id, blob = message
+        entry = self._registered_entry(connection, int(worker_id))
+        entry.state = GONE
+        entry.last_seen = time.time()
+        if blob is not None:
+            entry.runtime_state = pickle.loads(blob)
+        self._gone_reason[entry.worker_id] = "leave"
+        self.counters["leave"] += 1
+        if self._conn_by_worker.get(entry.worker_id) is connection:
+            del self._conn_by_worker[entry.worker_id]
+        connection.worker_id = None
+        metrics = self.telemetry.metrics
+        metrics.counter("worker_departures_total", kind="leave").inc()
+        metrics.gauge("connected_workers").set(
+            float(self._active_count())
+        )
+        self.telemetry.event("worker_left", worker=entry.worker_id,
+                             captured=blob is not None)
+        return ("bye", seq)
+
+    def _op_pull_dispatch(self, connection: _Connection, message):
+        _, seq, worker_id = message
+        entry = self._registered_entry(connection, int(worker_id))
+        entry.last_seen = time.time()
+        if self.draining:
+            return ("drain", seq)
+        item = self.executor.next_for(entry.worker_id)
+        if item is None:
+            return ("idle", seq, self.idle_hint_s)
+        if item[0] == "capture":
+            return ("capture", seq, item[1])
+        _, tseq, frame, template, drops = item
+        return ("dispatch", seq, tseq, frame, template, drops)
+
+    def _op_push_contribution(self, connection: _Connection, message):
+        _, seq, worker_id, tseq, frame = message
+        entry = self._registered_entry(connection, int(worker_id))
+        entry.last_seen = time.time()
+        self.executor.deliver(int(tseq), entry.worker_id, frame)
+        return ("accepted", seq)
+
+    def _op_push_state(self, connection: _Connection, message):
+        _, seq, worker_id, cseq, blob = message
+        entry = self._registered_entry(connection, int(worker_id))
+        entry.last_seen = time.time()
+        self.executor.deliver_state(int(cseq), entry.worker_id, blob)
+        return ("accepted", seq)
+
+    def _op_heartbeat(self, connection: _Connection, message):
+        _, seq, worker_id, sent_at = message
+        entry = self._registered_entry(connection, int(worker_id))
+        entry.last_seen = time.time()
+        lag = max(0.0, time.time() - float(sent_at))
+        self.telemetry.metrics.gauge(
+            "heartbeat_lag_s", worker=str(entry.worker_id)
+        ).set(lag)
+        return ("pong", seq)
+
+    def _op_status(self, connection: _Connection, message):
+        _, seq = message[0], message[1]
+        return ("status_ok", seq, {
+            "protocol": PROTOCOL_VERSION,
+            "address": list(self.address),
+            "draining": self.draining,
+            "rounds_recorded": len(self.engine.history.rounds),
+            "counters": dict(self.counters),
+            "roster": {
+                worker_id: entry.summary()
+                for worker_id, entry in self.roster.items()
+            },
+        })
+
+    _HANDLERS = {
+        "register": _op_register,
+        "leave": _op_leave,
+        "pull_dispatch": _op_pull_dispatch,
+        "push_contribution": _op_push_contribution,
+        "push_state": _op_push_state,
+        "heartbeat": _op_heartbeat,
+        "status": _op_status,
+    }
+
+    # -- membership ----------------------------------------------------
+    def _scripted_for(self, round_index: int) -> List[int]:
+        script = self.roster_script
+        applicable = [key for key in script if key <= round_index]
+        if not applicable:
+            raise ServiceError(
+                f"roster script has no entry applicable to round "
+                f"{round_index} (keys: {sorted(script)})"
+            )
+        return list(script[max(applicable)])
+
+    def _membership(self, round_index: int) -> List[int]:
+        """The engine's membership provider: who trains this round.
+
+        Scripted mode waits until every scripted worker is registered,
+        then returns exactly the scripted list; live mode waits for
+        ``min_workers`` before round 0 and for at least one active
+        worker before later rounds, then returns whoever is active.
+        Consumes no engine RNG either way.
+        """
+        deadline = time.monotonic() + self.registration_timeout_s
+        while True:
+            if self.roster_script is not None:
+                wanted = self._scripted_for(round_index)
+                missing = [
+                    worker_id for worker_id in wanted
+                    if self.roster[worker_id].state != ACTIVE
+                ]
+                if not missing:
+                    return wanted
+            else:
+                needed = self.min_workers if round_index == 0 else 1
+                active = [
+                    worker_id for worker_id in self.engine.worker_ids
+                    if self.roster[worker_id].state == ACTIVE
+                ]
+                if len(active) >= needed:
+                    return active
+                missing = f"{needed - len(active)} more worker(s)"
+            if self.engine.interrupt_requested:
+                self._drain_abort(round_index)
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"round {round_index}: still waiting for {missing} "
+                    f"after {self.registration_timeout_s:.0f}s"
+                )
+            self.pump(0.05)
+
+    def _drain_abort(self, round_index: int) -> None:
+        """A drain arrived while waiting for workers: checkpoint the
+        completed prefix (the cadence may not have) and bail out."""
+        if round_index > 0 and self.engine.checkpointer is not None:
+            self.engine.checkpointer.save(
+                self.engine, self._scheduler.name, round_index
+            )
+        raise ServiceDrained(
+            f"drain requested while waiting for workers before round "
+            f"{round_index}"
+        )
+
+    # -- checkpoint extras ---------------------------------------------
+    def _service_checkpoint_state(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "counters": dict(self.counters),
+            "roster": {
+                worker_id: entry.summary()
+                for worker_id, entry in self.roster.items()
+            },
+        }

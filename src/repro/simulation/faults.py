@@ -85,6 +85,13 @@ def simulate_membership_churn(worker_ids: Sequence[int], round_index: int,
     the worker id and round index through ``rng``-independent uniform
     draws) and rejoins ``rejoin_after`` rounds later.  Used by the
     fault-injection tests and the robustness example.
+
+    A round in which every worker leaves raises
+    :class:`~repro.fl.aggregation.EmptyRoundError` -- there is nobody
+    to dispatch to, and the previous silent fallback (pretending the
+    first worker stayed) hid the condition from the scheduler.  The
+    per-worker draws are consumed either way, so the churn stream's
+    position is unaffected by the outcome.
     """
     present = []
     for wid in worker_ids:
@@ -93,4 +100,12 @@ def simulate_membership_churn(worker_ids: Sequence[int], round_index: int,
         if draw < leave_prob and round_index % cycle != 0:
             continue
         present.append(wid)
-    return present if present else list(worker_ids[:1])
+    if not present:
+        # deferred import: repro.fl.engine imports this module
+        from repro.fl.aggregation import EmptyRoundError
+
+        raise EmptyRoundError(
+            f"round {round_index}: churn removed all "
+            f"{len(worker_ids)} worker(s)"
+        )
+    return present

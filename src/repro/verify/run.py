@@ -20,6 +20,12 @@ bench preset:
    process, and compared against the uninterrupted reference:
    normalised history byte-for-byte, final weights at 0 ULP (see
    :mod:`repro.verify.resume`).
+5. **Service mode** -- a `FedMPService` subprocess on a loopback
+   socket, one client subprocess per worker, scripted churn (one
+   leave, one join), compared against a serial in-process reference
+   over the same roster script; then the same choreography with the
+   service SIGKILLed mid-round and resumed on the same port while the
+   clients reconnect (see :mod:`repro.verify.service`).
 
 ``run_verification`` returns a :class:`VerificationReport`; the CLI
 renders it and exits non-zero when any check failed.
@@ -228,12 +234,15 @@ def run_verification(preset: str = "cnn", rounds: int = 5,
                      workers: Optional[int] = None,
                      seed: int = 17,
                      executor: str = "serial",
-                     num_procs: Optional[int] = None) -> VerificationReport:
+                     num_procs: Optional[int] = None,
+                     service: bool = True) -> VerificationReport:
     """Run the full verification battery on one bench preset.
 
     ``executor="process"`` adds a fourth stage: a serial-vs-process
     differential run that must be 0-ULP identical in every per-round
     global state *and* byte-identical in the normalised history JSON.
+    ``service=False`` skips the loopback-socket service stages (real
+    subprocess fleets; the slowest part of the battery).
     """
     if rounds < 2:
         raise ValueError("verification needs at least 2 rounds")
@@ -372,4 +381,25 @@ def run_verification(preset: str = "cnn", rounds: int = 5,
     elif executor != "serial":
         raise ValueError(f"unknown executor {executor!r}")
 
+    # --- stage 6: service mode (loopback sockets) -------------------------
+    # a served run with scripted churn must equal the serial reference
+    # byte-for-byte, even across a SIGKILL-and-resume of the service
+    if service:
+        from repro.verify.service import differential_serve_loopback
+
+        fleet = min(4, len(worker_ids))
+        report.results.append(_service_check(differential_serve_loopback(
+            preset=preset, scenario=scenario, workers=fleet,
+            rounds=rounds, seed=seed,
+        )))
+        report.results.append(_service_check(differential_serve_loopback(
+            preset=preset, scenario=scenario, workers=fleet,
+            rounds=rounds, seed=seed,
+            kill_at=min(rounds - 1, rounds // 2 + 1),
+        )))
+
     return report
+
+
+def _service_check(check) -> CheckResult:
+    return CheckResult(check.name, check.passed, check.detail)

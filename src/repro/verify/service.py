@@ -1,0 +1,616 @@
+"""Loopback-socket differential: a served run must equal a serial run.
+
+The parameter-server service (:mod:`repro.serve`) promises that
+training over real TCP sockets -- live worker processes registering,
+training, and churning -- is *byte-identical* to a serial in-process
+run over the same membership: same normalised history JSON, same final
+weights at 0 ULP.  This module proves it with real processes:
+
+1. **reference** -- a serial in-process run whose membership provider
+   replays the same ``{round: [worker ids]}`` roster script the
+   service will be pinned to;
+2. **serve loopback** -- a `FedMPService` subprocess on a loopback
+   port plus one client subprocess per scripted worker (the scripted
+   leaver uses ``leave_after``, the scripted joiner idles until its
+   round arrives), compared byte-for-byte / at 0 ULP against the
+   reference;
+3. **kill and resume** -- the same choreography, but the service
+   process is ``SIGKILL``\\ ed in ``before_aggregate`` of a round
+   *after* the scripted join, then resumed on the *same port* from its
+   latest checkpoint while the clients redial with ``--reconnect``.
+   The finished run -- including the worker that joined after round
+   0 -- must still match the uninterrupted reference;
+4. **smoke** -- the CI choreography: a live (unscripted) roster, one
+   mid-run leave plus one late join, then ``SIGTERM``; the service
+   must finish the round in flight, write an interrupt checkpoint,
+   drain every client cleanly, and exit 0.
+
+The scripted stages run under the sync scheduler: ``leave_after``
+counts completed dispatches, which align with round boundaries only
+when every present worker trains exactly once per round.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.fl.checkpoint import (
+    latest_checkpoint,
+    load_checkpoint,
+    resolve_checkpoint,
+)
+from repro.fl.engine import Engine
+from repro.fl.hooks import CommVolumeHook, TimingHook
+from repro.fl.schedulers import make_scheduler
+from repro.io import atomic_write_bytes, load_state_dict, save_state_dict
+from repro.verify.differential import (
+    StateCaptureHook,
+    normalised_history_bytes,
+)
+from repro.verify.resume import (
+    _build_setup,
+    _final_state_ulps,
+    _SigkillHook,
+    _subprocess_env,
+)
+
+__all__ = [
+    "ServeCheck",
+    "default_roster_script",
+    "differential_serve_loopback",
+    "main",
+]
+
+
+@dataclass
+class ServeCheck:
+    """Outcome of one loopback-socket differential."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def default_roster_script(workers: int,
+                          rounds: int) -> Dict[int, List[int]]:
+    """The canonical churn script: one leave and one join mid-run.
+
+    Workers ``0 .. N-2`` are present from round 0; at round
+    ``rounds // 2`` worker ``N-2`` leaves and worker ``N-1`` joins.
+    Degenerates gracefully for tiny fleets or single-round runs.
+    """
+    if workers < 2 or rounds < 2:
+        return {0: list(range(workers))}
+    mid = max(1, rounds // 2)
+    before = list(range(workers - 1))
+    after = list(range(workers - 2)) + [workers - 1]
+    return {0: before, mid: after}
+
+
+def _roster_provider(script: Dict[int, List[int]]):
+    def provider(round_index: int) -> List[int]:
+        best = max(k for k in script if k <= round_index)
+        return list(script[best])
+
+    return provider
+
+
+def _make_service_config(bench, rounds: int, seed: int,
+                         checkpoint_dir: Optional[str] = None):
+    # executor stays "serial": the reference runs it directly, and the
+    # service injects its socket executor through the engine seam
+    # without changing the stored config (checkpoint compatibility)
+    return bench.make_config(
+        "fedmp", max_rounds=rounds, seed=seed, target_metric=None,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=1,
+    )
+
+
+def _scripted_reference(meta: Dict[str, object], rounds: int, seed: int,
+                        script: Dict[int, List[int]]):
+    """Serial in-process run over the scripted roster.
+
+    Returns ``(normalised history bytes, final global state)``.
+    """
+    bench, task, devices = _build_setup(meta)
+    config = _make_service_config(bench, rounds, seed)
+    capture = StateCaptureHook()
+    engine = Engine(task, devices, config,
+                    hooks=[TimingHook(), CommVolumeHook(), capture])
+    engine.membership_provider = _roster_provider(script)
+    try:
+        history = make_scheduler(config).run(engine)
+    finally:
+        engine.close()
+    return normalised_history_bytes(history), capture.states[-1]
+
+
+def _free_port() -> int:
+    """A loopback port that was free a moment ago.
+
+    The serve side binds with ``SO_REUSEADDR``, so the brief window
+    between probing and binding (and the probe socket's TIME_WAIT) is
+    harmless.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _wait_for_file(path: Path, timeout_s: float, what: str) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if path.exists() and path.stat().st_size > 0:
+            return
+        time.sleep(0.05)
+    raise TimeoutError(f"{what} did not appear within {timeout_s:.0f}s")
+
+
+def _spawn(cmd: Sequence[str], log: Path, env: Dict[str, str]):
+    handle = open(log, "wb")
+    try:
+        return subprocess.Popen(list(cmd), env=env, stdout=handle,
+                                stderr=subprocess.STDOUT), handle
+    except BaseException:
+        handle.close()
+        raise
+
+
+def _terminate_all(procs) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+
+
+def _tail(log: Path, limit: int = 500) -> str:
+    try:
+        return log.read_text(errors="replace")[-limit:]
+    except OSError:
+        return "<no output>"
+
+
+def differential_serve_loopback(
+        preset: str = "cnn", scenario: str = "medium", workers: int = 4,
+        rounds: int = 5, seed: int = 17,
+        kill_at: Optional[int] = None,
+        timeout_s: float = 540.0) -> ServeCheck:
+    """One scripted serve-vs-serial differential (optionally killed).
+
+    Without ``kill_at``: serve subprocess + client subprocesses over a
+    loopback socket, scripted churn, compared against the serial
+    reference.  With ``kill_at``: the service is SIGKILLed in
+    ``before_aggregate`` of that round, resumed on the same port from
+    its latest checkpoint, and the *resumed* outcome is compared --
+    clients ride out the outage with ``--reconnect``.
+    """
+    script = default_roster_script(workers, rounds)
+    join_round = max(script)
+    leaver = workers - 2 if workers >= 2 and rounds >= 2 else None
+    meta = {"preset": preset, "scenario": scenario, "workers": workers,
+            "non_iid": False}
+    name = ("service/kill_and_resume" if kill_at is not None
+            else "service/loopback_socket")
+    if kill_at is not None and not (0 < kill_at < rounds):
+        raise ValueError(f"kill_at must be in (0, {rounds}), "
+                         f"got {kill_at}")
+
+    ref_bytes, ref_final = _scripted_reference(meta, rounds, seed, script)
+
+    env = _subprocess_env()
+    port = _free_port()
+    base = [sys.executable, "-m", "repro.verify.service"]
+    procs, handles = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+        ckpt_dir = tmpdir / "ckpt"
+        history_out = tmpdir / "history.bin"
+        weights_out = tmpdir / "weights.npz"
+        port_file = tmpdir / "port"
+        serve_args = base + [
+            "serve", "--preset", preset, "--scenario", scenario,
+            "--workers", str(workers), "--rounds", str(rounds),
+            "--seed", str(seed), "--port", str(port),
+            "--port-file", str(port_file),
+            "--roster-script", json.dumps(
+                {str(k): v for k, v in script.items()}),
+            "--checkpoint-dir", str(ckpt_dir),
+            "--history-out", str(history_out),
+            "--weights-out", str(weights_out),
+        ]
+        if kill_at is not None:
+            serve_args += ["--kill-at", str(kill_at)]
+        serve_log = tmpdir / "serve.log"
+        try:
+            server, handle = _spawn(serve_args, serve_log, env)
+            procs.append(server)
+            handles.append(handle)
+            _wait_for_file(port_file, 60.0, "the service's port file")
+
+            all_workers = sorted({w for ws in script.values() for w in ws})
+            for wid in all_workers:
+                client_args = base + [
+                    "client", "--port", str(port),
+                    "--worker-id", str(wid),
+                ]
+                if wid == leaver:
+                    # the scripted leaver departs after its dispatch in
+                    # round join_round - 1 (sync: one dispatch per
+                    # present round)
+                    client_args += ["--leave-after", str(join_round)]
+                if kill_at is not None:
+                    client_args += ["--reconnect",
+                                    "--reconnect-timeout", "120"]
+                proc, handle = _spawn(client_args,
+                                      tmpdir / f"client{wid}.log", env)
+                procs.append(proc)
+                handles.append(handle)
+
+            server.wait(timeout=timeout_s)
+            if kill_at is not None:
+                if server.returncode != -signal.SIGKILL:
+                    return ServeCheck(name, False, (
+                        f"serve child exited {server.returncode} instead "
+                        f"of dying on SIGKILL at round {kill_at}; "
+                        f"output: {_tail(serve_log)}"))
+                source = latest_checkpoint(ckpt_dir)
+                resume_log = tmpdir / "resume.log"
+                resumed, handle = _spawn(base + [
+                    "serve", "--resume", str(ckpt_dir),
+                    "--port", str(port),
+                    "--port-file", str(tmpdir / "port2"),
+                    "--roster-script", json.dumps(
+                        {str(k): v for k, v in script.items()}),
+                    "--history-out", str(history_out),
+                    "--weights-out", str(weights_out),
+                ], resume_log, env)
+                procs.append(resumed)
+                handles.append(handle)
+                resumed.wait(timeout=timeout_s)
+                if resumed.returncode != 0:
+                    return ServeCheck(name, False, (
+                        f"resumed serve child exited "
+                        f"{resumed.returncode} (killed at {kill_at}, "
+                        f"checkpoint {source.name}); output: "
+                        f"{_tail(resume_log)}"))
+            elif server.returncode != 0:
+                return ServeCheck(name, False, (
+                    f"serve child exited {server.returncode}; "
+                    f"output: {_tail(serve_log)}"))
+
+            for proc in procs[1:]:
+                proc.wait(timeout=timeout_s)
+            bad = [p for p in procs[1:] if p.returncode != 0]
+            if bad:
+                logs = "; ".join(
+                    _tail(tmpdir / f"client{w}.log", 200)
+                    for w in all_workers)
+                return ServeCheck(name, False, (
+                    f"{len(bad)} client(s) exited non-zero; "
+                    f"logs: {logs}"))
+
+            history_identical = history_out.read_bytes() == ref_bytes
+            max_ulps = _final_state_ulps(
+                ref_final, load_state_dict(weights_out))
+            passed = history_identical and max_ulps == 0
+            churn = (f"leave@{join_round - 1} join@{join_round}"
+                     if leaver is not None else "no churn")
+            killed = (f", SIGKILLed at round {kill_at} and resumed on "
+                      f"port {port}" if kill_at is not None else "")
+            return ServeCheck(name, passed, (
+                f"{len(all_workers)} socket clients, {rounds} rounds, "
+                f"{churn}{killed}: history "
+                f"{'identical' if history_identical else 'DIFFERS'}, "
+                f"final weights at {max_ulps} ULPs"))
+        except (subprocess.TimeoutExpired, TimeoutError) as exc:
+            return ServeCheck(name, False, (
+                f"timed out: {exc}; serve output: {_tail(serve_log)}"))
+        finally:
+            _terminate_all(procs)
+            for handle in handles:
+                handle.close()
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _parse_script(text: Optional[str]) -> Optional[Dict[int, List[int]]]:
+    if text is None:
+        return None
+    return {int(k): [int(w) for w in ws]
+            for k, ws in json.loads(text).items()}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import FedMPService
+    from repro.telemetry import JsonlSink, Telemetry, Tracer
+
+    telemetry = (Telemetry(tracer=Tracer(JsonlSink(args.trace_out)))
+                 if args.trace_out is not None else None)
+    capture = StateCaptureHook()
+    hooks = [TimingHook(), CommVolumeHook(), capture]
+    if args.kill_at is not None:
+        hooks.append(_SigkillHook(args.kill_at))
+
+    if args.resume is not None:
+        checkpoint = load_checkpoint(resolve_checkpoint(args.resume))
+        meta = checkpoint.meta
+        if not meta:
+            print("checkpoint carries no rebuild meta", file=sys.stderr)
+            return 4
+        _, task, devices = _build_setup(meta)
+        config = None
+        resume_from = checkpoint
+        checkpoint_meta = meta
+    else:
+        meta = {"preset": args.preset, "scenario": args.scenario,
+                "workers": args.workers, "non_iid": False}
+        bench, task, devices = _build_setup(meta)
+        config = _make_service_config(bench, args.rounds, args.seed,
+                                      checkpoint_dir=args.checkpoint_dir)
+        resume_from = None
+        checkpoint_meta = meta
+
+    service = FedMPService(
+        task, devices, config, host="127.0.0.1", port=args.port,
+        telemetry=telemetry, hooks=hooks,
+        checkpoint_meta=checkpoint_meta, resume_from=resume_from,
+        min_workers=args.min_workers,
+        roster_script=_parse_script(args.roster_script),
+    )
+    if args.port_file is not None:
+        Path(args.port_file).write_text(f"{service.address[1]}\n",
+                                        encoding="utf-8")
+    print(f"serving on {service.address[0]}:{service.address[1]}")
+    sys.stdout.flush()
+    history = service.run()
+    if args.history_out is not None:
+        atomic_write_bytes(args.history_out,
+                           normalised_history_bytes(history))
+    if args.weights_out is not None:
+        if not capture.states:
+            print("no rounds ran; nothing to dump", file=sys.stderr)
+            return 5
+        save_state_dict(capture.states[-1], args.weights_out)
+    if telemetry is not None:
+        telemetry.close()
+    print(f"served {len(history.rounds)} round(s); "
+          f"fleet counters {service.counters}")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceClient
+
+    client = ServiceClient(
+        ("127.0.0.1", args.port), worker_id=args.worker_id,
+        reconnect=args.reconnect,
+        reconnect_timeout_s=args.reconnect_timeout,
+        leave_after=args.leave_after,
+    )
+    completed = client.run()
+    print(f"worker {client.worker_id}: {completed} dispatch(es)")
+    return 0
+
+
+def _cmd_battery(args: argparse.Namespace) -> int:
+    rounds = args.rounds
+    kill_at = (args.kill_at if args.kill_at is not None
+               else min(rounds - 1, rounds // 2 + 1))
+    checks = [
+        differential_serve_loopback(
+            preset=args.preset, scenario=args.scenario,
+            workers=args.workers, rounds=rounds, seed=args.seed,
+        ),
+        differential_serve_loopback(
+            preset=args.preset, scenario=args.scenario,
+            workers=args.workers, rounds=rounds, seed=args.seed,
+            kill_at=kill_at,
+        ),
+    ]
+    failed = False
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        print(f"[{status}] {check.name}: {check.detail}")
+        failed = failed or not check.passed
+    return 1 if failed else 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """The CI ``serve-smoke`` choreography (live roster, SIGTERM drain).
+
+    A 4-slot service with a *live* (unscripted) roster runs with three
+    immediate clients -- one of which leaves after its second dispatch
+    -- and a fourth that joins late.  Once the checkpoint ledger shows
+    ``--rounds`` completed rounds the service gets SIGTERM: it must
+    finish the round in flight, write an interrupt checkpoint, drain
+    every connected client, and exit 0 -- as must every client.
+    """
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    env = _subprocess_env()
+    port = _free_port()
+    base = [sys.executable, "-m", "repro.verify.service"]
+    ckpt_dir = out_dir / "ckpt"
+    port_file = out_dir / "port"
+    serve_log = out_dir / "serve.log"
+    trace_out = out_dir / "serve-trace.jsonl"
+    procs, handles = [], []
+    failures: List[str] = []
+    try:
+        server, handle = _spawn(base + [
+            "serve", "--preset", args.preset, "--scenario", args.scenario,
+            "--workers", "4", "--rounds", str(args.rounds * 4),
+            "--seed", str(args.seed), "--port", str(port),
+            "--port-file", str(port_file), "--min-workers", "3",
+            "--checkpoint-dir", str(ckpt_dir),
+            "--trace-out", str(trace_out),
+        ], serve_log, env)
+        procs.append(server)
+        handles.append(handle)
+        _wait_for_file(port_file, 60.0, "the service's port file")
+
+        def start_client(extra, tag):
+            proc, handle = _spawn(
+                base + ["client", "--port", str(port)] + extra,
+                out_dir / f"client-{tag}.log", env)
+            procs.append(proc)
+            handles.append(handle)
+            return proc
+
+        # three immediate workers; one leaves after two dispatches
+        start_client([], "a")
+        start_client([], "b")
+        start_client(["--leave-after", "2"], "leaver")
+        # ... and a late joiner picks up the freed capacity
+        time.sleep(1.5)
+        start_client([], "late")
+
+        deadline = time.monotonic() + args.timeout_s
+        while time.monotonic() < deadline:
+            if server.poll() is not None:
+                failures.append(
+                    f"service exited early ({server.returncode}): "
+                    f"{_tail(serve_log)}")
+                break
+            latest = (latest_checkpoint(ckpt_dir)
+                      if ckpt_dir.is_dir() else None)
+            if latest is not None:
+                next_round = load_checkpoint(latest).next_round
+                if next_round >= args.rounds:
+                    break
+            time.sleep(0.2)
+        else:
+            failures.append(
+                f"no checkpoint reached round {args.rounds} within "
+                f"{args.timeout_s:.0f}s: {_tail(serve_log)}")
+
+        if not failures:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=120)
+            except subprocess.TimeoutExpired:
+                failures.append("service did not drain within 120s of "
+                                "SIGTERM")
+            else:
+                if server.returncode != 0:
+                    failures.append(
+                        f"drained service exited {server.returncode}: "
+                        f"{_tail(serve_log)}")
+        for proc in procs[1:]:
+            try:
+                proc.wait(timeout=120)
+            except subprocess.TimeoutExpired:
+                failures.append("a client did not observe the drain "
+                                "within 120s")
+        bad = [p for p in procs[1:] if p.returncode not in (0, None)]
+        if bad:
+            failures.append(f"{len(bad)} client(s) exited non-zero")
+        latest = latest_checkpoint(ckpt_dir) if ckpt_dir.is_dir() else None
+        if latest is None:
+            failures.append("no checkpoint was written")
+        else:
+            resumable = load_checkpoint(latest)
+            print(f"interrupt checkpoint: {latest.name} "
+                  f"(next_round={resumable.next_round})")
+    finally:
+        _terminate_all(procs)
+        for handle in handles:
+            handle.close()
+
+    for failure in failures:
+        print(f"[FAIL] {failure}")
+    if not failures:
+        print(f"[PASS] live-roster smoke: one leave, one late join, "
+              f"SIGTERM drain after >= {args.rounds} rounds, clean "
+              f"checkpoint (artifacts in {out_dir})")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.service",
+        description="loopback-socket service differential harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="scripted service leg (optionally SIGKILLed)")
+    serve.add_argument("--preset", default="cnn")
+    serve.add_argument("--scenario", default="medium")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--rounds", type=int, default=5)
+    serve.add_argument("--seed", type=int, default=17)
+    serve.add_argument("--port", type=int, required=True)
+    serve.add_argument("--port-file", default=None)
+    serve.add_argument("--min-workers", type=int, default=1)
+    serve.add_argument("--roster-script", default=None,
+                       help="{round: [worker ids]} JSON")
+    serve.add_argument("--checkpoint-dir", default=None)
+    serve.add_argument("--resume", default=None,
+                       help="checkpoint file or directory (latest wins)")
+    serve.add_argument("--kill-at", type=int, default=None)
+    serve.add_argument("--history-out", default=None)
+    serve.add_argument("--weights-out", default=None)
+    serve.add_argument("--trace-out", default=None)
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser("client", help="one scripted worker client")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--worker-id", type=int, default=None)
+    client.add_argument("--leave-after", type=int, default=None)
+    client.add_argument("--reconnect", action="store_true")
+    client.add_argument("--reconnect-timeout", type=float, default=120.0)
+    client.set_defaults(func=_cmd_client)
+
+    battery = sub.add_parser(
+        "battery",
+        help="loopback differential + kill-and-resume differential")
+    battery.add_argument("--preset", default="cnn")
+    battery.add_argument("--scenario", default="medium")
+    battery.add_argument("--workers", type=int, default=4)
+    battery.add_argument("--rounds", type=int, default=5)
+    battery.add_argument("--seed", type=int, default=17)
+    battery.add_argument("--kill-at", type=int, default=None)
+    battery.set_defaults(func=_cmd_battery)
+
+    smoke = sub.add_parser(
+        "smoke",
+        help="CI choreography: live roster, churn, SIGTERM drain")
+    smoke.add_argument("--preset", default="cnn")
+    smoke.add_argument("--scenario", default="medium")
+    smoke.add_argument("--rounds", type=int, default=3,
+                       help="SIGTERM once this many rounds are "
+                            "checkpointed")
+    smoke.add_argument("--seed", type=int, default=17)
+    smoke.add_argument("--timeout-s", type=float, default=420.0)
+    smoke.add_argument("--out-dir", required=True,
+                       help="artifact directory (logs, trace, "
+                            "checkpoints)")
+    smoke.set_defaults(func=_cmd_smoke)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Mid-run arm-population changes: ``add_arm`` / ``retire_arm`` /
+``Partition.merge`` (service-mode live registration support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bandit.eucb import EUCBAgent
+from repro.bandit.partition import Partition
+
+
+def test_merge_restores_single_region():
+    partition = Partition(0.0, 1.0)
+    left, right = partition.split(partition.find(0.5), 0.5)
+    merged = partition.merge(left, right)
+    assert len(partition) == 1
+    assert merged.low == 0.0 and merged.high == 1.0
+    assert partition.find(0.3) is merged
+
+
+def test_merge_requires_adjacent_leaves_in_order():
+    partition = Partition(0.0, 1.0)
+    left, right = partition.split(partition.find(0.5), 0.5)
+    ll, lr = partition.split(left, 0.25)
+    with pytest.raises(ValueError):
+        partition.merge(ll, right)     # lr sits between them
+    with pytest.raises(ValueError):
+        partition.merge(lr, ll)        # wrong order
+    partition.merge(lr, right)         # adjacent: fine
+    assert len(partition) == 2
+
+
+def test_add_arm_splits_at_value(rng):
+    agent = EUCBAgent(max_ratio=0.8, rng=rng)
+    for _ in range(5):
+        agent.select_ratio()
+        agent.observe(1.0)
+    before = agent.num_regions
+    left, right = agent.add_arm(0.3)
+    assert agent.num_regions == before + 1
+    assert left.high == pytest.approx(0.3)
+    assert right.low == pytest.approx(0.3)
+    # the refined agent keeps playing normally
+    arm = agent.select_ratio()
+    assert 0.0 <= arm < 0.8
+    agent.observe(0.5)
+
+
+def test_restructuring_with_pending_play_is_refused(rng):
+    agent = EUCBAgent(rng=rng)
+    agent.select_ratio()
+    with pytest.raises(RuntimeError):
+        agent.add_arm(0.3)
+    with pytest.raises(RuntimeError):
+        agent.retire_arm(0.3)
+    agent.observe(0.0)
+    agent.add_arm(0.3)                 # fine once the play resolved
+
+
+def test_retire_arm_merges_and_preserves_play_history(rng):
+    agent = EUCBAgent(max_ratio=0.8, rng=rng)
+    for _ in range(10):
+        agent.select_ratio()
+        agent.observe(1.0)
+    agent.add_arm(0.3)
+    played = agent.rounds_played
+    regions = agent.num_regions
+    agent.retire_arm(0.3)
+    assert agent.num_regions == regions - 1
+    assert agent.rounds_played == played
+    agent.select_ratio()
+    agent.observe(0.2)
+    assert agent.rounds_played == played + 1
+
+
+def test_retire_last_region_is_refused(rng):
+    agent = EUCBAgent(rng=rng)
+    with pytest.raises(ValueError):
+        agent.retire_arm(0.1)

@@ -69,6 +69,25 @@ def test_extract_hotpath_and_parallel_metrics():
                         "parallel.emulated.wall_speedup": 1.4}
 
 
+def test_extract_serve_metrics():
+    metrics = extract_metrics({
+        "benchmark": "serve_loopback",
+        "fleets": [
+            {"fleet": 4, "rounds_per_s": 1.2,
+             "relative_throughput": 0.9},
+            {"fleet": 16, "rounds_per_s": 0.3,
+             "relative_throughput": 0.6},
+        ],
+    })
+    assert metrics == {
+        "serve.fleet[4].rounds_per_s": 1.2,
+        "serve.fleet[4].relative_throughput": 0.9,
+        "serve.fleet[16].rounds_per_s": 0.3,
+        "serve.fleet[16].relative_throughput": 0.6,
+    }
+    assert tolerance_for("serve.fleet[4].rounds_per_s") == 0.5
+
+
 def test_extract_rejects_unknown_report():
     with pytest.raises(ValueError, match="unrecognised"):
         extract_metrics({"something": "else"})

@@ -1,0 +1,54 @@
+"""``apply_resume_overrides``: explicit CLI flags override the
+checkpointed config with a typed warning instead of being silently
+ignored."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.fl.checkpoint import (
+    Checkpoint,
+    ResumeOverrideWarning,
+    apply_resume_overrides,
+)
+from repro.fl.config import FLConfig
+
+
+def _checkpoint(**config_kwargs) -> Checkpoint:
+    config = FLConfig(strategy="fedmp", max_rounds=5, **config_kwargs)
+    return Checkpoint(version=1, payload={"config": config})
+
+
+def test_override_changes_config_and_warns():
+    checkpoint = _checkpoint(clients_per_round=None)
+    with pytest.warns(ResumeOverrideWarning) as caught:
+        changed = apply_resume_overrides(checkpoint, clients_per_round=3)
+    assert changed == ["clients_per_round"]
+    assert checkpoint.config.clients_per_round == 3
+    message = str(caught[0].message)
+    assert "clients_per_round" in message
+    assert "None" in message and "3" in message
+
+
+def test_matching_override_is_silent_and_unchanged():
+    checkpoint = _checkpoint(clients_per_round=4)
+    before = checkpoint.config
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert apply_resume_overrides(checkpoint,
+                                      clients_per_round=4) == []
+    assert checkpoint.config is before
+
+
+def test_multiple_overrides_all_named():
+    checkpoint = _checkpoint()
+    with pytest.warns(ResumeOverrideWarning) as caught:
+        changed = apply_resume_overrides(checkpoint, clients_per_round=2,
+                                         max_rounds=9)
+    assert changed == ["clients_per_round", "max_rounds"]
+    assert checkpoint.config.clients_per_round == 2
+    assert checkpoint.config.max_rounds == 9
+    message = str(caught[0].message)
+    assert "clients_per_round" in message and "max_rounds" in message

@@ -1,0 +1,191 @@
+"""Socket framing and the client-side socket transport."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.runtime.sockets import (
+    MAX_MESSAGE_BYTES,
+    FrameBuffer,
+    SocketClosedError,
+    SocketTransport,
+    encode_message,
+    recv_message,
+    send_message,
+)
+from repro.runtime.transport import (
+    RetryPolicy,
+    TransportError,
+    TransportTimeoutError,
+    WorkerCrashError,
+)
+from repro.telemetry import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        message = ("train", 7, b"\x00\x01" * 500, {"key": [1, 2]})
+        send_message(a, message)
+        assert recv_message(b) == message
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frame_buffer_survives_arbitrary_chunking():
+    messages = [("op", i, "x" * (i * 13)) for i in range(6)]
+    wire = b"".join(encode_message(m) for m in messages)
+    buffer = FrameBuffer()
+    out = []
+    for cut in range(0, len(wire), 7):     # drip-feed 7 bytes at a time
+        buffer.feed(wire[cut:cut + 7])
+        out.extend(buffer.pop_messages())
+    assert out == messages
+    assert buffer.pending_bytes() == 0
+
+
+def test_frame_buffer_rejects_oversized_length_prefix():
+    buffer = FrameBuffer()
+    buffer.feed(struct.pack("!I", MAX_MESSAGE_BYTES + 1))
+    with pytest.raises(TransportError):
+        list(buffer.pop_messages())
+
+
+def test_recv_on_closed_peer_raises():
+    a, b = socket.socketpair()
+    a.close()
+    try:
+        with pytest.raises(SocketClosedError):
+            recv_message(b)
+    finally:
+        b.close()
+
+
+def test_truncated_frame_raises():
+    a, b = socket.socketpair()
+    try:
+        wire = encode_message(("op", 1, "payload"))
+        a.sendall(wire[:len(wire) - 3])    # cut the frame short
+        a.close()
+        with pytest.raises(SocketClosedError):
+            recv_message(b)
+    finally:
+        b.close()
+
+
+# ----------------------------------------------------------------------
+# SocketTransport against a toy server
+# ----------------------------------------------------------------------
+class _ToyServer:
+    """Accept one connection; answer each message via ``handler``."""
+
+    def __init__(self, handler):
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(1)
+        self.address = self.listener.getsockname()
+        self.handler = handler
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        try:
+            conn, _ = self.listener.accept()
+        except OSError:
+            return
+        with conn:
+            try:
+                while True:
+                    message = recv_message(conn)
+                    for reply in self.handler(message):
+                        if reply == "CLOSE":
+                            return
+                        send_message(conn, reply)
+            except (SocketClosedError, OSError):
+                pass
+
+    def close(self):
+        self.listener.close()
+        self.thread.join(timeout=5)
+
+
+def _transport(server, **retry_kwargs):
+    retry = RetryPolicy(**retry_kwargs) if retry_kwargs else None
+    return SocketTransport(server.address, retry=retry).connect()
+
+
+def test_request_matches_seq_and_discards_stale_replies():
+    server = _ToyServer(
+        lambda m: [("stale", m[1] - 1, None), ("pong", m[1], "ok")]
+    )
+    transport = _transport(server)
+    try:
+        assert transport.request(("ping", 4)) == ("pong", 4, "ok")
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_err_reply_raises_transport_error():
+    server = _ToyServer(lambda m: [("err", m[1], "boom traceback")])
+    transport = _transport(server)
+    try:
+        with pytest.raises(TransportError, match="boom"):
+            transport.request(("explode", 1))
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_silent_server_times_out_and_counts_retries():
+    server = _ToyServer(lambda m: [])
+    metrics = MetricsRegistry(enabled=True)
+    retry = RetryPolicy(timeout_s=0.5, max_retries=3, backoff_s=0.02)
+    transport = SocketTransport(server.address, retry=retry,
+                                metrics=metrics).connect()
+    try:
+        with pytest.raises(TransportTimeoutError):
+            transport.request(("ping", 1))
+        retries = sum(
+            counter.value for counter in metrics.counters
+            if counter.name == "retries_total"
+            and counter.labels.get("transport") == "socket"
+        )
+        assert retries >= 1
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_connection_drop_mid_request_raises_crash():
+    server = _ToyServer(lambda m: ["CLOSE"])
+    transport = _transport(server)
+    try:
+        with pytest.raises(WorkerCrashError):
+            transport.request(("ping", 1))
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_next_message_returns_in_arrival_order():
+    server = _ToyServer(
+        lambda m: [("first", 100), ("second", 200)]
+    )
+    transport = _transport(server)
+    try:
+        transport.send(("kick", 1))
+        assert transport.next_message(timeout_s=5.0) == ("first", 100)
+        assert transport.next_message(timeout_s=5.0) == ("second", 200)
+        assert transport.next_message(timeout_s=0.05) is None
+    finally:
+        transport.close()
+        server.close()

@@ -1,0 +1,290 @@
+"""Parameter-server service mode, end to end over loopback sockets.
+
+The service and its clients run as real TCP peers (threads here,
+processes in :mod:`repro.verify.service`): registration, dispatch,
+contribution push, graceful leaves, scripted churn, and the headline
+parity guarantee -- a served run's history is byte-identical to a
+serial in-process run over the same roster script, with final weights
+at 0 ULP.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_mnist
+from repro.fl.config import FLConfig
+from repro.fl.engine import Engine
+from repro.fl.schedulers import make_scheduler
+from repro.fl.tasks import ClassificationTask
+from repro.runtime.sockets import SocketTransport
+from repro.runtime.transport import WorkerCrashError
+from repro.serve import (
+    ACTIVE,
+    GONE,
+    PROTOCOL_VERSION,
+    FedMPService,
+    ServiceClient,
+    ServiceError,
+)
+from repro.simulation.cluster import make_scenario_devices
+from repro.verify.differential import (
+    StateCaptureHook,
+    normalised_history_bytes,
+    ulp_distance,
+)
+
+
+@pytest.fixture(scope="module")
+def task():
+    dataset = make_synthetic_mnist(train_per_class=16, test_per_class=4,
+                                   rng=np.random.default_rng(0))
+    return ClassificationTask(dataset, "cnn")
+
+
+@pytest.fixture
+def devices():
+    return make_scenario_devices({"A": 2, "B": 2},
+                                 np.random.default_rng(7))
+
+
+def _config(**overrides) -> FLConfig:
+    base = dict(strategy="fedmp", max_rounds=3, local_iterations=2,
+                batch_size=8, lr=0.05, eval_every=3, seed=11)
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+def _run_fleet(service, clients, timeout_s=180.0):
+    """Service + clients in threads; returns (history, results, errors)."""
+    box, results, errors = {}, {}, {}
+
+    def serve():
+        try:
+            box["history"] = service.run()
+        except BaseException as exc:  # surfaced by the caller
+            box["error"] = exc
+
+    def run_client(key, client):
+        try:
+            results[key] = client.run()
+        except BaseException as exc:
+            errors[key] = exc
+
+    threads = [threading.Thread(target=serve, daemon=True)]
+    threads += [
+        threading.Thread(target=run_client, args=(key, client),
+                         daemon=True)
+        for key, client in clients.items()
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s)
+    alive = [t for t in threads if t.is_alive()]
+    if alive:
+        service.shutdown()
+        raise AssertionError(f"{len(alive)} fleet thread(s) hung")
+    if "error" in box:
+        raise box["error"]
+    return box.get("history"), results, errors
+
+
+def _ulps(reference, candidate):
+    assert reference.keys() == candidate.keys()
+    return max(
+        int(ulp_distance(reference[key], candidate[key]).max())
+        for key in reference
+    )
+
+
+# ----------------------------------------------------------------------
+# end-to-end runs
+# ----------------------------------------------------------------------
+def test_loopback_run_completes(task, devices):
+    service = FedMPService(task, devices, _config(), min_workers=4)
+    clients = {
+        wid: ServiceClient(service.address, worker_id=wid)
+        for wid in range(4)
+    }
+    history, results, errors = _run_fleet(service, clients)
+    assert errors == {}
+    assert len(history.rounds) == 3
+    assert results == {wid: 3 for wid in range(4)}
+    assert service.counters["register"] == 4
+    assert service.counters["leave"] == 4
+    assert service.counters["lost"] == 0
+    assert all(entry.state == GONE for entry in service.roster.values())
+
+
+def test_scripted_churn_matches_serial_reference(task, devices):
+    script = {0: [0, 1, 2], 2: [0, 1, 3]}
+    config = _config(max_rounds=4)
+
+    # serial in-process reference over the same membership script
+    capture = StateCaptureHook()
+    engine = Engine(task, devices, config, hooks=[capture])
+    engine.membership_provider = lambda round_index: list(
+        script[max(key for key in script if key <= round_index)]
+    )
+    try:
+        reference = make_scheduler(config).run(engine)
+    finally:
+        engine.close()
+
+    served_capture = StateCaptureHook()
+    service = FedMPService(task, devices, config,
+                           hooks=[served_capture],
+                           roster_script=script)
+    clients = {
+        # worker 2 is scripted out from round 2: it leaves after its
+        # two dispatches; worker 3 registers at once and idles until
+        # the script includes it
+        wid: ServiceClient(service.address, worker_id=wid,
+                           leave_after=2 if wid == 2 else None)
+        for wid in (0, 1, 2, 3)
+    }
+    history, results, errors = _run_fleet(service, clients)
+    assert errors == {}
+    assert results == {0: 4, 1: 4, 2: 2, 3: 2}
+    assert (normalised_history_bytes(history)
+            == normalised_history_bytes(reference))
+    assert _ulps(capture.states[-1], served_capture.states[-1]) == 0
+
+
+def test_leaver_slot_can_be_reclaimed(task, devices):
+    script = {0: [0, 1]}
+    service = FedMPService(task, devices, _config(max_rounds=4),
+                           roster_script=script)
+    first = ServiceClient(service.address, worker_id=0, leave_after=2)
+    steady = ServiceClient(service.address, worker_id=1)
+    box = {}
+
+    def serve():
+        box["history"] = service.run()
+
+    server = threading.Thread(target=serve, daemon=True)
+    steady_thread = threading.Thread(target=steady.run, daemon=True)
+    first_thread = threading.Thread(target=first.run, daemon=True)
+    server.start()
+    steady_thread.start()
+    first_thread.start()
+    first_thread.join(timeout=120)
+    assert not first_thread.is_alive()
+    # the scripted roster still wants worker 0: a replacement client
+    # claims the vacated slot and the run finishes
+    replacement = ServiceClient(service.address, worker_id=0)
+    completed = replacement.run()
+    server.join(timeout=120)
+    steady_thread.join(timeout=120)
+    assert not server.is_alive()
+    assert len(box["history"].rounds) == 4
+    assert completed == 2
+    entry = service.roster[0]
+    assert entry.registrations == 2
+    assert service.counters["reconnect"] == 1
+
+
+def test_registration_timeout_raises_service_error(task, devices):
+    service = FedMPService(task, devices, _config(), min_workers=2,
+                           registration_timeout_s=1.0)
+    with pytest.raises(ServiceError, match="waiting for"):
+        service.run()
+
+
+def test_fleet_evaporating_fails_fast(task, devices):
+    # both workers leave after two dispatches with three rounds still
+    # owed; whichever way the leave races the round-start snapshot the
+    # service must fail loudly (abandoned requests or a registration
+    # timeout), never hang
+    service = FedMPService(task, devices, _config(max_rounds=5),
+                           min_workers=2,
+                           registration_timeout_s=1.5)
+    clients = {
+        wid: ServiceClient(service.address, leave_after=2)
+        for wid in (0, 1)
+    }
+    with pytest.raises((ServiceError, WorkerCrashError)):
+        _run_fleet(service, clients)
+
+
+# ----------------------------------------------------------------------
+# protocol-level behaviour (service pumped from the test thread)
+# ----------------------------------------------------------------------
+def _pumped_request(service, transport, message, tries=200):
+    transport.send(message)
+    for _ in range(tries):
+        service.pump(0.02)
+        reply = transport.next_message(timeout_s=0.02)
+        if reply is not None:
+            return reply
+    raise AssertionError("no reply from the pumped service")
+
+
+def test_protocol_mismatch_is_rejected(task, devices):
+    service = FedMPService(task, devices, _config())
+    transport = SocketTransport(service.address).connect()
+    try:
+        reply = _pumped_request(
+            service, transport,
+            ("register", 1, {"protocol": 999, "worker_id": None}),
+        )
+        assert reply[0] == "err"
+        assert "protocol" in reply[2]
+    finally:
+        transport.close()
+        service.shutdown()
+        service.engine.close()
+
+
+def test_status_reports_roster_and_counters(task, devices):
+    service = FedMPService(task, devices, _config())
+    transport = SocketTransport(service.address).connect()
+    try:
+        reply = _pumped_request(
+            service, transport,
+            ("register", 1, {"protocol": PROTOCOL_VERSION,
+                             "worker_id": 2}),
+        )
+        assert reply[0] == "registered"
+        assert reply[2]["worker_id"] == 2
+        status = _pumped_request(service, transport, ("status", 2))
+        assert status[0] == "status_ok"
+        report = status[2]
+        assert report["protocol"] == PROTOCOL_VERSION
+        assert report["counters"]["register"] == 1
+        assert report["roster"][2]["state"] == ACTIVE
+        assert report["rounds_recorded"] == 0
+    finally:
+        transport.close()
+        service.shutdown()
+        service.engine.close()
+
+
+def test_duplicate_registration_for_active_slot_is_rejected(task,
+                                                            devices):
+    service = FedMPService(task, devices, _config())
+    first = SocketTransport(service.address).connect()
+    second = SocketTransport(service.address).connect()
+    try:
+        reply = _pumped_request(
+            service, first,
+            ("register", 1, {"protocol": PROTOCOL_VERSION,
+                             "worker_id": 1}),
+        )
+        assert reply[0] == "registered"
+        rejected = _pumped_request(
+            service, second,
+            ("register", 1, {"protocol": PROTOCOL_VERSION,
+                             "worker_id": 1}),
+        )
+        assert rejected[0] == "err"
+        assert "already registered" in rejected[2]
+    finally:
+        first.close()
+        second.close()
+        service.shutdown()
+        service.engine.close()

@@ -47,12 +47,33 @@ def test_invalid_parameters():
         DeadlinePolicy(deadline_multiplier=0.5)
 
 
-def test_churn_never_empties_membership(rng):
-    present = simulate_membership_churn(
-        list(range(5)), round_index=1, leave_prob=1.0, rejoin_after=3,
-        rng=rng,
-    )
-    assert present  # at least one worker always remains
+def test_churn_all_leave_raises_empty_round(rng):
+    # every worker leaving must surface as a typed error, not the old
+    # silent pretend-the-first-worker-stayed fallback (and never hang)
+    from repro.fl.aggregation import EmptyRoundError
+
+    with pytest.raises(EmptyRoundError, match="churn removed all"):
+        simulate_membership_churn(
+            list(range(5)), round_index=1, leave_prob=1.0,
+            rejoin_after=3, rng=rng,
+        )
+
+
+def test_churn_all_leave_still_consumes_all_draws():
+    # the per-worker draws are consumed even when the round raises, so
+    # the churn stream position is independent of the outcome
+    from repro.fl.aggregation import EmptyRoundError
+
+    rng_a = np.random.default_rng(7)
+    rng_b = np.random.default_rng(7)
+    with pytest.raises(EmptyRoundError):
+        simulate_membership_churn(
+            list(range(5)), round_index=1, leave_prob=1.0,
+            rejoin_after=3, rng=rng_a,
+        )
+    for _ in range(5):
+        rng_b.random()
+    assert rng_a.bit_generator.state == rng_b.bit_generator.state
 
 
 def test_churn_no_leaves_at_zero_probability(rng):
@@ -61,3 +82,31 @@ def test_churn_no_leaves_at_zero_probability(rng):
         rng=rng,
     )
     assert present == list(range(5))
+
+
+def test_churn_rejoin_after_zero_means_nobody_leaves():
+    # rejoin_after=0 -> cycle length 1 -> round_index % 1 == 0 for every
+    # round, so the leave branch can never fire even at leave_prob=1.0
+    rng = np.random.default_rng(11)
+    for round_index in range(4):
+        present = simulate_membership_churn(
+            list(range(5)), round_index=round_index, leave_prob=1.0,
+            rejoin_after=0, rng=rng,
+        )
+        assert present == list(range(5))
+
+
+def test_churn_rejoin_after_zero_still_consumes_draws():
+    # even though nobody can leave, the per-worker uniform draws are
+    # consumed -- flipping rejoin_after must not shift the stream
+    rng_a = np.random.default_rng(13)
+    rng_b = np.random.default_rng(13)
+    simulate_membership_churn(
+        list(range(6)), round_index=2, leave_prob=1.0, rejoin_after=0,
+        rng=rng_a,
+    )
+    simulate_membership_churn(
+        list(range(6)), round_index=2, leave_prob=0.3, rejoin_after=4,
+        rng=rng_b,
+    )
+    assert rng_a.bit_generator.state == rng_b.bit_generator.state
